@@ -1,0 +1,77 @@
+// Ablation (beyond the paper): value of the knowledge-distillation term in
+// the hybrid exit-training loss of eq. (4). Trains the exit bank of one
+// backbone with the KD term enabled vs disabled and compares per-depth exit
+// accuracy (N_i) and the oracle (union) dynamic accuracy.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "dynn/exit_bank.hpp"
+#include "supernet/baselines.hpp"
+#include "util/csv.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+
+int main() {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cost_model(space);
+  const supernet::AccuracySurrogate surrogate(cost_model);
+  const supernet::BackboneConfig backbone = supernet::baseline_a6();
+  const supernet::NetworkCost cost = cost_model.analyze(backbone);
+  const double separability =
+      data::separability_from_accuracy(surrogate.accuracy(backbone));
+
+  core::HadasConfig config = bench::experiment_config();
+  const data::SyntheticTask task(config.data);
+
+  std::cout << "=== Ablation: exit training with vs without KD (backbone a6) ===\n\n";
+
+  dynn::ExitBankConfig with_kd = config.bank;
+  with_kd.train.kd_weight = 1.0;
+  dynn::ExitBankConfig without_kd = config.bank;
+  without_kd.train.kd_weight = 0.0;
+
+  std::cout << "training exit bank with KD...\n";
+  const dynn::ExitBank bank_kd(task, cost, separability, with_kd);
+  std::cout << "training exit bank without KD...\n";
+  const dynn::ExitBank bank_plain(task, cost, separability, without_kd);
+
+  util::TextTable table({"exit layer", "depth frac", "N_i with KD", "N_i w/o KD",
+                         "delta"},
+                        {util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  util::CsvWriter csv(bench::out_dir() + "/ablation_kd.csv",
+                      {"layer", "depth_fraction", "n_with_kd", "n_without_kd"});
+
+  double gain_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t layer : bank_kd.eligible_layers()) {
+    const auto& with = bank_kd.exit_at(layer);
+    const auto& without = bank_plain.exit_at(layer);
+    // Print every third exit to keep the table compact.
+    if (count % 3 == 0)
+      table.add_row({std::to_string(layer), util::fmt_fixed(with.depth_fraction, 3),
+                     util::fmt_pct(with.val_accuracy, 2),
+                     util::fmt_pct(without.val_accuracy, 2),
+                     util::fmt_fixed((with.val_accuracy - without.val_accuracy) * 100, 2)});
+    csv.row({util::fmt_fixed(static_cast<double>(layer), 0),
+             util::fmt_fixed(with.depth_fraction, 4),
+             util::fmt_fixed(with.val_accuracy, 4),
+             util::fmt_fixed(without.val_accuracy, 4)});
+    gain_sum += with.val_accuracy - without.val_accuracy;
+    ++count;
+  }
+  table.print(std::cout);
+
+  const auto all = bank_kd.eligible_layers();
+  std::cout << "\nmean N_i delta (KD - plain): "
+            << util::fmt_fixed(gain_sum / static_cast<double>(count) * 100, 2)
+            << " points over " << count << " exits\n"
+            << "oracle accuracy, all exits sampled: with KD "
+            << util::fmt_pct(bank_kd.oracle_accuracy(all), 2) << ", without "
+            << util::fmt_pct(bank_plain.oracle_accuracy(all), 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (substrate): the supernet pretraining stage HADAS builds on.
+// Compares subnet-sampling strategies (uniform / BestUp / WorstUp, with the
+// sandwich rule) at increasing training budgets: where the training mass
+// goes and how close sampled subnets get to their converged potential.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "supernet/baselines.hpp"
+#include "supernet/supernet_trainer.hpp"
+#include "util/csv.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+using supernet::SamplingStrategy;
+
+namespace {
+const char* name_of(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kUniform: return "uniform";
+    case SamplingStrategy::kBestUp: return "bestup";
+    case SamplingStrategy::kWorstUp: return "worstup";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cm(space);
+  const supernet::AccuracySurrogate surrogate(cm);
+
+  // Fixed probe set: the 10% highest-potential subnets of a random draw —
+  // the region the OOE's accuracy extreme will sample from.
+  util::Rng probe_rng(123);
+  std::vector<supernet::BackboneConfig> probes;
+  for (int i = 0; i < 300; ++i)
+    probes.push_back(supernet::decode(space, supernet::random_genome(space, probe_rng)));
+  std::sort(probes.begin(), probes.end(),
+            [&](const auto& a, const auto& b) {
+              return surrogate.accuracy(a) > surrogate.accuracy(b);
+            });
+  probes.resize(30);
+
+  std::cout << "=== Ablation: supernet pretraining sampling strategies ===\n\n";
+  util::TextTable table({"budget (steps)", "strategy", "mean sampled potential",
+                         "mean maturity", "top-probe acc", "largest-subnet acc"});
+  util::CsvWriter csv(bench::out_dir() + "/ablation_supernet.csv",
+                      {"budget", "strategy", "sampled_potential", "maturity",
+                       "probe_acc", "largest_acc"});
+
+  for (std::size_t budget : {100u, 400u, 1600u}) {
+    for (SamplingStrategy strategy :
+         {SamplingStrategy::kUniform, SamplingStrategy::kBestUp,
+          SamplingStrategy::kWorstUp}) {
+      supernet::SupernetTrainConfig config;
+      config.sampling = strategy;
+      config.seed = 7;
+      supernet::SupernetTrainer trainer(space, cm, config);
+      trainer.train(budget);
+      double probe_acc = 0.0;
+      for (const auto& probe : probes) probe_acc += trainer.accuracy(probe);
+      probe_acc /= static_cast<double>(probes.size());
+      const double largest_acc = trainer.accuracy(trainer.largest_subnet());
+      table.add_row({std::to_string(budget), name_of(strategy),
+                     util::fmt_pct(trainer.mean_sampled_potential(), 2),
+                     util::fmt_pct(trainer.mean_maturity(), 1),
+                     util::fmt_pct(probe_acc, 2), util::fmt_pct(largest_acc, 2)});
+      csv.row({util::fmt_fixed(static_cast<double>(budget), 0), name_of(strategy),
+               util::fmt_fixed(trainer.mean_sampled_potential(), 4),
+               util::fmt_fixed(trainer.mean_maturity(), 4),
+               util::fmt_fixed(probe_acc, 4), util::fmt_fixed(largest_acc, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: BestUp shifts the sampled-subnet potential up and\n"
+               " WorstUp down relative to uniform; all strategies converge the\n"
+               " sandwich ends fast while mid-space probes need large budgets —\n"
+               " the weight-sharing coverage problem attentive sampling targets)\n";
+  return 0;
+}

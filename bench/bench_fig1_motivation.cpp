@@ -1,0 +1,130 @@
+// Figure 1 (motivational example): accuracy and energy of AttentiveNAS a0,
+// a6 and a HADAS model on the TX2 Pascal GPU across the three optimization
+// stages — Static, Dyn (early exiting), Dyn w/ HW (early exiting + DVFS).
+//
+// Paper shape to reproduce: statically a0 is the most energy-efficient
+// (~22% better than the HADAS model); after Dyn the HADAS model catches up;
+// after Dyn w/ HW it becomes more efficient than a0 (~19% in the paper),
+// while its accuracy is on par with a6.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "supernet/baselines.hpp"
+#include "util/csv.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+
+namespace {
+
+struct StageRow {
+  std::string model;
+  double static_acc, dyn_acc;
+  double e_static, e_dyn, e_dyn_hw;  // mJ
+};
+
+StageRow evaluate_model(const core::HadasEngine& engine, const std::string& name,
+                        const supernet::BackboneConfig& config) {
+  StageRow row;
+  row.model = name;
+  const core::StaticEval s = engine.static_evaluator().evaluate(config);
+  row.e_static = s.energy_j * 1e3;
+
+  // Dyn w/ HW: full IOE over (X, F).
+  const core::IoeResult ioe = engine.run_ioe(config);
+  // Pick the solution maximizing energy gain subject to dynamic accuracy at
+  // least the backbone's (the paper keeps "the desired level of accuracy").
+  const double acc_floor = engine.exit_bank(config).backbone_accuracy();
+  const core::InnerSolution* best = nullptr;
+  for (const auto& sol : ioe.pareto) {
+    if (sol.metrics.oracle_accuracy < acc_floor) continue;
+    if (best == nullptr || sol.metrics.energy_gain > best->metrics.energy_gain)
+      best = &sol;
+  }
+  if (best == nullptr) best = &ioe.pareto.front();
+
+  row.e_dyn_hw = best->metrics.energy_per_sample_j * 1e3;
+  row.dyn_acc = best->metrics.oracle_accuracy;
+  row.static_acc = acc_floor;
+
+  // Dyn (no HW): the same placement at the default DVFS setting.
+  const auto default_f =
+      hw::default_setting(engine.static_evaluator().hardware().device());
+  const core::InnerSolution dyn =
+      engine.evaluate_dynamic(config, best->placement, default_f);
+  row.e_dyn = dyn.metrics.energy_per_sample_j * 1e3;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  core::HadasConfig config = bench::experiment_config();
+  core::HadasEngine engine(space, hw::Target::kTx2PascalGpu, config);
+
+  std::cout << "=== Figure 1: motivational comparison on "
+            << hw::target_name(hw::Target::kTx2PascalGpu) << " ===\n\n";
+
+  // HADAS model: best trade-off design from a bi-level search.
+  std::cout << "[1/3] running HADAS bi-level search...\n";
+  const core::HadasResult result = engine.run();
+  // Choose the final solution with the highest energy gain among those within
+  // 1% dynamic accuracy of the best (the "large agile model" of Fig. 1).
+  double best_acc = 0.0;
+  for (const auto& sol : result.final_pareto)
+    best_acc = std::max(best_acc, sol.dynamic.oracle_accuracy);
+  const core::FinalSolution* hadas_sol = nullptr;
+  for (const auto& sol : result.final_pareto) {
+    if (sol.dynamic.oracle_accuracy < best_acc - 0.01) continue;
+    if (hadas_sol == nullptr ||
+        sol.dynamic.energy_gain > hadas_sol->dynamic.energy_gain)
+      hadas_sol = &sol;
+  }
+
+  std::cout << "[2/3] evaluating AttentiveNAS baselines a0, a6...\n";
+  const StageRow a0 = evaluate_model(engine, "AttentiveNAS_a0", supernet::baseline_a0());
+  const StageRow a6 = evaluate_model(engine, "AttentiveNAS_a6", supernet::baseline_a6());
+  std::cout << "[3/3] evaluating the HADAS model...\n";
+  const StageRow hadas_row =
+      evaluate_model(engine, "HADAS", hadas_sol->backbone);
+
+  util::TextTable table({"model", "acc (static)", "acc (dyn)", "E static mJ",
+                         "E dyn mJ", "E dyn w/HW mJ"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  table.set_title("Fig. 1 — three optimization stages (Static / Dyn / Dyn w/ HW)");
+  util::CsvWriter csv(bench::out_dir() + "/fig1_motivation.csv",
+                      {"model", "acc_static", "acc_dyn", "e_static_mj",
+                       "e_dyn_mj", "e_dyn_hw_mj"});
+  for (const StageRow& row : {a0, a6, hadas_row}) {
+    table.add_row({row.model, util::fmt_pct(row.static_acc, 2),
+                   util::fmt_pct(row.dyn_acc, 2), util::fmt_fixed(row.e_static, 1),
+                   util::fmt_fixed(row.e_dyn, 1), util::fmt_fixed(row.e_dyn_hw, 1)});
+    csv.row({row.model, util::fmt_fixed(row.static_acc, 4),
+             util::fmt_fixed(row.dyn_acc, 4), util::fmt_fixed(row.e_static, 2),
+             util::fmt_fixed(row.e_dyn, 2), util::fmt_fixed(row.e_dyn_hw, 2)});
+  }
+  table.print(std::cout);
+
+  const double gap_static = hadas_row.e_static / a0.e_static;
+  const double gap_final = hadas_row.e_dyn_hw / a0.e_dyn_hw;
+  std::cout << "\npaper shape checks:\n"
+            << "  energy gap HADAS/a0: " << util::fmt_fixed(gap_static, 2)
+            << "x static -> " << util::fmt_fixed(gap_final, 2)
+            << "x after Dyn w/ HW (paper: 1.22x -> 0.81x, i.e. full"
+               " crossover; see EXPERIMENTS.md on why the crossover is"
+               " partial here)\n"
+            << "  stage-wise gains compound for every model: HADAS "
+            << util::fmt_pct(1.0 - hadas_row.e_dyn / hadas_row.e_static, 1)
+            << " from Dyn, then "
+            << util::fmt_pct(1.0 - hadas_row.e_dyn_hw / hadas_row.e_dyn, 1)
+            << " more from DVFS\n"
+            << "  HADAS dyn accuracy " << util::fmt_pct(hadas_row.dyn_acc, 2)
+            << " vs a6 dyn accuracy " << util::fmt_pct(a6.dyn_acc, 2)
+            << " (paper: on par)\n";
+  return 0;
+}

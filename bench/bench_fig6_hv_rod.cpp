@@ -1,0 +1,60 @@
+// Figure 6: search-efficacy comparison between HADAS and the optimized
+// baselines on the four platforms — (a) hypervolume of the dominated
+// objective-space region, (b) ratio of dominance. Reuses bench_fig5_ioe's
+// cached point clouds when available.
+//
+// Paper shape to reproduce: HADAS wins on both metrics on all four devices;
+// on the Pascal GPU its HV coverage and RoD are ~16% and ~95% higher.
+
+#include <iostream>
+
+#include "bench/fig5_data.hpp"
+#include "core/pareto.hpp"
+#include "util/csv.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+
+int main() {
+  std::cout << "=== Figure 6: hypervolume and ratio of dominance ===\n";
+
+  util::TextTable table({"device", "HV HADAS", "HV baseline", "HV ratio",
+                         "RoD HADAS", "RoD baseline"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  util::CsvWriter csv(bench::out_dir() + "/fig6_hv_rod.csv",
+                      {"device", "hv_hadas", "hv_baseline", "rod_hadas",
+                       "rod_baseline"});
+
+  for (hw::Target target : hw::all_targets()) {
+    const bench::DeviceIoeData data = bench::device_ioe_data(target);
+    const auto front_h = bench::front_of(data.hadas);
+    const auto front_b = bench::front_of(data.baseline);
+
+    auto objs = [](const std::vector<bench::IoePoint>& pts) {
+      std::vector<core::Objectives> o;
+      for (const auto& p : pts) o.push_back({p.energy_gain, p.mean_n});
+      return o;
+    };
+    const core::Objectives ref = {0.0, 0.0};
+    const double hv_h = core::hypervolume(objs(front_h), ref);
+    const double hv_b = core::hypervolume(objs(front_b), ref);
+    const double rod_h = core::ratio_of_dominance(objs(front_h), objs(front_b));
+    const double rod_b = core::ratio_of_dominance(objs(front_b), objs(front_h));
+
+    table.add_row({hw::target_name(target), util::fmt_fixed(hv_h, 4),
+                   util::fmt_fixed(hv_b, 4),
+                   util::fmt_fixed(hv_b > 0 ? hv_h / hv_b : 0.0, 2) + "x",
+                   util::fmt_pct(rod_h, 1), util::fmt_pct(rod_b, 1)});
+    csv.row({hw::target_name(target), util::fmt_fixed(hv_h, 6),
+             util::fmt_fixed(hv_b, 6), util::fmt_fixed(rod_h, 4),
+             util::fmt_fixed(rod_b, 4)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\n(paper: HADAS ahead on both metrics on all four platforms;\n"
+               " Pascal GPU: +16% HV coverage, +95% RoD over the baselines)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 7: ablation of the dissimilarity regularizer (dissim^gamma) in the
+// exit score of eq. (6). The IOE is run for one backbone with the term
+// disabled and with it enabled over two ranges of gamma; fronts are compared
+// in the (energy gain, mean N_i) plane.
+//
+// Paper shape to reproduce: including dissimilarity focuses the search on
+// dissimilar, high-contribution exits — improving the ratio of dominance
+// (paper: +41%) and the accuracy/energy extremes of the front.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/pareto.hpp"
+#include "supernet/baselines.hpp"
+#include "util/csv.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+
+namespace {
+std::vector<core::Objectives> plane(const core::IoeResult& ioe) {
+  std::vector<core::Objectives> pts;
+  for (const auto& sol : ioe.pareto)
+    pts.push_back({sol.metrics.energy_gain, sol.metrics.mean_n});
+  return pts;
+}
+
+double max_axis(const std::vector<core::Objectives>& pts, std::size_t axis) {
+  double best = 0.0;
+  for (const auto& p : pts) best = std::max(best, p[axis]);
+  return best;
+}
+}  // namespace
+
+int main() {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  core::HadasEngine engine(space, hw::Target::kTx2PascalGpu,
+                           bench::experiment_config());
+  // One fixed mid-sized backbone, as in the paper's single-backbone ablation.
+  const supernet::BackboneConfig backbone =
+      supernet::attentive_nas_baselines()[3].config;  // a3
+
+  std::cout << "=== Figure 7: dissimilarity ablation (backbone a3, TX2 GPU) ===\n\n";
+
+  // The ablation runs the paper's 2-D IOE formulation: energy efficiency
+  // enters only through the eq.(5) score, so the dissimilarity term steers
+  // which candidates the search explores (as in the paper's Fig. 7).
+  core::IoeConfig base = bench::experiment_config().ioe;
+  base.include_gain_objective = false;
+
+  core::IoeConfig off = base;
+  off.score.use_dissim = false;
+  std::cout << "running IOE without dissim...\n";
+  const core::IoeResult without = engine.run_ioe_with(backbone, off);
+  const auto pts_without = plane(without);
+
+  util::TextTable table({"gamma", "RoD(with,without)", "RoD(without,with)",
+                         "HV with", "HV without", "max gain", "max mean N"},
+                        {util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  util::CsvWriter csv(bench::out_dir() + "/fig7_dissim.csv",
+                      {"gamma", "rod_with_over_without", "rod_without_over_with",
+                       "hv_with", "hv_without", "max_gain_with", "max_mean_n_with"});
+
+  const core::Objectives ref = {0.0, 0.0};
+  const double hv_without = core::hypervolume(pts_without, ref);
+
+  // Two gamma ranges, as in the paper's left/right panels.
+  for (double gamma : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::IoeConfig on = base;
+    on.score.use_dissim = true;
+    on.score.gamma = gamma;
+    std::cout << "running IOE with dissim, gamma=" << gamma << "...\n";
+    const core::IoeResult with = engine.run_ioe_with(backbone, on);
+    const auto pts_with = plane(with);
+
+    const double rod_wo = core::ratio_of_dominance(pts_with, pts_without);
+    const double rod_ow = core::ratio_of_dominance(pts_without, pts_with);
+    const double hv_with = core::hypervolume(pts_with, ref);
+    table.add_row({util::fmt_fixed(gamma, 2), util::fmt_pct(rod_wo, 1),
+                   util::fmt_pct(rod_ow, 1), util::fmt_fixed(hv_with, 4),
+                   util::fmt_fixed(hv_without, 4),
+                   util::fmt_pct(max_axis(pts_with, 0), 1),
+                   util::fmt_pct(max_axis(pts_with, 1), 1)});
+    csv.row({util::fmt_fixed(gamma, 2), util::fmt_fixed(rod_wo, 4),
+             util::fmt_fixed(rod_ow, 4), util::fmt_fixed(hv_with, 5),
+             util::fmt_fixed(hv_without, 5),
+             util::fmt_fixed(max_axis(pts_with, 0), 4),
+             util::fmt_fixed(max_axis(pts_with, 1), 4)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nwithout dissim: max gain " << util::fmt_pct(max_axis(pts_without, 0), 1)
+            << ", max mean N " << util::fmt_pct(max_axis(pts_without, 1), 1)
+            << "\n(paper shape: including dissim^gamma should enlarge the "
+               "dominated hypervolume\n and push the accuracy extreme of the "
+               "front upward -- compare 'HV with' vs\n 'HV without' and 'max "
+               "mean N' vs the line above; the paper additionally\n reports a "
+               "+41% RoD at its budget)\n";
+  return 0;
+}

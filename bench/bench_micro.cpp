@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the primitives on the hot paths of
+// the search: cost-model analysis, hardware measurement, dynamic candidate
+// evaluation, non-dominated sorting and hypervolume.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hadas_engine.hpp"
+#include "core/pareto.hpp"
+#include "core/serialize.hpp"
+#include "supernet/baselines.hpp"
+#include "util/linalg.hpp"
+#include "util/rng.hpp"
+
+using namespace hadas;
+
+namespace {
+
+const supernet::SearchSpace& space() {
+  static const supernet::SearchSpace s = supernet::SearchSpace::attentive_nas();
+  return s;
+}
+
+void BM_CostModelAnalyze(benchmark::State& state) {
+  const supernet::CostModel cm(space());
+  const auto config = supernet::baseline_a6();
+  for (auto _ : state) benchmark::DoNotOptimize(cm.analyze(config));
+}
+BENCHMARK(BM_CostModelAnalyze);
+
+void BM_AccuracySurrogate(benchmark::State& state) {
+  const supernet::CostModel cm(space());
+  const supernet::AccuracySurrogate surrogate(cm);
+  const auto config = supernet::attentive_nas_baselines()[3].config;
+  for (auto _ : state) benchmark::DoNotOptimize(surrogate.accuracy(config));
+}
+BENCHMARK(BM_AccuracySurrogate);
+
+void BM_HardwareMeasure(benchmark::State& state) {
+  const supernet::CostModel cm(space());
+  const hw::HardwareEvaluator evaluator(hw::make_device(hw::Target::kTx2PascalGpu));
+  const auto net = cm.analyze(supernet::baseline_a6());
+  const auto setting = hw::default_setting(evaluator.device());
+  for (auto _ : state) benchmark::DoNotOptimize(evaluator.measure_network(net, setting));
+}
+BENCHMARK(BM_HardwareMeasure);
+
+void BM_NonDominatedSort(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<core::Objectives> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  for (auto _ : state) benchmark::DoNotOptimize(core::non_dominated_sort(pts));
+}
+BENCHMARK(BM_NonDominatedSort)->Arg(64)->Arg(256);
+
+void BM_Hypervolume2D(benchmark::State& state) {
+  util::Rng rng(10);
+  std::vector<core::Objectives> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const core::Objectives ref = {0.0, 0.0};
+  for (auto _ : state) benchmark::DoNotOptimize(core::hypervolume(pts, ref));
+}
+BENCHMARK(BM_Hypervolume2D)->Arg(64)->Arg(1024);
+
+void BM_ExitPathMeasure(benchmark::State& state) {
+  const supernet::CostModel cm(space());
+  const hw::HardwareEvaluator evaluator(hw::make_device(hw::Target::kTx2PascalGpu));
+  const auto net = cm.analyze(supernet::baseline_a6());
+  const dynn::MultiExitCostTable table(net, evaluator);
+  const auto setting = hw::default_setting(evaluator.device());
+  std::size_t layer = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.exit_path(layer, setting));
+    layer = 5 + (layer + 3) % (net.num_mbconv_layers() - 5);
+  }
+}
+BENCHMARK(BM_ExitPathMeasure);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  // A representative saved design.
+  hadas::util::Json json = core::to_json(supernet::baseline_a6());
+  const std::string text = json.dump(2);
+  for (auto _ : state) benchmark::DoNotOptimize(hadas::util::Json::parse(text));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_RidgeFit(benchmark::State& state) {
+  util::Rng rng(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0)), d = 11;
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x[i][j] = rng.normal();
+    y[i] = rng.normal();
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hadas::util::ridge_regression(x, y, 1e-6));
+}
+BENCHMARK(BM_RidgeFit)->Arg(64)->Arg(512);
+
+void BM_DynamicCandidateEvaluation(benchmark::State& state) {
+  // The IOE's hot path: one full D(x, f | b) evaluation.
+  static const supernet::CostModel cm(space());
+  static const data::SyntheticTask task([] {
+    data::DataConfig config;
+    config.train_size = 700;
+    config.val_size = 400;
+    config.test_size = 400;
+    return config;
+  }());
+  static const supernet::NetworkCost net = cm.analyze(supernet::baseline_a0());
+  static const dynn::ExitBank bank(task, net, 7.0, [] {
+    dynn::ExitBankConfig config;
+    config.train.epochs = 3;
+    return config;
+  }());
+  static const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  static const dynn::MultiExitCostTable table(net, evaluator);
+  static const dynn::DynamicEvaluator eval(bank, table);
+  const dynn::ExitPlacement placement(net.num_mbconv_layers(), {5, 8, 11});
+  std::size_t core = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(placement, {core, 5}));
+    core = (core + 1) % evaluator.device().core_freqs_hz.size();
+  }
+}
+BENCHMARK(BM_DynamicCandidateEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared configuration for the paper-reproduction bench binaries.
+//
+// Every bench is deterministic (fixed seeds). Default budgets are scaled
+// down from the paper's (450 OOE / 3500 IOE iterations) so the full bench
+// suite runs in minutes on a laptop; set HADAS_PAPER_BUDGET=1 to use the
+// paper's iteration counts.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/hadas_engine.hpp"
+
+namespace hadas::bench {
+
+inline bool paper_budget() {
+  const char* env = std::getenv("HADAS_PAPER_BUDGET");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Directory where benches drop their CSV series (figure data).
+inline std::string out_dir() {
+  const char* env = std::getenv("HADAS_BENCH_OUT");
+  std::string dir = env != nullptr ? env : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The standard experiment configuration used by all benches.
+inline core::HadasConfig experiment_config() {
+  core::HadasConfig config;
+  if (paper_budget()) {
+    config.outer_population = 30;           // 30 x 15 = 450 OOE iterations
+    config.outer_generations = 15;
+    config.ioe_backbones_per_generation = 3;
+    config.ioe.nsga.population = 50;        // 50 x 70 = 3500 IOE iterations
+    config.ioe.nsga.generations = 70;
+  } else {
+    config.outer_population = 24;           // 24 x 10 = 240 OOE iterations
+    config.outer_generations = 10;
+    config.ioe_backbones_per_generation = 3;
+    config.ioe.nsga.population = 30;        // 30 x 20 = 600 IOE iterations
+    config.ioe.nsga.generations = 20;
+    config.data.train_size = 1500;
+    config.bank.train.epochs = 8;
+  }
+  config.seed = 20230417;
+  return config;
+}
+
+/// Budget-matched IOE config for optimizing the AttentiveNAS baselines ("for
+/// a fair comparison, we fix the same optimization budget", Sec. V-B).
+inline core::IoeConfig baseline_ioe_config() { return experiment_config().ioe; }
+
+}  // namespace hadas::bench

@@ -1,0 +1,117 @@
+#include "bench/fig5_data.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/pareto.hpp"
+#include "supernet/baselines.hpp"
+
+namespace hadas::bench {
+
+namespace {
+std::string device_slug(hw::Target target) {
+  switch (target) {
+    case hw::Target::kAgxVoltaGpu: return "agx_volta_gpu";
+    case hw::Target::kCarmelCpu: return "carmel_cpu";
+    case hw::Target::kTx2PascalGpu: return "tx2_pascal_gpu";
+    case hw::Target::kDenverCpu: return "denver_cpu";
+  }
+  return "unknown";
+}
+
+IoePoint to_point(const core::InnerSolution& sol) {
+  return {sol.metrics.energy_gain, sol.metrics.mean_n,
+          sol.metrics.oracle_accuracy};
+}
+}  // namespace
+
+std::string fig5_cache_path(hw::Target target) {
+  return out_dir() + "/fig5_points_" + device_slug(target) + ".csv";
+}
+
+DeviceIoeData compute_device_ioe(hw::Target target) {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const core::HadasConfig config = experiment_config();
+
+  DeviceIoeData data;
+  core::HadasEngine engine(space, target, config);
+
+  std::cerr << "  [" << hw::target_name(target) << "] bi-level HADAS run...\n";
+  const core::HadasResult result = engine.run();
+  for (const auto& outcome : result.backbones) {
+    for (const auto& sol : outcome.inner_history)
+      data.hadas.push_back(to_point(sol));
+  }
+
+  std::cerr << "  [" << hw::target_name(target)
+            << "] optimized baselines (a0..a6, same IOE budget)...\n";
+  for (const auto& baseline : supernet::attentive_nas_baselines()) {
+    const core::IoeResult ioe = engine.run_ioe(baseline.config);
+    for (const auto& sol : ioe.history) data.baseline.push_back(to_point(sol));
+  }
+  return data;
+}
+
+void write_fig5_cache(hw::Target target, const DeviceIoeData& data) {
+  std::ofstream out(fig5_cache_path(target));
+  out << "source,energy_gain,mean_n,oracle_acc\n";
+  for (const auto& p : data.hadas)
+    out << "hadas," << p.energy_gain << ',' << p.mean_n << ',' << p.oracle_acc
+        << '\n';
+  for (const auto& p : data.baseline)
+    out << "baseline," << p.energy_gain << ',' << p.mean_n << ','
+        << p.oracle_acc << '\n';
+}
+
+bool load_fig5_cache(hw::Target target, DeviceIoeData* data) {
+  std::ifstream in(fig5_cache_path(target));
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  DeviceIoeData loaded;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string source, field;
+    if (!std::getline(ls, source, ',')) return false;
+    IoePoint p;
+    if (!std::getline(ls, field, ',')) return false;
+    p.energy_gain = std::stod(field);
+    if (!std::getline(ls, field, ',')) return false;
+    p.mean_n = std::stod(field);
+    if (!std::getline(ls, field, ',')) return false;
+    p.oracle_acc = std::stod(field);
+    if (source == "hadas")
+      loaded.hadas.push_back(p);
+    else if (source == "baseline")
+      loaded.baseline.push_back(p);
+    else
+      return false;
+  }
+  if (loaded.hadas.empty() || loaded.baseline.empty()) return false;
+  *data = std::move(loaded);
+  return true;
+}
+
+DeviceIoeData device_ioe_data(hw::Target target) {
+  DeviceIoeData data;
+  if (load_fig5_cache(target, &data)) {
+    std::cerr << "  [" << hw::target_name(target) << "] using cached points ("
+              << fig5_cache_path(target) << ")\n";
+    return data;
+  }
+  data = compute_device_ioe(target);
+  write_fig5_cache(target, data);
+  return data;
+}
+
+std::vector<IoePoint> front_of(const std::vector<IoePoint>& cloud) {
+  std::vector<core::Objectives> pts;
+  pts.reserve(cloud.size());
+  for (const auto& p : cloud) pts.push_back({p.energy_gain, p.mean_n});
+  std::vector<IoePoint> front;
+  for (std::size_t idx : core::pareto_front(pts)) front.push_back(cloud[idx]);
+  return front;
+}
+
+}  // namespace hadas::bench

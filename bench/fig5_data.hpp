@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared computation for Fig. 5 (bottom row) and Fig. 6: per device, the
+// clouds of (x, f | b) candidates explored by HADAS's bi-level search and by
+// the budget-matched "optimized baselines" (a0..a6 run through the same IOE).
+//
+// Points live in the paper's reported plane: x = ideal-mapping energy
+// efficiency gain, y = average N_i of the sampled exits. The expensive
+// computation is cached as CSV under the bench output directory so that
+// bench_fig6 can reuse bench_fig5_ioe's run.
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace hadas::bench {
+
+struct IoePoint {
+  double energy_gain = 0.0;
+  double mean_n = 0.0;
+  double oracle_acc = 0.0;
+};
+
+struct DeviceIoeData {
+  std::vector<IoePoint> hadas;     ///< every candidate explored by HADAS IOEs
+  std::vector<IoePoint> baseline;  ///< every candidate explored for a0..a6
+};
+
+/// File the cache lives in for a device.
+std::string fig5_cache_path(hw::Target target);
+
+/// Full computation: bi-level HADAS run + budget-matched baseline IOEs.
+DeviceIoeData compute_device_ioe(hw::Target target);
+
+/// Load a cached computation; returns false if absent/corrupt.
+bool load_fig5_cache(hw::Target target, DeviceIoeData* data);
+
+/// Write the cache.
+void write_fig5_cache(hw::Target target, const DeviceIoeData& data);
+
+/// Cache-or-compute.
+DeviceIoeData device_ioe_data(hw::Target target);
+
+/// Pareto front of a cloud in the (energy_gain, mean_n) plane.
+std::vector<IoePoint> front_of(const std::vector<IoePoint>& cloud);
+
+}  // namespace hadas::bench

@@ -1,0 +1,76 @@
+// Hardware-awareness demo: the same search, run against the four edge
+// targets, lands on *different* backbones, exits and DVFS settings — the
+// core argument for treating the hardware configuration as a search
+// dimension instead of a fixed constraint.
+//
+//   ./build/examples/device_comparison
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/hadas_engine.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hadas;
+
+  const auto space = supernet::SearchSpace::attentive_nas();
+
+  util::TextTable table({"device", "backbone (best design)", "res", "layers",
+                         "exits", "core GHz", "emc GHz", "dyn acc",
+                         "energy/sample", "energy gain"},
+                        {util::Align::kLeft, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  table.set_title("Best HADAS design per device (max energy gain at <=1% from "
+                  "best dynamic accuracy)");
+
+  for (hw::Target target : hw::all_targets()) {
+    core::HadasConfig config;
+    config.outer_population = 16;
+    config.outer_generations = 6;
+    config.ioe_backbones_per_generation = 2;
+    config.ioe.nsga.population = 24;
+    config.ioe.nsga.generations = 15;
+    config.data.train_size = 1200;
+    config.bank.train.epochs = 8;
+
+    std::cout << "searching on " << hw::target_name(target) << "...\n";
+    core::HadasEngine engine(space, target, config);
+    const core::HadasResult result = engine.run();
+
+    double best_acc = 0.0;
+    for (const auto& sol : result.final_pareto)
+      best_acc = std::max(best_acc, sol.dynamic.oracle_accuracy);
+    const core::FinalSolution* best = nullptr;
+    for (const auto& sol : result.final_pareto) {
+      if (sol.dynamic.oracle_accuracy < best_acc - 0.01) continue;
+      if (best == nullptr || sol.dynamic.energy_gain > best->dynamic.energy_gain)
+        best = &sol;
+    }
+
+    const auto& device = engine.static_evaluator().hardware().device();
+    table.add_row({
+        hw::target_name(target),
+        best->backbone.describe().substr(0, 24) + "...",
+        std::to_string(best->backbone.resolution),
+        std::to_string(best->backbone.total_layers()),
+        std::to_string(best->placement.count()),
+        util::fmt_fixed(device.core_freqs_hz[best->setting.core_idx] / 1e9, 2),
+        util::fmt_fixed(device.emc_freqs_hz[best->setting.emc_idx] / 1e9, 2),
+        util::fmt_pct(best->dynamic.oracle_accuracy, 1),
+        util::fmt_fixed(best->dynamic.energy_per_sample_j * 1e3, 1) + " mJ",
+        util::fmt_pct(best->dynamic.energy_gain, 1),
+    });
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nNote how the chosen resolution/depth and especially the DVFS\n"
+               "operating point differ per device: compute-rich GPUs tolerate\n"
+               "larger inputs and drop the core clock further; the Denver CPU\n"
+               "prefers compact backbones with moderate clocks.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Runtime distribution drift: what happens to a deployed dynamic model when
+// the inputs get harder over time ("in the wild" operation), and how an
+// adaptive exit controller compensates.
+//
+// A fixed entropy threshold is calibrated on the easy regime; as the stream
+// hardens, accuracy collapses while energy stays flat — hard inputs exit
+// CONFIDENTLY WRONG (silent failure). The adaptive controller stabilizes
+// the only label-free signal available (the exit rate), keeping the energy
+// envelope predictable; recovering accuracy needs drift detection beyond
+// any exit controller.
+//
+//   ./build/examples/drift_adaptation
+
+#include <iostream>
+
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/accuracy.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hadas;
+
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cost_model(space);
+  const supernet::AccuracySurrogate surrogate(cost_model);
+  const supernet::BackboneConfig backbone =
+      supernet::attentive_nas_baselines()[2].config;  // a2
+  const supernet::NetworkCost cost = cost_model.analyze(backbone);
+
+  data::DataConfig data_config;
+  data_config.train_size = 1500;
+  const data::SyntheticTask task(data_config);
+  dynn::ExitBankConfig bank_config;
+  bank_config.train.epochs = 8;
+  std::cout << "training exit bank for a2...\n";
+  const dynn::ExitBank bank(
+      task, cost,
+      data::separability_from_accuracy(surrogate.accuracy(backbone)),
+      bank_config);
+
+  const hw::HardwareEvaluator evaluator(hw::make_device(hw::Target::kTx2PascalGpu));
+  const dynn::MultiExitCostTable table(cost, evaluator);
+  const runtime::DeploymentSimulator sim(bank, table);
+  const auto setting = hw::default_setting(evaluator.device());
+  const dynn::ExitPlacement placement(cost.num_mbconv_layers(), {6, 10, 14});
+
+  // The stream ramps from the easiest to the hardest inputs.
+  const auto stream =
+      data::drifting_stream(task, 2400, data::DriftPattern::kRampUp, 42);
+
+  // Calibrate a fixed threshold on the EASY third (what a lab calibration
+  // on clean data would produce).
+  std::vector<std::size_t> easy(stream.indices().begin(),
+                                stream.indices().begin() + 800);
+  const data::SampleStream easy_stream(task, easy);
+  const double threshold = sim.calibrate_entropy_threshold(
+      placement, setting, easy_stream, bank.backbone_accuracy() + 0.05);
+  std::cout << "threshold calibrated on the easy regime: "
+            << util::fmt_fixed(threshold, 3) << "\n\n";
+
+  // Measure the easy-regime exit rate; the adaptive controller will hold it.
+  const runtime::EntropyPolicy fixed(threshold);
+  const auto easy_report = sim.run(placement, setting, fixed, easy_stream);
+  auto exit_rate_of = [&](const runtime::DeploymentReport& report) {
+    const auto it = report.exit_histogram.find(cost.num_mbconv_layers());
+    const std::size_t full = it == report.exit_histogram.end() ? 0 : it->second;
+    return 1.0 - static_cast<double>(full) / static_cast<double>(report.samples);
+  };
+  const double target_rate = exit_rate_of(easy_report);
+  const runtime::AdaptiveEntropyPolicy adaptive(threshold, target_rate, 0.02);
+  std::cout << "easy-regime early-exit rate: " << util::fmt_pct(target_rate, 1)
+            << " (the adaptive controller's target)\n\n";
+
+  util::TextTable out({"stream phase", "policy", "accuracy", "exit rate",
+                       "energy/sample", "threshold now"},
+                      {util::Align::kLeft, util::Align::kLeft,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  out.set_title("Ramp-up drift: easy -> hard inputs (TX2 GPU, backbone a2)");
+
+  const char* phases[] = {"easy (0-800)", "middle (800-1600)", "hard (1600-2400)"};
+  for (int phase = 0; phase < 3; ++phase) {
+    std::vector<std::size_t> slice(
+        stream.indices().begin() + phase * 800,
+        stream.indices().begin() + (phase + 1) * 800);
+    const data::SampleStream phase_stream(task, slice);
+    const auto fixed_report = sim.run(placement, setting, fixed, phase_stream);
+    const auto adaptive_report =
+        sim.run(placement, setting, adaptive, phase_stream);
+    out.add_row({phases[phase], "fixed", util::fmt_pct(fixed_report.accuracy, 1),
+                 util::fmt_pct(exit_rate_of(fixed_report), 1),
+                 util::fmt_fixed(fixed_report.avg_energy_j * 1e3, 1) + " mJ",
+                 util::fmt_fixed(threshold, 3)});
+    out.add_row({phases[phase], "adaptive",
+                 util::fmt_pct(adaptive_report.accuracy, 1),
+                 util::fmt_pct(exit_rate_of(adaptive_report), 1),
+                 util::fmt_fixed(adaptive_report.avg_energy_j * 1e3, 1) + " mJ",
+                 util::fmt_fixed(adaptive.threshold(), 3)});
+  }
+  out.print(std::cout);
+  std::cout << "\nTwo lessons the oracle-mapped design stage cannot see:\n"
+               "  1. drifted (hard) inputs often exit CONFIDENTLY WRONG — the\n"
+               "     dynamic model fails silently instead of slowing down, so\n"
+               "     accuracy collapses while energy stays flat;\n"
+               "  2. without labels a runtime controller can only stabilize\n"
+               "     observable signals — the adaptive policy holds the exit\n"
+               "     rate, keeping the energy envelope predictable, but cannot\n"
+               "     recover accuracy. Drift detection needs other machinery.\n";
+  return 0;
+}

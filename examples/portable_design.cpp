@@ -1,0 +1,67 @@
+// Fleet deployment: search ONE dynamic design (backbone + exits) that works
+// across all four edge targets, with the DVFS point tuned per device — a
+// cross-device extension of HADAS for heterogeneous fleets where shipping a
+// different model per device class is operationally expensive.
+//
+//   ./build/examples/portable_design
+
+#include <iostream>
+
+#include "core/multi_device.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hadas;
+
+  const auto space = supernet::SearchSpace::attentive_nas();
+  core::MultiDeviceConfig config;
+  config.outer_population = 16;
+  config.outer_generations = 5;
+  config.inner_backbones = 2;
+  config.inner_nsga.population = 24;
+  config.inner_nsga.generations = 14;
+  config.data.train_size = 1500;
+  config.bank.train.epochs = 8;
+
+  std::cout << "joint search for one (backbone, exits) across 4 devices...\n";
+  core::MultiDeviceEngine engine(space, config);
+  const core::MultiDeviceResult result = engine.run();
+
+  std::cout << "static evals: " << result.static_evaluations
+            << ", joint inner evals: " << result.inner_evaluations
+            << ", portable Pareto designs: " << result.pareto.size() << "\n\n";
+
+  // The max-accuracy portable design, in detail.
+  const core::MultiDeviceSolution* pick = &result.pareto.front();
+  for (const auto& sol : result.pareto)
+    if (sol.oracle_accuracy > pick->oracle_accuracy) pick = &sol;
+
+  std::cout << "portable design: " << pick->backbone.describe().substr(0, 40)
+            << "...\n  exits " << pick->placement.describe() << ", dyn acc "
+            << util::fmt_pct(pick->oracle_accuracy, 2) << ", worst-device gain "
+            << util::fmt_pct(pick->worst_gain, 1) << "\n\n";
+
+  util::TextTable table({"device", "core GHz", "emc GHz", "energy/sample",
+                         "energy gain"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  table.set_title("Per-device operating points of the portable design");
+  const auto targets = engine.targets();
+  for (std::size_t d = 0; d < targets.size(); ++d) {
+    const auto device = hw::make_device(targets[d]);
+    table.add_row({
+        hw::target_name(targets[d]),
+        util::fmt_fixed(device.core_freqs_hz[pick->settings[d].core_idx] / 1e9, 2),
+        util::fmt_fixed(device.emc_freqs_hz[pick->settings[d].emc_idx] / 1e9, 2),
+        util::fmt_fixed(pick->per_device[d].energy_per_sample_j * 1e3, 1) + " mJ",
+        util::fmt_pct(pick->per_device[d].energy_gain, 1),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nThe same exits serve every device; only the frequency pair\n"
+               "changes — the GPU targets drop their core clocks further than\n"
+               "the CPUs, and the memory-bound Denver leans on a low EMC point.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Deploying a searched HADAS design with real runtime controllers.
+//
+// The design stage optimizes under the *ideal* input-to-exit mapping; this
+// example shows what happens at deployment with implementable controllers
+// (entropy / confidence thresholding), where a sample pays for every exit
+// branch it evaluates before stopping:
+//   * sweeps the entropy threshold and prints the accuracy/energy trade-off,
+//   * compares oracle vs entropy vs confidence policies,
+//   * prints the exit histogram of the deployed dynamic model.
+//
+//   ./build/examples/runtime_deployment
+
+#include <iostream>
+
+#include "core/hadas_engine.hpp"
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hadas;
+
+  const auto space = supernet::SearchSpace::attentive_nas();
+  core::HadasConfig config;
+  config.ioe.nsga.population = 30;
+  config.ioe.nsga.generations = 20;
+  core::HadasEngine engine(space, hw::Target::kTx2PascalGpu, config);
+
+  // Use a mid-sized baseline backbone and let the IOE pick exits + DVFS.
+  const supernet::BackboneConfig backbone =
+      supernet::attentive_nas_baselines()[3].config;  // a3
+  std::cout << "training exit bank and searching (x, f) for backbone a3...\n";
+  const core::IoeResult ioe = engine.run_ioe(backbone);
+
+  // The design we deploy: max energy gain at >= backbone accuracy.
+  const auto& bank = engine.exit_bank(backbone);
+  const core::InnerSolution* design = &ioe.pareto.front();
+  for (const auto& sol : ioe.pareto) {
+    if (sol.metrics.oracle_accuracy < bank.backbone_accuracy()) continue;
+    if (sol.metrics.energy_gain > design->metrics.energy_gain) design = &sol;
+  }
+  std::cout << "deploying " << design->placement.describe() << " at core="
+            << design->setting.core_idx << " emc=" << design->setting.emc_idx
+            << "  (design-stage ideal energy gain "
+            << util::fmt_pct(design->metrics.energy_gain, 1) << ")\n\n";
+
+  const auto& table_costs = engine.cost_table(backbone);
+  const runtime::DeploymentSimulator sim(bank, table_costs);
+  const data::SampleStream stream(engine.task(), 2000, 99);
+
+  // --- Threshold sweep. ---
+  util::TextTable sweep({"entropy threshold", "accuracy", "energy mJ",
+                         "energy gain", "latency ms"});
+  sweep.set_title("Entropy-controller threshold sweep (cascade costs included)");
+  for (double threshold : {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9}) {
+    const auto report = sim.run(design->placement, design->setting,
+                                runtime::EntropyPolicy(threshold), stream);
+    sweep.add_row({util::fmt_fixed(threshold, 2), util::fmt_pct(report.accuracy, 2),
+                   util::fmt_fixed(report.avg_energy_j * 1e3, 1),
+                   util::fmt_pct(report.energy_gain, 1),
+                   util::fmt_fixed(report.avg_latency_s * 1e3, 2)});
+  }
+  sweep.print(std::cout);
+
+  // --- Policy comparison at matched accuracy. ---
+  const double target = bank.backbone_accuracy();
+  const double calibrated = sim.calibrate_entropy_threshold(
+      design->placement, design->setting, stream, target);
+  std::cout << "\ncalibrated entropy threshold for accuracy >= "
+            << util::fmt_pct(target, 2) << ": " << util::fmt_fixed(calibrated, 3)
+            << "\n\n";
+
+  util::TextTable cmp({"policy", "accuracy", "energy mJ", "energy gain"});
+  cmp.set_title("Controller comparison on the same deployed design");
+  const runtime::OraclePolicy oracle;
+  const runtime::EntropyPolicy entropy(calibrated);
+  const runtime::ConfidencePolicy confidence(0.55);
+  for (const runtime::ExitPolicy* policy :
+       {static_cast<const runtime::ExitPolicy*>(&oracle),
+        static_cast<const runtime::ExitPolicy*>(&entropy),
+        static_cast<const runtime::ExitPolicy*>(&confidence)}) {
+    const auto report = sim.run(design->placement, design->setting, *policy, stream);
+    cmp.add_row({policy->name(), util::fmt_pct(report.accuracy, 2),
+                 util::fmt_fixed(report.avg_energy_j * 1e3, 1),
+                 util::fmt_pct(report.energy_gain, 1)});
+  }
+  // Predictive Exit ([14]): probes the first exit, then jumps straight to
+  // the predicted one — at most two branch evaluations per sample.
+  const runtime::PredictiveExitController predictive(bank, design->placement,
+                                                     target);
+  const auto predictive_report = sim.run_predictive(
+      design->placement, design->setting, predictive, stream);
+  cmp.add_row({"predictive", util::fmt_pct(predictive_report.accuracy, 2),
+               util::fmt_fixed(predictive_report.avg_energy_j * 1e3, 1),
+               util::fmt_pct(predictive_report.energy_gain, 1)});
+  cmp.print(std::cout);
+
+  // --- Exit histogram under the calibrated entropy controller. ---
+  const auto report =
+      sim.run(design->placement, design->setting, entropy, stream);
+  util::TextTable histogram({"resolved at", "samples", "share"});
+  histogram.set_title("\nWhere samples exit (entropy controller)");
+  for (const auto& [layer, count] : report.exit_histogram) {
+    const std::string where = layer == bank.total_layers()
+                                  ? "backbone head"
+                                  : "exit @ layer " + std::to_string(layer);
+    histogram.add_row({where, std::to_string(count),
+                       util::fmt_pct(static_cast<double>(count) /
+                                         static_cast<double>(report.samples),
+                                     1)});
+  }
+  histogram.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Sustained-stream deployment under a thermal envelope: why the DVFS point
+// that wins on single-shot energy also wins on long-run throughput.
+//
+// A dynamic model processes a back-to-back stream on the TX2 Pascal GPU
+// inside a tight passive-cooling envelope. At the max-performance setting
+// the package heats up and the thermal governor caps the clock; at the
+// search's energy-optimal setting the board stays cool and sustains.
+//
+//   ./build/examples/sustained_stream
+
+#include <iostream>
+
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/governor.hpp"
+#include "runtime/sustained.hpp"
+#include "supernet/accuracy.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hadas;
+
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cost_model(space);
+  const supernet::AccuracySurrogate surrogate(cost_model);
+  const supernet::BackboneConfig backbone = supernet::baseline_a6();
+  const supernet::NetworkCost cost = cost_model.analyze(backbone);
+
+  data::DataConfig data_config;
+  data_config.train_size = 1500;
+  const data::SyntheticTask task(data_config);
+  dynn::ExitBankConfig bank_config;
+  bank_config.train.epochs = 8;
+  std::cout << "training exit bank for a6...\n";
+  const dynn::ExitBank bank(
+      task, cost,
+      data::separability_from_accuracy(surrogate.accuracy(backbone)),
+      bank_config);
+
+  const hw::HardwareEvaluator evaluator(hw::make_device(hw::Target::kTx2PascalGpu));
+  const dynn::MultiExitCostTable table(cost, evaluator);
+  const dynn::ExitPlacement placement(cost.num_mbconv_layers(), {14, 22, 30});
+  const data::SampleStream stream(task, 3000, 77);
+  // Calibrate the entropy threshold so the deployed accuracy stays near the
+  // backbone's (a fixed guess either tanks accuracy or never exits).
+  const runtime::DeploymentSimulator calibrator(bank, table);
+  const double threshold = calibrator.calibrate_entropy_threshold(
+      placement, hw::default_setting(evaluator.device()), stream,
+      bank.backbone_accuracy() - 0.02);
+  std::cout << "calibrated entropy threshold: " << threshold << "\n";
+  const runtime::EntropyPolicy policy(threshold);
+
+  // A tight passive-cooling envelope (fanless enclosure in the sun).
+  hw::ThermalConfig thermal;
+  thermal.throttle_temp_c = 62.0;
+  thermal.resume_temp_c = 57.0;
+  thermal.thermal_resistance_c_per_w = 5.0;
+  thermal.time_constant_s = 4.0;
+  thermal.throttled_core_idx = 3;
+  const runtime::SustainedDeployment sim(bank, table, thermal);
+
+  // Candidate operating points: performance governor, the offline
+  // energy-optimal point, and something in between.
+  const runtime::DvfsGovernor governor(table);
+  const hw::DvfsSetting performance = hw::default_setting(evaluator.device());
+  const hw::DvfsSetting efficient = governor.energy_optimal_full();
+  const hw::DvfsSetting middle{(performance.core_idx + efficient.core_idx) / 2,
+                               performance.emc_idx};
+
+  util::TextTable out({"setting (core GHz, emc GHz)", "throughput /s",
+                       "energy/sample mJ", "throttled", "peak temp", "accuracy"},
+                      {util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  out.set_title("Sustained 3000-sample stream, tight thermal envelope (TX2 GPU)");
+
+  const auto& device = evaluator.device();
+  for (const auto& [name, setting] :
+       {std::pair<const char*, hw::DvfsSetting>{"performance", performance},
+        {"middle", middle},
+        {"energy-optimal", efficient}}) {
+    const runtime::SustainedReport report =
+        sim.run(placement, setting, policy, stream);
+    out.add_row({std::string(name) + " (" +
+                     util::fmt_fixed(device.core_freqs_hz[setting.core_idx] / 1e9, 2) +
+                     ", " +
+                     util::fmt_fixed(device.emc_freqs_hz[setting.emc_idx] / 1e9, 2) +
+                     ")",
+                 util::fmt_fixed(report.throughput_sps, 1),
+                 util::fmt_fixed(report.total_energy_j /
+                                     static_cast<double>(report.samples) * 1e3,
+                                 1),
+                 util::fmt_pct(report.throttled_fraction, 1),
+                 util::fmt_fixed(report.peak_temperature_c, 1) + " C",
+                 util::fmt_pct(report.accuracy, 1)});
+  }
+  out.print(std::cout);
+  std::cout << "\nUnder a tight envelope the performance governor spends much of\n"
+               "the stream throttled to a LOWER clock than the energy-optimal\n"
+               "point runs at voluntarily — paying peak-power heat for none of\n"
+               "the sustained throughput. Joint (x, f) designs from HADAS pick\n"
+               "the cool point at design time.\n";
+  return 0;
+}

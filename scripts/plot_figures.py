@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench CSV dumps.
+
+Usage:
+    python3 scripts/plot_figures.py [bench_out_dir] [output_dir]
+
+Requires matplotlib. Each bench binary writes its series under bench_out/
+(see README); this script turns them into PNGs shaped like the paper's
+figures:
+  fig1_motivation.png   - Fig. 1 stage-wise accuracy/energy bars
+  fig5_ooe_<dev>.png    - Fig. 5 top row (static Pareto fronts vs a0..a6)
+  fig5_ioe_<dev>.png    - Fig. 5 bottom row (IOE clouds + fronts)
+  fig6_hv_rod.png       - Fig. 6 hypervolume and ratio-of-dominance bars
+  fig7_dissim.png       - Fig. 7 dissimilarity ablation
+"""
+
+import csv
+import pathlib
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.DictReader(handle))
+
+
+def pareto_front(points):
+    """Non-dominated subset (maximize both axes), sorted by x."""
+    front = [
+        p
+        for p in points
+        if not any(q[0] >= p[0] and q[1] >= p[1] and q != p for q in points)
+    ]
+    return sorted(set(front))
+
+
+def plot_fig1(src, out):
+    path = src / "fig1_motivation.csv"
+    if not path.exists():
+        return
+    rows = read_csv(path)
+    fig, (ax_acc, ax_energy) = plt.subplots(1, 2, figsize=(9, 3.2))
+    models = [r["model"] for r in rows]
+    x = range(len(models))
+    ax_acc.bar([i - 0.2 for i in x], [float(r["acc_static"]) * 100 for r in rows],
+               width=0.4, label="static")
+    ax_acc.bar([i + 0.2 for i in x], [float(r["acc_dyn"]) * 100 for r in rows],
+               width=0.4, label="dynamic (oracle)")
+    ax_acc.set_xticks(list(x), models, rotation=15)
+    ax_acc.set_ylabel("accuracy (%)")
+    ax_acc.legend()
+    for i, key, label in ((-0.27, "e_static_mj", "Static"),
+                          (0.0, "e_dyn_mj", "Dyn"),
+                          (0.27, "e_dyn_hw_mj", "Dyn w/ HW")):
+        ax_energy.bar([j + i for j in x], [float(r[key]) for r in rows],
+                      width=0.25, label=label)
+    ax_energy.set_xticks(list(x), models, rotation=15)
+    ax_energy.set_ylabel("energy (mJ)")
+    ax_energy.legend()
+    fig.suptitle("Fig. 1 — motivational example (TX2 Pascal GPU)")
+    fig.tight_layout()
+    fig.savefig(out / "fig1_motivation.png", dpi=150)
+    plt.close(fig)
+
+
+def plot_fig5_ooe(src, out):
+    for path in sorted(src.glob("fig5_ooe_*.csv")):
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(4.2, 3.4))
+        hadas = [r for r in rows if r["source"] == "hadas"]
+        ax.scatter([float(r["energy_mj"]) for r in hadas],
+                   [float(r["accuracy"]) * 100 for r in hadas],
+                   s=8, alpha=0.4, label="explored")
+        front = [r for r in hadas if r["on_front"] == "1"]
+        front_pts = sorted((float(r["energy_mj"]), float(r["accuracy"]) * 100)
+                           for r in front)
+        if front_pts:
+            ax.plot([p[0] for p in front_pts], [p[1] for p in front_pts],
+                    "o-", color="tab:red", label="HADAS front")
+        base = [r for r in rows if r["source"].startswith("a")]
+        ax.scatter([float(r["energy_mj"]) for r in base],
+                   [float(r["accuracy"]) * 100 for r in base],
+                   marker="^", color="k", label="a0..a6")
+        for r in base:
+            ax.annotate(r["source"], (float(r["energy_mj"]),
+                                      float(r["accuracy"]) * 100), fontsize=7)
+        ax.set_xlabel("energy (mJ)")
+        ax.set_ylabel("accuracy (%)")
+        ax.set_title(path.stem.replace("fig5_ooe_", "Fig.5 top: "))
+        ax.legend(fontsize=7)
+        fig.tight_layout()
+        fig.savefig(out / (path.stem + ".png"), dpi=150)
+        plt.close(fig)
+
+
+def plot_fig5_ioe(src, out):
+    for path in sorted(src.glob("fig5_points_*.csv")):
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(4.2, 3.4))
+        for source, color in (("hadas", "tab:blue"), ("baseline", "tab:orange")):
+            pts = [(float(r["energy_gain"]) * 100, float(r["mean_n"]) * 100)
+                   for r in rows if r["source"] == source]
+            ax.scatter([p[0] for p in pts], [p[1] for p in pts], s=4, alpha=0.15,
+                       color=color)
+            front = pareto_front(pts)
+            ax.plot([p[0] for p in front], [p[1] for p in front], "o-",
+                    color=color, markersize=3,
+                    label=("HADAS" if source == "hadas" else "opt. baselines"))
+        ax.set_xlabel("energy efficiency gain (%)")
+        ax.set_ylabel("average N_i (%)")
+        ax.set_title(path.stem.replace("fig5_points_", "Fig.5 bottom: "))
+        ax.legend(fontsize=7)
+        fig.tight_layout()
+        fig.savefig(out / (path.stem.replace("points", "ioe") + ".png"), dpi=150)
+        plt.close(fig)
+
+
+def plot_fig6(src, out):
+    path = src / "fig6_hv_rod.csv"
+    if not path.exists():
+        return
+    rows = read_csv(path)
+    fig, (ax_hv, ax_rod) = plt.subplots(1, 2, figsize=(9, 3.2))
+    devices = [r["device"] for r in rows]
+    x = range(len(devices))
+    for ax, key_h, key_b, title in ((ax_hv, "hv_hadas", "hv_baseline", "hypervolume"),
+                                    (ax_rod, "rod_hadas", "rod_baseline",
+                                     "ratio of dominance")):
+        ax.bar([i - 0.2 for i in x], [float(r[key_h]) for r in rows], width=0.4,
+               label="HADAS")
+        ax.bar([i + 0.2 for i in x], [float(r[key_b]) for r in rows], width=0.4,
+               label="opt. baselines")
+        ax.set_xticks(list(x), [d.split()[0] + "\n" + d.split()[-1] for d in devices],
+                      fontsize=7)
+        ax.set_title(title)
+        ax.legend(fontsize=7)
+    fig.suptitle("Fig. 6 — search efficacy")
+    fig.tight_layout()
+    fig.savefig(out / "fig6_hv_rod.png", dpi=150)
+    plt.close(fig)
+
+
+def plot_fig7(src, out):
+    path = src / "fig7_dissim.csv"
+    if not path.exists():
+        return
+    rows = read_csv(path)
+    fig, ax = plt.subplots(figsize=(4.8, 3.2))
+    gammas = [float(r["gamma"]) for r in rows]
+    ax.plot(gammas, [float(r["hv_with"]) for r in rows], "o-", label="HV with dissim")
+    ax.plot(gammas, [float(r["hv_without"]) for r in rows], "s--",
+            label="HV without dissim")
+    ax.set_xscale("log", base=2)
+    ax.set_xlabel("gamma")
+    ax.set_ylabel("hypervolume")
+    ax.set_title("Fig. 7 — dissimilarity ablation")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out / "fig7_dissim.png", dpi=150)
+    plt.close(fig)
+
+
+def main():
+    src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_out")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "bench_out/plots")
+    out.mkdir(parents=True, exist_ok=True)
+    plot_fig1(src, out)
+    plot_fig5_ooe(src, out)
+    plot_fig5_ioe(src, out)
+    plot_fig6(src, out)
+    plot_fig7(src, out)
+    print(f"plots written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,285 @@
+#include "core/hadas_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace hadas::core {
+
+namespace {
+/// Hypervolume of an inner Pareto set in the reported (energy_gain,
+/// oracle_accuracy) plane, reference (0, 0).
+double inner_hypervolume(const std::vector<InnerSolution>& pareto) {
+  std::vector<Objectives> pts;
+  pts.reserve(pareto.size());
+  for (const auto& sol : pareto)
+    pts.push_back({sol.metrics.energy_gain, sol.metrics.oracle_accuracy});
+  return hypervolume(pts, {0.0, 0.0});
+}
+}  // namespace
+
+HadasEngine::HadasEngine(const supernet::SearchSpace& space, hw::Target target,
+                         HadasConfig config)
+    : space_(space),
+      config_(config),
+      static_eval_(space, target),
+      task_(config.data) {}
+
+const HadasEngine::BankEntry& HadasEngine::bank_entry(
+    const supernet::BackboneConfig& config) const {
+  const std::uint64_t key = supernet::genome_hash(supernet::encode(space_, config));
+  auto it = bank_cache_.find(key);
+  if (it != bank_cache_.end()) return it->second;
+
+  const supernet::NetworkCost cost = static_eval_.cost_model().analyze(config);
+  const double accuracy = static_eval_.surrogate().accuracy(config);
+  const double separability = data::separability_from_accuracy(accuracy);
+
+  dynn::ExitBankConfig bank_config = config_.bank;
+  bank_config.seed = config_.bank.seed ^ key;  // per-backbone determinism
+
+  BankEntry entry;
+  entry.bank =
+      std::make_unique<dynn::ExitBank>(task_, cost, separability, bank_config);
+  entry.cost = std::make_unique<dynn::MultiExitCostTable>(
+      cost, static_eval_.hardware());
+  return bank_cache_.emplace(key, std::move(entry)).first->second;
+}
+
+const dynn::ExitBank& HadasEngine::exit_bank(
+    const supernet::BackboneConfig& config) const {
+  return *bank_entry(config).bank;
+}
+
+const dynn::MultiExitCostTable& HadasEngine::cost_table(
+    const supernet::BackboneConfig& config) const {
+  return *bank_entry(config).cost;
+}
+
+InnerSolution HadasEngine::evaluate_dynamic(
+    const supernet::BackboneConfig& config, const dynn::ExitPlacement& placement,
+    hw::DvfsSetting setting) const {
+  const BankEntry& entry = bank_entry(config);
+  InnerEngine engine(*entry.bank, *entry.cost, config_.ioe);
+  return engine.evaluate(placement, setting);
+}
+
+IoeResult HadasEngine::run_ioe(const supernet::BackboneConfig& config) const {
+  return run_ioe(config, config_.ioe.score);
+}
+
+IoeResult HadasEngine::run_ioe(const supernet::BackboneConfig& config,
+                               const dynn::DynamicScoreConfig& score) const {
+  IoeConfig ioe_config = config_.ioe;
+  ioe_config.score = score;
+  return run_ioe_with(config, ioe_config);
+}
+
+IoeResult HadasEngine::run_ioe_with(const supernet::BackboneConfig& config,
+                                    const IoeConfig& ioe_config) const {
+  const BankEntry& entry = bank_entry(config);
+  IoeConfig seeded = ioe_config;
+  // Derive the inner seed from the backbone so repeated runs are
+  // deterministic but different backbones explore differently.
+  seeded.nsga.seed ^= supernet::genome_hash(supernet::encode(space_, config));
+  InnerEngine engine(*entry.bank, *entry.cost, seeded);
+  return engine.run();
+}
+
+WarmStart warm_start_from_solutions(
+    const supernet::SearchSpace& space,
+    const std::vector<FinalSolution>& solutions) {
+  WarmStart warm;
+  // Group solutions by backbone; each group becomes one known outcome.
+  std::map<supernet::Genome, std::size_t> index;
+  for (const FinalSolution& sol : solutions) {
+    const supernet::Genome genome = supernet::encode(space, sol.backbone);
+    auto it = index.find(genome);
+    if (it == index.end()) {
+      BackboneOutcome outcome;
+      outcome.config = sol.backbone;
+      outcome.static_eval = sol.static_eval;
+      outcome.ioe_ran = true;
+      warm.known.push_back(std::move(outcome));
+      warm.population.push_back(genome);
+      it = index.emplace(genome, warm.known.size() - 1).first;
+    }
+    InnerSolution inner{sol.placement, sol.setting, sol.dynamic, {}};
+    inner.objectives = {sol.dynamic.score_eq5, sol.dynamic.energy_gain,
+                        sol.dynamic.oracle_accuracy};
+    warm.known[it->second].inner_pareto.push_back(std::move(inner));
+  }
+  for (BackboneOutcome& outcome : warm.known) {
+    std::vector<Objectives> pts;
+    for (const auto& sol : outcome.inner_pareto)
+      pts.push_back({sol.metrics.energy_gain, sol.metrics.oracle_accuracy});
+    outcome.inner_hv = hypervolume(pts, {0.0, 0.0});
+  }
+  return warm;
+}
+
+HadasResult HadasEngine::run(const WarmStart& warm) {
+  hadas::util::Rng rng(config_.seed);
+
+  // Constrained domination (Deb): feasible candidates keep their real
+  // objectives; latency-infeasible ones collapse to a uniformly-worse vector
+  // ordered by constraint violation, so any feasible point dominates every
+  // infeasible one and less-violating infeasible points win among
+  // themselves.
+  auto constrained = [&](const StaticEval& eval) -> Objectives {
+    if (config_.max_latency_s <= 0.0 || eval.latency_s <= config_.max_latency_s)
+      return eval.objectives();
+    const double violation = eval.latency_s - config_.max_latency_s;
+    return {-1e6 - violation, -1e6 - violation, -1e6 - violation};
+  };
+  const auto cardinalities = space_.gene_cardinalities();
+  const double mutation_prob =
+      config_.mutation_prob > 0.0
+          ? config_.mutation_prob
+          : 1.0 / static_cast<double>(cardinalities.size());
+
+  HadasResult result;
+  std::map<supernet::Genome, std::size_t> seen;  // genome -> backbone index
+
+  // Pre-load known outcomes (warm start): their static evaluations and inner
+  // Pareto sets are reused verbatim.
+  for (const BackboneOutcome& outcome : warm.known) {
+    const supernet::Genome genome = supernet::encode(space_, outcome.config);
+    if (seen.count(genome)) continue;
+    result.backbones.push_back(outcome);
+    seen.emplace(genome, result.backbones.size() - 1);
+  }
+
+  auto evaluate_static = [&](const supernet::Genome& genome) -> std::size_t {
+    auto it = seen.find(genome);
+    if (it != seen.end()) return it->second;
+    BackboneOutcome outcome;
+    outcome.config = supernet::decode(space_, genome);
+    outcome.static_eval = static_eval_.evaluate(outcome.config);
+    result.backbones.push_back(std::move(outcome));
+    ++result.outer_evaluations;
+    const std::size_t index = result.backbones.size() - 1;
+    seen.emplace(genome, index);
+    return index;
+  };
+
+  // Initial population: warm-start genomes first, random fill after.
+  std::vector<supernet::Genome> population;
+  population.reserve(config_.outer_population);
+  for (const supernet::Genome& genome : warm.population) {
+    if (population.size() == config_.outer_population) break;
+    if (supernet::is_valid_genome(space_, genome)) population.push_back(genome);
+  }
+  while (population.size() < config_.outer_population)
+    population.push_back(supernet::random_genome(space_, rng));
+
+  for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
+    // --- S evaluation of the generation (eq. 3). ---
+    std::vector<std::size_t> indices;
+    indices.reserve(population.size());
+    for (const auto& genome : population) indices.push_back(evaluate_static(genome));
+
+    // --- Early selection: prune P_B^g to P_B^g' via non-dominated sorting
+    // on the static objectives; the elites are mapped to IOEs. ---
+    std::vector<Objectives> static_points;
+    static_points.reserve(indices.size());
+    for (std::size_t idx : indices)
+      static_points.push_back(constrained(result.backbones[idx].static_eval));
+    const auto fronts = non_dominated_sort(static_points);
+
+    std::vector<std::size_t> elite_order;  // positions within `indices`
+    for (const auto& front : fronts) {
+      const auto dist = crowding_distance(static_points, front);
+      std::vector<std::size_t> by_crowding(front.size());
+      for (std::size_t i = 0; i < front.size(); ++i) by_crowding[i] = i;
+      std::sort(by_crowding.begin(), by_crowding.end(),
+                [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+      for (std::size_t i : by_crowding) elite_order.push_back(front[i]);
+    }
+
+    std::size_t launched = 0;
+    for (std::size_t pos : elite_order) {
+      if (launched == config_.ioe_backbones_per_generation) break;
+      BackboneOutcome& outcome = result.backbones[indices[pos]];
+      if (outcome.ioe_ran) continue;  // already explored in a prior generation
+      if (config_.max_latency_s > 0.0 &&
+          outcome.static_eval.latency_s > config_.max_latency_s)
+        continue;  // never spend IOE budget on undeployable backbones
+      IoeResult ioe = run_ioe(outcome.config);
+      outcome.ioe_ran = true;
+      outcome.inner_pareto = std::move(ioe.pareto);
+      if (config_.keep_inner_history)
+        outcome.inner_history = std::move(ioe.history);
+      outcome.inner_hv = inner_hypervolume(outcome.inner_pareto);
+      result.inner_evaluations += ioe.evaluations;
+      ++launched;
+    }
+
+    // --- Second selection: rank by combined S and D scores, then apply
+    // crossover/mutation to build the next generation. ---
+    std::vector<Individual> candidates;
+    candidates.reserve(indices.size());
+    for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+      const BackboneOutcome& outcome = result.backbones[indices[pos]];
+      Individual ind;
+      ind.genome = population[pos];
+      ind.objectives = constrained(outcome.static_eval);
+      ind.objectives.push_back(outcome.inner_hv);  // the D contribution
+      candidates.push_back(std::move(ind));
+    }
+    const std::size_t parent_count = std::max<std::size_t>(2, population.size() / 2);
+    std::vector<Individual> parents =
+        select_by_rank_crowding(std::move(candidates), parent_count);
+
+    std::vector<supernet::Genome> next;
+    next.reserve(config_.outer_population);
+    for (const auto& parent : parents) next.push_back(parent.genome);
+    while (next.size() < config_.outer_population) {
+      const auto& p1 = parents[rng.uniform_index(parents.size())].genome;
+      const auto& p2 = parents[rng.uniform_index(parents.size())].genome;
+      IntGenome c1, c2;
+      if (rng.bernoulli(config_.crossover_prob)) {
+        uniform_crossover(p1, p2, c1, c2, rng);
+      } else {
+        c1 = p1;
+        c2 = p2;
+      }
+      for (IntGenome* child : {&c1, &c2}) {
+        if (next.size() == config_.outer_population) break;
+        reset_mutation(*child, cardinalities, mutation_prob, rng);
+        next.push_back(*child);
+      }
+    }
+    population = std::move(next);
+  }
+
+  // --- Static Pareto front over every evaluated backbone (feasible ones
+  // dominate, per the constrained objectives). ---
+  {
+    std::vector<Objectives> pts;
+    pts.reserve(result.backbones.size());
+    for (const auto& b : result.backbones)
+      pts.push_back(constrained(b.static_eval));
+    result.static_front = pareto_front(pts);
+  }
+
+  // --- Final (b*, x*, f*) Pareto set in (energy_gain, oracle_accuracy). ---
+  {
+    ParetoArchive archive;
+    std::vector<FinalSolution> pool;
+    for (const auto& outcome : result.backbones) {
+      for (const auto& sol : outcome.inner_pareto) {
+        FinalSolution fs{outcome.config, sol.placement, sol.setting,
+                         outcome.static_eval, sol.metrics};
+        pool.push_back(std::move(fs));
+        archive.insert({sol.metrics.energy_gain, sol.metrics.oracle_accuracy},
+                       pool.size() - 1);
+      }
+    }
+    for (std::size_t payload : archive.payloads())
+      result.final_pareto.push_back(pool[payload]);
+  }
+  return result;
+}
+
+}  // namespace hadas::core

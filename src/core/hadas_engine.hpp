@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ioe.hpp"
+#include "core/static_eval.hpp"
+#include "data/synthetic_task.hpp"
+#include "dynn/exit_bank.hpp"
+#include "dynn/multi_exit_cost.hpp"
+
+namespace hadas::core {
+
+/// Budgets and hyper-parameters of a full bi-level HADAS run. The paper's
+/// budgets (Sec. V-A) are 450 OOE iterations and 3500 IOE iterations with
+/// #iterations = generations x population; the defaults here match that at
+/// a laptop-friendly scale and can be raised to paper scale.
+struct HadasConfig {
+  std::size_t outer_population = 30;
+  std::size_t outer_generations = 15;
+  /// |P_B^g'| — backbones per generation handed to an IOE (early selection).
+  std::size_t ioe_backbones_per_generation = 3;
+  double crossover_prob = 0.9;
+  double mutation_prob = -1.0;  ///< per-gene; <0 means 1/genome_length
+  IoeConfig ioe;
+  dynn::ExitBankConfig bank;
+  data::DataConfig data;
+  /// Keep per-candidate IOE exploration histories (Fig. 5 bottom clouds).
+  bool keep_inner_history = true;
+  /// Optional deployment constraint: backbones whose STATIC latency exceeds
+  /// this budget are demoted below every feasible candidate in the outer
+  /// ranking (constrained-domination, Deb's rule), so the search spends its
+  /// IOE budget only on deployable designs. <= 0 disables the constraint.
+  double max_latency_s = 0.0;
+  std::uint64_t seed = 2023;
+};
+
+/// A fully specified dynamic design: the paper's (b*, x*, f*) triple with
+/// its static and dynamic evaluations.
+struct FinalSolution {
+  supernet::BackboneConfig backbone;
+  dynn::ExitPlacement placement;
+  hw::DvfsSetting setting;
+  StaticEval static_eval;
+  dynn::DynamicMetrics dynamic;
+};
+
+/// Everything learned about one explored backbone.
+struct BackboneOutcome {
+  supernet::BackboneConfig config;
+  StaticEval static_eval;
+  bool ioe_ran = false;
+  std::vector<InnerSolution> inner_pareto;
+  std::vector<InnerSolution> inner_history;  ///< kept if keep_inner_history
+  double inner_hv = 0.0;  ///< hypervolume of inner_pareto in (gain, acc)
+};
+
+/// Result of a bi-level run.
+struct HadasResult {
+  std::vector<BackboneOutcome> backbones;   ///< every distinct S-evaluated b
+  std::vector<std::size_t> static_front;    ///< indices: Pareto set under S
+  std::vector<FinalSolution> final_pareto;  ///< (b*, x*, f*) set, non-dominated
+                                            ///< in (energy_gain, oracle_acc)
+  std::size_t outer_evaluations = 0;        ///< distinct S(b) evaluations
+  std::size_t inner_evaluations = 0;        ///< summed IOE evaluations
+};
+
+/// Seed material for continuing a search: genomes to inject into the first
+/// generation plus backbones whose evaluations are already known (their
+/// static evals are reused verbatim; backbones with ioe_ran keep their inner
+/// Pareto sets and are not re-explored).
+struct WarmStart {
+  std::vector<supernet::Genome> population;
+  std::vector<BackboneOutcome> known;
+};
+
+/// Build a warm start from a previously saved final Pareto set (e.g. loaded
+/// via core::final_pareto_from_json): each distinct backbone becomes a known
+/// outcome carrying its solutions, and seeds the initial population.
+WarmStart warm_start_from_solutions(const supernet::SearchSpace& space,
+                                    const std::vector<FinalSolution>& solutions);
+
+/// The bi-level HADAS engine (Fig. 3): an outer NSGA-II loop over B with
+/// early selection, per-elite inner engines over (X, F), combined ranking,
+/// and evolutionary variation — plus the exit-bank training that the inner
+/// engines amortize.
+class HadasEngine {
+ public:
+  HadasEngine(const supernet::SearchSpace& space, hw::Target target,
+              HadasConfig config);
+
+  const HadasConfig& config() const { return config_; }
+  const StaticEvaluator& static_evaluator() const { return static_eval_; }
+  const data::SyntheticTask& task() const { return task_; }
+
+  /// Full bi-level search.
+  HadasResult run() { return run(WarmStart{}); }
+
+  /// Bi-level search seeded from previous results; see WarmStart.
+  HadasResult run(const WarmStart& warm);
+
+  /// Run the IOE for one explicit backbone (used for the "optimized
+  /// baselines" of Fig. 5/6, Table III, and the Fig. 7 ablation). The exit
+  /// bank is trained once per backbone and cached across calls.
+  IoeResult run_ioe(const supernet::BackboneConfig& config) const;
+
+  /// Same, overriding the score regularization (Fig. 7 ablation).
+  IoeResult run_ioe(const supernet::BackboneConfig& config,
+                    const dynn::DynamicScoreConfig& score) const;
+
+  /// Same, with a fully custom IOE configuration (budget/objective-set
+  /// overrides for ablations). The NSGA seed is still mixed with the
+  /// backbone hash for per-backbone determinism.
+  IoeResult run_ioe_with(const supernet::BackboneConfig& config,
+                         const IoeConfig& ioe_config) const;
+
+  /// The trained exit bank of a backbone (trains and caches on first use).
+  const dynn::ExitBank& exit_bank(const supernet::BackboneConfig& config) const;
+
+  /// Evaluate one explicit (x, f | b) candidate against the backbone's
+  /// trained exit bank (used by the stage-wise comparisons of Fig. 1 and
+  /// Table III: e.g. re-measuring a searched placement at default DVFS).
+  InnerSolution evaluate_dynamic(const supernet::BackboneConfig& config,
+                                 const dynn::ExitPlacement& placement,
+                                 hw::DvfsSetting setting) const;
+
+  /// The per-position cost table of a backbone on this engine's device.
+  const dynn::MultiExitCostTable& cost_table(
+      const supernet::BackboneConfig& config) const;
+
+ private:
+  struct BankEntry {
+    std::unique_ptr<dynn::ExitBank> bank;
+    std::unique_ptr<dynn::MultiExitCostTable> cost;
+  };
+  const BankEntry& bank_entry(const supernet::BackboneConfig& config) const;
+
+  supernet::SearchSpace space_;
+  HadasConfig config_;
+  StaticEvaluator static_eval_;
+  data::SyntheticTask task_;
+  mutable std::unordered_map<std::uint64_t, BankEntry> bank_cache_;
+};
+
+}  // namespace hadas::core

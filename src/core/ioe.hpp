@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/nsga2.hpp"
+#include "dynn/dynamic_eval.hpp"
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+#include "dynn/multi_exit_cost.hpp"
+#include "hw/device.hpp"
+
+namespace hadas::core {
+
+/// Configuration of one Inner Optimization Engine run. The paper's budget
+/// notion is #iterations = generations x population (3500 in Sec. V-A).
+struct IoeConfig {
+  Nsga2Config nsga{/*population=*/50, /*generations=*/70, 0.9, -1.0, 321};
+  dynn::DynamicScoreConfig score;
+  /// If true (default) the IOE maximizes [score_eq5, energy_gain,
+  /// oracle_accuracy]; if false it runs the paper's 2-D formulation
+  /// [score_eq5, oracle_accuracy], where energy efficiency enters only
+  /// through the eq.(5) score — the mode the Fig. 7 ablation isolates.
+  bool include_gain_objective = true;
+};
+
+/// One inner solution: a (x, f | b) pairing with its full evaluation.
+struct InnerSolution {
+  dynn::ExitPlacement placement;
+  hw::DvfsSetting setting;
+  dynn::DynamicMetrics metrics;
+  /// The searched (maximized) objective vector:
+  /// [score_eq5, energy_gain, oracle_accuracy].
+  Objectives objectives;
+};
+
+/// Result of an IOE run for one backbone.
+struct IoeResult {
+  std::vector<InnerSolution> pareto;   ///< non-dominated in the searched space
+  std::vector<InnerSolution> history;  ///< every distinct evaluated candidate
+  std::size_t evaluations = 0;
+  hw::HwMeasurement static_baseline;   ///< E_b, L_b at default DVFS
+};
+
+/// The Inner Optimization Engine (Sec. IV-B): NSGA-II over the joint (X, F)
+/// subspace of one backbone, against a pre-trained exit bank. Genome layout:
+/// one binary gene per eligible exit position followed by the core- and
+/// EMC-frequency indices; repair enforces nX >= 1.
+class InnerEngine {
+ public:
+  InnerEngine(const dynn::ExitBank& bank, const dynn::MultiExitCostTable& cost,
+              IoeConfig config);
+
+  IoeResult run();
+
+  /// Evaluate one explicit candidate (used by benches and the baselines).
+  InnerSolution evaluate(const dynn::ExitPlacement& placement,
+                         hw::DvfsSetting setting) const;
+
+ private:
+  const dynn::ExitBank& bank_;
+  const dynn::MultiExitCostTable& cost_;
+  IoeConfig config_;
+  dynn::DynamicEvaluator evaluator_;
+};
+
+}  // namespace hadas::core

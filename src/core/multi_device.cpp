@@ -1,0 +1,219 @@
+#include "core/multi_device.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/nsga2.hpp"
+#include "dynn/dynamic_eval.hpp"
+
+namespace hadas::core {
+
+namespace {
+
+/// Joint (X, F_1 x .. x F_D) problem for one backbone across devices.
+class JointInnerProblem final : public Problem {
+ public:
+  JointInnerProblem(const std::vector<const dynn::DynamicEvaluator*>& evals,
+                    const std::vector<const hw::DeviceSpec*>& devices,
+                    std::size_t total_layers)
+      : evals_(evals), devices_(devices), total_layers_(total_layers) {
+    num_eligible_ = dynn::ExitPlacement(total_layers).num_eligible();
+    if (num_eligible_ == 0)
+      throw std::invalid_argument("JointInnerProblem: no eligible positions");
+  }
+
+  std::vector<std::size_t> gene_cardinalities() const override {
+    std::vector<std::size_t> card(num_eligible_, 2);
+    for (const auto* device : devices_) {
+      card.push_back(device->core_freqs_hz.size());
+      card.push_back(device->emc_freqs_hz.size());
+    }
+    return card;
+  }
+
+  void repair(IntGenome& genome, hadas::util::Rng& rng) const override {
+    bool any = false;
+    for (std::size_t i = 0; i < num_eligible_; ++i) any = any || genome[i] != 0;
+    if (!any) genome[rng.uniform_index(num_eligible_)] = 1;
+  }
+
+  Objectives evaluate(const IntGenome& genome) override {
+    const auto [placement, settings] = decode(genome);
+    double worst_gain = 1.0, score_sum = 0.0, accuracy = 0.0;
+    for (std::size_t d = 0; d < evals_.size(); ++d) {
+      const dynn::DynamicMetrics m = evals_[d]->evaluate(placement, settings[d]);
+      worst_gain = std::min(worst_gain, m.energy_gain);
+      score_sum += m.score_eq5;
+      accuracy = m.oracle_accuracy;  // device-independent
+    }
+    return {score_sum / static_cast<double>(evals_.size()), worst_gain, accuracy};
+  }
+
+  std::pair<dynn::ExitPlacement, std::vector<hw::DvfsSetting>> decode(
+      const IntGenome& genome) const {
+    dynn::ExitPlacement placement(total_layers_);
+    for (std::size_t i = 0; i < num_eligible_; ++i)
+      if (genome[i] != 0)
+        placement.set_exit(dynn::ExitPlacement::kFirstEligible + i, true);
+    std::vector<hw::DvfsSetting> settings(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      settings[d].core_idx =
+          static_cast<std::size_t>(genome[num_eligible_ + 2 * d]);
+      settings[d].emc_idx =
+          static_cast<std::size_t>(genome[num_eligible_ + 2 * d + 1]);
+    }
+    return {placement, settings};
+  }
+
+ private:
+  std::vector<const dynn::DynamicEvaluator*> evals_;
+  std::vector<const hw::DeviceSpec*> devices_;
+  std::size_t total_layers_;
+  std::size_t num_eligible_ = 0;
+};
+
+}  // namespace
+
+MultiDeviceEngine::MultiDeviceEngine(const supernet::SearchSpace& space,
+                                     MultiDeviceConfig config)
+    : space_(space), config_(config), task_(config.data) {
+  targets_ = config_.targets.empty() ? hw::all_targets() : config_.targets;
+  if (targets_.empty())
+    throw std::invalid_argument("MultiDeviceEngine: no targets");
+  devices_.reserve(targets_.size());
+  for (hw::Target target : targets_) {
+    DeviceContext context;
+    context.static_eval = std::make_unique<StaticEvaluator>(space_, target);
+    devices_.push_back(std::move(context));
+  }
+}
+
+MultiDeviceResult MultiDeviceEngine::run() {
+  hadas::util::Rng rng(config_.seed);
+  const auto cardinalities = space_.gene_cardinalities();
+  const double mutation_prob = 1.0 / static_cast<double>(cardinalities.size());
+
+  MultiDeviceResult result;
+
+  // --- Outer loop: static multi-device NSGA over B. ---
+  // Objectives: [accuracy, -energy_1, ..., -energy_D].
+  struct Entry {
+    supernet::BackboneConfig config;
+    Objectives objectives;
+  };
+  std::map<supernet::Genome, std::size_t> seen;
+  std::vector<Entry> entries;
+
+  auto evaluate_static = [&](const supernet::Genome& genome) -> std::size_t {
+    auto it = seen.find(genome);
+    if (it != seen.end()) return it->second;
+    Entry entry;
+    entry.config = supernet::decode(space_, genome);
+    entry.objectives.push_back(
+        devices_.front().static_eval->surrogate().accuracy(entry.config));
+    for (const auto& device : devices_)
+      entry.objectives.push_back(-device.static_eval->evaluate(entry.config).energy_j);
+    entries.push_back(std::move(entry));
+    ++result.static_evaluations;
+    seen.emplace(genome, entries.size() - 1);
+    return entries.size() - 1;
+  };
+
+  std::vector<supernet::Genome> population;
+  for (std::size_t i = 0; i < config_.outer_population; ++i)
+    population.push_back(supernet::random_genome(space_, rng));
+
+  for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
+    std::vector<Individual> individuals;
+    for (const auto& genome : population) {
+      const std::size_t idx = evaluate_static(genome);
+      individuals.push_back({genome, entries[idx].objectives});
+    }
+    const std::size_t parents =
+        std::max<std::size_t>(2, config_.outer_population / 2);
+    std::vector<Individual> selected =
+        select_by_rank_crowding(std::move(individuals), parents);
+    std::vector<supernet::Genome> next;
+    for (const auto& parent : selected) next.push_back(parent.genome);
+    while (next.size() < config_.outer_population) {
+      const auto& p1 = selected[rng.uniform_index(selected.size())].genome;
+      const auto& p2 = selected[rng.uniform_index(selected.size())].genome;
+      IntGenome c1, c2;
+      uniform_crossover(p1, p2, c1, c2, rng);
+      for (IntGenome* child : {&c1, &c2}) {
+        if (next.size() == config_.outer_population) break;
+        reset_mutation(*child, cardinalities, mutation_prob, rng);
+        next.push_back(*child);
+      }
+    }
+    population = std::move(next);
+  }
+
+  // Elite backbones: crowding-ordered first front of everything evaluated.
+  std::vector<Objectives> points;
+  for (const auto& entry : entries) points.push_back(entry.objectives);
+  const auto front = pareto_front(points);
+  const auto crowding = crowding_distance(points, front);
+  std::vector<std::size_t> order(front.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return crowding[a] > crowding[b];
+  });
+
+  // --- Joint inner search per elite backbone. ---
+  ParetoArchive archive;
+  std::vector<MultiDeviceSolution> pool;
+  const std::size_t elites = std::min(config_.inner_backbones, front.size());
+  for (std::size_t e = 0; e < elites; ++e) {
+    const supernet::BackboneConfig& backbone = entries[front[order[e]]].config;
+    const supernet::NetworkCost cost =
+        devices_.front().static_eval->cost_model().analyze(backbone);
+    const double accuracy =
+        devices_.front().static_eval->surrogate().accuracy(backbone);
+    dynn::ExitBankConfig bank_config = config_.bank;
+    bank_config.seed ^= supernet::genome_hash(supernet::encode(space_, backbone));
+    const dynn::ExitBank bank(
+        task_, cost, data::separability_from_accuracy(accuracy), bank_config);
+
+    std::vector<std::unique_ptr<dynn::MultiExitCostTable>> tables;
+    std::vector<std::unique_ptr<dynn::DynamicEvaluator>> evaluators;
+    std::vector<const dynn::DynamicEvaluator*> eval_ptrs;
+    std::vector<const hw::DeviceSpec*> device_ptrs;
+    for (const auto& device : devices_) {
+      tables.push_back(std::make_unique<dynn::MultiExitCostTable>(
+          cost, device.static_eval->hardware()));
+      evaluators.push_back(std::make_unique<dynn::DynamicEvaluator>(
+          bank, *tables.back(), config_.score));
+      eval_ptrs.push_back(evaluators.back().get());
+      device_ptrs.push_back(&device.static_eval->hardware().device());
+    }
+
+    JointInnerProblem problem(eval_ptrs, device_ptrs, bank.total_layers());
+    Nsga2Config nsga_config = config_.inner_nsga;
+    nsga_config.seed ^= supernet::genome_hash(supernet::encode(space_, backbone));
+    const Nsga2Result inner = Nsga2(nsga_config).run(problem);
+    result.inner_evaluations += inner.evaluations;
+
+    for (const auto& ind : inner.front) {
+      const auto [placement, settings] = problem.decode(ind.genome);
+      MultiDeviceSolution sol{backbone, placement, settings, {}, 1.0, 0.0, 0.0};
+      for (std::size_t d = 0; d < eval_ptrs.size(); ++d) {
+        sol.per_device.push_back(eval_ptrs[d]->evaluate(placement, settings[d]));
+        sol.worst_gain = std::min(sol.worst_gain, sol.per_device.back().energy_gain);
+        sol.mean_gain += sol.per_device.back().energy_gain /
+                         static_cast<double>(eval_ptrs.size());
+        sol.oracle_accuracy = sol.per_device.back().oracle_accuracy;
+      }
+      pool.push_back(std::move(sol));
+      archive.insert({pool.back().worst_gain, pool.back().oracle_accuracy},
+                     pool.size() - 1);
+    }
+  }
+
+  for (std::size_t payload : archive.payloads())
+    result.pareto.push_back(pool[payload]);
+  return result;
+}
+
+}  // namespace hadas::core

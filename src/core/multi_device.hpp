@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ioe.hpp"
+#include "core/static_eval.hpp"
+#include "data/synthetic_task.hpp"
+#include "dynn/exit_bank.hpp"
+#include "dynn/multi_exit_cost.hpp"
+
+namespace hadas::core {
+
+/// Configuration of a cross-device joint search.
+struct MultiDeviceConfig {
+  std::vector<hw::Target> targets;  ///< empty = all four paper targets
+  std::size_t outer_population = 20;
+  std::size_t outer_generations = 8;
+  /// Backbones taken from the final static front into the joint inner search.
+  std::size_t inner_backbones = 3;
+  Nsga2Config inner_nsga{/*population=*/28, /*generations=*/18, 0.9, -1.0, 555};
+  dynn::DynamicScoreConfig score;
+  dynn::ExitBankConfig bank;
+  data::DataConfig data;
+  std::uint64_t seed = 4242;
+};
+
+/// One portable dynamic design: a single (backbone, exits) pair with a
+/// per-target DVFS setting, evaluated on every target.
+struct MultiDeviceSolution {
+  supernet::BackboneConfig backbone;
+  dynn::ExitPlacement placement;
+  std::vector<hw::DvfsSetting> settings;        ///< one per target
+  std::vector<dynn::DynamicMetrics> per_device; ///< one per target
+  double worst_gain = 0.0;   ///< min over targets of the ideal energy gain
+  double mean_gain = 0.0;
+  double oracle_accuracy = 0.0;  ///< device-independent
+};
+
+/// Result of a cross-device search.
+struct MultiDeviceResult {
+  std::vector<MultiDeviceSolution> pareto;  ///< front in (worst_gain, accuracy)
+  std::size_t static_evaluations = 0;
+  std::size_t inner_evaluations = 0;
+};
+
+/// Cross-device extension of HADAS (beyond the paper, which searches per
+/// device): find ONE deployable (b, x) whose exits are shared across a fleet
+/// of heterogeneous devices, with a DVFS point tuned per device. The outer
+/// loop optimizes [accuracy, -energy_1 .. -energy_D] statically; elite
+/// backbones get a joint inner search over (X, F_1 x .. x F_D) maximizing
+/// [mean eq.(5) score, worst-device gain, oracle accuracy]. One exit bank
+/// (device-independent) serves all targets.
+class MultiDeviceEngine {
+ public:
+  MultiDeviceEngine(const supernet::SearchSpace& space, MultiDeviceConfig config);
+
+  const std::vector<hw::Target>& targets() const { return targets_; }
+
+  MultiDeviceResult run();
+
+ private:
+  struct DeviceContext {
+    std::unique_ptr<StaticEvaluator> static_eval;
+  };
+
+  const supernet::SearchSpace& space_;
+  MultiDeviceConfig config_;
+  std::vector<hw::Target> targets_;
+  std::vector<DeviceContext> devices_;
+  data::SyntheticTask task_;
+};
+
+}  // namespace hadas::core

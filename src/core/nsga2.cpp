@@ -1,0 +1,211 @@
+#include "core/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace hadas::core {
+
+void Problem::repair(IntGenome&, hadas::util::Rng&) const {}
+
+IntGenome Problem::random_genome(hadas::util::Rng& rng) const {
+  const auto card = gene_cardinalities();
+  IntGenome g(card.size());
+  for (std::size_t i = 0; i < card.size(); ++i) {
+    if (card[i] == 0) throw std::logic_error("Problem: zero-cardinality gene");
+    g[i] = static_cast<std::int32_t>(rng.uniform_index(card[i]));
+  }
+  repair(g, rng);
+  return g;
+}
+
+void uniform_crossover(const IntGenome& a, const IntGenome& b, IntGenome& child1,
+                       IntGenome& child2, hadas::util::Rng& rng) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("uniform_crossover: length mismatch");
+  child1 = a;
+  child2 = b;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (rng.bernoulli(0.5)) std::swap(child1[i], child2[i]);
+  }
+}
+
+void reset_mutation(IntGenome& genome, const std::vector<std::size_t>& cardinalities,
+                    double per_gene_prob, hadas::util::Rng& rng) {
+  if (genome.size() != cardinalities.size())
+    throw std::invalid_argument("reset_mutation: length mismatch");
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (cardinalities[i] <= 1 || !rng.bernoulli(per_gene_prob)) continue;
+    std::int32_t value;
+    do {
+      value = static_cast<std::int32_t>(rng.uniform_index(cardinalities[i]));
+    } while (value == genome[i]);
+    genome[i] = value;
+  }
+}
+
+namespace {
+struct RankInfo {
+  std::vector<std::size_t> rank;
+  std::vector<double> crowding;
+};
+
+RankInfo rank_population(const std::vector<Individual>& pop) {
+  std::vector<Objectives> points(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) points[i] = pop[i].objectives;
+  const auto fronts = non_dominated_sort(points);
+  RankInfo info;
+  info.rank.assign(pop.size(), 0);
+  info.crowding.assign(pop.size(), 0.0);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    const auto dist = crowding_distance(points, fronts[f]);
+    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+      info.rank[fronts[f][i]] = f;
+      info.crowding[fronts[f][i]] = dist[i];
+    }
+  }
+  return info;
+}
+}  // namespace
+
+std::vector<Individual> select_by_rank_crowding(std::vector<Individual> candidates,
+                                                std::size_t target) {
+  if (candidates.size() <= target) return candidates;
+  std::vector<Objectives> points(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    points[i] = candidates[i].objectives;
+  const auto fronts = non_dominated_sort(points);
+
+  std::vector<Individual> selected;
+  selected.reserve(target);
+  for (const auto& front : fronts) {
+    if (selected.size() + front.size() <= target) {
+      for (std::size_t idx : front) selected.push_back(std::move(candidates[idx]));
+      if (selected.size() == target) break;
+    } else {
+      const auto dist = crowding_distance(points, front);
+      std::vector<std::size_t> order(front.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+      for (std::size_t i = 0; selected.size() < target; ++i)
+        selected.push_back(std::move(candidates[front[order[i]]]));
+      break;
+    }
+  }
+  return selected;
+}
+
+Nsga2Result Nsga2::run(Problem& problem) {
+  if (config_.population < 2) throw std::invalid_argument("Nsga2: population < 2");
+  hadas::util::Rng rng(config_.seed);
+  const auto cardinalities = problem.gene_cardinalities();
+  const double mut_prob = config_.mutation_prob > 0.0
+                              ? config_.mutation_prob
+                              : 1.0 / static_cast<double>(cardinalities.size());
+
+  Nsga2Result result;
+  std::map<IntGenome, Objectives> cache;
+  ParetoArchive archive;
+
+  auto evaluate = [&](const IntGenome& genome) -> Objectives {
+    ++result.evaluations;
+    auto it = cache.find(genome);
+    if (it != cache.end()) return it->second;
+    Objectives obj = problem.evaluate(genome);
+    cache.emplace(genome, obj);
+    result.history.push_back({genome, obj});
+    archive.insert(obj, result.history.size() - 1);
+    return obj;
+  };
+
+  // Initial population.
+  std::vector<Individual> pop;
+  pop.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    Individual ind;
+    ind.genome = problem.random_genome(rng);
+    ind.objectives = evaluate(ind.genome);
+    pop.push_back(std::move(ind));
+  }
+
+  auto record_stats = [&](std::size_t gen, const std::vector<Individual>& p) {
+    GenerationStats stats;
+    stats.generation = gen;
+    const std::size_t dims = p.front().objectives.size();
+    stats.best.assign(dims, -std::numeric_limits<double>::infinity());
+    stats.mean.assign(dims, 0.0);
+    std::vector<Objectives> points(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      points[i] = p[i].objectives;
+      for (std::size_t k = 0; k < dims; ++k) {
+        stats.best[k] = std::max(stats.best[k], p[i].objectives[k]);
+        stats.mean[k] += p[i].objectives[k] / static_cast<double>(p.size());
+      }
+    }
+    const auto front = pareto_front(points);
+    stats.front_size = front.size();
+    if (config_.hv_reference.size() == dims) {
+      std::vector<Objectives> front_points;
+      front_points.reserve(front.size());
+      for (std::size_t idx : front) front_points.push_back(points[idx]);
+      stats.hypervolume = hypervolume(front_points, config_.hv_reference);
+    }
+    result.generations.push_back(std::move(stats));
+  };
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    record_stats(gen, pop);
+    if (observer_) observer_(gen, pop);
+    const RankInfo info = rank_population(pop);
+
+    auto tournament = [&]() -> const Individual& {
+      const std::size_t a = rng.uniform_index(pop.size());
+      const std::size_t b = rng.uniform_index(pop.size());
+      if (info.rank[a] != info.rank[b])
+        return pop[info.rank[a] < info.rank[b] ? a : b];
+      return pop[info.crowding[a] >= info.crowding[b] ? a : b];
+    };
+
+    // Offspring generation (lambda = mu).
+    std::vector<Individual> offspring;
+    offspring.reserve(config_.population);
+    while (offspring.size() < config_.population) {
+      const Individual& p1 = tournament();
+      const Individual& p2 = tournament();
+      IntGenome c1, c2;
+      if (rng.bernoulli(config_.crossover_prob)) {
+        uniform_crossover(p1.genome, p2.genome, c1, c2, rng);
+      } else {
+        c1 = p1.genome;
+        c2 = p2.genome;
+      }
+      for (IntGenome* child : {&c1, &c2}) {
+        if (offspring.size() == config_.population) break;
+        reset_mutation(*child, cardinalities, mut_prob, rng);
+        problem.repair(*child, rng);
+        Individual ind;
+        ind.genome = std::move(*child);
+        ind.objectives = evaluate(ind.genome);
+        offspring.push_back(std::move(ind));
+      }
+    }
+
+    // Elitist environmental selection over parents + offspring.
+    std::vector<Individual> merged = std::move(pop);
+    merged.insert(merged.end(), std::make_move_iterator(offspring.begin()),
+                  std::make_move_iterator(offspring.end()));
+    pop = select_by_rank_crowding(std::move(merged), config_.population);
+  }
+  record_stats(config_.generations, pop);
+  if (observer_) observer_(config_.generations, pop);
+
+  // Final front: non-dominated subset of everything evaluated.
+  for (std::size_t payload : archive.payloads())
+    result.front.push_back(result.history[payload]);
+  result.final_population = std::move(pop);
+  return result;
+}
+
+}  // namespace hadas::core

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::core {
+
+/// Integer genome: gene i takes values in [0, cardinality_i).
+using IntGenome = std::vector<std::int32_t>;
+
+/// Problem interface for the evolutionary engines. Objectives are all
+/// maximized. Genomes are categorical integer vectors, which covers every
+/// HADAS subspace: backbone choice indices (B), exit indicator bits (X, with
+/// cardinality 2) and DVFS table indices (F).
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Choice count per gene.
+  virtual std::vector<std::size_t> gene_cardinalities() const = 0;
+
+  /// Evaluate a genome; returns the (maximized) objective vector.
+  virtual Objectives evaluate(const IntGenome& genome) = 0;
+
+  /// Repair an infeasible genome in place (default: no-op). Called after
+  /// random initialization, crossover and mutation.
+  virtual void repair(IntGenome& genome, hadas::util::Rng& rng) const;
+
+  /// Uniformly random (then repaired) genome.
+  IntGenome random_genome(hadas::util::Rng& rng) const;
+};
+
+/// NSGA-II settings. #iterations = generations * population (the budget
+/// notion of the paper's Sec. V-A).
+struct Nsga2Config {
+  std::size_t population = 40;
+  std::size_t generations = 20;
+  double crossover_prob = 0.9;   ///< probability a pair is crossed (uniform)
+  double mutation_prob = -1.0;   ///< per-gene reset prob; <0 means 1/len
+  std::uint64_t seed = 123;
+  /// Reference point for the per-generation hypervolume in
+  /// Nsga2Result::generations; empty disables HV tracking (the default —
+  /// HV is cubic-ish in front size and not free).
+  Objectives hv_reference{};
+};
+
+/// One evaluated individual.
+struct Individual {
+  IntGenome genome;
+  Objectives objectives;
+};
+
+/// Per-generation convergence record.
+struct GenerationStats {
+  std::size_t generation = 0;
+  std::vector<double> best;       ///< per-objective max over the population
+  std::vector<double> mean;       ///< per-objective population mean
+  std::size_t front_size = 0;     ///< size of the population's first front
+  double hypervolume = 0.0;       ///< of the first front vs the configured ref
+};
+
+/// Result of an NSGA-II run.
+struct Nsga2Result {
+  std::vector<Individual> final_population;
+  std::vector<Individual> front;    ///< non-dominated subset of all evaluated
+  std::vector<Individual> history;  ///< every distinct evaluation, in order
+  std::vector<GenerationStats> generations;  ///< convergence trajectory
+  std::size_t evaluations = 0;      ///< total evaluate() calls (incl. cached hits)
+};
+
+/// Textbook NSGA-II (Deb et al. 2002) over categorical integer genomes:
+/// binary tournament on (rank, crowding), uniform crossover, per-gene reset
+/// mutation, elitist (mu + lambda) environmental selection by fronts with
+/// crowding-distance truncation. Duplicate genomes are looked up in an
+/// evaluation cache so wall-clock tracks distinct evaluations.
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config config) : config_(config) {}
+
+  Nsga2Result run(Problem& problem);
+
+  /// Per-generation observer (e.g. convergence logging in the benches).
+  using Observer = std::function<void(std::size_t generation,
+                                      const std::vector<Individual>& population)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  Nsga2Config config_;
+  Observer observer_;
+};
+
+/// Uniform crossover: each gene independently from either parent.
+void uniform_crossover(const IntGenome& a, const IntGenome& b, IntGenome& child1,
+                       IntGenome& child2, hadas::util::Rng& rng);
+
+/// Per-gene reset mutation: with probability `per_gene_prob` a gene is
+/// redrawn uniformly from its choice list (excluding its current value when
+/// the cardinality allows it).
+void reset_mutation(IntGenome& genome, const std::vector<std::size_t>& cardinalities,
+                    double per_gene_prob, hadas::util::Rng& rng);
+
+/// Environmental selection: keep `target` individuals from `candidates` by
+/// non-dominated rank, breaking ties with crowding distance.
+std::vector<Individual> select_by_rank_crowding(std::vector<Individual> candidates,
+                                                std::size_t target);
+
+}  // namespace hadas::core

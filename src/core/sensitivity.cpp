@@ -1,0 +1,65 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hadas::core {
+
+std::vector<std::string> gene_names(const supernet::SearchSpace& space) {
+  std::vector<std::string> names;
+  names.reserve(space.genome_length());
+  names.emplace_back("resolution");
+  names.emplace_back("stem.width");
+  for (const auto& stage : space.stages) {
+    names.push_back(stage.name + ".width");
+    names.push_back(stage.name + ".depth");
+    names.push_back(stage.name + ".kernel");
+    names.push_back(stage.name + ".expand");
+  }
+  names.emplace_back("last.width");
+  return names;
+}
+
+std::vector<GeneSensitivity> analyze_sensitivity(
+    const StaticEvaluator& evaluator, const supernet::BackboneConfig& config) {
+  const supernet::SearchSpace& space = evaluator.space();
+  const supernet::Genome genome = supernet::encode(space, config);
+  const auto cardinalities = space.gene_cardinalities();
+  const auto names = gene_names(space);
+  const StaticEval base = evaluator.evaluate(config);
+
+  std::vector<GeneSensitivity> result;
+  result.reserve(genome.size());
+  for (std::size_t g = 0; g < genome.size(); ++g) {
+    GeneSensitivity sens;
+    sens.gene = g;
+    sens.name = names[g];
+    sens.current = genome[g];
+    sens.cardinality = cardinalities[g];
+
+    bool any_saving = false;
+    double best_ratio = 0.0;
+    for (std::size_t choice = 0; choice < cardinalities[g]; ++choice) {
+      if (static_cast<std::int32_t>(choice) == genome[g]) continue;
+      supernet::Genome perturbed = genome;
+      perturbed[g] = static_cast<std::int32_t>(choice);
+      const StaticEval eval =
+          evaluator.evaluate(supernet::decode(space, perturbed));
+      const double accuracy_drop = base.accuracy - eval.accuracy;
+      const double energy_saving = base.energy_j - eval.energy_j;
+      sens.max_accuracy_drop = std::max(sens.max_accuracy_drop, accuracy_drop);
+      sens.max_energy_saving_j =
+          std::max(sens.max_energy_saving_j, energy_saving);
+      if (energy_saving > 1e-12) {
+        const double ratio = std::max(accuracy_drop, 0.0) / energy_saving;
+        if (!any_saving || ratio < best_ratio) best_ratio = ratio;
+        any_saving = true;
+      }
+    }
+    sens.accuracy_per_joule = any_saving ? best_ratio : 0.0;
+    result.push_back(std::move(sens));
+  }
+  return result;
+}
+
+}  // namespace hadas::core

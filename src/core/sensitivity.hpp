@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/static_eval.hpp"
+
+namespace hadas::core {
+
+/// One-gene ablation record: what changing a single design decision of a
+/// backbone to its neighbouring choices does to accuracy/latency/energy.
+struct GeneSensitivity {
+  std::size_t gene = 0;        ///< genome position
+  std::string name;            ///< human-readable, e.g. "mb5.width"
+  std::int32_t current = 0;    ///< the design's current choice index
+  std::size_t cardinality = 0;
+  /// Largest accuracy loss over all single-gene perturbations (>= 0).
+  double max_accuracy_drop = 0.0;
+  /// Largest energy saving over all single-gene perturbations (>= 0, J).
+  double max_energy_saving_j = 0.0;
+  /// Accuracy delta per joule saved for the best perturbation of this gene
+  /// (lower magnitude = cheaper knob to turn); 0 when no perturbation saves.
+  double accuracy_per_joule = 0.0;
+};
+
+/// Names of the genome positions of the Table-II space, genome order.
+std::vector<std::string> gene_names(const supernet::SearchSpace& space);
+
+/// Single-gene sensitivity analysis of a backbone: for every genome
+/// position, evaluate all alternative choices and record the accuracy /
+/// energy movements. Answers "which design decision is this backbone's
+/// efficiency most sensitive to?" — useful when a found design must be
+/// hand-tweaked (e.g. to fit a memory budget) without rerunning the search.
+std::vector<GeneSensitivity> analyze_sensitivity(
+    const StaticEvaluator& evaluator, const supernet::BackboneConfig& config);
+
+}  // namespace hadas::core

@@ -1,0 +1,164 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace hadas::core {
+
+using hadas::util::Json;
+
+Json to_json(const supernet::BackboneConfig& config) {
+  Json json;
+  json["resolution"] = Json(config.resolution);
+  json["stem_width"] = Json(config.stem_width);
+  json["last_width"] = Json(config.last_width);
+  Json::Array stages;
+  for (const auto& stage : config.stages) {
+    Json s;
+    s["width"] = Json(stage.width);
+    s["depth"] = Json(stage.depth);
+    s["kernel"] = Json(stage.kernel);
+    s["expand"] = Json(stage.expand);
+    stages.push_back(std::move(s));
+  }
+  json["stages"] = Json(std::move(stages));
+  return json;
+}
+
+supernet::BackboneConfig backbone_from_json(const Json& json) {
+  supernet::BackboneConfig config;
+  config.resolution = json.at("resolution").as_int();
+  config.stem_width = json.at("stem_width").as_int();
+  config.last_width = json.at("last_width").as_int();
+  const auto& stages = json.at("stages").as_array();
+  if (stages.size() != supernet::kNumStages)
+    throw std::invalid_argument("backbone_from_json: wrong stage count");
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    config.stages[s].width = stages[s].at("width").as_int();
+    config.stages[s].depth = stages[s].at("depth").as_int();
+    config.stages[s].kernel = stages[s].at("kernel").as_int();
+    config.stages[s].expand = stages[s].at("expand").as_int();
+  }
+  return config;
+}
+
+Json to_json(const dynn::ExitPlacement& placement) {
+  Json json;
+  json["total_layers"] = Json(placement.total_layers());
+  Json::Array exits;
+  for (std::size_t layer : placement.positions()) exits.push_back(Json(layer));
+  json["exits"] = Json(std::move(exits));
+  return json;
+}
+
+dynn::ExitPlacement placement_from_json(const Json& json) {
+  std::vector<std::size_t> exits;
+  for (const Json& layer : json.at("exits").as_array())
+    exits.push_back(layer.as_index());
+  return dynn::ExitPlacement(json.at("total_layers").as_index(), exits);
+}
+
+Json to_json(const hw::DvfsSetting& setting) {
+  Json json;
+  json["core_idx"] = Json(setting.core_idx);
+  json["emc_idx"] = Json(setting.emc_idx);
+  return json;
+}
+
+hw::DvfsSetting setting_from_json(const Json& json) {
+  return {json.at("core_idx").as_index(), json.at("emc_idx").as_index()};
+}
+
+Json to_json(const StaticEval& eval) {
+  Json json;
+  json["accuracy"] = Json(eval.accuracy);
+  json["latency_s"] = Json(eval.latency_s);
+  json["energy_j"] = Json(eval.energy_j);
+  return json;
+}
+
+StaticEval static_eval_from_json(const Json& json) {
+  StaticEval eval;
+  eval.accuracy = json.at("accuracy").as_number();
+  eval.latency_s = json.at("latency_s").as_number();
+  eval.energy_j = json.at("energy_j").as_number();
+  return eval;
+}
+
+Json to_json(const dynn::DynamicMetrics& metrics) {
+  Json json;
+  json["score_eq5"] = Json(metrics.score_eq5);
+  json["mean_n"] = Json(metrics.mean_n);
+  json["oracle_accuracy"] = Json(metrics.oracle_accuracy);
+  json["energy_per_sample_j"] = Json(metrics.energy_per_sample_j);
+  json["latency_per_sample_s"] = Json(metrics.latency_per_sample_s);
+  json["energy_gain"] = Json(metrics.energy_gain);
+  json["latency_gain"] = Json(metrics.latency_gain);
+  return json;
+}
+
+dynn::DynamicMetrics dynamic_metrics_from_json(const Json& json) {
+  dynn::DynamicMetrics metrics;
+  metrics.score_eq5 = json.at("score_eq5").as_number();
+  metrics.mean_n = json.at("mean_n").as_number();
+  metrics.oracle_accuracy = json.at("oracle_accuracy").as_number();
+  metrics.energy_per_sample_j = json.at("energy_per_sample_j").as_number();
+  metrics.latency_per_sample_s = json.at("latency_per_sample_s").as_number();
+  metrics.energy_gain = json.at("energy_gain").as_number();
+  metrics.latency_gain = json.at("latency_gain").as_number();
+  return metrics;
+}
+
+Json to_json(const FinalSolution& solution) {
+  Json json;
+  json["backbone"] = to_json(solution.backbone);
+  json["placement"] = to_json(solution.placement);
+  json["setting"] = to_json(solution.setting);
+  json["static"] = to_json(solution.static_eval);
+  json["dynamic"] = to_json(solution.dynamic);
+  return json;
+}
+
+FinalSolution final_solution_from_json(const Json& json) {
+  return FinalSolution{backbone_from_json(json.at("backbone")),
+                       placement_from_json(json.at("placement")),
+                       setting_from_json(json.at("setting")),
+                       static_eval_from_json(json.at("static")),
+                       dynamic_metrics_from_json(json.at("dynamic"))};
+}
+
+Json result_to_json(const HadasResult& result, hw::Target target) {
+  Json json;
+  json["device"] = Json(hw::target_name(target));
+  json["outer_evaluations"] = Json(result.outer_evaluations);
+  json["inner_evaluations"] = Json(result.inner_evaluations);
+  json["explored_backbones"] = Json(result.backbones.size());
+  Json::Array pareto;
+  for (const auto& solution : result.final_pareto)
+    pareto.push_back(to_json(solution));
+  json["final_pareto"] = Json(std::move(pareto));
+  return json;
+}
+
+std::vector<FinalSolution> final_pareto_from_json(const Json& json) {
+  std::vector<FinalSolution> solutions;
+  for (const Json& entry : json.at("final_pareto").as_array())
+    solutions.push_back(final_solution_from_json(entry));
+  return solutions;
+}
+
+void save_json(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_json: cannot open " + path);
+  out << json.dump(2) << '\n';
+}
+
+Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_json: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Json::parse(text);
+}
+
+}  // namespace hadas::core

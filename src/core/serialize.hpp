@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "core/hadas_engine.hpp"
+#include "util/json.hpp"
+
+namespace hadas::core {
+
+/// JSON (de)serialization of the search artifacts, so designs found by a
+/// search can be saved, diffed, shipped to a deployment host, and re-loaded
+/// without re-running the search. All functions throw std::logic_error /
+/// std::invalid_argument on malformed input.
+
+hadas::util::Json to_json(const supernet::BackboneConfig& config);
+supernet::BackboneConfig backbone_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const dynn::ExitPlacement& placement);
+dynn::ExitPlacement placement_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const hw::DvfsSetting& setting);
+hw::DvfsSetting setting_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const StaticEval& eval);
+StaticEval static_eval_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const dynn::DynamicMetrics& metrics);
+dynn::DynamicMetrics dynamic_metrics_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const FinalSolution& solution);
+FinalSolution final_solution_from_json(const hadas::util::Json& json);
+
+/// The full deliverable of a search: device, budgets and the final Pareto
+/// set. (Exploration history is not persisted — re-run for that.)
+hadas::util::Json result_to_json(const HadasResult& result,
+                                 hw::Target target);
+std::vector<FinalSolution> final_pareto_from_json(const hadas::util::Json& json);
+
+/// File helpers.
+void save_json(const std::string& path, const hadas::util::Json& json);
+hadas::util::Json load_json(const std::string& path);
+
+}  // namespace hadas::core

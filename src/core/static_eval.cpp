@@ -1,0 +1,23 @@
+#include "core/static_eval.hpp"
+
+namespace hadas::core {
+
+StaticEvaluator::StaticEvaluator(const supernet::SearchSpace& space,
+                                 hw::Target target)
+    : space_(space),
+      cost_model_(space),
+      surrogate_(std::make_unique<supernet::AccuracySurrogate>(cost_model_)),
+      hw_(hw::make_device(target)) {}
+
+StaticEval StaticEvaluator::evaluate(const supernet::BackboneConfig& config) const {
+  StaticEval s;
+  s.accuracy = surrogate_->accuracy(config);
+  const supernet::NetworkCost cost = cost_model_.analyze(config);
+  const hw::HwMeasurement m =
+      hw_.measure_network(cost, hw::default_setting(hw_.device()));
+  s.latency_s = m.latency_s;
+  s.energy_j = m.energy_j;
+  return s;
+}
+
+}  // namespace hadas::core

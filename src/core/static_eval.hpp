@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "core/pareto.hpp"
+#include "hw/device.hpp"
+#include "hw/evaluator.hpp"
+#include "supernet/accuracy.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace hadas::core {
+
+/// The paper's S(b) = Fit(Acc_b, L_b, E_b) vector (eq. 3): backbone accuracy
+/// plus hardware latency and energy measured as a standalone static model at
+/// the device's default (performance-governor) DVFS setting.
+struct StaticEval {
+  double accuracy = 0.0;
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+
+  /// Maximized objective vector: [accuracy, -latency, -energy].
+  Objectives objectives() const { return {accuracy, -latency_s, -energy_j}; }
+};
+
+/// Evaluates S(b) for backbones on one device — the OOE's fitness function.
+/// Owns the cost model, accuracy surrogate and hardware evaluator so that
+/// engines and benches share one consistent measurement pipeline.
+class StaticEvaluator {
+ public:
+  StaticEvaluator(const supernet::SearchSpace& space, hw::Target target);
+
+  const supernet::SearchSpace& space() const { return space_; }
+  const supernet::CostModel& cost_model() const { return cost_model_; }
+  const supernet::AccuracySurrogate& surrogate() const { return *surrogate_; }
+  const hw::HardwareEvaluator& hardware() const { return hw_; }
+
+  StaticEval evaluate(const supernet::BackboneConfig& config) const;
+
+ private:
+  supernet::SearchSpace space_;
+  supernet::CostModel cost_model_;
+  std::unique_ptr<supernet::AccuracySurrogate> surrogate_;
+  hw::HardwareEvaluator hw_;
+};
+
+}  // namespace hadas::core

@@ -1,0 +1,78 @@
+#include "data/sample_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathutil.hpp"
+
+namespace hadas::data {
+
+SampleStream::SampleStream(const SyntheticTask& task, std::size_t length,
+                           std::uint64_t seed) {
+  const std::size_t n = task.split_size(Split::kTest);
+  if (n == 0) throw std::invalid_argument("SampleStream: empty test split");
+  hadas::util::Rng rng(seed);
+  indices_.reserve(length);
+  std::vector<std::size_t> epoch(n);
+  std::iota(epoch.begin(), epoch.end(), std::size_t{0});
+  while (indices_.size() < length) {
+    rng.shuffle(epoch);
+    for (std::size_t idx : epoch) {
+      if (indices_.size() == length) break;
+      indices_.push_back(idx);
+    }
+  }
+}
+
+SampleStream::SampleStream(const SyntheticTask& task,
+                           std::vector<std::size_t> indices)
+    : indices_(std::move(indices)) {
+  const std::size_t n = task.split_size(Split::kTest);
+  for (std::size_t idx : indices_)
+    if (idx >= n) throw std::invalid_argument("SampleStream: index out of range");
+}
+
+SampleStream drifting_stream(const SyntheticTask& task, std::size_t length,
+                             DriftPattern pattern, std::uint64_t seed) {
+  const std::size_t n = task.split_size(Split::kTest);
+  if (n == 0) throw std::invalid_argument("drifting_stream: empty test split");
+
+  // Test indices sorted by intrinsic difficulty.
+  std::vector<std::size_t> by_difficulty(n);
+  std::iota(by_difficulty.begin(), by_difficulty.end(), std::size_t{0});
+  const auto& info = task.info(Split::kTest);
+  std::sort(by_difficulty.begin(), by_difficulty.end(),
+            [&](std::size_t a, std::size_t b) {
+              return info[a].difficulty < info[b].difficulty;
+            });
+
+  hadas::util::Rng rng(seed);
+  std::vector<std::size_t> indices;
+  indices.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = length > 1
+                         ? static_cast<double>(i) / static_cast<double>(length - 1)
+                         : 0.0;
+    double quantile = 0.0;
+    switch (pattern) {
+      case DriftPattern::kRampUp:
+        quantile = t;
+        break;
+      case DriftPattern::kOscillate:
+        quantile = 0.5 - 0.5 * std::cos(4.0 * std::numbers::pi * t);
+        break;
+    }
+    // Jitter of +-10% of the split keeps the stream stochastic while the
+    // drift trend dominates.
+    quantile = hadas::util::clamp(quantile + rng.normal(0.0, 0.10), 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        quantile * static_cast<double>(n - 1) + 0.5);
+    indices.push_back(by_difficulty[rank]);
+  }
+  return SampleStream(task, std::move(indices));
+}
+
+}  // namespace hadas::data

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic_task.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::data {
+
+/// A deterministic ordering of test-split sample indices used by the runtime
+/// deployment simulator: models an input stream arriving at the edge device.
+class SampleStream {
+ public:
+  /// Shuffled stream over the test split; `length` may exceed the split size
+  /// in which case indices repeat with independent shuffles per epoch.
+  SampleStream(const SyntheticTask& task, std::size_t length, std::uint64_t seed);
+
+  /// Stream with an explicit index order (must be valid test-split indices).
+  SampleStream(const SyntheticTask& task, std::vector<std::size_t> indices);
+
+  const std::vector<std::size_t>& indices() const { return indices_; }
+  std::size_t size() const { return indices_.size(); }
+
+ private:
+  std::vector<std::size_t> indices_;
+};
+
+/// Shape of a difficulty drift over a stream.
+enum class DriftPattern {
+  kRampUp,     ///< inputs get monotonically harder over the stream
+  kOscillate,  ///< difficulty swings easy -> hard -> easy (two periods)
+};
+
+/// Build a stream whose per-sample difficulty drifts over time — the "in the
+/// wild" runtime variation of the paper's introduction ("susceptible to
+/// considerable runtime variations related to the distribution of collected
+/// data"). Position t in [0,1] along the stream maps to a difficulty
+/// quantile of the test split (plus jitter), so early-exit rates of a fixed
+/// threshold degrade as the stream hardens.
+SampleStream drifting_stream(const SyntheticTask& task, std::size_t length,
+                             DriftPattern pattern, std::uint64_t seed);
+
+}  // namespace hadas::data

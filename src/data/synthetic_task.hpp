@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/trainer.hpp"
+
+namespace hadas::data {
+
+/// Dataset split selector.
+enum class Split { kTrain, kVal, kTest };
+
+/// Configuration of the synthetic CIFAR-100 proxy task.
+///
+/// The real paper trains exits on CIFAR-100 features tapped from a pretrained
+/// AttentiveNAS backbone. We replace that with a generative model that
+/// preserves the properties the HADAS search actually depends on:
+///   * 100 classes with per-sample difficulty: "easy" samples become
+///     linearly separable at shallow depth, "hard" ones only near the top
+///     (or never — irreducible error via a confuser class),
+///   * deeper taps and higher-capacity backbones yield better separability,
+///   * the set of samples classifiable at exit i is (statistically) nested
+///     within the set at exit j > i, which is what makes early exiting and
+///     the dissimilarity regularizer (eq. 7) meaningful.
+struct DataConfig {
+  std::size_t num_classes = 100;
+  std::size_t feature_dim = 32;
+  std::size_t train_size = 2000;
+  std::size_t val_size = 1000;
+  std::size_t test_size = 1000;
+  /// Kumaraswamy(a, b) shape parameters of the per-sample difficulty
+  /// distribution on [0, 1]; defaults skew toward easy samples.
+  double difficulty_a = 1.3;
+  double difficulty_b = 3.0;
+  /// Strength of the confuser-class signal for difficult samples (controls
+  /// the irreducible error / accuracy ceiling).
+  double confusion_strength = 1.0;
+  /// Per-unit-difficulty attenuation of the class signal. This spreads the
+  /// per-sample SNR so that accuracy grows *gradually* with backbone
+  /// capacity instead of jumping from chance to ceiling over a narrow
+  /// separability band.
+  double signal_attenuation = 0.55;
+  /// Standard deviation of the per-dimension sample noise that is FIXED
+  /// across depths (the sample's intrinsic ambiguity).
+  double noise_level = 0.85;
+  /// Standard deviation of the per-dimension noise that is REDRAWN at each
+  /// depth bucket: successive taps see partially independent perturbations,
+  /// so exit heads make partially decorrelated errors. This is what lets the
+  /// oracle (union) accuracy of a multi-exit model exceed the backbone's
+  /// own accuracy, as observed in the paper (Table III: EEx Acc > Acc).
+  double depth_noise_level = 0.55;
+  /// Number of depth buckets for the redrawn noise (taps within one bucket
+  /// share it).
+  std::size_t depth_noise_buckets = 24;
+  /// Depth (fraction of total) at which the easiest samples emerge.
+  double min_emergence = 0.05;
+  /// Extra emergence depth per unit difficulty.
+  double emergence_slope = 0.60;
+  /// Transition half-width of the emergence smoothstep.
+  double emergence_width = 0.30;
+  /// Signal fraction present even before emergence (shallow layers are not
+  /// completely uninformative).
+  double base_signal = 0.30;
+  std::uint64_t seed = 42;
+};
+
+/// Static (depth-independent) description of one sample.
+struct SampleInfo {
+  std::int32_t label = 0;
+  std::int32_t confuser = 0;   ///< class whose signal contaminates the sample
+  double difficulty = 0.0;     ///< in [0, 1]
+};
+
+/// The synthetic task. Construction fixes all randomness (prototypes, labels,
+/// difficulties, noise vectors); feature generation at any (depth,
+/// separability) point is then deterministic, mirroring a frozen pretrained
+/// backbone whose taps can be probed repeatedly.
+class SyntheticTask {
+ public:
+  explicit SyntheticTask(DataConfig config);
+
+  const DataConfig& config() const { return config_; }
+
+  std::size_t split_size(Split split) const;
+
+  const std::vector<SampleInfo>& info(Split split) const;
+
+  /// Labels of a split as the trainer expects them.
+  std::vector<std::int32_t> labels(Split split) const;
+
+  /// Feature matrix of a split "tapped" at the given depth fraction
+  /// (0 < depth_fraction <= 1) from a backbone with the given separability
+  /// (> 0; larger = higher-capacity backbone). Rows are samples.
+  nn::Matrix features(Split split, double depth_fraction,
+                      double separability) const;
+
+  /// Convenience: assemble a FeatureDataset (without teacher logits).
+  nn::FeatureDataset dataset(Split split, double depth_fraction,
+                             double separability) const;
+
+  /// Depth fraction at which a sample of the given difficulty has half of
+  /// its class signal developed.
+  double emergence_depth(double difficulty) const;
+
+  /// The class-prototype matrix (num_classes x feature_dim, unit rows).
+  const nn::Matrix& prototypes() const { return prototypes_; }
+
+ private:
+  struct SplitData {
+    std::vector<SampleInfo> info;
+    nn::Matrix noise;  // n x feature_dim, fixed across depths
+  };
+
+  const SplitData& split_data(Split split) const;
+  SplitData make_split(std::size_t n, hadas::util::Rng& rng) const;
+
+  DataConfig config_;
+  nn::Matrix prototypes_;
+  SplitData train_, val_, test_;
+};
+
+/// Maps a backbone's surrogate top-1 accuracy (fraction in [0,1]) to the
+/// separability parameter of the synthetic task. Monotone increasing; it is
+/// calibrated so trained linear heads at full depth land near the surrogate
+/// accuracy (see tests/data/test_calibration.cpp).
+double separability_from_accuracy(double accuracy);
+
+}  // namespace hadas::data

@@ -1,0 +1,88 @@
+#include "dynn/dynamic_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::dynn {
+
+DynamicEvaluator::DynamicEvaluator(const ExitBank& bank,
+                                   const MultiExitCostTable& cost,
+                                   DynamicScoreConfig config)
+    : bank_(bank), cost_(cost), config_(config) {
+  if (bank_.total_layers() != cost_.network().num_mbconv_layers())
+    throw std::invalid_argument("DynamicEvaluator: bank/cost layer mismatch");
+  baseline_ =
+      cost_.full_network(hw::default_setting(cost_.evaluator().device()));
+}
+
+DynamicMetrics DynamicEvaluator::evaluate(const ExitPlacement& placement,
+                                          hw::DvfsSetting setting) const {
+  if (placement.total_layers() != bank_.total_layers())
+    throw std::invalid_argument("DynamicEvaluator: placement layer mismatch");
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("DynamicEvaluator: empty placement");
+
+  DynamicMetrics m;
+
+  // Per-exit measurements at this DVFS setting.
+  std::vector<hw::HwMeasurement> exit_meas(exits.size());
+  for (std::size_t i = 0; i < exits.size(); ++i)
+    exit_meas[i] = cost_.exit_path(exits[i], setting);
+  const hw::HwMeasurement full_at_f = cost_.full_network(setting);
+
+  // --- eq. (5)/(6): regularized mean exit score. ---
+  double score_sum = 0.0;
+  double n_sum = 0.0;
+  double best_preceding_n = 0.0;  // max(N_0 .. N_{i-1}) over sampled exits
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    const TrainedExit& ex = bank_.exit_at(exits[i]);
+    const double n_i = ex.val_accuracy;
+    const double energy_gain =
+        std::max(0.0, 1.0 - exit_meas[i].energy_j / baseline_.energy_j);
+    const double latency_gain =
+        std::max(0.0, 1.0 - exit_meas[i].latency_s / baseline_.latency_s);
+    double score = n_i * energy_gain * latency_gain;
+    if (config_.use_dissim) {
+      const double dissim = 1.0 - best_preceding_n;  // eq. (7)
+      score *= std::pow(std::max(dissim, 0.0), config_.gamma);
+    }
+    score_sum += score;
+    n_sum += n_i;
+    best_preceding_n = std::max(best_preceding_n, n_i);
+  }
+  m.score_eq5 = score_sum / static_cast<double>(exits.size());
+  m.mean_n = n_sum / static_cast<double>(exits.size());
+
+  // --- Ideal (oracle) mapping: each sample goes to the first exit that gets
+  // it right; unresolved samples run the full backbone. ---
+  const std::size_t n_samples = bank_.final_exit().val_correct.size();
+  double energy_acc = 0.0, latency_acc = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    bool resolved = false;
+    for (std::size_t i = 0; i < exits.size() && !resolved; ++i) {
+      if (bank_.exit_at(exits[i]).val_correct[s]) {
+        energy_acc += exit_meas[i].energy_j;
+        latency_acc += exit_meas[i].latency_s;
+        ++correct;
+        resolved = true;
+      }
+    }
+    if (!resolved) {
+      energy_acc += full_at_f.energy_j;
+      latency_acc += full_at_f.latency_s;
+      if (bank_.final_exit().val_correct[s]) ++correct;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n_samples);
+  m.oracle_accuracy = static_cast<double>(correct) * inv_n;
+  m.energy_per_sample_j = energy_acc * inv_n;
+  m.latency_per_sample_s = latency_acc * inv_n;
+  m.energy_gain = 1.0 - m.energy_per_sample_j / baseline_.energy_j;
+  m.latency_gain = 1.0 - m.latency_per_sample_s / baseline_.latency_s;
+  return m;
+}
+
+}  // namespace hadas::dynn

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+#include "dynn/multi_exit_cost.hpp"
+#include "hw/device.hpp"
+
+namespace hadas::dynn {
+
+/// Knobs of the eq. (6) exit score.
+struct DynamicScoreConfig {
+  double gamma = 1.0;      ///< trade-off exponent of the dissimilarity term
+  bool use_dissim = true;  ///< Fig. 7 ablation switch
+};
+
+/// The D(x, f | b) evaluation of one (placement, DVFS) candidate.
+struct DynamicMetrics {
+  /// Eq. (5): mean over sampled exits of eq. (6)'s score_i, with the energy
+  /// and latency terms expressed as *gains* relative to the static backbone
+  /// at default DVFS (so that larger = better on every factor).
+  double score_eq5 = 0.0;
+  /// Mean N_i (val-split accuracy) over the sampled exits — the y-axis of
+  /// Fig. 5's bottom row.
+  double mean_n = 0.0;
+  /// Dynamic accuracy under the ideal (oracle) mapping: a sample counts as
+  /// correct if any sampled exit or the final classifier gets it right.
+  double oracle_accuracy = 0.0;
+  /// Expected per-sample energy/latency under the ideal mapping at f.
+  double energy_per_sample_j = 0.0;
+  double latency_per_sample_s = 0.0;
+  /// 1 - E_dyn / E_b(default): the x-axis of Fig. 5's bottom row.
+  double energy_gain = 0.0;
+  double latency_gain = 0.0;
+};
+
+/// Evaluates dynamic candidates against a trained exit bank and a cost
+/// table. This is the inner loop of the IOE: no training happens here, so
+/// thousands of (x, f) evaluations per backbone stay cheap.
+class DynamicEvaluator {
+ public:
+  DynamicEvaluator(const ExitBank& bank, const MultiExitCostTable& cost,
+                   DynamicScoreConfig config = {});
+
+  const DynamicScoreConfig& score_config() const { return config_; }
+
+  /// Full D evaluation of one (x, f) candidate.
+  DynamicMetrics evaluate(const ExitPlacement& placement,
+                          hw::DvfsSetting setting) const;
+
+  /// Static baseline of this backbone at the device's default setting.
+  hw::HwMeasurement static_baseline() const { return baseline_; }
+
+ private:
+  const ExitBank& bank_;
+  const MultiExitCostTable& cost_;
+  DynamicScoreConfig config_;
+  hw::HwMeasurement baseline_;  // full network, default DVFS
+};
+
+}  // namespace hadas::dynn

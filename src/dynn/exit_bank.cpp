@@ -1,0 +1,147 @@
+#include "dynn/exit_bank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/losses.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::dynn {
+
+double tap_quality_multiplier(const supernet::LayerCost& tap,
+                              double depth_fraction) {
+  // Channel-richness bonus: relative to the channel count a balanced
+  // backbone has at this compute fraction (~24 growing to ~216).
+  const double t = hadas::util::clamp(depth_fraction, 0.0, 1.0);
+  const double c_ref = 24.0 * std::pow(216.0 / 24.0, t);
+  const double channel_term =
+      0.25 * std::log2(static_cast<double>(tap.out_channels) / c_ref);
+  // Spatial penalty: classification heads need globally-pooled, semantically
+  // aggregated features; taps on large feature maps (early layers of
+  // high-resolution backbones) are poor exit points regardless of their
+  // compute fraction. ~14x14 and below is "head-ready"; every octave above
+  // costs quality. This is the effect that makes the paper's a6 (288px)
+  // gain little from early exiting while co-designed backbones gain a lot.
+  constexpr double kHeadReadySize = 14.0;
+  const double spatial_term =
+      -0.22 * std::log2(std::max(static_cast<double>(tap.out_size),
+                                 kHeadReadySize) /
+                        kHeadReadySize);
+  return hadas::util::clamp(1.0 + channel_term + spatial_term, 0.5, 1.4);
+}
+
+double effective_depth_fraction(double depth_fraction, int input_resolution) {
+  const double t = hadas::util::clamp(depth_fraction, 0.0, 1.0);
+  if (input_resolution <= 192) return t;
+  const double stretch =
+      1.0 + 1.2 * std::log2(static_cast<double>(input_resolution) / 192.0);
+  return std::pow(t, stretch);
+}
+
+namespace {
+struct TrainedHead {
+  nn::MlpClassifier model;
+  TrainedExit record;
+};
+
+TrainedHead train_head(const data::SyntheticTask& task, std::size_t layer,
+                       double depth_fraction, double separability,
+                       const ExitBankConfig& config,
+                       const nn::Matrix* teacher_train_logits,
+                       hadas::util::Rng& rng) {
+  nn::FeatureDataset train =
+      task.dataset(data::Split::kTrain, depth_fraction, separability);
+  const nn::FeatureDataset val =
+      task.dataset(data::Split::kVal, depth_fraction, separability);
+  const nn::FeatureDataset test =
+      task.dataset(data::Split::kTest, depth_fraction, separability);
+  if (teacher_train_logits != nullptr) train.teacher_logits = *teacher_train_logits;
+
+  nn::MlpClassifier head(task.config().feature_dim, config.head_hidden,
+                         task.config().num_classes, rng);
+  nn::TrainConfig tc = config.train;
+  tc.shuffle_seed = rng.next_u64();
+  if (teacher_train_logits == nullptr) tc.kd_weight = 0.0;  // the teacher itself
+  nn::Trainer(tc).fit(head, train, val);
+
+  TrainedExit record;
+  record.layer = layer;
+  record.depth_fraction = depth_fraction;
+  const nn::Matrix val_logits = head.forward(val.features);
+  record.val_correct = nn::correct_mask(val_logits, val.labels);
+  record.val_accuracy = nn::accuracy(val_logits, val.labels);
+  record.val_entropy = nn::row_normalized_entropy(val_logits);
+  const nn::Matrix test_logits = head.forward(test.features);
+  record.test_correct = nn::correct_mask(test_logits, test.labels);
+  record.test_entropy = nn::row_normalized_entropy(test_logits);
+  record.test_max_prob = nn::row_max_prob(test_logits);
+  return {std::move(head), std::move(record)};
+}
+}  // namespace
+
+ExitBank::ExitBank(const data::SyntheticTask& task,
+                   const supernet::NetworkCost& cost, double separability,
+                   const ExitBankConfig& config)
+    : total_layers_(cost.num_mbconv_layers()),
+      first_eligible_(ExitPlacement::kFirstEligible) {
+  if (total_layers_ < first_eligible_ + 2)
+    throw std::invalid_argument("ExitBank: backbone too shallow for exits");
+
+  hadas::util::Rng rng(config.seed);
+
+  // 1) Teacher: the backbone's final classifier at full depth, no KD.
+  TrainedHead teacher = train_head(task, total_layers_ - 1, 1.0, separability,
+                                   config, nullptr, rng);
+  final_ = std::move(teacher.record);
+  const nn::Matrix teacher_logits = teacher.model.forward(
+      task.features(data::Split::kTrain, 1.0, separability));
+
+  // 2) Every eligible exit position, shallow to deep, distilled from the
+  //    teacher per eq. (4). The backbone (feature generator) stays frozen.
+  //    Each tap's effective separability is scaled by its architecture
+  //    quality (channel richness / downsampling at the tap).
+  const std::size_t eligible = total_layers_ - 1 - first_eligible_;
+  exits_.reserve(eligible);
+  for (std::size_t i = 0; i < eligible; ++i) {
+    const std::size_t layer = first_eligible_ + i;
+    const double t = cost.depth_fraction(layer);
+    const double t_eff = effective_depth_fraction(t, cost.input_resolution);
+    const double tap_sep =
+        separability * tap_quality_multiplier(cost.mbconv_layer(layer), t);
+    exits_.push_back(
+        train_head(task, layer, t_eff, tap_sep, config, &teacher_logits, rng)
+            .record);
+  }
+}
+
+bool ExitBank::has_exit(std::size_t layer) const {
+  return layer >= first_eligible_ && layer < first_eligible_ + exits_.size();
+}
+
+const TrainedExit& ExitBank::exit_at(std::size_t layer) const {
+  if (!has_exit(layer)) throw std::out_of_range("ExitBank: ineligible layer");
+  return exits_[layer - first_eligible_];
+}
+
+std::vector<std::size_t> ExitBank::eligible_layers() const {
+  std::vector<std::size_t> out(exits_.size());
+  for (std::size_t i = 0; i < exits_.size(); ++i) out[i] = first_eligible_ + i;
+  return out;
+}
+
+double ExitBank::oracle_accuracy(
+    const std::vector<std::size_t>& exit_layers) const {
+  const std::size_t n = final_.val_correct.size();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    bool ok = final_.val_correct[s];
+    for (std::size_t layer : exit_layers)
+      if (!ok && exit_at(layer).val_correct[s]) ok = true;
+    correct += ok ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace hadas::dynn

@@ -1,0 +1,97 @@
+#include "dynn/exit_placement.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hadas::dynn {
+
+ExitPlacement::ExitPlacement(std::size_t total_layers)
+    : total_layers_(total_layers) {
+  const std::size_t eligible =
+      total_layers > kFirstEligible + 1 ? total_layers - 1 - kFirstEligible : 0;
+  mask_.assign(eligible, 0);
+}
+
+ExitPlacement::ExitPlacement(std::size_t total_layers,
+                             const std::vector<std::size_t>& exits)
+    : ExitPlacement(total_layers) {
+  for (std::size_t layer : exits) {
+    if (!is_eligible(layer))
+      throw std::invalid_argument("ExitPlacement: ineligible exit layer");
+    if (has_exit(layer))
+      throw std::invalid_argument("ExitPlacement: duplicate exit layer");
+    set_exit(layer, true);
+  }
+}
+
+std::size_t ExitPlacement::num_eligible() const { return mask_.size(); }
+
+bool ExitPlacement::is_eligible(std::size_t layer) const {
+  return layer >= kFirstEligible && layer < kFirstEligible + mask_.size();
+}
+
+bool ExitPlacement::has_exit(std::size_t layer) const {
+  return is_eligible(layer) && mask_[layer - kFirstEligible] != 0;
+}
+
+void ExitPlacement::set_exit(std::size_t layer, bool on) {
+  if (!is_eligible(layer))
+    throw std::invalid_argument("ExitPlacement: ineligible exit layer");
+  mask_[layer - kFirstEligible] = on ? 1 : 0;
+}
+
+std::size_t ExitPlacement::count() const {
+  std::size_t n = 0;
+  for (auto b : mask_) n += b;
+  return n;
+}
+
+std::vector<std::size_t> ExitPlacement::positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < mask_.size(); ++i)
+    if (mask_[i]) out.push_back(i + kFirstEligible);
+  return out;
+}
+
+ExitPlacement ExitPlacement::random(std::size_t total_layers,
+                                    hadas::util::Rng& rng) {
+  ExitPlacement p(total_layers);
+  if (p.num_eligible() == 0)
+    throw std::invalid_argument("ExitPlacement::random: no eligible position");
+  // Favor sparse placements (compact decision spaces): expected exit count
+  // grows sub-linearly with depth.
+  const double prob = 2.5 / static_cast<double>(p.num_eligible());
+  do {
+    for (auto& bit : p.mask_) bit = rng.bernoulli(prob) ? 1 : 0;
+  } while (p.count() == 0);
+  return p;
+}
+
+void ExitPlacement::mutate(double per_gene_prob, hadas::util::Rng& rng) {
+  if (mask_.empty()) return;
+  if (count() == 0) {  // repair an (invalid) empty placement
+    mask_[rng.uniform_index(mask_.size())] = 1;
+    return;
+  }
+  std::vector<std::uint8_t> original = mask_;
+  do {
+    mask_ = original;
+    for (auto& bit : mask_)
+      if (rng.bernoulli(per_gene_prob)) bit ^= 1;
+  } while (count() == 0);
+}
+
+std::string ExitPlacement::describe() const {
+  std::ostringstream oss;
+  oss << "x@[";
+  bool first = true;
+  for (std::size_t layer : positions()) {
+    if (!first) oss << ',';
+    first = false;
+    oss << layer;
+  }
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace hadas::dynn

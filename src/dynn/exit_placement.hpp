@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hadas::dynn {
+
+/// An early-exit placement over a backbone's MBConv layers — the X subspace
+/// of the paper: a binary indicator per eligible position (eq. I_i).
+///
+/// Positions are 0-based MBConv layer indices. Following Table II / Sec. V-A,
+/// exits are eligible from the 5th layer (index 4) up to the second-to-last
+/// layer (the last layer's classifier IS the backbone head, exit "M"), so a
+/// backbone with L = sum(l_i) layers has L - 5 eligible positions and
+/// nX in [1, L - 5].
+class ExitPlacement {
+ public:
+  /// First eligible MBConv layer index (0-based): the paper's "5th layer".
+  static constexpr std::size_t kFirstEligible = 4;
+
+  /// Empty placement (no exits) for a backbone with `total_layers` layers.
+  explicit ExitPlacement(std::size_t total_layers);
+
+  /// Placement with the given exit layer indices set. Throws if any index is
+  /// ineligible or duplicated.
+  ExitPlacement(std::size_t total_layers, const std::vector<std::size_t>& exits);
+
+  std::size_t total_layers() const { return total_layers_; }
+
+  /// Number of eligible positions (L - 5; 0 if the backbone is too shallow).
+  std::size_t num_eligible() const;
+
+  /// True if a layer index is an eligible exit position.
+  bool is_eligible(std::size_t layer) const;
+
+  /// Indicator I_i for a layer index (false for ineligible layers).
+  bool has_exit(std::size_t layer) const;
+
+  /// Set/clear the exit at a layer. Throws if ineligible.
+  void set_exit(std::size_t layer, bool on);
+
+  /// Number of sampled exits (nX).
+  std::size_t count() const;
+
+  /// Sorted list of exit layer indices.
+  std::vector<std::size_t> positions() const;
+
+  /// The raw indicator mask over eligible positions, index 0 = layer 4.
+  const std::vector<std::uint8_t>& mask() const { return mask_; }
+
+  /// Uniformly random placement with at least one exit. Throws if the
+  /// backbone has no eligible position.
+  static ExitPlacement random(std::size_t total_layers, hadas::util::Rng& rng);
+
+  /// Bit-flip mutation with per-gene probability; re-rolls until at least
+  /// one exit remains (the X space excludes the empty placement).
+  void mutate(double per_gene_prob, hadas::util::Rng& rng);
+
+  /// e.g. "x@[5,9,14]".
+  std::string describe() const;
+
+  bool operator==(const ExitPlacement&) const = default;
+
+ private:
+  std::size_t total_layers_;
+  std::vector<std::uint8_t> mask_;  // one entry per eligible position
+};
+
+}  // namespace hadas::dynn

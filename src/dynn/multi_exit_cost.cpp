@@ -1,0 +1,173 @@
+#include "dynn/multi_exit_cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadas::dynn {
+
+supernet::LayerCost exit_branch_cost(const supernet::LayerCost& tap_layer,
+                                     const ExitBranchSpec& spec) {
+  supernet::LayerCost lc;
+  lc.name = "exit_branch";
+  lc.kind = supernet::LayerKind::kHead;
+
+  const double tap_px =
+      static_cast<double>(tap_layer.out_size) * tap_layer.out_size;
+  const int pooled = std::min(spec.pool_size, tap_layer.out_size);
+  const double pool_px = static_cast<double>(pooled) * pooled;
+  const double c_in = tap_layer.out_channels;
+  const double c_mid = spec.conv_width;
+  const double k2 = static_cast<double>(spec.conv_kernel) * spec.conv_kernel;
+
+  // Adaptive average pool over the tap feature map.
+  double macs = tap_px * c_in;
+  // Conv kxk (+BN+activation) on the pooled grid.
+  macs += pool_px * k2 * c_in * c_mid;
+  // Global pool + classifier.
+  macs += pool_px * c_mid + c_mid * spec.num_classes;
+
+  double params = k2 * c_in * c_mid + 2.0 * c_mid +
+                  c_mid * spec.num_classes + spec.num_classes;
+
+  lc.macs = macs;
+  lc.params = params;
+  lc.traffic_bytes =
+      (tap_px * c_in + pool_px * c_in + pool_px * c_mid + spec.num_classes) * 4.0 +
+      params * 4.0;
+  lc.out_size = 1;
+  lc.out_channels = spec.num_classes;
+  return lc;
+}
+
+MultiExitCostTable::MultiExitCostTable(const supernet::NetworkCost& net,
+                                       const hw::HardwareEvaluator& evaluator,
+                                       ExitBranchSpec spec)
+    : net_(net), evaluator_(evaluator), spec_(spec) {
+  branch_costs_.reserve(net_.num_mbconv_layers());
+  for (std::size_t i = 0; i < net_.num_mbconv_layers(); ++i)
+    branch_costs_.push_back(exit_branch_cost(net_.mbconv_layer(i), spec_));
+}
+
+std::size_t MultiExitCostTable::setting_key(hw::DvfsSetting setting) const {
+  return setting.core_idx * 1024 + setting.emc_idx;
+}
+
+const MultiExitCostTable::SettingTable& MultiExitCostTable::table_for(
+    hw::DvfsSetting setting) const {
+  const std::size_t key = setting_key(setting);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second;
+
+  SettingTable table;
+  const std::size_t n = net_.num_mbconv_layers();
+  table.cum_compute_s.resize(n);
+  table.cum_memory_s.resize(n);
+  table.cum_rooftime_s.resize(n);
+
+  double cum_c = 0.0, cum_m = 0.0, cum_t = 0.0;
+  std::size_t mb = 0;
+  for (std::size_t l = 0; l < net_.layers.size(); ++l) {
+    const auto t = evaluator_.layer_times(net_.layers[l], setting);
+    cum_c += t.compute_s;
+    cum_m += t.memory_s;
+    cum_t += std::max(t.compute_s, t.memory_s);
+    if (net_.layers[l].kind == supernet::LayerKind::kMbConv) {
+      table.cum_compute_s[mb] = cum_c;
+      table.cum_memory_s[mb] = cum_m;
+      table.cum_rooftime_s[mb] = cum_t;
+      ++mb;
+    }
+  }
+  if (mb != n) throw std::logic_error("MultiExitCostTable: layer walk mismatch");
+  table.full_compute_s = cum_c;
+  table.full_memory_s = cum_m;
+  table.full_rooftime_s = cum_t;
+  table.full_layer_count = net_.layers.size();
+  return tables_.emplace(key, std::move(table)).first->second;
+}
+
+hw::HwMeasurement MultiExitCostTable::full_network(
+    hw::DvfsSetting setting) const {
+  const SettingTable& t = table_for(setting);
+  const auto& dev = evaluator_.device();
+  hw::LatencyBreakdown bd;
+  bd.compute_s = t.full_compute_s;
+  bd.memory_s = t.full_memory_s;
+  bd.launch_s = dev.layer_launch_s * static_cast<double>(t.full_layer_count);
+  bd.fixed_s = dev.fixed_overhead_s;
+  bd.total_s = t.full_rooftime_s + bd.launch_s + bd.fixed_s;
+  return evaluator_.from_breakdown(bd, setting);
+}
+
+hw::HwMeasurement MultiExitCostTable::exit_path(std::size_t layer,
+                                                hw::DvfsSetting setting) const {
+  if (layer >= net_.num_mbconv_layers())
+    throw std::out_of_range("MultiExitCostTable: exit layer out of range");
+  const SettingTable& t = table_for(setting);
+  const auto& dev = evaluator_.device();
+  const auto branch = evaluator_.layer_times(branch_costs_[layer], setting);
+
+  hw::LatencyBreakdown bd;
+  bd.compute_s = t.cum_compute_s[layer] + branch.compute_s;
+  bd.memory_s = t.cum_memory_s[layer] + branch.memory_s;
+  // stem + (layer + 1) MBConv layers + the exit branch.
+  bd.launch_s = dev.layer_launch_s * static_cast<double>(layer + 3);
+  bd.fixed_s = dev.fixed_overhead_s;
+  bd.total_s = t.cum_rooftime_s[layer] +
+               std::max(branch.compute_s, branch.memory_s) + bd.launch_s +
+               bd.fixed_s;
+  return evaluator_.from_breakdown(bd, setting);
+}
+
+hw::HwMeasurement MultiExitCostTable::cascade_path(
+    const std::vector<std::size_t>& visited, bool exited,
+    hw::DvfsSetting setting) const {
+  if (exited && visited.empty())
+    throw std::invalid_argument("cascade_path: exited with no visited exit");
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    if (visited[i] >= net_.num_mbconv_layers())
+      throw std::out_of_range("cascade_path: exit layer out of range");
+    if (i > 0 && visited[i] <= visited[i - 1])
+      throw std::invalid_argument("cascade_path: exits not ascending");
+  }
+
+  const SettingTable& t = table_for(setting);
+  const auto& dev = evaluator_.device();
+  hw::LatencyBreakdown bd;
+
+  // Backbone portion.
+  if (exited) {
+    const std::size_t stop = visited.back();
+    bd.compute_s = t.cum_compute_s[stop];
+    bd.memory_s = t.cum_memory_s[stop];
+    bd.total_s = t.cum_rooftime_s[stop];
+    // stem + (stop + 1) MBConv layers.
+    bd.launch_s = dev.layer_launch_s * static_cast<double>(stop + 2);
+  } else {
+    bd.compute_s = t.full_compute_s;
+    bd.memory_s = t.full_memory_s;
+    bd.total_s = t.full_rooftime_s;
+    bd.launch_s = dev.layer_launch_s * static_cast<double>(t.full_layer_count);
+  }
+
+  // Every visited exit branch is executed.
+  for (std::size_t layer : visited) {
+    const auto branch = evaluator_.layer_times(branch_costs_[layer], setting);
+    bd.compute_s += branch.compute_s;
+    bd.memory_s += branch.memory_s;
+    bd.total_s += std::max(branch.compute_s, branch.memory_s);
+    bd.launch_s += dev.layer_launch_s;
+  }
+
+  bd.fixed_s = dev.fixed_overhead_s;
+  bd.total_s += bd.launch_s + bd.fixed_s;
+  return evaluator_.from_breakdown(bd, setting);
+}
+
+double MultiExitCostTable::exit_branch_macs(std::size_t layer) const {
+  if (layer >= branch_costs_.size())
+    throw std::out_of_range("MultiExitCostTable: exit layer out of range");
+  return branch_costs_[layer].macs;
+}
+
+}  // namespace hadas::dynn

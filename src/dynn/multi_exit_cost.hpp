@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "dynn/exit_placement.hpp"
+#include "hw/evaluator.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace hadas::dynn {
+
+/// Structure of the fixed exit branch (Sec. IV-B1): a single computing block
+/// of conv + batch-norm + activation followed by a classifier. Features are
+/// pooled to a small grid before the conv so the branch stays compact at
+/// every depth — the "simple structure fixed across all positions".
+struct ExitBranchSpec {
+  int pool_size = 7;      ///< adaptive-pool target (pool_size x pool_size)
+  int conv_kernel = 3;
+  int conv_width = 128;   ///< output channels of the exit conv block
+  int num_classes = 100;
+};
+
+/// Cost record of an exit branch attached after a given backbone layer.
+supernet::LayerCost exit_branch_cost(const supernet::LayerCost& tap_layer,
+                                     const ExitBranchSpec& spec);
+
+/// Fast latency/energy for every (exit position, DVFS setting) pair of one
+/// backbone on one device.
+///
+/// Running "up to exit i" means: fixed overhead + stem + MBConv layers
+/// 0..i + the exit branch at i (no backbone head). Running the full static
+/// network is stem + all layers + head. Per-DVFS-setting cumulative time
+/// tables make each query O(1) after a one-time O(L) fill, which is what
+/// keeps the IOE's thousands of evaluations cheap.
+class MultiExitCostTable {
+ public:
+  MultiExitCostTable(const supernet::NetworkCost& net,
+                     const hw::HardwareEvaluator& evaluator,
+                     ExitBranchSpec spec = {});
+
+  const supernet::NetworkCost& network() const { return net_; }
+  const hw::HardwareEvaluator& evaluator() const { return evaluator_; }
+  const ExitBranchSpec& branch_spec() const { return spec_; }
+
+  /// Static full-network measurement at a setting.
+  hw::HwMeasurement full_network(hw::DvfsSetting setting) const;
+
+  /// Measurement of the dynamic path that exits after MBConv layer `layer`.
+  hw::HwMeasurement exit_path(std::size_t layer, hw::DvfsSetting setting) const;
+
+  /// MACs of the exit branch attached after `layer` (diagnostics).
+  double exit_branch_macs(std::size_t layer) const;
+
+  /// Measurement of a *cascade* execution: the sample runs through every
+  /// exit in `visited` (ascending layer order), paying each branch's cost.
+  /// If `exited` is true the sample stops at the last visited exit;
+  /// otherwise it continues through the full backbone and its head. This is
+  /// what a real (non-oracle) runtime controller pays.
+  hw::HwMeasurement cascade_path(const std::vector<std::size_t>& visited,
+                                 bool exited, hw::DvfsSetting setting) const;
+
+ private:
+  struct SettingTable {
+    // Cumulative over [stem, mbconv_0 .. mbconv_i]; index i = MBConv layer i.
+    std::vector<double> cum_compute_s;
+    std::vector<double> cum_memory_s;
+    std::vector<double> cum_rooftime_s;  // sum of per-layer max(c, m)
+    double full_compute_s = 0.0;         // incl. head
+    double full_memory_s = 0.0;
+    double full_rooftime_s = 0.0;
+    std::size_t full_layer_count = 0;
+  };
+
+  const SettingTable& table_for(hw::DvfsSetting setting) const;
+  std::size_t setting_key(hw::DvfsSetting setting) const;
+
+  supernet::NetworkCost net_;
+  const hw::HardwareEvaluator& evaluator_;
+  ExitBranchSpec spec_;
+  std::vector<supernet::LayerCost> branch_costs_;  // one per MBConv layer
+  mutable std::unordered_map<std::size_t, SettingTable> tables_;
+};
+
+}  // namespace hadas::dynn

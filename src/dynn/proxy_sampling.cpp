@@ -1,0 +1,50 @@
+#include "dynn/proxy_sampling.hpp"
+
+#include "dynn/multi_exit_cost.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::dynn {
+
+std::vector<hw::ProxyModel::Sample> collect_proxy_samples(
+    const hw::HardwareEvaluator& evaluator,
+    const std::vector<supernet::NetworkCost>& networks,
+    std::size_t per_network, std::uint64_t seed) {
+  hadas::util::Rng rng(seed);
+  const hw::DeviceSpec& device = evaluator.device();
+  std::vector<hw::ProxyModel::Sample> samples;
+  samples.reserve(networks.size() * per_network);
+
+  for (const auto& net : networks) {
+    const MultiExitCostTable table(net, evaluator);
+    for (std::size_t k = 0; k < per_network; ++k) {
+      const hw::DvfsSetting setting{
+          rng.uniform_index(device.core_freqs_hz.size()),
+          rng.uniform_index(device.emc_freqs_hz.size())};
+      hw::ProxyModel::Sample sample;
+      sample.setting = setting;
+      if (rng.bernoulli(0.4)) {
+        // Full static network.
+        sample.macs = net.total_macs;
+        sample.traffic_bytes = net.total_traffic_bytes;
+        sample.layer_count = static_cast<double>(net.layers.size());
+        sample.measured = table.full_network(setting);
+      } else {
+        // An exit path at a random eligible layer.
+        const std::size_t eligible_lo = ExitPlacement::kFirstEligible;
+        const std::size_t eligible_hi = net.num_mbconv_layers() - 2;
+        const std::size_t layer =
+            eligible_lo + rng.uniform_index(eligible_hi - eligible_lo + 1);
+        const auto branch = exit_branch_cost(net.mbconv_layer(layer), {});
+        sample.macs = net.macs_through_layer(layer) + branch.macs;
+        sample.traffic_bytes =
+            net.traffic_through_layer(layer) + branch.traffic_bytes;
+        sample.layer_count = static_cast<double>(layer + 3);
+        sample.measured = table.exit_path(layer, setting);
+      }
+      samples.push_back(sample);
+    }
+  }
+  return samples;
+}
+
+}  // namespace hadas::dynn

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/proxy.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace hadas::dynn {
+
+/// Collect proxy training samples by measuring full networks and random
+/// exit paths of the given backbones at random DVFS settings — the data a
+/// HW-in-the-loop setup would log while profiling, used to train the
+/// hw::ProxyModel that replaces it.
+std::vector<hw::ProxyModel::Sample> collect_proxy_samples(
+    const hw::HardwareEvaluator& evaluator,
+    const std::vector<supernet::NetworkCost>& networks,
+    std::size_t per_network, std::uint64_t seed);
+
+}  // namespace hadas::dynn

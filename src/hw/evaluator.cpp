@@ -1,0 +1,85 @@
+#include "hw/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadas::hw {
+
+LatencyBreakdown HardwareEvaluator::latency_breakdown(
+    const std::vector<supernet::LayerCost>& layers, DvfsSetting setting) const {
+  if (setting.core_idx >= device_.core_freqs_hz.size() ||
+      setting.emc_idx >= device_.emc_freqs_hz.size())
+    throw std::out_of_range("HardwareEvaluator: DVFS index out of range");
+
+  const double f_core = device_.core_freqs_hz[setting.core_idx];
+  const double f_emc = device_.emc_freqs_hz[setting.emc_idx];
+  const double compute_rate =
+      device_.peak_macs_per_s(f_core) * device_.compute_efficiency;
+  const double mem_rate =
+      device_.bandwidth_bytes_per_s(f_emc) * device_.mem_efficiency;
+
+  LatencyBreakdown bd;
+  for (const auto& layer : layers) {
+    const double t_compute = layer.macs / compute_rate;
+    const double t_mem = layer.traffic_bytes / mem_rate;
+    bd.compute_s += t_compute;
+    bd.memory_s += t_mem;
+    bd.launch_s += device_.layer_launch_s;
+    bd.total_s += std::max(t_compute, t_mem) + device_.layer_launch_s;
+  }
+  bd.fixed_s = device_.fixed_overhead_s;
+  bd.total_s += bd.fixed_s;
+  return bd;
+}
+
+HwMeasurement HardwareEvaluator::from_breakdown(const LatencyBreakdown& bd,
+                                                DvfsSetting setting) const {
+  if (setting.core_idx >= device_.core_freqs_hz.size() ||
+      setting.emc_idx >= device_.emc_freqs_hz.size())
+    throw std::out_of_range("HardwareEvaluator: DVFS index out of range");
+
+  const double f_core = device_.core_freqs_hz[setting.core_idx];
+  const double f_emc = device_.emc_freqs_hz[setting.emc_idx];
+  const double v_core = device_.core_voltage(f_core);
+  const double v_emc = device_.emc_voltage(f_emc);
+
+  const double p_core_dyn = device_.core_c_eff * v_core * v_core * f_core;
+  const double p_emc_dyn = device_.emc_c_eff * v_emc * v_emc * f_emc;
+  const double p_static = device_.base_power_w +
+                          device_.core_leak_w_per_v * v_core +
+                          device_.emc_leak_w_per_v * v_emc;
+
+  HwMeasurement m;
+  m.latency_s = bd.total_s;
+  m.energy_j = bd.total_s * p_static + bd.compute_s * p_core_dyn +
+               bd.memory_s * p_emc_dyn;
+  m.avg_power_w = m.latency_s > 0.0 ? m.energy_j / m.latency_s : 0.0;
+  return m;
+}
+
+HardwareEvaluator::LayerTimes HardwareEvaluator::layer_times(
+    const supernet::LayerCost& layer, DvfsSetting setting) const {
+  if (setting.core_idx >= device_.core_freqs_hz.size() ||
+      setting.emc_idx >= device_.emc_freqs_hz.size())
+    throw std::out_of_range("HardwareEvaluator: DVFS index out of range");
+  const double f_core = device_.core_freqs_hz[setting.core_idx];
+  const double f_emc = device_.emc_freqs_hz[setting.emc_idx];
+  LayerTimes t;
+  t.compute_s =
+      layer.macs / (device_.peak_macs_per_s(f_core) * device_.compute_efficiency);
+  t.memory_s = layer.traffic_bytes /
+               (device_.bandwidth_bytes_per_s(f_emc) * device_.mem_efficiency);
+  return t;
+}
+
+HwMeasurement HardwareEvaluator::measure_layers(
+    const std::vector<supernet::LayerCost>& layers, DvfsSetting setting) const {
+  return from_breakdown(latency_breakdown(layers, setting), setting);
+}
+
+HwMeasurement HardwareEvaluator::measure_network(
+    const supernet::NetworkCost& net, DvfsSetting setting) const {
+  return measure_layers(net.layers, setting);
+}
+
+}  // namespace hadas::hw

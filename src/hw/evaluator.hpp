@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/device.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace hadas::hw {
+
+/// One measurement as a HW-in-the-loop setup would return it.
+struct HwMeasurement {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;  ///< energy / latency
+};
+
+/// Breakdown of where the time went (diagnostics and tests).
+struct LatencyBreakdown {
+  double compute_s = 0.0;   ///< sum over layers of compute-unit busy time
+  double memory_s = 0.0;    ///< sum over layers of DRAM busy time
+  double launch_s = 0.0;    ///< per-layer dispatch overhead
+  double fixed_s = 0.0;     ///< per-inference fixed overhead
+  double total_s = 0.0;     ///< roofline total (per-layer max + overheads)
+};
+
+/// Analytic stand-in for the paper's HW-in-the-loop latency/energy
+/// measurements.
+///
+/// Latency: per-layer roofline — each layer takes
+///   max(macs / (peak(f_core) * eff), traffic / (bw(f_emc) * eff_mem))
+/// plus a dispatch overhead, plus a fixed per-inference overhead.
+///
+/// Energy: E = T_total * P_static(V) + T_compute * P_core_dyn(V, f)
+///           + T_memory * P_emc_dyn(V_m, f_m),
+/// with P_dyn = C_eff * V^2 * f (CMOS switching power) and voltage tied to
+/// frequency through the device's V-f map. This reproduces the qualitative
+/// DVFS landscape: energy is U-shaped in frequency (race-to-idle vs. V^2*f),
+/// and the optimal point shifts with the workload's compute/memory balance —
+/// the structure the F subspace search exploits.
+class HardwareEvaluator {
+ public:
+  explicit HardwareEvaluator(DeviceSpec device) : device_(std::move(device)) {}
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Latency/energy of executing the given layer sequence at a DVFS setting.
+  HwMeasurement measure_layers(const std::vector<supernet::LayerCost>& layers,
+                               DvfsSetting setting) const;
+
+  /// Latency/energy of a whole backbone (static inference, all layers).
+  HwMeasurement measure_network(const supernet::NetworkCost& net,
+                                DvfsSetting setting) const;
+
+  /// Latency breakdown for the layer sequence (no energy).
+  LatencyBreakdown latency_breakdown(
+      const std::vector<supernet::LayerCost>& layers, DvfsSetting setting) const;
+
+  /// Convert a (possibly externally composed) latency breakdown into a
+  /// measurement using this device's power model at the given setting. Used
+  /// by the multi-exit machinery, which assembles prefix+exit breakdowns
+  /// from precomputed cumulative sums instead of re-walking layer lists.
+  HwMeasurement from_breakdown(const LatencyBreakdown& breakdown,
+                               DvfsSetting setting) const;
+
+  /// Per-layer compute and memory busy times at a setting (roofline inputs).
+  struct LayerTimes {
+    double compute_s = 0.0;
+    double memory_s = 0.0;
+  };
+  LayerTimes layer_times(const supernet::LayerCost& layer,
+                         DvfsSetting setting) const;
+
+ private:
+  DeviceSpec device_;
+};
+
+}  // namespace hadas::hw

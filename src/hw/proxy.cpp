@@ -1,0 +1,85 @@
+#include "hw/proxy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+
+namespace hadas::hw {
+
+std::vector<double> ProxyModel::features(const DeviceSpec& device, double macs,
+                                         double traffic_bytes,
+                                         double layer_count,
+                                         DvfsSetting setting) {
+  if (setting.core_idx >= device.core_freqs_hz.size() ||
+      setting.emc_idx >= device.emc_freqs_hz.size())
+    throw std::out_of_range("ProxyModel: DVFS index out of range");
+  const double f_core = device.core_freqs_hz[setting.core_idx];
+  const double f_emc = device.emc_freqs_hz[setting.emc_idx];
+  const double v_core = device.core_voltage(f_core);
+  const double v_emc = device.emc_voltage(f_emc);
+
+  // The analytic model is (nearly) linear in these descriptors:
+  //   latency ~ macs/f_core, traffic/f_emc, layer_count, 1
+  //   energy  ~ V_c^2 * macs, V_m^2 * traffic, and latency-like terms
+  //             (static power x time).
+  // All features are kept at O(0.01..10) magnitude so one ridge strength
+  // fits every coordinate.
+  const double t_compute = macs / f_core;         // O(0.1..10) "cycle seconds"
+  const double t_memory = traffic_bytes / f_emc;  // O(0.01..1)
+  const double t_dispatch = layer_count * 1e-3;   // O(0.01..0.05)
+  return {
+      1.0,
+      t_compute,
+      t_memory,
+      t_dispatch,
+      v_core * v_core * macs * 1e-9,          // core switching energy scale
+      v_emc * v_emc * traffic_bytes * 1e-9,   // memory switching energy scale
+      (v_core + v_emc) * t_compute,           // leakage x compute time
+      (v_core + v_emc) * t_memory,            // leakage x memory time
+      (v_core + v_emc) * t_dispatch,          // leakage x dispatch time
+      v_core,
+      v_emc,
+  };
+}
+
+ProxyModel::ProxyModel(DeviceSpec device, std::vector<double> latency_w,
+                       std::vector<double> energy_w)
+    : device_(std::move(device)),
+      latency_weights_(std::move(latency_w)),
+      energy_weights_(std::move(energy_w)) {}
+
+ProxyModel ProxyModel::fit(const DeviceSpec& device,
+                           const std::vector<Sample>& samples, double lambda) {
+  if (samples.size() < 12)
+    throw std::invalid_argument("ProxyModel::fit: too few samples");
+  std::vector<std::vector<double>> x;
+  std::vector<double> y_latency, y_energy;
+  x.reserve(samples.size());
+  for (const auto& sample : samples) {
+    x.push_back(features(device, sample.macs, sample.traffic_bytes,
+                         sample.layer_count, sample.setting));
+    y_latency.push_back(sample.measured.latency_s);
+    y_energy.push_back(sample.measured.energy_j);
+  }
+  return ProxyModel(device, hadas::util::ridge_regression(x, y_latency, lambda),
+                    hadas::util::ridge_regression(x, y_energy, lambda));
+}
+
+HwMeasurement ProxyModel::predict(double macs, double traffic_bytes,
+                                  double layer_count,
+                                  DvfsSetting setting) const {
+  const auto phi =
+      features(device_, macs, traffic_bytes, layer_count, setting);
+  HwMeasurement m;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    m.latency_s += latency_weights_[i] * phi[i];
+    m.energy_j += energy_weights_[i] * phi[i];
+  }
+  m.latency_s = std::max(m.latency_s, 1e-6);
+  m.energy_j = std::max(m.energy_j, 1e-6);
+  m.avg_power_w = m.energy_j / m.latency_s;
+  return m;
+}
+
+}  // namespace hadas::hw

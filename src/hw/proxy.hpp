@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/evaluator.hpp"
+
+namespace hadas::hw {
+
+/// A learned latency/energy proxy, standing in for the paper's suggestion
+/// that "HADAS's search overhead can be reduced to 1 GPU day if a proxy
+/// model replaced the HW-in-the-loop setup" (Sec. V-A).
+///
+/// The proxy is a ridge regression from cheap analytic workload descriptors
+/// (MACs, memory traffic, layer count, DVFS frequencies/voltages) to the
+/// measured latency and energy of full execution paths. Training samples
+/// come from the HW-in-the-loop evaluator; at search time the proxy answers
+/// in nanoseconds without touching the device.
+class ProxyModel {
+ public:
+  /// One training/evaluation sample: an executed path and its measurement.
+  struct Sample {
+    double macs = 0.0;
+    double traffic_bytes = 0.0;
+    double layer_count = 0.0;
+    DvfsSetting setting;
+    HwMeasurement measured;  ///< ground truth from the device
+  };
+
+  /// Fit on measured samples against the given device (the device spec
+  /// provides frequencies/voltages for the feature map). `lambda` is the
+  /// ridge strength.
+  static ProxyModel fit(const DeviceSpec& device,
+                        const std::vector<Sample>& samples,
+                        double lambda = 1e-6);
+
+  /// Predicted measurement for a workload at a setting.
+  HwMeasurement predict(double macs, double traffic_bytes, double layer_count,
+                        DvfsSetting setting) const;
+
+  /// Feature map used by the proxy (exposed for tests/benches).
+  static std::vector<double> features(const DeviceSpec& device, double macs,
+                                      double traffic_bytes, double layer_count,
+                                      DvfsSetting setting);
+
+  const DeviceSpec& device() const { return device_; }
+
+ private:
+  ProxyModel(DeviceSpec device, std::vector<double> latency_w,
+             std::vector<double> energy_w);
+
+  DeviceSpec device_;
+  std::vector<double> latency_weights_;
+  std::vector<double> energy_weights_;
+};
+
+}  // namespace hadas::hw

@@ -1,0 +1,38 @@
+#include "hw/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::hw {
+
+ThermalModel::ThermalModel(ThermalConfig config)
+    : config_(config), temperature_c_(config.ambient_c) {
+  if (config_.resume_temp_c > config_.throttle_temp_c)
+    throw std::invalid_argument("ThermalModel: resume above throttle point");
+  if (config_.time_constant_s <= 0.0)
+    throw std::invalid_argument("ThermalModel: non-positive time constant");
+}
+
+double ThermalModel::steady_state_c(double power_w) const {
+  return config_.ambient_c + config_.thermal_resistance_c_per_w * power_w;
+}
+
+void ThermalModel::step(double power_w, double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("ThermalModel: negative dt");
+  if (power_w < 0.0) throw std::invalid_argument("ThermalModel: negative power");
+  const double target = steady_state_c(power_w);
+  const double alpha = std::exp(-dt_s / config_.time_constant_s);
+  temperature_c_ = target + (temperature_c_ - target) * alpha;
+
+  if (temperature_c_ >= config_.throttle_temp_c)
+    throttled_ = true;
+  else if (temperature_c_ <= config_.resume_temp_c)
+    throttled_ = false;
+}
+
+void ThermalModel::reset() {
+  temperature_c_ = config_.ambient_c;
+  throttled_ = false;
+}
+
+}  // namespace hadas::hw

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+namespace hadas::hw {
+
+/// First-order RC thermal model with throttling hysteresis.
+struct ThermalConfig {
+  double ambient_c = 25.0;
+  /// Junction temperature that trips throttling.
+  double throttle_temp_c = 85.0;
+  /// Temperature below which full speed resumes (hysteresis band).
+  double resume_temp_c = 78.0;
+  /// Steady-state degrees above ambient per watt (theta_ja).
+  double thermal_resistance_c_per_w = 4.5;
+  /// RC time constant of the package+heatsink in seconds.
+  double time_constant_s = 25.0;
+  /// Core-frequency index cap applied while throttled.
+  std::size_t throttled_core_idx = 3;
+};
+
+/// Junction-temperature dynamics of an edge SoC under a power trace:
+///   dT/dt = (ambient + R_th * P - T) / tau
+/// with hysteretic throttling. Sustained streams at the maximum DVFS point
+/// heat the package until the governor caps the clock — which is why the
+/// energy-optimal operating points HADAS finds (lower V^2 f) also sustain
+/// higher long-run throughput; see examples/sustained_stream.cpp.
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config);
+
+  const ThermalConfig& config() const { return config_; }
+  double temperature_c() const { return temperature_c_; }
+  bool throttled() const { return throttled_; }
+
+  /// Advance the model by `dt_s` seconds at dissipated power `power_w`.
+  /// Updates the throttle state with hysteresis. dt may be any positive
+  /// duration; the exact exponential solution is used (no Euler drift).
+  void step(double power_w, double dt_s);
+
+  /// Steady-state temperature at a constant power.
+  double steady_state_c(double power_w) const;
+
+  /// Back to ambient, not throttled.
+  void reset();
+
+ private:
+  ThermalConfig config_;
+  double temperature_c_;
+  bool throttled_ = false;
+};
+
+}  // namespace hadas::hw

@@ -1,0 +1,154 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::nn {
+
+Matrix log_softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.row_ptr(r);
+    float* o = out.row_ptr(r);
+    float mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      total += std::exp(static_cast<double>(in[c] - mx));
+    const float lse = mx + static_cast<float>(std::log(total));
+    for (std::size_t c = 0; c < logits.cols(); ++c) o[c] = in[c] - lse;
+  }
+  return out;
+}
+
+Matrix softmax(const Matrix& logits, double temperature) {
+  if (temperature <= 0.0) throw std::invalid_argument("softmax: temperature <= 0");
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.row_ptr(r);
+    float* o = out.row_ptr(r);
+    double mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c)
+      mx = std::max(mx, static_cast<double>(in[c]));
+    double total = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double e = std::exp((in[c] - mx) / temperature);
+      o[c] = static_cast<float>(e);
+      total += e;
+    }
+    const auto inv = static_cast<float>(1.0 / total);
+    for (std::size_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+LossResult nll_loss(const Matrix& logits, const std::vector<std::int32_t>& labels) {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("nll_loss: label count mismatch");
+  const Matrix lsm = log_softmax(logits);
+  LossResult res;
+  res.dlogits = Matrix(logits.rows(), logits.cols());
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    if (label >= logits.cols()) throw std::invalid_argument("nll_loss: bad label");
+    loss -= lsm.at(r, label);
+    const float* l = lsm.row_ptr(r);
+    float* g = res.dlogits.row_ptr(r);
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      g[c] = static_cast<float>(std::exp(static_cast<double>(l[c])) * inv_n);
+    g[label] -= static_cast<float>(inv_n);
+  }
+  res.loss = loss * inv_n;
+  return res;
+}
+
+LossResult kd_loss(const Matrix& student_logits, const Matrix& teacher_logits,
+                   double temperature) {
+  if (student_logits.rows() != teacher_logits.rows() ||
+      student_logits.cols() != teacher_logits.cols())
+    throw std::invalid_argument("kd_loss: shape mismatch");
+  if (temperature <= 0.0) throw std::invalid_argument("kd_loss: temperature <= 0");
+
+  const Matrix p_teacher = softmax(teacher_logits, temperature);
+  // log-softmax of student at temperature T.
+  Matrix scaled = student_logits;
+  scaled.scale(static_cast<float>(1.0 / temperature));
+  const Matrix log_q = log_softmax(scaled);
+  const Matrix q = softmax(student_logits, temperature);
+
+  LossResult res;
+  res.dlogits = Matrix(student_logits.rows(), student_logits.cols());
+  const double inv_n = 1.0 / static_cast<double>(student_logits.rows());
+  const double t2 = temperature * temperature;
+  double loss = 0.0;
+  for (std::size_t r = 0; r < student_logits.rows(); ++r) {
+    const float* p = p_teacher.row_ptr(r);
+    const float* lq = log_q.row_ptr(r);
+    const float* qr = q.row_ptr(r);
+    float* g = res.dlogits.row_ptr(r);
+    for (std::size_t c = 0; c < student_logits.cols(); ++c) {
+      if (p[c] > 0.0f)
+        loss += static_cast<double>(p[c]) *
+                (std::log(static_cast<double>(p[c])) - static_cast<double>(lq[c]));
+      // d/d(student_logit) of KL * T^2 = (q - p) * T  (the 1/T of the softened
+      // softmax cancels one factor of T^2).
+      g[c] = static_cast<float>((qr[c] - p[c]) * temperature * inv_n);
+    }
+  }
+  res.loss = loss * t2 * inv_n;
+  return res;
+}
+
+double accuracy(const Matrix& logits, const std::vector<std::int32_t>& labels) {
+  const auto mask = correct_mask(logits, labels);
+  if (mask.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (bool b : mask) correct += b ? 1 : 0;
+  return static_cast<double>(correct) / static_cast<double>(mask.size());
+}
+
+std::vector<bool> correct_mask(const Matrix& logits,
+                               const std::vector<std::int32_t>& labels) {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("correct_mask: label count mismatch");
+  std::vector<bool> mask(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row_ptr(r);
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c)
+      if (row[c] > row[arg]) arg = c;
+    mask[r] = (arg == static_cast<std::size_t>(labels[r]));
+  }
+  return mask;
+}
+
+std::vector<double> row_normalized_entropy(const Matrix& logits) {
+  const Matrix p = softmax(logits);
+  std::vector<double> out(logits.rows());
+  const double log_n = std::log(static_cast<double>(std::max<std::size_t>(logits.cols(), 2)));
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = p.row_ptr(r);
+    double h = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      if (row[c] > 0.0f) h -= static_cast<double>(row[c]) * std::log(static_cast<double>(row[c]));
+    out[r] = h / log_n;
+  }
+  return out;
+}
+
+std::vector<double> row_max_prob(const Matrix& logits) {
+  const Matrix p = softmax(logits);
+  std::vector<double> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = p.row_ptr(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, row[c]);
+    out[r] = static_cast<double>(mx);
+  }
+  return out;
+}
+
+}  // namespace hadas::nn

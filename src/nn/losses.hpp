@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace hadas::nn {
+
+/// Result of a loss evaluation: scalar mean loss plus the gradient with
+/// respect to the logits (already averaged over the batch).
+struct LossResult {
+  double loss = 0.0;
+  Matrix dlogits;  // same shape as the logits
+};
+
+/// Row-wise log-softmax (numerically stable).
+Matrix log_softmax(const Matrix& logits);
+
+/// Row-wise softmax with a temperature.
+Matrix softmax(const Matrix& logits, double temperature = 1.0);
+
+/// Mean negative log-likelihood of the true labels under softmax(logits) —
+/// the L_NLL term of HADAS eq. (4). `labels[i]` is the class of row i.
+LossResult nll_loss(const Matrix& logits, const std::vector<std::int32_t>& labels);
+
+/// Temperature-scaled knowledge-distillation loss — the L_KD term of HADAS
+/// eq. (4): KL(softmax(teacher/T) || softmax(student/T)) * T^2, averaged over
+/// the batch. The gradient is w.r.t. the *student* logits only (the teacher —
+/// the backbone's final classifier — is frozen in HADAS).
+LossResult kd_loss(const Matrix& student_logits, const Matrix& teacher_logits,
+                   double temperature);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Matrix& logits, const std::vector<std::int32_t>& labels);
+
+/// Per-row correctness mask (1 = argmax matches label).
+std::vector<bool> correct_mask(const Matrix& logits,
+                               const std::vector<std::int32_t>& labels);
+
+/// Per-row normalized entropy of softmax(logits), in [0,1]. Used by the
+/// entropy-based runtime controller.
+std::vector<double> row_normalized_entropy(const Matrix& logits);
+
+/// Per-row max softmax probability. Used by the confidence controller.
+std::vector<double> row_max_prob(const Matrix& logits);
+
+}  // namespace hadas::nn

@@ -1,0 +1,75 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::nn {
+
+void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+void Matrix::axpy(float s, const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: shape mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row_ptr(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row_ptr(k);
+    const float* brow = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace hadas::nn

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hadas::nn {
+
+/// Dense row-major matrix of floats. This is the only tensor type the exit
+/// training engine needs: batches of feature vectors and weight matrices.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Set every element to `v`.
+  void fill(float v);
+
+  /// Elementwise in-place scale.
+  void scale(float s);
+
+  /// this += s * other (same shape required).
+  void axpy(float s, const Matrix& other);
+
+  /// C = A * B. Throws on shape mismatch.
+  static Matrix matmul(const Matrix& a, const Matrix& b);
+
+  /// C = A * B^T (common case: activations x weight-rows).
+  static Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+  /// C = A^T * B (gradient accumulation case).
+  static Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace hadas::nn

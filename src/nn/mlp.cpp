@@ -1,0 +1,154 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::nn {
+
+namespace {
+Matrix he_init(std::size_t rows, std::size_t cols, hadas::util::Rng& rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(2.0 / static_cast<double>(cols));
+  for (auto& v : m.data()) v = static_cast<float>(rng.normal(0.0, scale));
+  return m;
+}
+
+void add_bias(Matrix& y, const Matrix& b) {
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.row_ptr(r);
+    const float* bias = b.row_ptr(0);
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void momentum_step(Matrix& param, Matrix& grad, Matrix& mom, double lr,
+                   double momentum, double weight_decay) {
+  auto& p = param.data();
+  auto& g = grad.data();
+  auto& m = mom.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float total_grad = g[i] + static_cast<float>(weight_decay) * p[i];
+    m[i] = static_cast<float>(momentum) * m[i] + total_grad;
+    p[i] -= static_cast<float>(lr) * m[i];
+    g[i] = 0.0f;
+  }
+}
+}  // namespace
+
+MlpClassifier::MlpClassifier(std::size_t in_dim, std::size_t hidden_dim,
+                             std::size_t num_classes, hadas::util::Rng& rng)
+    : in_dim_(in_dim), hidden_dim_(hidden_dim), num_classes_(num_classes) {
+  if (in_dim == 0 || num_classes == 0)
+    throw std::invalid_argument("MlpClassifier: zero dimension");
+  if (hidden_dim_ > 0) {
+    w1_ = he_init(hidden_dim_, in_dim_, rng);
+    b1_ = Matrix(1, hidden_dim_);
+    gw1_ = Matrix(hidden_dim_, in_dim_);
+    gb1_ = Matrix(1, hidden_dim_);
+    mw1_ = Matrix(hidden_dim_, in_dim_);
+    mb1_ = Matrix(1, hidden_dim_);
+  }
+  const std::size_t feat = hidden_dim_ > 0 ? hidden_dim_ : in_dim_;
+  w2_ = he_init(num_classes_, feat, rng);
+  b2_ = Matrix(1, num_classes_);
+  gw2_ = Matrix(num_classes_, feat);
+  gb2_ = Matrix(1, num_classes_);
+  mw2_ = Matrix(num_classes_, feat);
+  mb2_ = Matrix(1, num_classes_);
+}
+
+std::size_t MlpClassifier::parameter_count() const {
+  std::size_t n = w2_.size() + b2_.size();
+  if (hidden_dim_ > 0) n += w1_.size() + b1_.size();
+  return n;
+}
+
+Matrix MlpClassifier::forward(const Matrix& x) const {
+  if (x.cols() != in_dim_) throw std::invalid_argument("MlpClassifier: input dim");
+  if (hidden_dim_ == 0) {
+    Matrix logits = Matrix::matmul_nt(x, w2_);
+    add_bias(logits, b2_);
+    return logits;
+  }
+  Matrix h = Matrix::matmul_nt(x, w1_);
+  add_bias(h, b1_);
+  for (auto& v : h.data()) v = v > 0.0f ? v : 0.0f;
+  Matrix logits = Matrix::matmul_nt(h, w2_);
+  add_bias(logits, b2_);
+  return logits;
+}
+
+Matrix MlpClassifier::forward_cached(const Matrix& x) {
+  if (x.cols() != in_dim_) throw std::invalid_argument("MlpClassifier: input dim");
+  cache_x_ = x;
+  if (hidden_dim_ == 0) {
+    has_cache_ = true;
+    Matrix logits = Matrix::matmul_nt(x, w2_);
+    add_bias(logits, b2_);
+    return logits;
+  }
+  Matrix h = Matrix::matmul_nt(x, w1_);
+  add_bias(h, b1_);
+  for (auto& v : h.data()) v = v > 0.0f ? v : 0.0f;
+  cache_h_ = h;
+  has_cache_ = true;
+  Matrix logits = Matrix::matmul_nt(h, w2_);
+  add_bias(logits, b2_);
+  return logits;
+}
+
+void MlpClassifier::backward(const Matrix& dlogits) {
+  if (!has_cache_) throw std::logic_error("MlpClassifier: backward before forward");
+  const Matrix& feat = hidden_dim_ > 0 ? cache_h_ : cache_x_;
+  // dW2 += dlogits^T * feat ; db2 += column sums of dlogits.
+  gw2_.axpy(1.0f, Matrix::matmul_tn(dlogits, feat));
+  for (std::size_t r = 0; r < dlogits.rows(); ++r) {
+    const float* row = dlogits.row_ptr(r);
+    float* g = gb2_.row_ptr(0);
+    for (std::size_t c = 0; c < dlogits.cols(); ++c) g[c] += row[c];
+  }
+  if (hidden_dim_ == 0) {
+    has_cache_ = false;
+    return;
+  }
+  // dh = dlogits * W2, masked by ReLU.
+  Matrix dh = Matrix::matmul(dlogits, w2_);
+  for (std::size_t i = 0; i < dh.data().size(); ++i)
+    if (cache_h_.data()[i] <= 0.0f) dh.data()[i] = 0.0f;
+  gw1_.axpy(1.0f, Matrix::matmul_tn(dh, cache_x_));
+  for (std::size_t r = 0; r < dh.rows(); ++r) {
+    const float* row = dh.row_ptr(r);
+    float* g = gb1_.row_ptr(0);
+    for (std::size_t c = 0; c < dh.cols(); ++c) g[c] += row[c];
+  }
+  has_cache_ = false;
+}
+
+void MlpClassifier::sgd_step(double lr, double momentum, double weight_decay) {
+  if (hidden_dim_ > 0) {
+    momentum_step(w1_, gw1_, mw1_, lr, momentum, weight_decay);
+    momentum_step(b1_, gb1_, mb1_, lr, momentum, 0.0);
+  }
+  momentum_step(w2_, gw2_, mw2_, lr, momentum, weight_decay);
+  momentum_step(b2_, gb2_, mb2_, lr, momentum, 0.0);
+}
+
+void MlpClassifier::zero_grad() {
+  if (hidden_dim_ > 0) {
+    gw1_.fill(0.0f);
+    gb1_.fill(0.0f);
+  }
+  gw2_.fill(0.0f);
+  gb2_.fill(0.0f);
+}
+
+double MlpClassifier::grad_norm() const {
+  double acc = gw2_.frobenius_norm() * gw2_.frobenius_norm() +
+               gb2_.frobenius_norm() * gb2_.frobenius_norm();
+  if (hidden_dim_ > 0)
+    acc += gw1_.frobenius_norm() * gw1_.frobenius_norm() +
+           gb1_.frobenius_norm() * gb1_.frobenius_norm();
+  return std::sqrt(acc);
+}
+
+}  // namespace hadas::nn

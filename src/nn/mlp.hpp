@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::nn {
+
+/// One-hidden-layer MLP classifier with ReLU, or a plain linear classifier
+/// when hidden_dim == 0. This is the functional analog of a HADAS exit head
+/// (conv + BN + activation block followed by a classifier) operating on the
+/// backbone's intermediate feature vector.
+class MlpClassifier {
+ public:
+  /// He-initialized weights drawn from `rng`.
+  MlpClassifier(std::size_t in_dim, std::size_t hidden_dim,
+                std::size_t num_classes, hadas::util::Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Number of trainable parameters.
+  std::size_t parameter_count() const;
+
+  /// Forward pass: rows of `x` are samples. Returns logits.
+  Matrix forward(const Matrix& x) const;
+
+  /// Forward pass that caches activations for a subsequent backward().
+  Matrix forward_cached(const Matrix& x);
+
+  /// Backward from dlogits (as produced by the loss functions, already
+  /// batch-averaged); accumulates parameter gradients internally.
+  /// Must follow a forward_cached() on the same batch.
+  void backward(const Matrix& dlogits);
+
+  /// SGD step with momentum and weight decay, then clears gradients.
+  void sgd_step(double lr, double momentum, double weight_decay);
+
+  /// Zero the accumulated gradients.
+  void zero_grad();
+
+  /// L2 norm of all gradients (diagnostic / tests).
+  double grad_norm() const;
+
+ private:
+  std::size_t in_dim_;
+  std::size_t hidden_dim_;
+  std::size_t num_classes_;
+
+  // Parameters. With hidden_dim_ == 0 only w2_/b2_ are used (in -> classes).
+  Matrix w1_, b1_;  // hidden x in, 1 x hidden
+  Matrix w2_, b2_;  // classes x (hidden or in), 1 x classes
+
+  // Gradients and momentum buffers, same shapes as the parameters.
+  Matrix gw1_, gb1_, gw2_, gb2_;
+  Matrix mw1_, mb1_, mw2_, mb2_;
+
+  // Cached activations for backward.
+  Matrix cache_x_, cache_h_;  // input batch, post-ReLU hidden batch
+  bool has_cache_ = false;
+};
+
+}  // namespace hadas::nn

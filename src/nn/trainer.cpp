@@ -1,0 +1,95 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "nn/losses.hpp"
+
+namespace hadas::nn {
+
+namespace {
+Matrix gather_rows(const Matrix& m, const std::vector<std::size_t>& idx,
+                   std::size_t begin, std::size_t end) {
+  Matrix out(end - begin, m.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const float* src = m.row_ptr(idx[i]);
+    float* dst = out.row_ptr(i - begin);
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+}  // namespace
+
+TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
+                         const FeatureDataset& val) const {
+  if (train.size() == 0) throw std::invalid_argument("Trainer: empty train set");
+  if (train.labels.size() != train.size())
+    throw std::invalid_argument("Trainer: label count mismatch");
+  const bool use_kd =
+      config_.kd_weight > 0.0 && train.teacher_logits.rows() == train.size();
+
+  hadas::util::Rng rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainResult result;
+  result.epochs.reserve(config_.epochs);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double lr = config_.lr;
+    if (config_.cosine_lr && config_.epochs > 1) {
+      const double t = static_cast<double>(epoch) /
+                       static_cast<double>(config_.epochs - 1);
+      lr = 0.5 * config_.lr * (1.0 + std::cos(std::numbers::pi * t));
+      lr = std::max(lr, 1e-4 * config_.lr);
+    }
+    rng.shuffle(order);
+
+    EpochStats stats;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < train.size();
+         begin += config_.batch_size) {
+      const std::size_t end = std::min(begin + config_.batch_size, train.size());
+      const Matrix x = gather_rows(train.features, order, begin, end);
+      std::vector<std::int32_t> y(end - begin);
+      for (std::size_t i = begin; i < end; ++i) y[i - begin] = train.labels[order[i]];
+
+      const Matrix logits = head.forward_cached(x);
+      LossResult nll = nll_loss(logits, y);
+      double combined = nll.loss;
+      stats.nll_loss += nll.loss;
+
+      if (use_kd) {
+        const Matrix teacher = gather_rows(train.teacher_logits, order, begin, end);
+        const LossResult kd = kd_loss(logits, teacher, config_.kd_temperature);
+        stats.kd_loss += kd.loss;
+        combined += config_.kd_weight * kd.loss;
+        nll.dlogits.axpy(static_cast<float>(config_.kd_weight), kd.dlogits);
+      }
+
+      stats.train_loss += combined;
+      head.backward(nll.dlogits);
+      head.sgd_step(lr, config_.momentum, config_.weight_decay);
+      ++batches;
+    }
+    if (batches > 0) {
+      stats.train_loss /= static_cast<double>(batches);
+      stats.nll_loss /= static_cast<double>(batches);
+      stats.kd_loss /= static_cast<double>(batches);
+    }
+    stats.val_accuracy = evaluate(head, val);
+    result.epochs.push_back(stats);
+  }
+  result.final_val_accuracy =
+      result.epochs.empty() ? evaluate(head, val) : result.epochs.back().val_accuracy;
+  return result;
+}
+
+double Trainer::evaluate(const MlpClassifier& head, const FeatureDataset& data) {
+  if (data.size() == 0) return 0.0;
+  const Matrix logits = head.forward(data.features);
+  return accuracy(logits, data.labels);
+}
+
+}  // namespace hadas::nn

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::nn {
+
+/// Hyper-parameters for exit-head training (HADAS eq. 4 hybrid loss).
+struct TrainConfig {
+  std::size_t epochs = 12;
+  std::size_t batch_size = 64;
+  double lr = 0.15;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  bool cosine_lr = true;      ///< cosine decay of lr over epochs
+  double kd_weight = 1.0;     ///< weight of the L_KD term (0 disables KD)
+  double kd_temperature = 4.0;
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Per-epoch record of the training trajectory.
+struct EpochStats {
+  double train_loss = 0.0;  ///< mean combined loss over the epoch
+  double nll_loss = 0.0;
+  double kd_loss = 0.0;
+  double val_accuracy = 0.0;
+};
+
+/// Outcome of a full training run.
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double final_val_accuracy = 0.0;
+};
+
+/// In-memory classification dataset: one feature row per sample, with hard
+/// labels and (optionally) frozen teacher logits for knowledge distillation.
+struct FeatureDataset {
+  Matrix features;                       // n x d
+  std::vector<std::int32_t> labels;      // n
+  Matrix teacher_logits;                 // n x classes, may be empty (no KD)
+
+  std::size_t size() const { return features.rows(); }
+};
+
+/// Mini-batch SGD trainer for an exit head. The backbone is frozen (its
+/// features and teacher logits are inputs), exactly matching HADAS's exit
+/// training scheme: only the head's parameters are optimized.
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  const TrainConfig& config() const { return config_; }
+
+  /// Train `head` on `train`, reporting validation accuracy on `val` after
+  /// every epoch. KD is used only when teacher logits are present and
+  /// kd_weight > 0.
+  TrainResult fit(MlpClassifier& head, const FeatureDataset& train,
+                  const FeatureDataset& val) const;
+
+  /// Evaluate accuracy of `head` on a dataset.
+  static double evaluate(const MlpClassifier& head, const FeatureDataset& data);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace hadas::nn

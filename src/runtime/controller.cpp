@@ -1,0 +1,56 @@
+#include "runtime/controller.hpp"
+
+#include <stdexcept>
+
+namespace hadas::runtime {
+
+bool OraclePolicy::take_exit(const dynn::TrainedExit& exit_record,
+                             std::size_t sample) const {
+  if (sample >= exit_record.test_correct.size())
+    throw std::out_of_range("OraclePolicy: sample index");
+  return exit_record.test_correct[sample];
+}
+
+bool EntropyPolicy::take_exit(const dynn::TrainedExit& exit_record,
+                              std::size_t sample) const {
+  if (sample >= exit_record.test_entropy.size())
+    throw std::out_of_range("EntropyPolicy: sample index");
+  return exit_record.test_entropy[sample] < threshold_;
+}
+
+AdaptiveEntropyPolicy::AdaptiveEntropyPolicy(double initial_threshold,
+                                             double target_rate, double gain,
+                                             double ema)
+    : target_rate_(target_rate),
+      gain_(gain),
+      ema_(ema),
+      threshold_(initial_threshold),
+      rate_ema_(target_rate) {
+  if (target_rate < 0.0 || target_rate > 1.0)
+    throw std::invalid_argument("AdaptiveEntropyPolicy: bad target rate");
+  if (gain <= 0.0 || ema <= 0.0 || ema > 1.0)
+    throw std::invalid_argument("AdaptiveEntropyPolicy: bad controller gains");
+}
+
+bool AdaptiveEntropyPolicy::take_exit(const dynn::TrainedExit& exit_record,
+                                      std::size_t sample) const {
+  if (sample >= exit_record.test_entropy.size())
+    throw std::out_of_range("AdaptiveEntropyPolicy: sample index");
+  return exit_record.test_entropy[sample] < threshold_;
+}
+
+void AdaptiveEntropyPolicy::on_sample_complete(bool exited_early) const {
+  rate_ema_ = (1.0 - ema_) * rate_ema_ + ema_ * (exited_early ? 1.0 : 0.0);
+  threshold_ += gain_ * (target_rate_ - rate_ema_);
+  if (threshold_ < 0.0) threshold_ = 0.0;
+  if (threshold_ > 1.0) threshold_ = 1.0;
+}
+
+bool ConfidencePolicy::take_exit(const dynn::TrainedExit& exit_record,
+                                 std::size_t sample) const {
+  if (sample >= exit_record.test_max_prob.size())
+    throw std::out_of_range("ConfidencePolicy: sample index");
+  return exit_record.test_max_prob[sample] > threshold_;
+}
+
+}  // namespace hadas::runtime

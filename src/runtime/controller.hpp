@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dynn/exit_bank.hpp"
+
+namespace hadas::runtime {
+
+/// Input-to-exit mapping policy (Sec. IV-C). Given a test sample arriving at
+/// an exit, decides whether to take the exit or continue down the backbone.
+/// HADAS optimizes at design time under the ideal policy and is compatible
+/// with any of these at deployment.
+class ExitPolicy {
+ public:
+  virtual ~ExitPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if test sample `sample` should take the exit at `exit_record`.
+  virtual bool take_exit(const dynn::TrainedExit& exit_record,
+                         std::size_t sample) const = 0;
+
+  /// Feedback hook: the deployment simulator reports, after every sample,
+  /// whether it exited early. Stateless policies ignore it; adaptive ones
+  /// (see AdaptiveEntropyPolicy) use it as their control signal — ground
+  /// truth is unavailable at the edge, but the exit rate is observable.
+  /// Declared const so simulators can hold const references; adaptive
+  /// policies keep their (single-threaded) controller state mutable.
+  virtual void on_sample_complete(bool exited_early) const { (void)exited_early; }
+};
+
+/// Ideal mapping: take the first exit that classifies the sample correctly
+/// (the design-stage assumption of eq. 6 — an oracle upper bound).
+class OraclePolicy final : public ExitPolicy {
+ public:
+  std::string name() const override { return "oracle"; }
+  bool take_exit(const dynn::TrainedExit& exit_record,
+                 std::size_t sample) const override;
+};
+
+/// Entropy thresholding (BranchyNet-style): exit when the normalized
+/// prediction entropy falls below the threshold.
+class EntropyPolicy final : public ExitPolicy {
+ public:
+  explicit EntropyPolicy(double threshold) : threshold_(threshold) {}
+  std::string name() const override { return "entropy"; }
+  double threshold() const { return threshold_; }
+  bool take_exit(const dynn::TrainedExit& exit_record,
+                 std::size_t sample) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Entropy thresholding with online adaptation: tracks the observed
+/// early-exit rate (EMA) and steers the threshold toward a target rate —
+/// an integral controller. Under distribution drift (inputs getting harder,
+/// entropies rising) a fixed threshold silently stops exiting and the
+/// energy budget blows; this policy keeps the exit rate, and therefore the
+/// energy envelope, on target at some accuracy cost. See
+/// examples/drift_adaptation.cpp.
+class AdaptiveEntropyPolicy final : public ExitPolicy {
+ public:
+  /// `target_rate` is the desired fraction of samples exiting early;
+  /// `gain` the per-sample threshold correction; `ema` the rate smoothing.
+  AdaptiveEntropyPolicy(double initial_threshold, double target_rate,
+                        double gain = 0.01, double ema = 0.05);
+
+  std::string name() const override { return "adaptive-entropy"; }
+  double threshold() const { return threshold_; }
+  double observed_rate() const { return rate_ema_; }
+
+  bool take_exit(const dynn::TrainedExit& exit_record,
+                 std::size_t sample) const override;
+  void on_sample_complete(bool exited_early) const override;
+
+ private:
+  double target_rate_;
+  double gain_;
+  double ema_;
+  mutable double threshold_;
+  mutable double rate_ema_;
+};
+
+/// Max-softmax-probability thresholding: exit when the winning class
+/// probability exceeds the threshold.
+class ConfidencePolicy final : public ExitPolicy {
+ public:
+  explicit ConfidencePolicy(double threshold) : threshold_(threshold) {}
+  std::string name() const override { return "confidence"; }
+  double threshold() const { return threshold_; }
+  bool take_exit(const dynn::TrainedExit& exit_record,
+                 std::size_t sample) const override;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace hadas::runtime

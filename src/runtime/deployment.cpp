@@ -1,0 +1,146 @@
+#include "runtime/deployment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::runtime {
+
+DeploymentSimulator::DeploymentSimulator(const dynn::ExitBank& bank,
+                                         const dynn::MultiExitCostTable& cost)
+    : bank_(bank), cost_(cost) {
+  if (bank_.total_layers() != cost_.network().num_mbconv_layers())
+    throw std::invalid_argument("DeploymentSimulator: bank/cost mismatch");
+}
+
+DeploymentReport DeploymentSimulator::run(const dynn::ExitPlacement& placement,
+                                          hw::DvfsSetting setting,
+                                          const ExitPolicy& policy,
+                                          const data::SampleStream& stream) const {
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("DeploymentSimulator: empty placement");
+
+  const hw::HwMeasurement static_baseline =
+      cost_.full_network(hw::default_setting(cost_.evaluator().device()));
+
+  DeploymentReport report;
+  double energy = 0.0, latency = 0.0;
+  std::size_t correct = 0;
+
+  for (std::size_t sample : stream.indices()) {
+    std::vector<std::size_t> visited;
+    bool exited = false;
+    for (std::size_t layer : exits) {
+      visited.push_back(layer);
+      if (policy.take_exit(bank_.exit_at(layer), sample)) {
+        exited = true;
+        break;
+      }
+    }
+    const hw::HwMeasurement m = cost_.cascade_path(visited, exited, setting);
+    energy += m.energy_j;
+    latency += m.latency_s;
+
+    if (exited) {
+      const std::size_t layer = visited.back();
+      correct += bank_.exit_at(layer).test_correct[sample] ? 1 : 0;
+      ++report.exit_histogram[layer];
+    } else {
+      correct += bank_.final_exit().test_correct[sample] ? 1 : 0;
+      ++report.exit_histogram[bank_.total_layers()];
+    }
+    ++report.samples;
+    policy.on_sample_complete(exited);
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(report.samples);
+  report.accuracy = static_cast<double>(correct) * inv_n;
+  report.avg_energy_j = energy * inv_n;
+  report.avg_latency_s = latency * inv_n;
+  report.energy_gain = 1.0 - report.avg_energy_j / static_baseline.energy_j;
+  report.latency_gain = 1.0 - report.avg_latency_s / static_baseline.latency_s;
+  return report;
+}
+
+DeploymentReport DeploymentSimulator::run_predictive(
+    const dynn::ExitPlacement& placement, hw::DvfsSetting setting,
+    const PredictiveExitController& controller,
+    const data::SampleStream& stream) const {
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("DeploymentSimulator: empty placement");
+  if (controller.probe_layer() != exits.front())
+    throw std::invalid_argument(
+        "DeploymentSimulator: controller calibrated for another placement");
+
+  const hw::HwMeasurement static_baseline =
+      cost_.full_network(hw::default_setting(cost_.evaluator().device()));
+
+  DeploymentReport report;
+  double energy = 0.0, latency = 0.0;
+  std::size_t correct = 0;
+
+  for (std::size_t sample : stream.indices()) {
+    const std::size_t predicted = controller.predict(sample);
+    std::vector<std::size_t> visited = {controller.probe_layer()};
+    bool exited;
+    std::size_t resolved_at;
+    if (predicted >= bank_.total_layers()) {
+      exited = false;  // run the full backbone (probe branch already paid)
+      resolved_at = bank_.total_layers();
+    } else {
+      if (predicted != controller.probe_layer()) visited.push_back(predicted);
+      exited = true;
+      resolved_at = predicted;
+    }
+    const hw::HwMeasurement m = cost_.cascade_path(visited, exited, setting);
+    energy += m.energy_j;
+    latency += m.latency_s;
+
+    if (exited) {
+      correct += bank_.exit_at(resolved_at).test_correct[sample] ? 1 : 0;
+    } else {
+      correct += bank_.final_exit().test_correct[sample] ? 1 : 0;
+    }
+    ++report.exit_histogram[resolved_at];
+    ++report.samples;
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(report.samples);
+  report.accuracy = static_cast<double>(correct) * inv_n;
+  report.avg_energy_j = energy * inv_n;
+  report.avg_latency_s = latency * inv_n;
+  report.energy_gain = 1.0 - report.avg_energy_j / static_baseline.energy_j;
+  report.latency_gain = 1.0 - report.avg_latency_s / static_baseline.latency_s;
+  return report;
+}
+
+double DeploymentSimulator::calibrate_entropy_threshold(
+    const dynn::ExitPlacement& placement, hw::DvfsSetting setting,
+    const data::SampleStream& stream, double target_accuracy,
+    std::size_t grid) const {
+  if (grid < 2) throw std::invalid_argument("calibrate: grid too small");
+  double best_meeting = -1.0, best_meeting_energy = 0.0;
+  double closest = 0.5, closest_gap = 1e9;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double threshold =
+        static_cast<double>(i + 1) / static_cast<double>(grid + 1);
+    const EntropyPolicy policy(threshold);
+    const DeploymentReport report = run(placement, setting, policy, stream);
+    if (report.accuracy >= target_accuracy) {
+      // Among thresholds meeting the target, prefer the lowest energy.
+      if (best_meeting < 0.0 || report.avg_energy_j < best_meeting_energy) {
+        best_meeting = threshold;
+        best_meeting_energy = report.avg_energy_j;
+      }
+    }
+    const double gap = std::fabs(report.accuracy - target_accuracy);
+    if (gap < closest_gap) {
+      closest_gap = gap;
+      closest = threshold;
+    }
+  }
+  return best_meeting >= 0.0 ? best_meeting : closest;
+}
+
+}  // namespace hadas::runtime

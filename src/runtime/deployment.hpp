@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/sample_stream.hpp"
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+#include "dynn/multi_exit_cost.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/predictive_exit.hpp"
+
+namespace hadas::runtime {
+
+/// Outcome of deploying one dynamic design on a sample stream.
+struct DeploymentReport {
+  std::size_t samples = 0;
+  double accuracy = 0.0;             ///< test accuracy of the deployed DyNN
+  double avg_energy_j = 0.0;         ///< per-sample, cascade costs included
+  double avg_latency_s = 0.0;
+  double energy_gain = 0.0;          ///< vs. the static backbone at default DVFS
+  double latency_gain = 0.0;
+  /// Count of samples resolved at each exit layer; key total_layers means
+  /// "ran the full backbone".
+  std::map<std::size_t, std::size_t> exit_histogram;
+};
+
+/// Simulates deploying a searched (b, x, f) design with a runtime controller
+/// over a test-split sample stream. Unlike the design-stage ideal-mapping
+/// evaluation, samples here *cascade*: they pay for every exit branch they
+/// evaluate before stopping, which is the real cost of entropy/confidence
+/// controllers.
+class DeploymentSimulator {
+ public:
+  DeploymentSimulator(const dynn::ExitBank& bank,
+                      const dynn::MultiExitCostTable& cost);
+
+  /// Run the stream through the design under the given policy and DVFS.
+  DeploymentReport run(const dynn::ExitPlacement& placement,
+                       hw::DvfsSetting setting, const ExitPolicy& policy,
+                       const data::SampleStream& stream) const;
+
+  /// Run the stream under a predictive-exit controller: every sample pays
+  /// for the probe exit, then jumps directly to the predicted exit (or the
+  /// backbone head), skipping the intermediate branches a cascading
+  /// controller would evaluate.
+  DeploymentReport run_predictive(const dynn::ExitPlacement& placement,
+                                  hw::DvfsSetting setting,
+                                  const PredictiveExitController& controller,
+                                  const data::SampleStream& stream) const;
+
+  /// Sweep a threshold grid and return the entropy threshold whose deployed
+  /// accuracy is closest to (but not below, when possible) `target_accuracy`.
+  double calibrate_entropy_threshold(const dynn::ExitPlacement& placement,
+                                     hw::DvfsSetting setting,
+                                     const data::SampleStream& stream,
+                                     double target_accuracy,
+                                     std::size_t grid = 40) const;
+
+ private:
+  const dynn::ExitBank& bank_;
+  const dynn::MultiExitCostTable& cost_;
+};
+
+}  // namespace hadas::runtime

@@ -1,0 +1,80 @@
+#include "runtime/governor.hpp"
+
+#include <limits>
+
+namespace hadas::runtime {
+
+template <typename MeasureFn>
+std::optional<hw::DvfsSetting> DvfsGovernor::scan(MeasureFn&& measure,
+                                                  double deadline_s) const {
+  const hw::DeviceSpec& device = costs_.evaluator().device();
+  std::optional<hw::DvfsSetting> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < device.core_freqs_hz.size(); ++c) {
+    for (std::size_t e = 0; e < device.emc_freqs_hz.size(); ++e) {
+      const hw::DvfsSetting setting{c, e};
+      const hw::HwMeasurement m = measure(setting);
+      if (m.latency_s > deadline_s) continue;
+      if (m.energy_j < best_energy) {
+        best_energy = m.energy_j;
+        best = setting;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<hw::DvfsSetting> DvfsGovernor::min_energy_full(
+    double deadline_s) const {
+  return scan([&](hw::DvfsSetting s) { return costs_.full_network(s); },
+              deadline_s);
+}
+
+std::optional<hw::DvfsSetting> DvfsGovernor::min_energy_exit(
+    std::size_t layer, double deadline_s) const {
+  return scan([&](hw::DvfsSetting s) { return costs_.exit_path(layer, s); },
+              deadline_s);
+}
+
+hw::DvfsSetting DvfsGovernor::energy_optimal_full() const {
+  return *min_energy_full(std::numeric_limits<double>::infinity());
+}
+
+std::optional<hw::DvfsSetting> DvfsGovernor::fastest_sustainable_full(
+    const hw::ThermalConfig& thermal) const {
+  const hw::ThermalModel model(thermal);
+  const hw::DeviceSpec& device = costs_.evaluator().device();
+  std::optional<hw::DvfsSetting> best;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < device.core_freqs_hz.size(); ++c) {
+    for (std::size_t e = 0; e < device.emc_freqs_hz.size(); ++e) {
+      const hw::HwMeasurement m = costs_.full_network({c, e});
+      // Back-to-back samples dissipate the average power continuously.
+      if (model.steady_state_c(m.avg_power_w) >= thermal.throttle_temp_c)
+        continue;
+      if (m.latency_s < best_latency) {
+        best_latency = m.latency_s;
+        best = hw::DvfsSetting{c, e};
+      }
+    }
+  }
+  return best;
+}
+
+hw::DvfsSetting DvfsGovernor::latency_optimal_full() const {
+  const hw::DeviceSpec& device = costs_.evaluator().device();
+  hw::DvfsSetting best{0, 0};
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < device.core_freqs_hz.size(); ++c) {
+    for (std::size_t e = 0; e < device.emc_freqs_hz.size(); ++e) {
+      const double latency = costs_.full_network({c, e}).latency_s;
+      if (latency < best_latency) {
+        best_latency = latency;
+        best = {c, e};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hadas::runtime

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "dynn/multi_exit_cost.hpp"
+#include "hw/thermal.hpp"
+
+namespace hadas::runtime {
+
+/// Offline DVFS governor utilities: given a deployed dynamic model's cost
+/// table, select operating points under latency constraints. Complements
+/// the search (which co-optimizes f for energy): at runtime, applications
+/// often carry a deadline, and the governor answers "what is the
+/// minimum-energy frequency pair that still meets it?" by exhaustively
+/// scanning the (small) F space — exactly what a lookup-table governor on a
+/// Jetson would do.
+class DvfsGovernor {
+ public:
+  explicit DvfsGovernor(const dynn::MultiExitCostTable& costs) : costs_(costs) {}
+
+  /// Minimum-energy setting whose FULL-network latency meets the deadline;
+  /// nullopt if no setting does.
+  std::optional<hw::DvfsSetting> min_energy_full(double deadline_s) const;
+
+  /// Minimum-energy setting whose exit-at-`layer` path meets the deadline.
+  std::optional<hw::DvfsSetting> min_energy_exit(std::size_t layer,
+                                                 double deadline_s) const;
+
+  /// The unconstrained energy-optimal setting for the full network.
+  hw::DvfsSetting energy_optimal_full() const;
+
+  /// Fastest full-network setting whose sustained (steady-state) junction
+  /// temperature stays below the thermal config's throttle point — the
+  /// highest operating point that never throttles on an endless stream.
+  /// nullopt if even the slowest setting overheats.
+  std::optional<hw::DvfsSetting> fastest_sustainable_full(
+      const hw::ThermalConfig& thermal) const;
+
+  /// The latency-optimal (max performance) setting. For a monotone latency
+  /// model this is the max-frequency pair, but it is computed, not assumed.
+  hw::DvfsSetting latency_optimal_full() const;
+
+ private:
+  template <typename MeasureFn>
+  std::optional<hw::DvfsSetting> scan(MeasureFn&& measure, double deadline_s) const;
+
+  const dynn::MultiExitCostTable& costs_;
+};
+
+}  // namespace hadas::runtime

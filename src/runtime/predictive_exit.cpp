@@ -1,0 +1,70 @@
+#include "runtime/predictive_exit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadas::runtime {
+
+PredictiveExitController::PredictiveExitController(
+    const dynn::ExitBank& bank, const dynn::ExitPlacement& placement,
+    double target_accuracy, std::size_t buckets)
+    : bank_(bank) {
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("PredictiveExitController: empty placement");
+  if (buckets < 2)
+    throw std::invalid_argument("PredictiveExitController: need >= 2 buckets");
+  probe_layer_ = exits.front();
+
+  const dynn::TrainedExit& probe = bank_.exit_at(probe_layer_);
+  const std::size_t n = probe.val_entropy.size();
+  if (n == 0) throw std::invalid_argument("PredictiveExitController: no val data");
+
+  // Quantile bucket edges over the probe's validation entropies.
+  std::vector<double> sorted = probe.val_entropy;
+  std::sort(sorted.begin(), sorted.end());
+  bucket_edges_.resize(buckets - 1);
+  for (std::size_t b = 0; b + 1 < buckets; ++b)
+    bucket_edges_[b] = sorted[(b + 1) * n / buckets];
+
+  // Per bucket: earliest sampled exit meeting the accuracy target on the
+  // bucket's validation samples; fall back to the backbone head.
+  std::vector<std::vector<std::size_t>> members(buckets);
+  for (std::size_t s = 0; s < n; ++s)
+    members[bucket_of(probe.val_entropy[s])].push_back(s);
+
+  decisions_.assign(buckets, bank_.total_layers());
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (members[b].empty()) {
+      // No calibration data: be conservative, run the full backbone.
+      continue;
+    }
+    for (std::size_t layer : exits) {
+      const dynn::TrainedExit& exit_record = bank_.exit_at(layer);
+      std::size_t correct = 0;
+      for (std::size_t s : members[b]) correct += exit_record.val_correct[s] ? 1 : 0;
+      const double accuracy = static_cast<double>(correct) /
+                              static_cast<double>(members[b].size());
+      if (accuracy >= target_accuracy) {
+        decisions_[b] = layer;
+        break;
+      }
+    }
+  }
+}
+
+std::size_t PredictiveExitController::bucket_of(double entropy) const {
+  std::size_t bucket = 0;
+  while (bucket < bucket_edges_.size() && entropy >= bucket_edges_[bucket])
+    ++bucket;
+  return bucket;
+}
+
+std::size_t PredictiveExitController::predict(std::size_t sample) const {
+  const dynn::TrainedExit& probe = bank_.exit_at(probe_layer_);
+  if (sample >= probe.test_entropy.size())
+    throw std::out_of_range("PredictiveExitController: sample index");
+  return decisions_[bucket_of(probe.test_entropy[sample])];
+}
+
+}  // namespace hadas::runtime

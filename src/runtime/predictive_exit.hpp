@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+
+namespace hadas::runtime {
+
+/// Predictive-exit controller, after Li et al. ("Predictive Exit", [14] in
+/// the paper): instead of cascading through every exit branch — paying each
+/// branch's cost — the controller reads a cheap early signal (the FIRST
+/// sampled exit's prediction entropy) and jumps straight to the exit it
+/// predicts will resolve the sample, skipping the intermediate branches.
+/// Knowing the exit ahead of time is also what allows frequency to be set
+/// pre-emptively in [14]; here the DVFS point comes from the HADAS search.
+///
+/// Calibration (validation split): entropy values at the first sampled exit
+/// are split into quantile buckets; each bucket is mapped to the earliest
+/// sampled exit whose accuracy on that bucket's samples meets the target
+/// (falling back to the backbone head).
+class PredictiveExitController {
+ public:
+  /// Calibrates on the bank's validation split. `target_accuracy` is the
+  /// per-bucket accuracy the chosen exit must reach.
+  PredictiveExitController(const dynn::ExitBank& bank,
+                           const dynn::ExitPlacement& placement,
+                           double target_accuracy, std::size_t buckets = 8);
+
+  /// The probe exit whose entropy drives the prediction (first sampled exit).
+  std::size_t probe_layer() const { return probe_layer_; }
+
+  /// Predicted exit layer for a TEST sample; bank.total_layers() means
+  /// "run the full backbone".
+  std::size_t predict(std::size_t sample) const;
+
+  /// The bucket -> exit decision table (diagnostics/tests).
+  const std::vector<std::size_t>& decision_table() const { return decisions_; }
+
+ private:
+  std::size_t bucket_of(double entropy) const;
+
+  const dynn::ExitBank& bank_;
+  std::size_t probe_layer_ = 0;
+  std::vector<double> bucket_edges_;    ///< ascending entropy quantiles
+  std::vector<std::size_t> decisions_;  ///< exit layer per bucket
+};
+
+}  // namespace hadas::runtime

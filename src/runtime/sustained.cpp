@@ -1,0 +1,72 @@
+#include "runtime/sustained.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadas::runtime {
+
+SustainedDeployment::SustainedDeployment(const dynn::ExitBank& bank,
+                                         const dynn::MultiExitCostTable& costs,
+                                         hw::ThermalConfig thermal)
+    : bank_(bank), costs_(costs), thermal_(thermal) {
+  if (bank_.total_layers() != costs_.network().num_mbconv_layers())
+    throw std::invalid_argument("SustainedDeployment: bank/cost mismatch");
+}
+
+SustainedReport SustainedDeployment::run(const dynn::ExitPlacement& placement,
+                                         hw::DvfsSetting requested,
+                                         const ExitPolicy& policy,
+                                         const data::SampleStream& stream) const {
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("SustainedDeployment: empty placement");
+
+  hw::ThermalModel thermal(thermal_);
+  SustainedReport report;
+  std::size_t correct = 0, throttled_samples = 0;
+  report.peak_temperature_c = thermal.temperature_c();
+
+  for (std::size_t sample : stream.indices()) {
+    hw::DvfsSetting effective = requested;
+    if (thermal.throttled()) {
+      effective.core_idx =
+          std::min(effective.core_idx, thermal_.throttled_core_idx);
+      ++throttled_samples;
+    }
+
+    // Cascade execution at the effective setting.
+    std::vector<std::size_t> visited;
+    bool exited = false;
+    for (std::size_t layer : exits) {
+      visited.push_back(layer);
+      if (policy.take_exit(bank_.exit_at(layer), sample)) {
+        exited = true;
+        break;
+      }
+    }
+    const hw::HwMeasurement m = costs_.cascade_path(visited, exited, effective);
+    report.total_time_s += m.latency_s;
+    report.total_energy_j += m.energy_j;
+    if (exited) {
+      correct += bank_.exit_at(visited.back()).test_correct[sample] ? 1 : 0;
+    } else {
+      correct += bank_.final_exit().test_correct[sample] ? 1 : 0;
+    }
+    ++report.samples;
+
+    thermal.step(m.avg_power_w, m.latency_s);
+    report.peak_temperature_c =
+        std::max(report.peak_temperature_c, thermal.temperature_c());
+  }
+
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(report.samples);
+  report.throughput_sps =
+      static_cast<double>(report.samples) / report.total_time_s;
+  report.throttled_fraction = static_cast<double>(throttled_samples) /
+                              static_cast<double>(report.samples);
+  report.final_temperature_c = thermal.temperature_c();
+  return report;
+}
+
+}  // namespace hadas::runtime

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "data/sample_stream.hpp"
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+#include "dynn/multi_exit_cost.hpp"
+#include "hw/thermal.hpp"
+#include "runtime/controller.hpp"
+
+namespace hadas::runtime {
+
+/// Outcome of a back-to-back (sustained) stream with thermal dynamics.
+struct SustainedReport {
+  std::size_t samples = 0;
+  double accuracy = 0.0;
+  double total_time_s = 0.0;
+  double total_energy_j = 0.0;
+  double throughput_sps = 0.0;     ///< samples per second over the whole run
+  double throttled_fraction = 0.0; ///< fraction of samples run throttled
+  double peak_temperature_c = 0.0;
+  double final_temperature_c = 0.0;
+};
+
+/// Sustained-stream simulator: samples are processed back to back, the
+/// package heats according to the dissipated power, and the thermal governor
+/// caps the core frequency while hot. This is the long-run regime where the
+/// max-frequency "performance" setting loses to the cooler, energy-optimal
+/// operating points found by the F-subspace search.
+class SustainedDeployment {
+ public:
+  SustainedDeployment(const dynn::ExitBank& bank,
+                      const dynn::MultiExitCostTable& costs,
+                      hw::ThermalConfig thermal = {});
+
+  /// Run the stream with a cascading controller at the requested DVFS
+  /// setting; while the thermal model is throttled, the effective core
+  /// index is capped at the thermal config's `throttled_core_idx`.
+  SustainedReport run(const dynn::ExitPlacement& placement,
+                      hw::DvfsSetting requested, const ExitPolicy& policy,
+                      const data::SampleStream& stream) const;
+
+ private:
+  const dynn::ExitBank& bank_;
+  const dynn::MultiExitCostTable& costs_;
+  hw::ThermalConfig thermal_;
+};
+
+}  // namespace hadas::runtime

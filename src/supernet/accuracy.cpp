@@ -1,0 +1,50 @@
+#include "supernet/accuracy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "supernet/baselines.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::supernet {
+
+AccuracySurrogate::AccuracySurrogate(const CostModel& cost_model)
+    : cost_model_(cost_model) {
+  const NetworkCost a0 = cost_model_.analyze(baseline_a0());
+  ref_macs_ = a0.total_macs;
+  ref_params_ = a0.total_params;
+
+  // Solve lambda so that capacity(a6) maps to the a6 anchor accuracy.
+  const double cap6 = capacity(baseline_a6());
+  const double target6 = 0.8823;
+  if (cap6 <= 0.0) throw std::logic_error("AccuracySurrogate: a6 capacity <= a0");
+  lambda_ = -std::log((ceiling_ - target6) / (ceiling_ - anchor_accuracy_)) / cap6;
+}
+
+double AccuracySurrogate::capacity(const BackboneConfig& config) const {
+  const NetworkCost cost = cost_model_.analyze(config);
+  // Capacity grows with log-compute and log-params; resolution contributes
+  // beyond its MAC count (more input detail), which is what decouples the
+  // accuracy landscape from the pure-FLOPs energy landscape and gives the
+  // optimizer a real trade-off surface.
+  const double c_macs = std::log2(cost.total_macs / ref_macs_);
+  const double c_params = std::log2(cost.total_params / ref_params_);
+  const double c_res = std::log2(static_cast<double>(config.resolution) / 192.0);
+  return 0.55 * c_macs + 0.25 * c_params + 0.9 * c_res;
+}
+
+double AccuracySurrogate::accuracy(const BackboneConfig& config) const {
+  const double cap = capacity(config);
+  double acc = ceiling_ - (ceiling_ - anchor_accuracy_) * std::exp(-lambda_ * cap);
+  // Deterministic per-architecture jitter: same config -> same accuracy,
+  // different configs of equal capacity differ slightly.
+  const SearchSpace& space = cost_model_.space();
+  hadas::util::Rng rng(genome_hash(encode(space, config)));
+  acc += rng.normal(0.0, jitter_stddev_);
+  // Clamp to a sane band (the law can undershoot for degenerate subnets).
+  if (acc < 0.02) acc = 0.02;
+  if (acc > 0.999) acc = 0.999;
+  return acc;
+}
+
+}  // namespace hadas::supernet

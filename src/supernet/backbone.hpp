@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "supernet/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::supernet {
+
+/// Per-stage configuration of a concrete backbone.
+struct StageConfig {
+  int width = 0;
+  int depth = 0;
+  int kernel = 0;
+  int expand = 0;
+
+  bool operator==(const StageConfig&) const = default;
+};
+
+/// A concrete backbone (subnet of the supernet). Values, not indices.
+struct BackboneConfig {
+  int resolution = 0;
+  int stem_width = 0;
+  std::array<StageConfig, kNumStages> stages;
+  int last_width = 0;
+
+  /// Total number of MBConv layers (sum of stage depths) — the layer count
+  /// that defines the exit-position granularity of the X subspace.
+  int total_layers() const;
+
+  /// Compact human-readable description, e.g. "r224-w16/24/... ".
+  std::string describe() const;
+
+  bool operator==(const BackboneConfig&) const = default;
+};
+
+/// Integer genome for the evolutionary search; genome[i] indexes the i-th
+/// gene's choice list (see SearchSpace::gene_cardinalities()).
+using Genome = std::vector<std::int32_t>;
+
+/// Encode a config into its genome. Throws if a value is not in the space.
+Genome encode(const SearchSpace& space, const BackboneConfig& config);
+
+/// Decode a genome into a config. Throws on out-of-range indices.
+BackboneConfig decode(const SearchSpace& space, const Genome& genome);
+
+/// True if every gene index is within its cardinality.
+bool is_valid_genome(const SearchSpace& space, const Genome& genome);
+
+/// Uniform random genome.
+Genome random_genome(const SearchSpace& space, hadas::util::Rng& rng);
+
+/// Stable 64-bit hash of a genome (FNV-1a); used for caching and for the
+/// deterministic per-architecture jitter of the accuracy surrogate.
+std::uint64_t genome_hash(const Genome& genome);
+
+}  // namespace hadas::supernet

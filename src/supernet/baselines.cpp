@@ -1,0 +1,91 @@
+#include "supernet/baselines.hpp"
+
+namespace hadas::supernet {
+
+namespace {
+BackboneConfig make(int res, int stem, std::array<StageConfig, kNumStages> stages,
+                    int last) {
+  BackboneConfig c;
+  c.resolution = res;
+  c.stem_width = stem;
+  c.stages = stages;
+  c.last_width = last;
+  return c;
+}
+}  // namespace
+
+std::vector<Baseline> attentive_nas_baselines() {
+  // Reconstructions of the AttentiveNAS a0..a6 Pareto family: monotone
+  // growth in resolution, width, depth, kernel and expansion, all values
+  // drawn from the Table-II choice lists.
+  std::vector<Baseline> v;
+  v.push_back({"a0", make(192, 16,
+                          {{{16, 1, 3, 1},
+                            {24, 3, 3, 4},
+                            {32, 3, 3, 4},
+                            {64, 3, 3, 4},
+                            {112, 3, 3, 4},
+                            {192, 3, 3, 6},
+                            {216, 1, 3, 6}}},
+                          1792)});
+  v.push_back({"a1", make(224, 16,
+                          {{{16, 1, 3, 1},
+                            {24, 3, 3, 4},
+                            {32, 3, 3, 4},
+                            {64, 4, 3, 4},
+                            {112, 4, 3, 4},
+                            {192, 4, 3, 6},
+                            {216, 1, 3, 6}}},
+                          1792)});
+  v.push_back({"a2", make(224, 16,
+                          {{{16, 1, 3, 1},
+                            {24, 4, 3, 5},
+                            {32, 4, 3, 5},
+                            {64, 4, 3, 5},
+                            {120, 5, 3, 5},
+                            {200, 4, 3, 6},
+                            {216, 1, 3, 6}}},
+                          1792)});
+  v.push_back({"a3", make(256, 16,
+                          {{{16, 2, 3, 1},
+                            {24, 4, 3, 5},
+                            {32, 4, 5, 5},
+                            {64, 5, 3, 5},
+                            {120, 5, 5, 5},
+                            {200, 5, 3, 6},
+                            {216, 2, 3, 6}}},
+                          1792)});
+  v.push_back({"a4", make(256, 24,
+                          {{{24, 2, 3, 1},
+                            {32, 4, 5, 5},
+                            {40, 5, 5, 5},
+                            {72, 5, 3, 6},
+                            {120, 6, 5, 5},
+                            {208, 5, 5, 6},
+                            {224, 2, 3, 6}}},
+                          1984)});
+  v.push_back({"a5", make(288, 24,
+                          {{{24, 2, 3, 1},
+                            {32, 5, 5, 6},
+                            {40, 5, 5, 6},
+                            {72, 5, 5, 6},
+                            {128, 7, 5, 6},
+                            {208, 6, 5, 6},
+                            {224, 2, 5, 6}}},
+                          1984)});
+  v.push_back({"a6", make(288, 24,
+                          {{{24, 2, 5, 1},
+                            {32, 5, 5, 6},
+                            {40, 6, 5, 6},
+                            {72, 6, 5, 6},
+                            {128, 8, 5, 6},
+                            {216, 8, 5, 6},
+                            {224, 2, 5, 6}}},
+                          1984)});
+  return v;
+}
+
+BackboneConfig baseline_a0() { return attentive_nas_baselines().front().config; }
+BackboneConfig baseline_a6() { return attentive_nas_baselines().back().config; }
+
+}  // namespace hadas::supernet

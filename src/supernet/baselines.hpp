@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "supernet/backbone.hpp"
+
+namespace hadas::supernet {
+
+/// A named baseline model (the AttentiveNAS a0..a6 family the paper
+/// compares against; a0 = most compact, a6 = most accurate).
+struct Baseline {
+  std::string name;
+  BackboneConfig config;
+};
+
+/// The seven AttentiveNAS reference subnets, reconstructed within the
+/// search space of Table II (a0 smallest .. a6 largest).
+std::vector<Baseline> attentive_nas_baselines();
+
+/// Convenience accessors for the two models the paper singles out.
+BackboneConfig baseline_a0();
+BackboneConfig baseline_a6();
+
+}  // namespace hadas::supernet

@@ -1,0 +1,159 @@
+#include "supernet/supernet_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hadas::supernet {
+
+SupernetTrainer::SupernetTrainer(const SearchSpace& space,
+                                 const CostModel& cost_model,
+                                 SupernetTrainConfig config)
+    : space_(space), surrogate_(cost_model), config_(config), rng_(config.seed) {
+  const auto cardinalities = space_.gene_cardinalities();
+  maturity_.resize(cardinalities.size());
+  for (std::size_t g = 0; g < cardinalities.size(); ++g)
+    maturity_[g].assign(cardinalities[g], 0.0);
+  pair_maturity_.resize(cardinalities.size() - 1);
+  for (std::size_t g = 0; g + 1 < cardinalities.size(); ++g)
+    pair_maturity_[g].assign(cardinalities[g] * cardinalities[g + 1], 0.0);
+}
+
+void SupernetTrainer::train_subnet(const BackboneConfig& config) {
+  const Genome genome = encode(space_, config);
+  const auto cardinalities = space_.gene_cardinalities();
+  for (std::size_t g = 0; g < genome.size(); ++g) {
+    double& m = maturity_[g][static_cast<std::size_t>(genome[g])];
+    // Saturating first-order update: visits have diminishing returns.
+    m += config_.maturity_rate * (1.0 - m);
+  }
+  for (std::size_t g = 0; g + 1 < genome.size(); ++g) {
+    const std::size_t index =
+        static_cast<std::size_t>(genome[g]) * cardinalities[g + 1] +
+        static_cast<std::size_t>(genome[g + 1]);
+    double& m = pair_maturity_[g][index];
+    m += config_.maturity_rate * (1.0 - m);
+  }
+  ++total_visits_;
+}
+
+double SupernetTrainer::readiness(const BackboneConfig& config) const {
+  const Genome genome = encode(space_, config);
+  const auto cardinalities = space_.gene_cardinalities();
+  double log_acc = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t g = 0; g < genome.size(); ++g) {
+    const double m = maturity_[g][static_cast<std::size_t>(genome[g])];
+    // Geometric mean with a tiny epsilon so one untouched shard does not
+    // produce an exact zero (real shared weights are random-init, not null).
+    log_acc += std::log(std::max(m, 1e-3));
+    ++terms;
+  }
+  for (std::size_t g = 0; g + 1 < genome.size(); ++g) {
+    const std::size_t index =
+        static_cast<std::size_t>(genome[g]) * cardinalities[g + 1] +
+        static_cast<std::size_t>(genome[g + 1]);
+    log_acc += std::log(std::max(pair_maturity_[g][index], 1e-3));
+    ++terms;
+  }
+  return std::exp(log_acc / static_cast<double>(terms));
+}
+
+double SupernetTrainer::potential(const BackboneConfig& config) const {
+  return surrogate_.accuracy(config);
+}
+
+double SupernetTrainer::accuracy(const BackboneConfig& config) const {
+  const double r = readiness(config);
+  return potential(config) * (readiness_floor_ + (1.0 - readiness_floor_) * r);
+}
+
+double SupernetTrainer::mean_maturity() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto* shards : {&maturity_, &pair_maturity_}) {
+    for (const auto& gene : *shards) {
+      for (double m : gene) total += m;
+      count += gene.size();
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+double SupernetTrainer::mean_sampled_potential() const {
+  return sampled_count_ > 0
+             ? sampled_potential_sum_ / static_cast<double>(sampled_count_)
+             : 0.0;
+}
+
+BackboneConfig SupernetTrainer::smallest_subnet() const {
+  BackboneConfig config;
+  config.resolution = space_.resolutions.front();
+  config.stem_width = space_.stem_widths.front();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    config.stages[s].width = space_.stages[s].widths.front();
+    config.stages[s].depth = space_.stages[s].depths.front();
+    config.stages[s].kernel = space_.stages[s].kernels.front();
+    config.stages[s].expand = space_.stages[s].expands.front();
+  }
+  config.last_width = space_.last_widths.front();
+  return config;
+}
+
+BackboneConfig SupernetTrainer::largest_subnet() const {
+  BackboneConfig config;
+  config.resolution = space_.resolutions.back();
+  config.stem_width = space_.stem_widths.back();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    config.stages[s].width = space_.stages[s].widths.back();
+    config.stages[s].depth = space_.stages[s].depths.back();
+    config.stages[s].kernel = space_.stages[s].kernels.back();
+    config.stages[s].expand = space_.stages[s].expands.back();
+  }
+  config.last_width = space_.last_widths.back();
+  return config;
+}
+
+BackboneConfig SupernetTrainer::sample_subnet(hadas::util::Rng& rng) {
+  if (config_.sampling == SamplingStrategy::kUniform || config_.attentive_pool <= 1)
+    return decode(space_, random_genome(space_, rng));
+
+  // Attentive sampling: draw a pool and keep the subnet the accuracy
+  // predictor ranks best (BestUp) or worst (WorstUp). AttentiveNAS trains a
+  // predictor of *converged* subnet accuracy; our calibrated potential plays
+  // that role. (Ranking by the current, readiness-scaled accuracy instead
+  // creates a rich-get-richer loop that re-trains already-mature shards.)
+  BackboneConfig chosen = decode(space_, random_genome(space_, rng));
+  double chosen_acc = potential(chosen);
+  for (std::size_t i = 1; i < config_.attentive_pool; ++i) {
+    const BackboneConfig candidate = decode(space_, random_genome(space_, rng));
+    const double acc = potential(candidate);
+    const bool better = config_.sampling == SamplingStrategy::kBestUp
+                            ? acc > chosen_acc
+                            : acc < chosen_acc;
+    if (better) {
+      chosen = candidate;
+      chosen_acc = acc;
+    }
+  }
+  return chosen;
+}
+
+void SupernetTrainer::train(std::size_t steps) {
+  const BackboneConfig small = smallest_subnet();
+  const BackboneConfig big = largest_subnet();
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Sandwich rule: always update the two ends...
+    train_subnet(small);
+    train_subnet(big);
+    // ...plus sampled middles.
+    for (std::size_t i = 0; i < config_.sampled_per_step; ++i) {
+      const BackboneConfig sampled = sample_subnet(rng_);
+      sampled_potential_sum_ += potential(sampled);
+      ++sampled_count_;
+      train_subnet(sampled);
+    }
+  }
+}
+
+}  // namespace hadas::supernet

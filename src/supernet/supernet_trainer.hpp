@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "supernet/accuracy.hpp"
+#include "supernet/backbone.hpp"
+#include "supernet/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace hadas::supernet {
+
+/// Subnet-sampling strategy during weight-sharing training.
+enum class SamplingStrategy {
+  kUniform,   ///< uniform random subnets (classic OFA)
+  kBestUp,    ///< AttentiveNAS "BestUp": prefer Pareto-promising subnets
+  kWorstUp,   ///< AttentiveNAS "WorstUp": prefer currently-worst subnets
+};
+
+/// Configuration of a supernet training run.
+struct SupernetTrainConfig {
+  std::size_t steps = 2000;
+  /// Subnets updated per step in addition to the sandwich ends (the
+  /// "sandwich rule" always trains the smallest and largest subnet).
+  std::size_t sampled_per_step = 2;
+  SamplingStrategy sampling = SamplingStrategy::kBestUp;
+  /// Candidate pool size per attentive pick (AttentiveNAS samples k
+  /// candidates and keeps the best/worst predicted one).
+  std::size_t attentive_pool = 8;
+  /// Maturity gained by a weight shard per training visit (with saturating
+  /// returns; see SupernetTrainer).
+  double maturity_rate = 0.05;
+  std::uint64_t seed = 17;
+};
+
+/// Simulates the supernet pretraining / fine-tuning stage the paper reuses
+/// from AttentiveNAS ("the pretrained supernet of AttentiveNAS has been
+/// fine-tuned accordingly", Sec. V-A).
+///
+/// Mechanism: every gene choice (a width/depth/kernel/expand option of a
+/// stage, a resolution, a stem/last width) owns a shared "weight shard" with
+/// a maturity in [0, 1] that grows (with saturating returns) each time a
+/// sampled subnet containing it is trained. A subnet's achievable accuracy
+/// is its architectural potential — the same calibrated capacity law as
+/// AccuracySurrogate — scaled by the readiness of its shards. Fully-trained
+/// shards recover the surrogate exactly, so HADAS's search operates on the
+/// "converged supernet" limit of this trainer.
+///
+/// This reproduces the qualitative behaviour that motivates attentive
+/// sampling: under a finite training budget, uniformly sampled supernets
+/// spread maturity thin, while BestUp concentrates it on the subnets that
+/// matter for the accuracy Pareto front (the ones HADAS's OOE will pick).
+class SupernetTrainer {
+ public:
+  SupernetTrainer(const SearchSpace& space, const CostModel& cost_model,
+                  SupernetTrainConfig config);
+
+  const SupernetTrainConfig& config() const { return config_; }
+
+  /// Total training visits so far (diagnostics).
+  std::size_t total_visits() const { return total_visits_; }
+
+  /// Run `steps` more training steps (sandwich rule + sampled subnets).
+  void train(std::size_t steps);
+
+  /// Readiness of a subnet in [0, 1]: the geometric mean of its shards'
+  /// maturities (a single immature stage bottlenecks the whole subnet, as
+  /// with real shared weights).
+  double readiness(const BackboneConfig& config) const;
+
+  /// Accuracy of a subnet under the current supernet state:
+  /// potential(config) * (floor + (1 - floor) * readiness(config)).
+  double accuracy(const BackboneConfig& config) const;
+
+  /// The fully-trained accuracy this subnet would converge to.
+  double potential(const BackboneConfig& config) const;
+
+  /// Mean shard maturity (diagnostics; 1.0 = fully trained everywhere).
+  double mean_maturity() const;
+
+  /// Mean converged-accuracy potential of the subnets the sampler has
+  /// picked so far (excludes the sandwich ends). BestUp pushes this up,
+  /// WorstUp down, uniform sits at the space average — the direct signature
+  /// of attentive sampling.
+  double mean_sampled_potential() const;
+
+  /// The smallest / largest subnet of the space (the sandwich ends).
+  BackboneConfig smallest_subnet() const;
+  BackboneConfig largest_subnet() const;
+
+ private:
+  void train_subnet(const BackboneConfig& config);
+  BackboneConfig sample_subnet(hadas::util::Rng& rng);
+
+  const SearchSpace& space_;
+  AccuracySurrogate surrogate_;
+  SupernetTrainConfig config_;
+  hadas::util::Rng rng_;
+  /// maturity_[gene][choice] in [0, 1]: per-shard training state.
+  std::vector<std::vector<double>> maturity_;
+  /// pair_maturity_[gene][choice_g * card_{g+1} + choice_{g+1}]: adjacent
+  /// choice-pair interaction state. Shared weights must co-adapt to the
+  /// neighbouring stage's configuration; pair coverage is combinatorial, so
+  /// it is what makes finite training budgets bind (and what attentive
+  /// sampling concentrates on the subnets that matter).
+  std::vector<std::vector<double>> pair_maturity_;
+  std::size_t total_visits_ = 0;
+  double sampled_potential_sum_ = 0.0;
+  std::size_t sampled_count_ = 0;
+  /// Accuracy floor at zero readiness (an untrained supernet is not at
+  /// chance level after its first epochs; this is the warm-start level).
+  double readiness_floor_ = 0.25;
+};
+
+}  // namespace hadas::supernet

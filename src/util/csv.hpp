@@ -1,0 +1,29 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hadas::util {
+
+/// Minimal CSV writer used to dump bench series (figure data) to disk so
+/// plots can be regenerated outside the repo.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a data row; width must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Append a row of preformatted strings; width must match the header.
+  void row(const std::vector<std::string>& values);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace hadas::util

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hadas::util {
+
+/// Minimal JSON value: null, bool, number (double), string, array, object.
+/// Supports parsing (strict, with position-annotated errors) and compact or
+/// pretty serialization. Used for persisting search configurations and
+/// results; not a general-purpose JSON library (no comments, no NaN/Inf).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// std::map keeps keys sorted -> deterministic serialization.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : type_(Type::kNumber), number_(value) {}
+  Json(std::size_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number() rounded and range-checked to a non-negative integer.
+  std::size_t as_index() const;
+  int as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Mutable containers (converts a null value in place).
+  Array& make_array();
+  Object& make_object();
+
+  /// Object member access; `at` throws std::out_of_range if missing.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  Json& operator[](const std::string& key);  ///< makes an object if null
+
+  /// Array element access; throws std::out_of_range.
+  const Json& at(std::size_t index) const;
+  std::size_t size() const;  ///< array/object element count; 0 otherwise
+
+  /// Serialize. indent < 0 -> compact single line; otherwise pretty-print
+  /// with the given indent width.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws std::invalid_argument with offset on error.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace hadas::util

@@ -1,0 +1,82 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace hadas::util {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("solve_spd: size mismatch");
+
+  // In-place Cholesky: A = L L^T, L stored in the lower triangle.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) throw std::runtime_error("solve_spd: not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) acc -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = acc / ljj;
+    }
+  }
+  // Forward substitution: L z = b.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= a[i * n + k] * z[k];
+    z[i] = acc / a[i * n + i];
+  }
+  // Back substitution: L^T x = z.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= a[k * n + ii] * x[k];
+    x[ii] = acc / a[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<double> ridge_regression(const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y,
+                                     double lambda) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("ridge_regression: bad inputs");
+  const std::size_t d = x.front().size();
+  for (const auto& row : x)
+    if (row.size() != d) throw std::invalid_argument("ridge_regression: ragged X");
+
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  std::vector<double> xtx(d * d, 0.0), xty(d, 0.0);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      xty[i] += x[r][i] * y[r];
+      for (std::size_t j = i; j < d; ++j) xtx[i * d + j] += x[r][i] * x[r][j];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    xtx[i * d + i] += lambda;
+    for (std::size_t j = 0; j < i; ++j) xtx[i * d + j] = xtx[j * d + i];
+  }
+  return solve_spd(std::move(xtx), std::move(xty));
+}
+
+double r_squared(const std::vector<double>& predictions,
+                 const std::vector<double>& targets) {
+  if (predictions.size() != targets.size() || targets.empty())
+    throw std::invalid_argument("r_squared: size mismatch");
+  const double mean_y = mean(targets);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ss_res += (targets[i] - predictions[i]) * (targets[i] - predictions[i]);
+    ss_tot += (targets[i] - mean_y) * (targets[i] - mean_y);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace hadas::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hadas::util {
+
+/// Solve the symmetric positive-definite system A x = b (Cholesky). `a` is
+/// row-major n x n; modified in place. Throws std::invalid_argument on size
+/// mismatch and std::runtime_error if A is not positive definite.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b);
+
+/// Ordinary ridge regression: given rows of features X (n x d) and targets
+/// y (n), returns w minimizing ||Xw - y||^2 + lambda ||w||^2.
+/// The caller includes a bias feature explicitly if desired.
+std::vector<double> ridge_regression(const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y,
+                                     double lambda);
+
+/// Coefficient of determination R^2 of predictions vs targets (1 = perfect;
+/// can be negative for bad fits).
+double r_squared(const std::vector<double>& predictions,
+                 const std::vector<double>& targets);
+
+}  // namespace hadas::util

@@ -1,0 +1,52 @@
+#include "util/mathutil.hpp"
+
+#include <stdexcept>
+
+namespace hadas::util {
+
+std::vector<double> softmax(const std::vector<double>& logits,
+                            double temperature) {
+  if (logits.empty()) return {};
+  if (temperature <= 0.0) throw std::invalid_argument("softmax: temperature <= 0");
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp((logits[i] - mx) / temperature);
+    total += out[i];
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+double entropy(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs)
+    if (p > 0.0) h -= p * std::log(p);
+  return h;
+}
+
+double normalized_entropy(const std::vector<double>& probs) {
+  if (probs.size() <= 1) return 0.0;
+  return entropy(probs) / std::log(static_cast<double>(probs.size()));
+}
+
+std::size_t make_divisible(double v, std::size_t divisor, std::size_t min_value) {
+  if (divisor == 0) throw std::invalid_argument("make_divisible: divisor == 0");
+  if (min_value == 0) min_value = divisor;
+  const double d = static_cast<double>(divisor);
+  auto rounded = static_cast<std::size_t>(std::max(
+      static_cast<double>(min_value), std::floor(v / d + 0.5) * d));
+  // Do not round down by more than 10% (standard MobileNet rule).
+  if (static_cast<double>(rounded) < 0.9 * v) rounded += divisor;
+  return rounded;
+}
+
+double trapezoid(const std::vector<double>& y, double dx) {
+  if (y.size() < 2) return 0.0;
+  double acc = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) acc += y[i];
+  return acc * dx;
+}
+
+}  // namespace hadas::util

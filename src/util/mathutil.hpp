@@ -1,0 +1,45 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace hadas::util {
+
+/// Clamp x to [lo, hi].
+inline double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// Linear interpolation between a and b at t in [0, 1].
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Logistic sigmoid.
+inline double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Numerically-stable softmax over a vector (in place variant returns copy).
+std::vector<double> softmax(const std::vector<double>& logits,
+                            double temperature = 1.0);
+
+/// Shannon entropy (nats) of a probability vector; tolerates zeros.
+double entropy(const std::vector<double>& probs);
+
+/// Normalized entropy in [0, 1] (entropy / log(n)); 0 for n <= 1.
+double normalized_entropy(const std::vector<double>& probs);
+
+/// Integer ceiling division for non-negative values.
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round to the nearest multiple of `divisor` that is >= `min_value`,
+/// mirroring the channel-rounding rule used by mobile NAS spaces
+/// (e.g. MobileNet/AttentiveNAS "make_divisible").
+std::size_t make_divisible(double v, std::size_t divisor,
+                           std::size_t min_value = 0);
+
+/// Trapezoidal numeric integration of samples y over uniformly spaced x.
+double trapezoid(const std::vector<double>& y, double dx);
+
+}  // namespace hadas::util

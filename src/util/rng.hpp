@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hadas::util {
+
+/// SplitMix64 — used to seed the main generator and to derive independent
+/// child seeds from a master seed. Stateless step function, one uint64 state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic, fast PRNG (xoshiro256**). All stochastic behaviour in the
+/// library flows through this class so that every experiment is exactly
+/// reproducible from a single master seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9d2c5680f1234567ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64-bit draw (also makes Rng a C++ UniformRandomBitGenerator).
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal draw (Box–Muller with caching).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator; the i-th child of a given parent
+  /// is deterministic in (parent seed, i).
+  Rng split();
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Draw an index according to the (non-negative, not necessarily
+  /// normalized) weights. Requires at least one positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hadas::util

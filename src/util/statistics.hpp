@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hadas::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for long runs; used by the deployment simulator and benches.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double variance(const std::vector<double>& v);
+
+double stddev(const std::vector<double>& v);
+
+/// Median (copies and partially sorts the input).
+double median(std::vector<double> v);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation of two equal-length series (0 if degenerate).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Geometric mean of positive values; 0 for an empty input.
+double geometric_mean(const std::vector<double>& v);
+
+}  // namespace hadas::util

@@ -1,0 +1,58 @@
+#include "util/strutil.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hadas::util {
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt_fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_si(double v, int precision) {
+  const double a = std::fabs(v);
+  if (a >= 1e9) return fmt_fixed(v / 1e9, precision) + "G";
+  if (a >= 1e6) return fmt_fixed(v / 1e6, precision) + "M";
+  if (a >= 1e3) return fmt_fixed(v / 1e3, precision) + "K";
+  return fmt_fixed(v, precision);
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream iss(s);
+  while (std::getline(iss, token, delim)) out.push_back(token);
+  if (!s.empty() && s.back() == delim) out.emplace_back();
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace hadas::util

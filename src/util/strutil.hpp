@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hadas::util {
+
+/// Fixed-precision decimal formatting, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int precision);
+
+/// Percentage with sign retained, e.g. fmt_pct(0.193, 1) == "19.3%".
+std::string fmt_pct(double fraction, int precision);
+
+/// Human-readable count with K/M/G suffix, e.g. fmt_si(2.94e11) == "294.0G".
+std::string fmt_si(double v, int precision = 1);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Split on a single-character delimiter (no empty-token elision).
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+}  // namespace hadas::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hadas::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Small fixed-width text-table printer used by the bench binaries to emit
+/// paper-style tables. Cells are strings; numeric formatting is the caller's
+/// job (see fmt_* helpers in strutil.hpp).
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no escaping of commas inside cells — keep cells clean).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hadas::util

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/hadas_engine.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+const supernet::SearchSpace& space() {
+  static const auto s = supernet::SearchSpace::attentive_nas();
+  return s;
+}
+
+// ---------- StaticEvaluator ----------
+
+TEST(StaticEvaluator, EvaluatesBaselinesConsistently) {
+  const core::StaticEvaluator eval(space(), hw::Target::kTx2PascalGpu);
+  const core::StaticEval a0 = eval.evaluate(supernet::baseline_a0());
+  const core::StaticEval a6 = eval.evaluate(supernet::baseline_a6());
+  EXPECT_LT(a0.energy_j, a6.energy_j);
+  EXPECT_LT(a0.latency_s, a6.latency_s);
+  EXPECT_LT(a0.accuracy, a6.accuracy);
+  EXPECT_EQ(a0.accuracy, eval.surrogate().accuracy(supernet::baseline_a0()));
+}
+
+TEST(StaticEvaluator, ObjectivesNegateCosts) {
+  core::StaticEval s;
+  s.accuracy = 0.9;
+  s.latency_s = 0.02;
+  s.energy_j = 0.1;
+  const core::Objectives obj = s.objectives();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0], 0.9);
+  EXPECT_EQ(obj[1], -0.02);
+  EXPECT_EQ(obj[2], -0.1);
+}
+
+// ---------- InnerEngine via HadasEngine ----------
+
+struct EngineFixture {
+  core::HadasEngine engine{space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config()};
+};
+
+EngineFixture& fx() {
+  static EngineFixture f;
+  return f;
+}
+
+TEST(InnerEngine, RunProducesValidSolutions) {
+  const core::IoeResult result = fx().engine.run_ioe(supernet::baseline_a0());
+  EXPECT_GT(result.evaluations, 0u);
+  ASSERT_FALSE(result.pareto.empty());
+  ASSERT_FALSE(result.history.empty());
+  const std::size_t layers =
+      static_cast<std::size_t>(supernet::baseline_a0().total_layers());
+  const auto device = hw::make_device(hw::Target::kTx2PascalGpu);
+  for (const auto& sol : result.pareto) {
+    EXPECT_GE(sol.placement.count(), 1u);
+    EXPECT_EQ(sol.placement.total_layers(), layers);
+    EXPECT_LT(sol.setting.core_idx, device.core_freqs_hz.size());
+    EXPECT_LT(sol.setting.emc_idx, device.emc_freqs_hz.size());
+    ASSERT_EQ(sol.objectives.size(), 3u);
+    EXPECT_NEAR(sol.objectives[0], sol.metrics.score_eq5, 1e-9);
+    EXPECT_NEAR(sol.objectives[2], sol.metrics.oracle_accuracy, 1e-9);
+  }
+}
+
+TEST(InnerEngine, ParetoIsNonDominatedSubsetOfHistory) {
+  const core::IoeResult result = fx().engine.run_ioe(supernet::baseline_a0());
+  for (const auto& a : result.pareto)
+    for (const auto& b : result.history)
+      EXPECT_FALSE(core::dominates(b.objectives, a.objectives));
+}
+
+TEST(InnerEngine, StaticBaselineMatchesEvaluator) {
+  const core::IoeResult result = fx().engine.run_ioe(supernet::baseline_a0());
+  const auto direct = fx().engine.static_evaluator().evaluate(supernet::baseline_a0());
+  EXPECT_NEAR(result.static_baseline.energy_j, direct.energy_j, 1e-9);
+}
+
+TEST(InnerEngine, DissimIsPassedThrough) {
+  dynn::DynamicScoreConfig off;
+  off.use_dissim = false;
+  const core::IoeResult without = fx().engine.run_ioe(supernet::baseline_a0(), off);
+  EXPECT_FALSE(without.pareto.empty());
+  // Determinism: re-running with the same score config reproduces results.
+  const core::IoeResult again = fx().engine.run_ioe(supernet::baseline_a0(), off);
+  ASSERT_EQ(without.history.size(), again.history.size());
+  EXPECT_EQ(without.history.front().objectives, again.history.front().objectives);
+}
+
+TEST(HadasEngine, ExitBankIsCachedByBackbone) {
+  const auto& a = fx().engine.exit_bank(supernet::baseline_a0());
+  const auto& b = fx().engine.exit_bank(supernet::baseline_a0());
+  EXPECT_EQ(&a, &b);  // same object: trained once
+}
+
+TEST(HadasEngine, EvaluateDynamicAgreesWithBank) {
+  const auto config = supernet::baseline_a0();
+  const auto& bank = fx().engine.exit_bank(config);
+  const std::size_t layers = bank.total_layers();
+  const dynn::ExitPlacement placement(layers, {5, 8});
+  const auto device = hw::make_device(hw::Target::kTx2PascalGpu);
+  const core::InnerSolution sol = fx().engine.evaluate_dynamic(
+      config, placement, hw::default_setting(device));
+  EXPECT_NEAR(sol.metrics.oracle_accuracy, bank.oracle_accuracy({5, 8}), 1e-12);
+  EXPECT_GT(sol.metrics.energy_gain, 0.0);
+}
+
+// ---------- full bi-level run ----------
+
+TEST(HadasEngine, FullRunInvariants) {
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config());
+  const core::HadasResult result = engine.run();
+
+  EXPECT_GT(result.outer_evaluations, 0u);
+  EXPECT_GT(result.inner_evaluations, 0u);
+  EXPECT_EQ(result.outer_evaluations, result.backbones.size());
+
+  // At most budgeted IOE launches.
+  std::size_t ioe_count = 0;
+  for (const auto& b : result.backbones) ioe_count += b.ioe_ran ? 1 : 0;
+  const auto& config = engine.config();
+  EXPECT_LE(ioe_count,
+            config.outer_generations * config.ioe_backbones_per_generation);
+  EXPECT_GE(ioe_count, 1u);
+
+  // static_front really is the non-dominated subset.
+  std::vector<core::Objectives> pts;
+  for (const auto& b : result.backbones) pts.push_back(b.static_eval.objectives());
+  auto expected = core::pareto_front(pts);
+  auto actual = result.static_front;
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+
+  // Final Pareto set: non-empty, mutually non-dominated in (gain, acc).
+  ASSERT_FALSE(result.final_pareto.empty());
+  for (const auto& a : result.final_pareto) {
+    for (const auto& b : result.final_pareto) {
+      const core::Objectives oa = {a.dynamic.energy_gain, a.dynamic.oracle_accuracy};
+      const core::Objectives ob = {b.dynamic.energy_gain, b.dynamic.oracle_accuracy};
+      EXPECT_FALSE(core::dominates(oa, ob));
+    }
+  }
+
+  // Every final solution's backbone was explored and IOE'd.
+  for (const auto& sol : result.final_pareto) {
+    bool found = false;
+    for (const auto& b : result.backbones)
+      if (b.config == sol.backbone && b.ioe_ran) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(HadasEngine, InnerHistoryTogglable) {
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  config.keep_inner_history = false;
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
+  const core::HadasResult result = engine.run();
+  for (const auto& b : result.backbones) EXPECT_TRUE(b.inner_history.empty());
+}
+
+TEST(HadasEngine, DeterministicBySeed) {
+  auto run_front_size = [] {
+    core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                             hadas::test::tiny_engine_config());
+    const core::HadasResult result = engine.run();
+    std::vector<double> gains;
+    for (const auto& sol : result.final_pareto)
+      gains.push_back(sol.dynamic.energy_gain);
+    return gains;
+  };
+  EXPECT_EQ(run_front_size(), run_front_size());
+}
+
+}  // namespace

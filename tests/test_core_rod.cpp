@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hadas::core;
+
+TEST(RatioOfDominance, BasicCases) {
+  const std::vector<Objectives> strong = {{2.0, 2.0}, {3.0, 0.05}};
+  const std::vector<Objectives> weak = {{1.0, 1.0}};
+  // One of strong's two points dominates a weak point -> 50%.
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(strong, weak), 0.5);
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(weak, strong), 0.0);
+  EXPECT_DOUBLE_EQ(ratio_of_dominance({}, weak), 0.0);
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(strong, {}), 0.0);
+}
+
+TEST(RatioOfDominance, SelfIsZeroForAFront) {
+  // A mutually non-dominated set cannot dominate itself.
+  const std::vector<Objectives> front = {{3.0, 1.0}, {2.0, 2.0}, {1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(front, front), 0.0);
+}
+
+TEST(RatioOfDominance, ShiftedFrontFullyDominates) {
+  std::vector<Objectives> base, shifted;
+  for (int i = 0; i < 10; ++i) {
+    base.push_back({static_cast<double>(i), 9.0 - i});
+    shifted.push_back({i + 1.0, 10.0 - i});
+  }
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(shifted, base), 1.0);
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(base, shifted), 0.0);
+}
+
+TEST(RatioOfDominance, DiffersFromCoverage) {
+  // A single super-point: RoD(A,B) counts A's dominant members (1/1 = 100%),
+  // coverage(A,B) counts B's dominated members (2/3).
+  const std::vector<Objectives> a = {{5.0, 5.0}};
+  const std::vector<Objectives> b = {{1.0, 1.0}, {2.0, 2.0}, {9.0, 0.1}};
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(a, b), 1.0);
+  EXPECT_NEAR(coverage(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RatioOfDominance, RandomizedConsistencyWithDominates) {
+  hadas::util::Rng rng(7);
+  std::vector<Objectives> a(20), b(20);
+  for (auto& p : a) p = {rng.uniform(), rng.uniform()};
+  for (auto& p : b) p = {rng.uniform(), rng.uniform()};
+  std::size_t expected = 0;
+  for (const auto& pa : a) {
+    for (const auto& pb : b) {
+      if (dominates(pa, pb)) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(ratio_of_dominance(a, b),
+                   static_cast<double>(expected) / 20.0);
+}
+
+}  // namespace

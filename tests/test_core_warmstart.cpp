@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/hadas_engine.hpp"
+#include "core/serialize.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+const supernet::SearchSpace& space() {
+  static const auto s = supernet::SearchSpace::attentive_nas();
+  return s;
+}
+
+struct WarmFixture {
+  core::HadasEngine engine{space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config()};
+  core::HadasResult first = engine.run();
+};
+
+WarmFixture& fx() {
+  static WarmFixture f;
+  return f;
+}
+
+TEST(WarmStart, BuiltFromSolutionsGroupsByBackbone) {
+  const core::WarmStart warm =
+      core::warm_start_from_solutions(space(), fx().first.final_pareto);
+  EXPECT_FALSE(warm.known.empty());
+  EXPECT_EQ(warm.population.size(), warm.known.size());
+  std::size_t total_solutions = 0;
+  for (const auto& outcome : warm.known) {
+    EXPECT_TRUE(outcome.ioe_ran);
+    EXPECT_FALSE(outcome.inner_pareto.empty());
+    EXPECT_GT(outcome.inner_hv, 0.0);
+    total_solutions += outcome.inner_pareto.size();
+  }
+  EXPECT_EQ(total_solutions, fx().first.final_pareto.size());
+}
+
+TEST(WarmStart, ResumedRunKeepsKnownResultsAndExploresMore) {
+  const core::WarmStart warm =
+      core::warm_start_from_solutions(space(), fx().first.final_pareto);
+
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  config.seed = 991;  // different continuation
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
+  const core::HadasResult resumed = engine.run(warm);
+
+  // All warm-started backbones are present and were not re-IOE'd as "new".
+  for (const auto& outcome : warm.known) {
+    bool found = false;
+    for (const auto& b : resumed.backbones)
+      if (b.config == outcome.config) {
+        found = true;
+        EXPECT_TRUE(b.ioe_ran);
+      }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GT(resumed.backbones.size(), warm.known.size());
+
+  // The resumed front can only be at least as good: every first-run solution
+  // is weakly dominated by something in the resumed front.
+  for (const auto& old_sol : fx().first.final_pareto) {
+    bool covered = false;
+    for (const auto& new_sol : resumed.final_pareto) {
+      if (new_sol.dynamic.energy_gain >= old_sol.dynamic.energy_gain - 1e-12 &&
+          new_sol.dynamic.oracle_accuracy >=
+              old_sol.dynamic.oracle_accuracy - 1e-12) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(WarmStart, RoundTripsThroughJson) {
+  const auto json =
+      core::result_to_json(fx().first, hw::Target::kTx2PascalGpu);
+  const auto solutions = core::final_pareto_from_json(json);
+  const core::WarmStart warm = core::warm_start_from_solutions(space(), solutions);
+  EXPECT_EQ(warm.known.size(),
+            core::warm_start_from_solutions(space(), fx().first.final_pareto)
+                .known.size());
+}
+
+TEST(WarmStart, EmptyWarmStartEqualsPlainRun) {
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config());
+  const core::HadasResult plain = engine.run();
+  core::HadasEngine engine2(space(), hw::Target::kTx2PascalGpu,
+                            hadas::test::tiny_engine_config());
+  const core::HadasResult warm = engine2.run(core::WarmStart{});
+  ASSERT_EQ(plain.final_pareto.size(), warm.final_pareto.size());
+  for (std::size_t i = 0; i < plain.final_pareto.size(); ++i)
+    EXPECT_EQ(plain.final_pareto[i].dynamic.energy_gain,
+              warm.final_pareto[i].dynamic.energy_gain);
+}
+
+// ---------- generation stats (core NSGA) ----------
+
+class StatsProblem final : public core::Problem {
+ public:
+  std::vector<std::size_t> gene_cardinalities() const override { return {16, 16}; }
+  core::Objectives evaluate(const core::IntGenome& g) override {
+    return {static_cast<double>(g[0]), static_cast<double>(g[1])};
+  }
+};
+
+TEST(GenerationStats, TracksConvergence) {
+  StatsProblem problem;
+  core::Nsga2Config config;
+  config.population = 12;
+  config.generations = 8;
+  config.hv_reference = {-1.0, -1.0};
+  const core::Nsga2Result result = core::Nsga2(config).run(problem);
+
+  ASSERT_EQ(result.generations.size(), 9u);  // gens 0..8 inclusive
+  for (const auto& stats : result.generations) {
+    ASSERT_EQ(stats.best.size(), 2u);
+    EXPECT_GE(stats.best[0], stats.mean[0]);
+    EXPECT_GE(stats.front_size, 1u);
+    EXPECT_GT(stats.hypervolume, 0.0);
+  }
+  // Monotone-ish improvement: the last generation's HV must be at least the
+  // first's (elitism guarantees no regression of the population front).
+  EXPECT_GE(result.generations.back().hypervolume,
+            result.generations.front().hypervolume);
+  // And the optimum corner should be found on this trivial problem.
+  EXPECT_EQ(result.generations.back().best[0], 15.0);
+  EXPECT_EQ(result.generations.back().best[1], 15.0);
+}
+
+TEST(GenerationStats, HvDisabledWithoutReference) {
+  StatsProblem problem;
+  core::Nsga2Config config;
+  config.population = 8;
+  config.generations = 2;
+  const core::Nsga2Result result = core::Nsga2(config).run(problem);
+  for (const auto& stats : result.generations)
+    EXPECT_EQ(stats.hypervolume, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Cross-device parameterized properties: every invariant that must hold on
+// each of the four hardware targets, swept with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dynn/exit_bank.hpp"
+#include "dynn/proxy_sampling.hpp"
+#include "hw/proxy.hpp"
+#include "runtime/governor.hpp"
+#include "supernet/baselines.hpp"
+#include "util/linalg.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace hadas;
+
+std::string target_label(const ::testing::TestParamInfo<hw::Target>& info) {
+  switch (info.param) {
+    case hw::Target::kAgxVoltaGpu: return "AgxVoltaGpu";
+    case hw::Target::kCarmelCpu: return "CarmelCpu";
+    case hw::Target::kTx2PascalGpu: return "Tx2PascalGpu";
+    case hw::Target::kDenverCpu: return "DenverCpu";
+  }
+  return "Unknown";
+}
+
+class PerDevice : public ::testing::TestWithParam<hw::Target> {
+ protected:
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  hw::HardwareEvaluator evaluator{hw::make_device(GetParam())};
+  supernet::NetworkCost net = cm.analyze(supernet::baseline_a6());
+  dynn::MultiExitCostTable table{net, evaluator};
+};
+
+TEST_P(PerDevice, ProxyFitsThisDeviceWell) {
+  const std::vector<supernet::NetworkCost> nets = {
+      cm.analyze(supernet::baseline_a0()), net};
+  const auto train = dynn::collect_proxy_samples(evaluator, nets, 40, 3);
+  const auto held_out = dynn::collect_proxy_samples(evaluator, nets, 30, 4);
+  const hw::ProxyModel proxy = hw::ProxyModel::fit(evaluator.device(), train);
+  std::vector<double> pe, te;
+  for (const auto& sample : held_out) {
+    pe.push_back(proxy.predict(sample.macs, sample.traffic_bytes,
+                               sample.layer_count, sample.setting)
+                     .energy_j);
+    te.push_back(sample.measured.energy_j);
+  }
+  EXPECT_GT(util::r_squared(pe, te), 0.95);
+  EXPECT_GT(util::spearman(pe, te), 0.97);
+}
+
+TEST_P(PerDevice, GovernorDeadlineEnergyTradeoff) {
+  const runtime::DvfsGovernor governor(table);
+  const double fastest =
+      table.full_network(governor.latency_optimal_full()).latency_s;
+  const auto tight = governor.min_energy_full(fastest * 1.02);
+  const auto loose = governor.min_energy_full(fastest * 3.0);
+  ASSERT_TRUE(tight.has_value());
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_LE(table.full_network(*loose).energy_j,
+            table.full_network(*tight).energy_j);
+  EXPECT_FALSE(governor.min_energy_full(fastest * 0.5).has_value());
+}
+
+TEST_P(PerDevice, EnergyOptimalSettingBeatsDefaultMeaningfully) {
+  const runtime::DvfsGovernor governor(table);
+  const auto optimal = governor.energy_optimal_full();
+  const double e_default =
+      table.full_network(hw::default_setting(evaluator.device())).energy_j;
+  const double e_optimal = table.full_network(optimal).energy_j;
+  // The DVFS landscape must offer real savings on every target (this is the
+  // headroom the F subspace search exploits).
+  EXPECT_LT(e_optimal, e_default * 0.95);
+  EXPECT_GT(e_optimal, e_default * 0.5);
+}
+
+TEST_P(PerDevice, ExitPathsOrderedAtEverySetting) {
+  for (const hw::DvfsSetting setting :
+       {hw::DvfsSetting{0, 0},
+        hw::DvfsSetting{evaluator.device().core_freqs_hz.size() - 1, 0},
+        hw::default_setting(evaluator.device())}) {
+    double prev = 0.0;
+    for (std::size_t layer = 4; layer < net.num_mbconv_layers() - 1; layer += 5) {
+      const double energy = table.exit_path(layer, setting).energy_j;
+      EXPECT_GT(energy, prev);
+      prev = energy;
+    }
+    EXPECT_GT(table.full_network(setting).energy_j, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, PerDevice,
+                         ::testing::ValuesIn(hw::all_targets()), target_label);
+
+// ---------- effective depth fraction (emergence stretch) ----------
+
+TEST(EffectiveDepth, IdentityAtBaseResolutionAndFullDepth) {
+  for (double t : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(dynn::effective_depth_fraction(t, 192), t);
+  }
+  for (int res : {192, 224, 256, 288}) {
+    EXPECT_DOUBLE_EQ(dynn::effective_depth_fraction(1.0, res), 1.0);
+    EXPECT_DOUBLE_EQ(dynn::effective_depth_fraction(0.0, res), 0.0);
+  }
+}
+
+TEST(EffectiveDepth, HigherResolutionDelaysEmergence) {
+  for (double t : {0.2, 0.4, 0.6, 0.8}) {
+    double prev = 1.0;
+    for (int res : {192, 224, 256, 288}) {
+      const double eff = dynn::effective_depth_fraction(t, res);
+      EXPECT_LE(eff, prev) << "t=" << t << " res=" << res;
+      EXPECT_LE(eff, t + 1e-12);
+      prev = eff;
+    }
+  }
+}
+
+TEST(EffectiveDepth, MonotoneInDepth) {
+  for (int res : {192, 288}) {
+    double prev = -1.0;
+    for (double t = 0.05; t <= 1.0; t += 0.05) {
+      const double eff = dynn::effective_depth_fraction(t, res);
+      EXPECT_GT(eff, prev);
+      prev = eff;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "dynn/multi_exit_cost.hpp"
+#include "supernet/baselines.hpp"
+
+namespace {
+
+using namespace hadas;
+using hadas::hw::DvfsSetting;
+
+struct Fixture {
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  supernet::NetworkCost net = cm.analyze(supernet::baseline_a6());
+  dynn::MultiExitCostTable table{net, evaluator};
+  DvfsSetting def = hw::default_setting(evaluator.device());
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+TEST(ExitBranchCost, CompactRelativeToBackbone) {
+  for (std::size_t i = 0; i < fx().net.num_mbconv_layers(); ++i) {
+    const double branch = fx().table.exit_branch_macs(i);
+    EXPECT_GT(branch, 0.0);
+    // The fixed exit block is small by construction (pooled conv + FC).
+    EXPECT_LT(branch, fx().net.total_macs * 0.05) << "layer " << i;
+  }
+}
+
+TEST(ExitBranchCost, ScalesWithTapChannels) {
+  // Later taps have more channels -> costlier exit conv.
+  const double early = fx().table.exit_branch_macs(0);
+  const double late = fx().table.exit_branch_macs(fx().net.num_mbconv_layers() - 1);
+  EXPECT_GT(late, early);
+}
+
+TEST(ExitBranchCost, BuilderMatchesSpec) {
+  const dynn::ExitBranchSpec spec;
+  const auto tap = fx().net.mbconv_layer(10);
+  const auto branch = exit_branch_cost(tap, spec);
+  EXPECT_EQ(branch.out_channels, spec.num_classes);
+  EXPECT_GT(branch.params, 0.0);
+  EXPECT_GT(branch.traffic_bytes, 0.0);
+}
+
+TEST(MultiExitCost, FullNetworkMatchesDirectMeasurement) {
+  const auto via_table = fx().table.full_network(fx().def);
+  const auto direct = fx().evaluator.measure_network(fx().net, fx().def);
+  EXPECT_NEAR(via_table.latency_s, direct.latency_s, direct.latency_s * 1e-9);
+  EXPECT_NEAR(via_table.energy_j, direct.energy_j, direct.energy_j * 1e-9);
+}
+
+TEST(MultiExitCost, ExitPathMonotoneInLayer) {
+  double prev_energy = 0.0, prev_latency = 0.0;
+  for (std::size_t i = 4; i < fx().net.num_mbconv_layers() - 1; ++i) {
+    const auto m = fx().table.exit_path(i, fx().def);
+    EXPECT_GT(m.energy_j, prev_energy) << "layer " << i;
+    EXPECT_GT(m.latency_s, prev_latency);
+    prev_energy = m.energy_j;
+    prev_latency = m.latency_s;
+  }
+}
+
+TEST(MultiExitCost, EarlyExitCheaperThanFull) {
+  const auto full = fx().table.full_network(fx().def);
+  const auto exit5 = fx().table.exit_path(5, fx().def);
+  EXPECT_LT(exit5.energy_j, full.energy_j * 0.7);
+  EXPECT_LT(exit5.latency_s, full.latency_s);
+}
+
+TEST(MultiExitCost, LastLayerExitCanExceedNothing) {
+  // Exiting at the very last MBConv layer + branch should cost at most about
+  // the full network (the branch replaces the final 1x1-conv head).
+  const auto last =
+      fx().table.exit_path(fx().net.num_mbconv_layers() - 1, fx().def);
+  const auto full = fx().table.full_network(fx().def);
+  EXPECT_LT(last.energy_j, full.energy_j * 1.1);
+}
+
+TEST(MultiExitCost, ThrowsOnBadLayer) {
+  EXPECT_THROW(fx().table.exit_path(fx().net.num_mbconv_layers(), fx().def),
+               std::out_of_range);
+  EXPECT_THROW(fx().table.exit_branch_macs(999), std::out_of_range);
+}
+
+TEST(MultiExitCost, SettingsAreMemoizedConsistently) {
+  const DvfsSetting other{3, 4};
+  const auto first = fx().table.exit_path(10, other);
+  const auto second = fx().table.exit_path(10, other);
+  EXPECT_EQ(first.energy_j, second.energy_j);
+  EXPECT_EQ(first.latency_s, second.latency_s);
+}
+
+TEST(MultiExitCost, LowerFrequencyRaisesExitLatency) {
+  const auto fast = fx().table.exit_path(10, fx().def);
+  const auto slow = fx().table.exit_path(10, {0, fx().def.emc_idx});
+  EXPECT_GT(slow.latency_s, fast.latency_s * 2.0);
+}
+
+// ---------- cascade paths ----------
+
+TEST(CascadePath, ExitedEqualsExitPathPlusEarlierBranches) {
+  const auto direct = fx().table.exit_path(12, fx().def);
+  const auto cascade = fx().table.cascade_path({12}, true, fx().def);
+  // A single visited exit == the plain exit path (one branch, stop there).
+  EXPECT_NEAR(cascade.latency_s, direct.latency_s, 1e-12);
+  EXPECT_NEAR(cascade.energy_j, direct.energy_j, 1e-12);
+
+  const auto two = fx().table.cascade_path({6, 12}, true, fx().def);
+  EXPECT_GT(two.energy_j, direct.energy_j);  // pays for the skipped exit 6
+  EXPECT_GT(two.latency_s, direct.latency_s);
+}
+
+TEST(CascadePath, NotExitedCostsMoreThanStatic) {
+  const auto full = fx().table.full_network(fx().def);
+  const auto cascade = fx().table.cascade_path({6, 12, 20}, false, fx().def);
+  EXPECT_GT(cascade.energy_j, full.energy_j);
+  EXPECT_GT(cascade.latency_s, full.latency_s);
+}
+
+TEST(CascadePath, EmptyVisitedNotExitedIsStatic) {
+  const auto full = fx().table.full_network(fx().def);
+  const auto cascade = fx().table.cascade_path({}, false, fx().def);
+  EXPECT_NEAR(cascade.energy_j, full.energy_j, 1e-12);
+}
+
+TEST(CascadePath, Validates) {
+  EXPECT_THROW(fx().table.cascade_path({}, true, fx().def), std::invalid_argument);
+  EXPECT_THROW(fx().table.cascade_path({12, 6}, true, fx().def),
+               std::invalid_argument);
+  EXPECT_THROW(fx().table.cascade_path({6, 6}, true, fx().def),
+               std::invalid_argument);
+  EXPECT_THROW(fx().table.cascade_path({999}, true, fx().def), std::out_of_range);
+}
+
+class CascadeChainSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CascadeChainSweep, LongerChainsAreMonotonelyCostlier) {
+  std::vector<std::size_t> visited;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    visited.push_back(5 + i * 3);
+    const auto m = fx().table.cascade_path(visited, false, fx().def);
+    EXPECT_GT(m.energy_j, prev);
+    prev = m.energy_j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, CascadeChainSweep,
+                         ::testing::Values(1u, 3u, 6u, 9u));
+
+}  // namespace

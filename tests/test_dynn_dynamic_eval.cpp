@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dynn/dynamic_eval.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct EvalFixture {
+  data::SyntheticTask task{hadas::test::small_data()};
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  supernet::NetworkCost cost = cm.analyze(supernet::baseline_a0());
+  dynn::ExitBank bank{task, cost, 6.5, hadas::test::small_bank()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  dynn::MultiExitCostTable table{cost, evaluator};
+  dynn::DynamicEvaluator eval{bank, table};
+  hw::DvfsSetting def = hw::default_setting(evaluator.device());
+  std::size_t layers = cost.num_mbconv_layers();
+};
+
+EvalFixture& fx() {
+  static EvalFixture f;
+  return f;
+}
+
+TEST(DynamicEval, StaticBaselineMatchesCostTable) {
+  const auto baseline = fx().eval.static_baseline();
+  const auto direct = fx().table.full_network(fx().def);
+  EXPECT_NEAR(baseline.energy_j, direct.energy_j, 1e-12);
+}
+
+TEST(DynamicEval, MetricsAreInSaneRanges) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 9});
+  const auto m = fx().eval.evaluate(placement, fx().def);
+  EXPECT_GE(m.score_eq5, 0.0);
+  EXPECT_LE(m.score_eq5, 1.0);
+  EXPECT_GT(m.mean_n, 0.0);
+  EXPECT_LE(m.mean_n, 1.0);
+  EXPECT_GE(m.oracle_accuracy, fx().bank.backbone_accuracy() - 1e-12);
+  EXPECT_LE(m.oracle_accuracy, 1.0);
+  EXPECT_GT(m.energy_per_sample_j, 0.0);
+  EXPECT_GT(m.latency_per_sample_s, 0.0);
+  EXPECT_LT(m.energy_gain, 1.0);
+  EXPECT_LT(m.latency_gain, 1.0);
+}
+
+TEST(DynamicEval, MeanNMatchesBank) {
+  const dynn::ExitPlacement placement(fx().layers, {6, 10});
+  const auto m = fx().eval.evaluate(placement, fx().def);
+  const double expected = 0.5 * (fx().bank.exit_at(6).val_accuracy +
+                                 fx().bank.exit_at(10).val_accuracy);
+  EXPECT_NEAR(m.mean_n, expected, 1e-12);
+}
+
+TEST(DynamicEval, OracleAccuracyMatchesBankUnion) {
+  const std::vector<std::size_t> exits = {5, 8, 11};
+  const dynn::ExitPlacement placement(fx().layers, exits);
+  const auto m = fx().eval.evaluate(placement, fx().def);
+  EXPECT_NEAR(m.oracle_accuracy, fx().bank.oracle_accuracy(exits), 1e-12);
+}
+
+TEST(DynamicEval, EarlyExitsYieldPositiveEnergyGain) {
+  // A0-sized backbone with exits sampled early: the ideal mapping must save
+  // energy at default DVFS.
+  const dynn::ExitPlacement placement(fx().layers, {5, 8});
+  const auto m = fx().eval.evaluate(placement, fx().def);
+  EXPECT_GT(m.energy_gain, 0.0);
+  EXPECT_GT(m.latency_gain, 0.0);
+}
+
+TEST(DynamicEval, EnergyGainBeatLateExitsWithEarlyOnes) {
+  const dynn::ExitPlacement early(fx().layers, {5, 7});
+  const dynn::ExitPlacement late(fx().layers, {fx().layers - 3, fx().layers - 2});
+  const auto m_early = fx().eval.evaluate(early, fx().def);
+  const auto m_late = fx().eval.evaluate(late, fx().def);
+  EXPECT_GT(m_early.energy_gain, m_late.energy_gain);
+}
+
+TEST(DynamicEval, RejectsBadInputs) {
+  const dynn::ExitPlacement empty(fx().layers);
+  EXPECT_THROW(fx().eval.evaluate(empty, fx().def), std::invalid_argument);
+  const dynn::ExitPlacement wrong_backbone(fx().layers + 5, {6});
+  EXPECT_THROW(fx().eval.evaluate(wrong_backbone, fx().def), std::invalid_argument);
+}
+
+TEST(DynamicEval, DissimRegularizerPenalizesRedundantExits) {
+  // Two adjacent exits have similar N_i; the dissimilarity term must lower
+  // the second exit's contribution, so eq.(5) with dissim <= without.
+  dynn::DynamicScoreConfig with;
+  with.use_dissim = true;
+  with.gamma = 1.0;
+  dynn::DynamicScoreConfig without;
+  without.use_dissim = false;
+  const dynn::DynamicEvaluator eval_with(fx().bank, fx().table, with);
+  const dynn::DynamicEvaluator eval_without(fx().bank, fx().table, without);
+  const dynn::ExitPlacement redundant(fx().layers, {9, 10, 11});
+  EXPECT_LT(eval_with.evaluate(redundant, fx().def).score_eq5,
+            eval_without.evaluate(redundant, fx().def).score_eq5);
+}
+
+TEST(DynamicEval, HigherGammaPenalizesMore) {
+  dynn::DynamicScoreConfig g1{1.0, true};
+  dynn::DynamicScoreConfig g4{4.0, true};
+  const dynn::DynamicEvaluator eval1(fx().bank, fx().table, g1);
+  const dynn::DynamicEvaluator eval4(fx().bank, fx().table, g4);
+  const dynn::ExitPlacement placement(fx().layers, {8, 9, 10});
+  EXPECT_LE(eval4.evaluate(placement, fx().def).score_eq5,
+            eval1.evaluate(placement, fx().def).score_eq5);
+}
+
+TEST(DynamicEval, FirstExitUnaffectedByDissim) {
+  // A single exit has no predecessors: dissim = 1 - max(empty) = 1, so the
+  // score matches the unregularized one.
+  dynn::DynamicScoreConfig with{2.0, true};
+  dynn::DynamicScoreConfig without{2.0, false};
+  const dynn::DynamicEvaluator eval_with(fx().bank, fx().table, with);
+  const dynn::DynamicEvaluator eval_without(fx().bank, fx().table, without);
+  const dynn::ExitPlacement single(fx().layers, {7});
+  EXPECT_NEAR(eval_with.evaluate(single, fx().def).score_eq5,
+              eval_without.evaluate(single, fx().def).score_eq5, 1e-12);
+}
+
+TEST(DynamicEval, DvfsSettingShiftsEnergy) {
+  const dynn::ExitPlacement placement(fx().layers, {6, 9});
+  const auto at_max = fx().eval.evaluate(placement, fx().def);
+  // Mid-range core frequency: on this power model it should beat max-freq
+  // energy (race-to-idle does not hold with the dynamic-dominant balance).
+  bool some_setting_beats_default = false;
+  for (std::size_t c = 0; c + 1 < fx().evaluator.device().core_freqs_hz.size();
+       ++c) {
+    const auto m = fx().eval.evaluate(placement, {c, fx().def.emc_idx});
+    if (m.energy_per_sample_j < at_max.energy_per_sample_j)
+      some_setting_beats_default = true;
+  }
+  EXPECT_TRUE(some_setting_beats_default);
+}
+
+class PlacementSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlacementSizeSweep, MoreExitsNeverHurtOracleAccuracy) {
+  std::vector<std::size_t> exits;
+  double prev_acc = 0.0;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    exits.push_back(5 + i * 2);
+    const dynn::ExitPlacement placement(fx().layers, exits);
+    const auto m = fx().eval.evaluate(placement, fx().def);
+    EXPECT_GE(m.oracle_accuracy, prev_acc);
+    prev_acc = m.oracle_accuracy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlacementSizeSweep, ::testing::Values(2u, 4u, 6u));
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "dynn/exit_placement.hpp"
+
+namespace {
+
+using hadas::dynn::ExitPlacement;
+
+TEST(ExitPlacement, EligibilityWindowMatchesPaper) {
+  // 20 layers -> eligible positions are layers 4..18 (0-based): the paper's
+  // "from the 5th layer to the last layer", with the last layer's classifier
+  // being the backbone head itself.
+  ExitPlacement p(20);
+  EXPECT_EQ(p.num_eligible(), 15u);
+  EXPECT_FALSE(p.is_eligible(0));
+  EXPECT_FALSE(p.is_eligible(3));
+  EXPECT_TRUE(p.is_eligible(4));
+  EXPECT_TRUE(p.is_eligible(18));
+  EXPECT_FALSE(p.is_eligible(19));
+  EXPECT_FALSE(p.is_eligible(25));
+}
+
+TEST(ExitPlacement, MaxExitCountMatchesTableII) {
+  // Table II: nX in [1, sum(l) - 5].
+  ExitPlacement p(17);  // a0 depth
+  EXPECT_EQ(p.num_eligible(), 17u - 5u);
+}
+
+TEST(ExitPlacement, SetAndQueryExits) {
+  ExitPlacement p(20, {5, 9, 14});
+  EXPECT_EQ(p.count(), 3u);
+  EXPECT_TRUE(p.has_exit(5));
+  EXPECT_TRUE(p.has_exit(14));
+  EXPECT_FALSE(p.has_exit(6));
+  EXPECT_EQ(p.positions(), (std::vector<std::size_t>{5, 9, 14}));
+  p.set_exit(9, false);
+  EXPECT_EQ(p.count(), 2u);
+}
+
+TEST(ExitPlacement, ConstructorValidates) {
+  EXPECT_THROW(ExitPlacement(20, {3}), std::invalid_argument);   // too early
+  EXPECT_THROW(ExitPlacement(20, {19}), std::invalid_argument);  // the head
+  EXPECT_THROW(ExitPlacement(20, {5, 5}), std::invalid_argument);
+}
+
+TEST(ExitPlacement, SetThrowsOnIneligible) {
+  ExitPlacement p(20);
+  EXPECT_THROW(p.set_exit(2, true), std::invalid_argument);
+  EXPECT_THROW(p.set_exit(19, true), std::invalid_argument);
+}
+
+TEST(ExitPlacement, TooShallowBackboneHasNoEligible) {
+  ExitPlacement p(5);
+  EXPECT_EQ(p.num_eligible(), 0u);
+  hadas::util::Rng rng(1);
+  EXPECT_THROW(ExitPlacement::random(5, rng), std::invalid_argument);
+}
+
+TEST(ExitPlacement, RandomAlwaysHasAtLeastOneExit) {
+  hadas::util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = ExitPlacement::random(25, rng);
+    EXPECT_GE(p.count(), 1u);
+    for (std::size_t layer : p.positions()) EXPECT_TRUE(p.is_eligible(layer));
+  }
+}
+
+TEST(ExitPlacement, MutatePreservesInvariant) {
+  hadas::util::Rng rng(3);
+  auto p = ExitPlacement::random(25, rng);
+  for (int i = 0; i < 200; ++i) {
+    p.mutate(0.2, rng);
+    EXPECT_GE(p.count(), 1u);
+  }
+}
+
+TEST(ExitPlacement, MutateRepairsEmptyPlacement) {
+  ExitPlacement p(25);  // deliberately empty
+  hadas::util::Rng rng(4);
+  p.mutate(0.1, rng);
+  EXPECT_EQ(p.count(), 1u);
+}
+
+TEST(ExitPlacement, MutateZeroRateKeepsGenome) {
+  hadas::util::Rng rng(5);
+  auto p = ExitPlacement::random(25, rng);
+  const auto before = p.positions();
+  p.mutate(0.0, rng);
+  EXPECT_EQ(p.positions(), before);
+}
+
+TEST(ExitPlacement, DescribeIsReadable) {
+  const ExitPlacement p(20, {5, 14});
+  EXPECT_EQ(p.describe(), "x@[5,14]");
+  EXPECT_EQ(ExitPlacement(20).describe(), "x@[]");
+}
+
+TEST(ExitPlacement, EqualityAndMask) {
+  const ExitPlacement a(20, {5, 9});
+  const ExitPlacement b(20, {5, 9});
+  const ExitPlacement c(20, {5, 10});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.mask().size(), a.num_eligible());
+}
+
+class PlacementDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlacementDepthSweep, EligibleCountIsDepthMinusFive) {
+  const std::size_t layers = GetParam();
+  ExitPlacement p(layers);
+  EXPECT_EQ(p.num_eligible(), layers >= 6 ? layers - 5 : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PlacementDepthSweep,
+                         ::testing::Values(4u, 6u, 17u, 25u, 37u));
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "dynn/exit_bank.hpp"
+#include "supernet/baselines.hpp"
+
+namespace {
+
+using namespace hadas;
+
+supernet::LayerCost make_tap(int channels, int size) {
+  supernet::LayerCost tap;
+  tap.out_channels = channels;
+  tap.out_size = size;
+  return tap;
+}
+
+TEST(TapQuality, BoundedMultiplier) {
+  for (int channels : {8, 32, 128, 512}) {
+    for (int size : {4, 7, 14, 28, 56, 112}) {
+      for (double t : {0.0, 0.3, 0.7, 1.0}) {
+        const double m = dynn::tap_quality_multiplier(make_tap(channels, size), t);
+        EXPECT_GE(m, 0.5);
+        EXPECT_LE(m, 1.4);
+      }
+    }
+  }
+}
+
+TEST(TapQuality, MoreChannelsIsBetter) {
+  const double narrow = dynn::tap_quality_multiplier(make_tap(32, 14), 0.4);
+  const double wide = dynn::tap_quality_multiplier(make_tap(96, 14), 0.4);
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(TapQuality, LargeFeatureMapsArePenalized) {
+  const double small = dynn::tap_quality_multiplier(make_tap(64, 14), 0.3);
+  const double large = dynn::tap_quality_multiplier(make_tap(64, 56), 0.3);
+  EXPECT_GT(small, large);
+}
+
+TEST(TapQuality, NoBonusBelowHeadReadySize) {
+  // Below ~14x14 the spatial term saturates: 7x7 is not better than 14x14.
+  const double at14 = dynn::tap_quality_multiplier(make_tap(64, 14), 0.5);
+  const double at7 = dynn::tap_quality_multiplier(make_tap(64, 7), 0.5);
+  EXPECT_DOUBLE_EQ(at14, at7);
+}
+
+TEST(TapQuality, DeeperReferenceRaisesTheBar) {
+  // The same physical tap is above-par early and below-par late.
+  const auto tap = make_tap(64, 14);
+  EXPECT_GT(dynn::tap_quality_multiplier(tap, 0.1),
+            dynn::tap_quality_multiplier(tap, 0.9));
+}
+
+TEST(TapQuality, HighResolutionBackboneHasWorseEarlyTaps) {
+  // Compare the first eligible tap of a0 (192px) and a6 (288px): a6's sits
+  // on a larger feature map and must score lower — the effect behind a6's
+  // small early-exit gains in Table III.
+  const supernet::CostModel cm(supernet::SearchSpace::attentive_nas());
+  const auto a0 = cm.analyze(supernet::baseline_a0());
+  const auto a6 = cm.analyze(supernet::baseline_a6());
+  const std::size_t layer = dynn::ExitPlacement::kFirstEligible;
+  const double q_a0 = dynn::tap_quality_multiplier(a0.mbconv_layer(layer),
+                                                   a0.depth_fraction(layer));
+  const double q_a6 = dynn::tap_quality_multiplier(a6.mbconv_layer(layer),
+                                                   a6.depth_fraction(layer));
+  EXPECT_GT(q_a0, q_a6);
+}
+
+TEST(TapQuality, LateTapsOfBigModelsAreFine) {
+  const supernet::CostModel cm(supernet::SearchSpace::attentive_nas());
+  const auto a6 = cm.analyze(supernet::baseline_a6());
+  const std::size_t last = a6.num_mbconv_layers() - 2;
+  const double q = dynn::tap_quality_multiplier(a6.mbconv_layer(last),
+                                                a6.depth_fraction(last));
+  EXPECT_GT(q, 0.85);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Failure injection: degenerate configurations, truncated/corrupt persisted
+// state, and hostile inputs must fail loudly (exceptions) or degrade to
+// well-defined empty results — never crash or silently mis-compute.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/serialize.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+const supernet::SearchSpace& space() {
+  static const auto s = supernet::SearchSpace::attentive_nas();
+  return s;
+}
+
+TEST(FailureInjection, ZeroGenerationEngineRunIsEmptyButValid) {
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  config.outer_generations = 0;
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
+  const core::HadasResult result = engine.run();
+  EXPECT_TRUE(result.backbones.empty());
+  EXPECT_TRUE(result.static_front.empty());
+  EXPECT_TRUE(result.final_pareto.empty());
+  EXPECT_EQ(result.inner_evaluations, 0u);
+}
+
+TEST(FailureInjection, ZeroIoePerGenerationStillSearchesStatically) {
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  config.ioe_backbones_per_generation = 0;
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
+  const core::HadasResult result = engine.run();
+  EXPECT_FALSE(result.backbones.empty());
+  EXPECT_FALSE(result.static_front.empty());
+  EXPECT_TRUE(result.final_pareto.empty());  // nothing was IOE'd
+}
+
+TEST(FailureInjection, ImpossibleLatencyBudgetYieldsNoIoeRuns) {
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  config.max_latency_s = 1e-6;  // nothing in B is this fast
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
+  const core::HadasResult result = engine.run();
+  for (const auto& outcome : result.backbones) EXPECT_FALSE(outcome.ioe_ran);
+  EXPECT_TRUE(result.final_pareto.empty());
+}
+
+TEST(FailureInjection, DegenerateDataConfigsThrow) {
+  data::DataConfig one_class;
+  one_class.num_classes = 1;
+  EXPECT_THROW(data::SyntheticTask{one_class}, std::invalid_argument);
+  data::DataConfig no_dim;
+  no_dim.feature_dim = 0;
+  EXPECT_THROW(data::SyntheticTask{no_dim}, std::invalid_argument);
+  data::DataConfig empty_train;
+  empty_train.train_size = 0;
+  EXPECT_THROW(data::SyntheticTask{empty_train}, std::invalid_argument);
+}
+
+TEST(FailureInjection, TruncatedResultFileFailsCleanly) {
+  // Write a valid result, truncate it at several byte offsets, and verify
+  // every prefix produces a parse exception rather than garbage solutions.
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config());
+  const core::HadasResult result = engine.run();
+  const std::string full =
+      core::result_to_json(result, hw::Target::kTx2PascalGpu).dump(2);
+  const std::string path = "/tmp/hadas_truncated.json";
+  for (double fraction : {0.1, 0.5, 0.9, 0.99}) {
+    {
+      std::ofstream out(path);
+      out << full.substr(0, static_cast<std::size_t>(full.size() * fraction));
+    }
+    EXPECT_THROW(core::final_pareto_from_json(core::load_json(path)),
+                 std::exception)
+        << "fraction " << fraction;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TamperedResultFieldsAreRejected) {
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config());
+  const core::HadasResult result = engine.run();
+  ASSERT_FALSE(result.final_pareto.empty());
+  auto json = core::result_to_json(result, hw::Target::kTx2PascalGpu);
+
+  // Exit layer out of range for the stored backbone.
+  auto tampered = json;
+  tampered["final_pareto"].make_array()[0]["placement"]["exits"]
+      .make_array()
+      .push_back(util::Json(10000));
+  EXPECT_THROW(core::final_pareto_from_json(tampered), std::exception);
+
+  // Stage list of the wrong length.
+  auto tampered2 = json;
+  tampered2["final_pareto"].make_array()[0]["backbone"]["stages"]
+      .make_array()
+      .pop_back();
+  EXPECT_THROW(core::final_pareto_from_json(tampered2), std::exception);
+
+  // Negative index where a DVFS index belongs.
+  auto tampered3 = json;
+  tampered3["final_pareto"].make_array()[0]["setting"]["core_idx"] =
+      util::Json(-3);
+  EXPECT_THROW(core::final_pareto_from_json(tampered3), std::exception);
+}
+
+TEST(FailureInjection, WarmStartWithForeignSpaceGenomeIsDropped) {
+  // A warm-start population genome from a different space (wrong length) is
+  // silently skipped rather than decoded out of bounds.
+  core::WarmStart warm;
+  warm.population.push_back(supernet::Genome{1, 2, 3});  // wrong length
+  core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config());
+  const core::HadasResult result = engine.run(warm);
+  EXPECT_FALSE(result.backbones.empty());
+}
+
+}  // namespace

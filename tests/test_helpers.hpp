@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared reduced-size configurations so the test suite stays fast while
+// still exercising the real training / search code paths.
+
+#include "core/hadas_engine.hpp"
+#include "data/synthetic_task.hpp"
+#include "dynn/exit_bank.hpp"
+
+namespace hadas::test {
+
+/// Small synthetic task: enough samples for stable-ish accuracies, ~10x
+/// faster than the defaults.
+inline data::DataConfig small_data() {
+  data::DataConfig config;
+  config.train_size = 700;
+  config.val_size = 400;
+  config.test_size = 400;
+  config.seed = 1234;
+  return config;
+}
+
+/// Matching exit-bank training config (fewer epochs).
+inline dynn::ExitBankConfig small_bank() {
+  dynn::ExitBankConfig config;
+  config.train.epochs = 5;
+  return config;
+}
+
+/// Tiny bi-level engine budgets for integration tests.
+inline core::HadasConfig tiny_engine_config() {
+  core::HadasConfig config;
+  config.outer_population = 8;
+  config.outer_generations = 3;
+  config.ioe_backbones_per_generation = 1;
+  config.ioe.nsga.population = 12;
+  config.ioe.nsga.generations = 6;
+  config.data = small_data();
+  config.bank = small_bank();
+  config.seed = 77;
+  return config;
+}
+
+}  // namespace hadas::test

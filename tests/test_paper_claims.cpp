@@ -1,0 +1,97 @@
+// Regression net over the paper's headline claims at miniature budgets:
+// if a change to the models or engines breaks one of these orderings, the
+// full benches would no longer reproduce the paper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hadas_engine.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct ClaimsFixture {
+  supernet::SearchSpace space = supernet::SearchSpace::attentive_nas();
+  core::HadasConfig config = [] {
+    core::HadasConfig c = hadas::test::tiny_engine_config();
+    c.outer_population = 12;
+    c.outer_generations = 4;
+    c.ioe_backbones_per_generation = 2;
+    return c;
+  }();
+  core::HadasEngine engine{space, hw::Target::kTx2PascalGpu, config};
+  core::HadasResult hadas_run = engine.run();
+  core::IoeResult a0 = engine.run_ioe(supernet::baseline_a0());
+  core::IoeResult a6 = engine.run_ioe(supernet::baseline_a6());
+};
+
+ClaimsFixture& fx() {
+  static ClaimsFixture f;
+  return f;
+}
+
+double best_gain(const core::IoeResult& ioe) {
+  double best = 0.0;
+  for (const auto& sol : ioe.pareto)
+    best = std::max(best, sol.metrics.energy_gain);
+  return best;
+}
+
+TEST(PaperClaims, EExAccuracyExceedsBackboneAccuracy) {
+  // Table III: EEx Acc > Baseline Acc for every model (the multi-exit union
+  // effect), by several points.
+  for (const core::IoeResult* ioe : {&fx().a0, &fx().a6}) {
+    double best_acc = 0.0;
+    for (const auto& sol : ioe->pareto)
+      best_acc = std::max(best_acc, sol.metrics.oracle_accuracy);
+    EXPECT_GT(best_acc, 0.90);
+  }
+}
+
+TEST(PaperClaims, BigModelsGainMoreFromEExAndDvfs) {
+  // a6 (383 mJ static) has far more to cut than a0 (94 mJ static).
+  EXPECT_GT(best_gain(fx().a6), best_gain(fx().a0) + 0.10);
+}
+
+TEST(PaperClaims, SearchedDesignBeatsA6OnBothAxes) {
+  // Fig. 5 / Table III: some HADAS design dominates the optimized a6 —
+  // lower absolute dynamic energy AND at least comparable dynamic accuracy.
+  double a6_best_acc = 0.0, a6_cheapest = 1e18;
+  for (const auto& sol : fx().a6.pareto) {
+    a6_best_acc = std::max(a6_best_acc, sol.metrics.oracle_accuracy);
+    a6_cheapest = std::min(a6_cheapest, sol.metrics.energy_per_sample_j);
+  }
+  bool dominated = false;
+  for (const auto& sol : fx().hadas_run.final_pareto) {
+    if (sol.dynamic.energy_per_sample_j < a6_cheapest &&
+        sol.dynamic.oracle_accuracy > a6_best_acc - 0.02)
+      dominated = true;
+  }
+  EXPECT_TRUE(dominated);
+}
+
+TEST(PaperClaims, DvfsAddsOnTopOfEarlyExiting) {
+  // Table III's EEx -> EEx_DVFS column: re-measuring each searched design at
+  // default frequencies must cost more than at its searched DVFS point.
+  std::size_t improved = 0, total = 0;
+  const auto default_f =
+      hw::default_setting(fx().engine.static_evaluator().hardware().device());
+  for (const auto& sol : fx().hadas_run.final_pareto) {
+    if (sol.setting == default_f) continue;
+    const auto at_default = fx().engine.evaluate_dynamic(
+        sol.backbone, sol.placement, default_f);
+    improved += sol.dynamic.energy_per_sample_j <
+                        at_default.metrics.energy_per_sample_j
+                    ? 1
+                    : 0;
+    ++total;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(improved, total);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct RuntimeFixture {
+  data::SyntheticTask task{hadas::test::small_data()};
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  supernet::NetworkCost cost = cm.analyze(supernet::baseline_a0());
+  dynn::ExitBank bank{task, cost, 6.5, hadas::test::small_bank()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  dynn::MultiExitCostTable table{cost, evaluator};
+  runtime::DeploymentSimulator sim{bank, table};
+  hw::DvfsSetting def = hw::default_setting(evaluator.device());
+  data::SampleStream stream{task, task.split_size(data::Split::kTest), 7};
+  std::size_t layers = cost.num_mbconv_layers();
+};
+
+RuntimeFixture& fx() {
+  static RuntimeFixture f;
+  return f;
+}
+
+TEST(Policies, OracleFollowsCorrectness) {
+  const runtime::OraclePolicy policy;
+  const auto& exit_record = fx().bank.exit_at(6);
+  for (std::size_t s = 0; s < 20; ++s)
+    EXPECT_EQ(policy.take_exit(exit_record, s), exit_record.test_correct[s]);
+  EXPECT_THROW(policy.take_exit(exit_record, 1u << 30), std::out_of_range);
+}
+
+TEST(Policies, EntropyThresholdExtremes) {
+  const auto& exit_record = fx().bank.exit_at(6);
+  const runtime::EntropyPolicy take_all(1.01);   // entropy < 1.01 always
+  const runtime::EntropyPolicy take_none(-0.01); // entropy < -0.01 never
+  for (std::size_t s = 0; s < 20; ++s) {
+    EXPECT_TRUE(take_all.take_exit(exit_record, s));
+    EXPECT_FALSE(take_none.take_exit(exit_record, s));
+  }
+}
+
+TEST(Policies, ConfidenceThresholdExtremes) {
+  const auto& exit_record = fx().bank.exit_at(6);
+  const runtime::ConfidencePolicy take_all(0.0);
+  const runtime::ConfidencePolicy take_none(1.01);
+  for (std::size_t s = 0; s < 20; ++s) {
+    EXPECT_TRUE(take_all.take_exit(exit_record, s));
+    EXPECT_FALSE(take_none.take_exit(exit_record, s));
+  }
+}
+
+TEST(Deployment, ReportAccounting) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 9});
+  const runtime::EntropyPolicy policy(0.5);
+  const auto report = fx().sim.run(placement, fx().def, policy, fx().stream);
+  EXPECT_EQ(report.samples, fx().stream.size());
+  std::size_t histogram_total = 0;
+  for (const auto& [layer, count] : report.exit_histogram) {
+    EXPECT_TRUE(layer == 5 || layer == 9 || layer == fx().layers);
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, report.samples);
+  EXPECT_GE(report.accuracy, 0.0);
+  EXPECT_LE(report.accuracy, 1.0);
+  EXPECT_GT(report.avg_energy_j, 0.0);
+  EXPECT_GT(report.avg_latency_s, 0.0);
+}
+
+TEST(Deployment, NeverExitPolicyMatchesStaticPlusOverhead) {
+  const dynn::ExitPlacement placement(fx().layers, {5});
+  const runtime::EntropyPolicy never(-1.0);
+  const auto report = fx().sim.run(placement, fx().def, never, fx().stream);
+  const auto full = fx().table.full_network(fx().def);
+  // Every sample cascades through exit 5 and continues: pays full + branch.
+  EXPECT_GT(report.avg_energy_j, full.energy_j);
+  EXPECT_LT(report.energy_gain, 0.0);
+  // Accuracy equals the backbone's test accuracy.
+  std::size_t correct = 0;
+  for (bool b : fx().bank.final_exit().test_correct) correct += b ? 1 : 0;
+  EXPECT_NEAR(report.accuracy,
+              static_cast<double>(correct) /
+                  static_cast<double>(fx().bank.final_exit().test_correct.size()),
+              1e-12);
+}
+
+TEST(Deployment, AlwaysExitPolicyUsesFirstExit) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 9});
+  const runtime::EntropyPolicy always(1.01);
+  const auto report = fx().sim.run(placement, fx().def, always, fx().stream);
+  EXPECT_EQ(report.exit_histogram.at(5), report.samples);
+  // Cost equals the plain exit path at layer 5.
+  const auto exit5 = fx().table.exit_path(5, fx().def);
+  EXPECT_NEAR(report.avg_energy_j, exit5.energy_j, 1e-9);
+  EXPECT_GT(report.energy_gain, 0.0);
+}
+
+TEST(Deployment, OraclePolicyBeatsEntropyAtSameAccuracy) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 8, 11});
+  const runtime::OraclePolicy oracle;
+  const auto oracle_report = fx().sim.run(placement, fx().def, oracle, fx().stream);
+  // Entropy threshold calibrated to reach (at least) oracle accuracy minus
+  // a small slack; oracle still uses less energy (it never wastes a branch).
+  const runtime::EntropyPolicy entropy(0.35);
+  const auto entropy_report =
+      fx().sim.run(placement, fx().def, entropy, fx().stream);
+  EXPECT_GT(oracle_report.accuracy, entropy_report.accuracy - 0.05);
+  EXPECT_LT(oracle_report.avg_energy_j / entropy_report.avg_energy_j, 1.25);
+}
+
+TEST(Deployment, EntropyThresholdTradesAccuracyForEnergy) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 8, 11});
+  double prev_energy = 1e18;
+  for (double threshold : {0.1, 0.4, 0.8}) {
+    const runtime::EntropyPolicy policy(threshold);
+    const auto report = fx().sim.run(placement, fx().def, policy, fx().stream);
+    // Larger thresholds exit more eagerly -> monotonically less energy.
+    EXPECT_LT(report.avg_energy_j, prev_energy);
+    prev_energy = report.avg_energy_j;
+  }
+}
+
+TEST(Deployment, CalibratedThresholdMeetsTarget) {
+  const dynn::ExitPlacement placement(fx().layers, {5, 8, 11});
+  const double target = fx().bank.backbone_accuracy() - 0.03;
+  const double threshold = fx().sim.calibrate_entropy_threshold(
+      placement, fx().def, fx().stream, target);
+  const runtime::EntropyPolicy policy(threshold);
+  const auto report = fx().sim.run(placement, fx().def, policy, fx().stream);
+  EXPECT_GE(report.accuracy, target - 0.02);
+}
+
+TEST(Deployment, RejectsBadInputs) {
+  const dynn::ExitPlacement empty(fx().layers);
+  const runtime::OraclePolicy policy;
+  EXPECT_THROW(fx().sim.run(empty, fx().def, policy, fx().stream),
+               std::invalid_argument);
+  EXPECT_THROW(fx().sim.calibrate_entropy_threshold(empty, fx().def, fx().stream,
+                                                    0.8, 1),
+               std::invalid_argument);
+}
+
+class PolicySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicySweep, ConfidencePolicyAccountingHolds) {
+  const dynn::ExitPlacement placement(fx().layers, {6, 10});
+  const runtime::ConfidencePolicy policy(GetParam());
+  const auto report = fx().sim.run(placement, fx().def, policy, fx().stream);
+  std::size_t total = 0;
+  for (const auto& [layer, count] : report.exit_histogram) total += count;
+  EXPECT_EQ(total, report.samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PolicySweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95));
+
+}  // namespace

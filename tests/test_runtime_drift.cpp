@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct DriftFixture {
+  data::SyntheticTask task{hadas::test::small_data()};
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  supernet::NetworkCost cost = cm.analyze(supernet::baseline_a0());
+  dynn::ExitBank bank{task, cost, 7.0, hadas::test::small_bank()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  dynn::MultiExitCostTable table{cost, evaluator};
+  runtime::DeploymentSimulator sim{bank, table};
+  hw::DvfsSetting def = hw::default_setting(evaluator.device());
+  std::size_t layers = cost.num_mbconv_layers();
+  dynn::ExitPlacement placement{layers, {5, 9, 13}};
+};
+
+DriftFixture& fx() {
+  static DriftFixture f;
+  return f;
+}
+
+double mean_difficulty(const data::SyntheticTask& task,
+                       const std::vector<std::size_t>& indices,
+                       std::size_t begin, std::size_t end) {
+  const auto& info = task.info(data::Split::kTest);
+  util::RunningStats stats;
+  for (std::size_t i = begin; i < end; ++i)
+    stats.add(info[indices[i]].difficulty);
+  return stats.mean();
+}
+
+/// Early-exit rate over a slice of a deployment (re-runs the policy walk).
+double exit_rate(const dynn::ExitBank& bank, const dynn::ExitPlacement& placement,
+                 const runtime::ExitPolicy& policy,
+                 const std::vector<std::size_t>& indices, std::size_t begin,
+                 std::size_t end) {
+  std::size_t exited = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    bool took = false;
+    for (std::size_t layer : placement.positions()) {
+      if (policy.take_exit(bank.exit_at(layer), indices[i])) {
+        took = true;
+        break;
+      }
+    }
+    exited += took ? 1 : 0;
+    policy.on_sample_complete(took);
+  }
+  return static_cast<double>(exited) / static_cast<double>(end - begin);
+}
+
+TEST(DriftingStream, RampUpGetsHarder) {
+  const auto stream =
+      data::drifting_stream(fx().task, 1000, data::DriftPattern::kRampUp, 3);
+  ASSERT_EQ(stream.size(), 1000u);
+  const double early =
+      mean_difficulty(fx().task, stream.indices(), 0, 250);
+  const double late =
+      mean_difficulty(fx().task, stream.indices(), 750, 1000);
+  EXPECT_GT(late, early + 0.3);
+}
+
+TEST(DriftingStream, OscillationReturnsToEasy) {
+  const auto stream =
+      data::drifting_stream(fx().task, 1000, data::DriftPattern::kOscillate, 4);
+  const double start = mean_difficulty(fx().task, stream.indices(), 0, 100);
+  const double quarter = mean_difficulty(fx().task, stream.indices(), 200, 300);
+  const double half = mean_difficulty(fx().task, stream.indices(), 450, 550);
+  EXPECT_GT(quarter, start + 0.2);  // hard at the first crest
+  EXPECT_LT(half, quarter - 0.2);   // back toward easy at the trough
+}
+
+TEST(DriftingStream, DeterministicBySeed) {
+  const auto a = data::drifting_stream(fx().task, 200, data::DriftPattern::kRampUp, 9);
+  const auto b = data::drifting_stream(fx().task, 200, data::DriftPattern::kRampUp, 9);
+  EXPECT_EQ(a.indices(), b.indices());
+}
+
+TEST(SampleStream, ExplicitIndicesValidated) {
+  EXPECT_THROW(data::SampleStream(fx().task, {0, 1, 1u << 20}),
+               std::invalid_argument);
+  const data::SampleStream ok(fx().task, {0, 1, 2});
+  EXPECT_EQ(ok.size(), 3u);
+}
+
+TEST(AdaptivePolicy, ValidatesParameters) {
+  EXPECT_THROW(runtime::AdaptiveEntropyPolicy(0.4, 1.5), std::invalid_argument);
+  EXPECT_THROW(runtime::AdaptiveEntropyPolicy(0.4, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(runtime::AdaptiveEntropyPolicy(0.4, 0.5, 0.01, 2.0),
+               std::invalid_argument);
+}
+
+TEST(AdaptivePolicy, ThresholdRisesWhenExitsStopHappening) {
+  const runtime::AdaptiveEntropyPolicy policy(0.3, 0.7);
+  const double before = policy.threshold();
+  for (int i = 0; i < 200; ++i) policy.on_sample_complete(false);
+  EXPECT_GT(policy.threshold(), before);
+  EXPECT_LT(policy.observed_rate(), 0.1);
+}
+
+TEST(AdaptivePolicy, ThresholdFallsWhenEveryoneExits) {
+  const runtime::AdaptiveEntropyPolicy policy(0.5, 0.3);
+  for (int i = 0; i < 200; ++i) policy.on_sample_complete(true);
+  EXPECT_LT(policy.threshold(), 0.5);
+}
+
+TEST(AdaptivePolicy, FixedThresholdLosesExitRateUnderRamp) {
+  // Under a ramp-up drift, a fixed entropy threshold exits fewer and fewer
+  // samples; the adaptive policy holds its rate near the target.
+  const auto stream =
+      data::drifting_stream(fx().task, 1200, data::DriftPattern::kRampUp, 5);
+  const auto& indices = stream.indices();
+
+  const runtime::EntropyPolicy fixed(0.35);
+  const double fixed_early =
+      exit_rate(fx().bank, fx().placement, fixed, indices, 0, 300);
+  const double fixed_late =
+      exit_rate(fx().bank, fx().placement, fixed, indices, 900, 1200);
+  EXPECT_LT(fixed_late, fixed_early - 0.25);
+
+  const double target = fixed_early;  // hold the easy-regime rate
+  const runtime::AdaptiveEntropyPolicy adaptive(0.35, target, 0.02);
+  // Warm through the whole stream, measuring the final quarter.
+  exit_rate(fx().bank, fx().placement, adaptive, indices, 0, 900);
+  const double adaptive_late =
+      exit_rate(fx().bank, fx().placement, adaptive, indices, 900, 1200);
+  EXPECT_GT(adaptive_late, fixed_late + 0.15);
+  EXPECT_NEAR(adaptive.observed_rate(), target, 0.2);
+}
+
+TEST(AdaptivePolicy, KeepsTailEnergyEnvelopeUnderDrift) {
+  // The envelope property: once the stream has hardened, the fixed policy's
+  // per-sample energy has drifted up (everything cascades to the full
+  // backbone) while the adaptive policy still exits at its target rate.
+  const auto full =
+      data::drifting_stream(fx().task, 1200, data::DriftPattern::kRampUp, 6);
+  std::vector<std::size_t> head(full.indices().begin(),
+                                full.indices().begin() + 900);
+  std::vector<std::size_t> tail(full.indices().begin() + 900,
+                                full.indices().end());
+  const data::SampleStream head_stream(fx().task, std::move(head));
+  const data::SampleStream tail_stream(fx().task, std::move(tail));
+
+  const runtime::EntropyPolicy fixed(0.35);
+  const auto fixed_tail =
+      fx().sim.run(fx().placement, fx().def, fixed, tail_stream);
+
+  const runtime::AdaptiveEntropyPolicy adaptive(0.35, 0.7, 0.02);
+  fx().sim.run(fx().placement, fx().def, adaptive, head_stream);  // warm-up
+  const auto adaptive_tail =
+      fx().sim.run(fx().placement, fx().def, adaptive, tail_stream);
+
+  EXPECT_LT(adaptive_tail.avg_energy_j, fixed_tail.avg_energy_j * 0.98);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "runtime/governor.hpp"
+#include "supernet/baselines.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct GovernorFixture {
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  supernet::NetworkCost net = cm.analyze(supernet::baseline_a6());
+  dynn::MultiExitCostTable table{net, evaluator};
+  runtime::DvfsGovernor governor{table};
+};
+
+GovernorFixture& fx() {
+  static GovernorFixture f;
+  return f;
+}
+
+TEST(Governor, LatencyOptimalIsMaxFrequencies) {
+  const auto fastest = fx().governor.latency_optimal_full();
+  const auto device = fx().evaluator.device();
+  EXPECT_EQ(fastest.core_idx, device.core_freqs_hz.size() - 1);
+  EXPECT_EQ(fastest.emc_idx, device.emc_freqs_hz.size() - 1);
+}
+
+TEST(Governor, EnergyOptimalIsInterior) {
+  const auto optimal = fx().governor.energy_optimal_full();
+  const auto device = fx().evaluator.device();
+  EXPECT_GT(optimal.core_idx, 0u);
+  EXPECT_LT(optimal.core_idx, device.core_freqs_hz.size() - 1);
+}
+
+TEST(Governor, InfeasibleDeadlineIsNullopt) {
+  EXPECT_FALSE(fx().governor.min_energy_full(1e-6).has_value());
+}
+
+TEST(Governor, TightDeadlineIsMetExactly) {
+  const auto fastest = fx().governor.latency_optimal_full();
+  const double min_latency = fx().table.full_network(fastest).latency_s;
+  const auto setting = fx().governor.min_energy_full(min_latency * 1.001);
+  ASSERT_TRUE(setting.has_value());
+  EXPECT_LE(fx().table.full_network(*setting).latency_s, min_latency * 1.001);
+}
+
+TEST(Governor, LooserDeadlineNeverCostsMoreEnergy) {
+  const double base =
+      fx().table.full_network(fx().governor.latency_optimal_full()).latency_s;
+  double prev_energy = std::numeric_limits<double>::infinity();
+  for (double slack : {1.05, 1.2, 1.5, 2.0, 4.0}) {
+    const auto setting = fx().governor.min_energy_full(base * slack);
+    ASSERT_TRUE(setting.has_value()) << "slack " << slack;
+    const double energy = fx().table.full_network(*setting).energy_j;
+    EXPECT_LE(energy, prev_energy + 1e-12) << "slack " << slack;
+    EXPECT_LE(fx().table.full_network(*setting).latency_s, base * slack);
+    prev_energy = energy;
+  }
+}
+
+TEST(Governor, UnboundedDeadlineMatchesGlobalOptimum) {
+  const auto unbounded =
+      fx().governor.min_energy_full(std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(unbounded.has_value());
+  const auto optimal = fx().governor.energy_optimal_full();
+  EXPECT_EQ(unbounded->core_idx, optimal.core_idx);
+  EXPECT_EQ(unbounded->emc_idx, optimal.emc_idx);
+}
+
+TEST(Governor, ExitPathGovernanceDiffersFromFull) {
+  // The energy-optimal point of a shallow exit path generally differs from
+  // the full network's (different compute/memory balance).
+  const auto full = fx().governor.energy_optimal_full();
+  const auto exit8 =
+      fx().governor.min_energy_exit(8, std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(exit8.has_value());
+  const auto m_full_at_exit8 = fx().table.exit_path(8, full);
+  const auto m_best = fx().table.exit_path(8, *exit8);
+  EXPECT_LE(m_best.energy_j, m_full_at_exit8.energy_j + 1e-12);
+}
+
+TEST(Governor, ExitDeadlineRespected) {
+  const auto fastest = fx().governor.latency_optimal_full();
+  const double base = fx().table.exit_path(10, fastest).latency_s;
+  const auto setting = fx().governor.min_energy_exit(10, base * 1.3);
+  ASSERT_TRUE(setting.has_value());
+  EXPECT_LE(fx().table.exit_path(10, *setting).latency_s, base * 1.3);
+}
+
+TEST(Governor, FastestSustainableRespectsThermalEnvelope) {
+  hw::ThermalConfig tight;
+  tight.throttle_temp_c = 60.0;
+  tight.resume_temp_c = 55.0;
+  tight.thermal_resistance_c_per_w = 5.0;
+  const auto sustainable = fx().governor.fastest_sustainable_full(tight);
+  ASSERT_TRUE(sustainable.has_value());
+  const auto m = fx().table.full_network(*sustainable);
+  const hw::ThermalModel model(tight);
+  EXPECT_LT(model.steady_state_c(m.avg_power_w), tight.throttle_temp_c);
+  // It must be slower than the unconstrained fastest (which overheats in
+  // this envelope) but meaningfully faster than the slowest setting.
+  const auto fastest = fx().governor.latency_optimal_full();
+  EXPECT_GT(m.latency_s, fx().table.full_network(fastest).latency_s);
+  EXPECT_LT(m.latency_s, fx().table.full_network({0, 0}).latency_s * 0.8);
+}
+
+TEST(Governor, ImpossibleEnvelopeIsNullopt) {
+  hw::ThermalConfig impossible;
+  impossible.throttle_temp_c = 26.0;  // 1 C above ambient
+  impossible.resume_temp_c = 25.5;
+  const auto sustainable = fx().governor.fastest_sustainable_full(impossible);
+  EXPECT_FALSE(sustainable.has_value());
+}
+
+TEST(Governor, GenerousEnvelopeAllowsMaxFrequency) {
+  hw::ThermalConfig generous;
+  generous.throttle_temp_c = 200.0;
+  generous.resume_temp_c = 190.0;
+  const auto sustainable = fx().governor.fastest_sustainable_full(generous);
+  ASSERT_TRUE(sustainable.has_value());
+  const auto fastest = fx().governor.latency_optimal_full();
+  EXPECT_EQ(sustainable->core_idx, fastest.core_idx);
+  EXPECT_EQ(sustainable->emc_idx, fastest.emc_idx);
+}
+
+}  // namespace

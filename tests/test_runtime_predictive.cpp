@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+
+struct PredictiveFixture {
+  data::SyntheticTask task{hadas::test::small_data()};
+  supernet::CostModel cm{supernet::SearchSpace::attentive_nas()};
+  supernet::NetworkCost cost = cm.analyze(supernet::baseline_a0());
+  dynn::ExitBank bank{task, cost, 7.0, hadas::test::small_bank()};
+  hw::HardwareEvaluator evaluator{hw::make_device(hw::Target::kTx2PascalGpu)};
+  dynn::MultiExitCostTable table{cost, evaluator};
+  runtime::DeploymentSimulator sim{bank, table};
+  hw::DvfsSetting def = hw::default_setting(evaluator.device());
+  std::size_t layers = cost.num_mbconv_layers();
+  dynn::ExitPlacement placement{layers, {5, 8, 11, 14}};
+  data::SampleStream stream{task, task.split_size(data::Split::kTest), 13};
+};
+
+PredictiveFixture& fx() {
+  static PredictiveFixture f;
+  return f;
+}
+
+TEST(PredictiveExit, ValidatesInputs) {
+  EXPECT_THROW(runtime::PredictiveExitController(fx().bank,
+                                                 dynn::ExitPlacement(fx().layers),
+                                                 0.8),
+               std::invalid_argument);
+  EXPECT_THROW(
+      runtime::PredictiveExitController(fx().bank, fx().placement, 0.8, 1),
+      std::invalid_argument);
+}
+
+TEST(PredictiveExit, ProbeIsFirstSampledExit) {
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.85);
+  EXPECT_EQ(controller.probe_layer(), 5u);
+}
+
+TEST(PredictiveExit, DecisionsAreSampledExitsOrFull) {
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.85);
+  const auto exits = fx().placement.positions();
+  for (std::size_t decision : controller.decision_table()) {
+    const bool is_exit =
+        std::find(exits.begin(), exits.end(), decision) != exits.end();
+    EXPECT_TRUE(is_exit || decision == fx().layers);
+  }
+}
+
+TEST(PredictiveExit, LowEntropyBucketsExitEarlier) {
+  // Confident (low-entropy) buckets must be mapped to earlier-or-equal exits
+  // than uncertain ones — monotone decision table (allowing the "full
+  // backbone" sentinel at the top).
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.85);
+  const auto& decisions = controller.decision_table();
+  for (std::size_t b = 1; b < decisions.size(); ++b)
+    EXPECT_LE(decisions[b - 1], decisions[b]) << "bucket " << b;
+}
+
+TEST(PredictiveExit, StricterTargetPushesDecisionsDeeper) {
+  const runtime::PredictiveExitController loose(fx().bank, fx().placement, 0.70);
+  const runtime::PredictiveExitController strict(fx().bank, fx().placement, 0.97);
+  double loose_sum = 0.0, strict_sum = 0.0;
+  for (std::size_t d : loose.decision_table()) loose_sum += static_cast<double>(d);
+  for (std::size_t d : strict.decision_table()) strict_sum += static_cast<double>(d);
+  EXPECT_LT(loose_sum, strict_sum);
+}
+
+TEST(PredictiveExit, DeploymentAccountingHolds) {
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.85);
+  const auto report = fx().sim.run_predictive(fx().placement, fx().def,
+                                              controller, fx().stream);
+  EXPECT_EQ(report.samples, fx().stream.size());
+  std::size_t total = 0;
+  for (const auto& [layer, count] : report.exit_histogram) {
+    EXPECT_TRUE(fx().placement.has_exit(layer) || layer == fx().layers);
+    total += count;
+  }
+  EXPECT_EQ(total, report.samples);
+  EXPECT_GT(report.accuracy, 0.5);
+  EXPECT_GT(report.avg_energy_j, 0.0);
+}
+
+TEST(PredictiveExit, SkipsIntermediateBranchCosts) {
+  // The predictive controller's structural property: it evaluates at most
+  // two exit branches (the probe and the target) regardless of how many are
+  // sampled. With *expensive* exit branches — where cascading through every
+  // branch hurts — it must beat the cascading entropy controller at a
+  // similar accuracy. (With the default compact branches the cascade's
+  // per-exit information wins instead; that regime is covered by the
+  // example program.)
+  dynn::ExitBranchSpec heavy;
+  heavy.conv_width = 2048;
+  heavy.pool_size = 14;
+  const dynn::MultiExitCostTable heavy_table(fx().cost, fx().evaluator, heavy);
+  const runtime::DeploymentSimulator heavy_sim(fx().bank, heavy_table);
+
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.93);
+  const auto predictive = heavy_sim.run_predictive(fx().placement, fx().def,
+                                                   controller, fx().stream);
+  const double threshold = heavy_sim.calibrate_entropy_threshold(
+      fx().placement, fx().def, fx().stream, predictive.accuracy);
+  const auto cascade =
+      heavy_sim.run(fx().placement, fx().def, runtime::EntropyPolicy(threshold),
+                    fx().stream);
+  EXPECT_GT(cascade.accuracy, predictive.accuracy - 0.03);
+  EXPECT_LT(predictive.avg_energy_j, cascade.avg_energy_j);
+}
+
+TEST(PredictiveExit, RejectsForeignPlacement) {
+  const runtime::PredictiveExitController controller(fx().bank, fx().placement,
+                                                     0.85);
+  const dynn::ExitPlacement other(fx().layers, {6, 9});
+  EXPECT_THROW(
+      fx().sim.run_predictive(other, fx().def, controller, fx().stream),
+      std::invalid_argument);
+}
+
+}  // namespace

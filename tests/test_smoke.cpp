@@ -1,0 +1,26 @@
+#include <gtest/gtest.h>
+
+#include "core/hadas_engine.hpp"
+#include "supernet/baselines.hpp"
+
+namespace {
+
+using namespace hadas;
+
+TEST(Smoke, SearchSpaceCardinalityMatchesPaperOrder) {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  // Paper: ~2.94e11 candidates; our reconstruction must be the same order.
+  EXPECT_GT(space.log10_cardinality(), 10.5);
+  EXPECT_LT(space.log10_cardinality(), 12.5);
+}
+
+TEST(Smoke, BaselineCostsAreOrdered) {
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cm(space);
+  const auto a0 = cm.analyze(supernet::baseline_a0());
+  const auto a6 = cm.analyze(supernet::baseline_a6());
+  EXPECT_LT(a0.total_macs, a6.total_macs);
+  EXPECT_GT(a6.total_macs / a0.total_macs, 3.0);
+}
+
+}  // namespace

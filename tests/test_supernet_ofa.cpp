@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/hadas_engine.hpp"
+#include "supernet/accuracy.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+using namespace hadas::supernet;
+
+const SearchSpace& ofa() {
+  static const SearchSpace s = SearchSpace::once_for_all();
+  return s;
+}
+
+TEST(OfaSpace, HasOfaFlavor) {
+  bool has_kernel7 = false, has_expand3 = false;
+  for (const auto& stage : ofa().stages) {
+    for (int k : stage.kernels) has_kernel7 = has_kernel7 || k == 7;
+    for (int e : stage.expands) has_expand3 = has_expand3 || e == 3;
+  }
+  EXPECT_TRUE(has_kernel7);
+  EXPECT_TRUE(has_expand3);
+  EXPECT_EQ(ofa().resolutions.front(), 160);
+  // Meaningfully large space, but smaller than AttentiveNAS'.
+  EXPECT_GT(ofa().log10_cardinality(), 7.0);
+  EXPECT_LT(ofa().log10_cardinality(),
+            SearchSpace::attentive_nas().log10_cardinality());
+}
+
+TEST(OfaSpace, GenomeRoundTrip) {
+  hadas::util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Genome genome = random_genome(ofa(), rng);
+    ASSERT_TRUE(is_valid_genome(ofa(), genome));
+    EXPECT_EQ(encode(ofa(), decode(ofa(), genome)), genome);
+  }
+}
+
+TEST(OfaSpace, CostModelHandlesKernel7) {
+  const CostModel cm(ofa());
+  hadas::util::Rng rng(4);
+  BackboneConfig config = decode(ofa(), random_genome(ofa(), rng));
+  config.stages[3].kernel = 7;
+  const NetworkCost k7 = cm.analyze(config);
+  config.stages[3].kernel = 3;
+  const NetworkCost k3 = cm.analyze(config);
+  EXPECT_GT(k7.total_macs, k3.total_macs);
+  EXPECT_GT(k7.total_params, k3.total_params);
+}
+
+TEST(OfaSpace, SurrogateIsMonotoneAcrossTheFamily) {
+  const CostModel cm(ofa());
+  const AccuracySurrogate surrogate(cm);
+  // Smallest vs largest OFA subnet: accuracy ordering must follow capacity.
+  hadas::util::Rng rng(5);
+  BackboneConfig small = decode(ofa(), random_genome(ofa(), rng));
+  BackboneConfig big = small;
+  small.resolution = 160;
+  big.resolution = 208;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    small.stages[s].depth = ofa().stages[s].depths.front();
+    big.stages[s].depth = ofa().stages[s].depths.back();
+    small.stages[s].kernel = ofa().stages[s].kernels.front();
+    big.stages[s].kernel = ofa().stages[s].kernels.back();
+    small.stages[s].expand = ofa().stages[s].expands.front();
+    big.stages[s].expand = ofa().stages[s].expands.back();
+  }
+  EXPECT_GT(surrogate.accuracy(big), surrogate.accuracy(small));
+}
+
+TEST(OfaSpace, FullEngineRunsEndToEnd) {
+  // The paper's compatibility claim: the whole bi-level machinery runs
+  // unchanged on a different supernet family.
+  core::HadasConfig config = hadas::test::tiny_engine_config();
+  core::HadasEngine engine(ofa(), hw::Target::kAgxVoltaGpu, config);
+  const core::HadasResult result = engine.run();
+  ASSERT_FALSE(result.final_pareto.empty());
+  for (const auto& sol : result.final_pareto) {
+    EXPECT_GT(sol.dynamic.energy_gain, 0.0);
+    EXPECT_GE(sol.placement.count(), 1u);
+    // Designs really are OFA subnets.
+    EXPECT_TRUE(is_valid_genome(ofa(), encode(ofa(), sol.backbone)));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "supernet/baselines.hpp"
+#include "supernet/supernet_trainer.hpp"
+
+namespace {
+
+using namespace hadas::supernet;
+
+const SearchSpace& space() {
+  static const SearchSpace s = SearchSpace::attentive_nas();
+  return s;
+}
+
+const CostModel& cost_model() {
+  static const CostModel cm(space());
+  return cm;
+}
+
+SupernetTrainConfig quick_config(SamplingStrategy sampling) {
+  SupernetTrainConfig config;
+  config.steps = 0;
+  config.sampling = sampling;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SupernetTrainer, StartsUntrained) {
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  EXPECT_EQ(trainer.total_visits(), 0u);
+  EXPECT_EQ(trainer.mean_maturity(), 0.0);
+  const auto a3 = attentive_nas_baselines()[3].config;
+  EXPECT_LT(trainer.readiness(a3), 0.01);
+  // Untrained accuracy is the warm-start floor fraction of the potential.
+  EXPECT_LT(trainer.accuracy(a3), trainer.potential(a3) * 0.3);
+}
+
+TEST(SupernetTrainer, SandwichEndsAreExtremes) {
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  const CostModel& cm = cost_model();
+  const double macs_small = cm.analyze(trainer.smallest_subnet()).total_macs;
+  const double macs_big = cm.analyze(trainer.largest_subnet()).total_macs;
+  EXPECT_LT(macs_small, cm.analyze(baseline_a0()).total_macs * 1.01);
+  EXPECT_GT(macs_big, cm.analyze(baseline_a6()).total_macs * 0.99);
+}
+
+TEST(SupernetTrainer, TrainingRaisesReadinessMonotonically) {
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  const auto big = trainer.largest_subnet();
+  double prev = trainer.readiness(big);
+  for (int round = 0; round < 5; ++round) {
+    trainer.train(50);
+    const double r = trainer.readiness(big);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  EXPECT_GT(prev, 0.5);  // sandwich ends are trained every step
+  EXPECT_LE(prev, 1.0);
+}
+
+TEST(SupernetTrainer, ConvergesTowardPotential) {
+  SupernetTrainConfig config = quick_config(SamplingStrategy::kUniform);
+  config.maturity_rate = 0.3;
+  SupernetTrainer trainer(space(), cost_model(), config);
+  const auto big = trainer.largest_subnet();
+  trainer.train(200);
+  EXPECT_NEAR(trainer.accuracy(big), trainer.potential(big),
+              trainer.potential(big) * 0.02);
+}
+
+TEST(SupernetTrainer, PotentialMatchesSurrogate) {
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  const AccuracySurrogate surrogate(cost_model());
+  for (const auto& baseline : attentive_nas_baselines())
+    EXPECT_DOUBLE_EQ(trainer.potential(baseline.config),
+                     surrogate.accuracy(baseline.config));
+}
+
+TEST(SupernetTrainer, UnsampledChoicesStayImmature) {
+  // With uniform sampling over a gigantic space and a small budget, a
+  // specific mid-space subnet's readiness stays low while the sandwich ends
+  // are strong — the shared-weights coverage problem.
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  trainer.train(100);
+  const auto a3 = attentive_nas_baselines()[3].config;
+  EXPECT_LT(trainer.readiness(a3), trainer.readiness(trainer.largest_subnet()));
+}
+
+TEST(SupernetTrainer, DeterministicBySeed) {
+  auto run = [] {
+    SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kBestUp));
+    trainer.train(60);
+    return trainer.accuracy(attentive_nas_baselines()[2].config);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+class SamplingComparison : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SamplingComparison, AttentiveSamplingShiftsTheTrainingDistribution) {
+  // The direct signature of attentive sampling: BestUp's sampled subnets
+  // have a higher mean converged-accuracy potential than uniform's, and
+  // WorstUp's a lower one.
+  const std::size_t budget = GetParam();
+  auto sampled_potential = [&](SamplingStrategy strategy) {
+    SupernetTrainer trainer(space(), cost_model(), quick_config(strategy));
+    trainer.train(budget);
+    return trainer.mean_sampled_potential();
+  };
+  const double uniform = sampled_potential(SamplingStrategy::kUniform);
+  EXPECT_GT(sampled_potential(SamplingStrategy::kBestUp), uniform + 0.003);
+  EXPECT_LT(sampled_potential(SamplingStrategy::kWorstUp), uniform - 0.003);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SamplingComparison,
+                         ::testing::Values(150u, 400u));
+
+TEST(SupernetTrainer, FiniteBudgetLeavesProbesBelowPotential) {
+  // Pair-interaction coverage binds: after a short run, random mid-space
+  // subnets sit visibly below their converged potential while the sandwich
+  // ends are close to theirs.
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kUniform));
+  trainer.train(150);
+  const auto a3 = attentive_nas_baselines()[3].config;
+  EXPECT_LT(trainer.accuracy(a3), trainer.potential(a3) * 0.97);
+  const auto big = trainer.largest_subnet();
+  EXPECT_GT(trainer.accuracy(big), trainer.potential(big) * 0.97);
+}
+
+TEST(SupernetTrainer, ReadinessIsBounded) {
+  SupernetTrainer trainer(space(), cost_model(), quick_config(SamplingStrategy::kWorstUp));
+  trainer.train(120);
+  hadas::util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const auto probe = decode(space(), random_genome(space(), rng));
+    const double r = trainer.readiness(probe);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    EXPECT_LE(trainer.accuracy(probe), trainer.potential(probe) + 1e-12);
+  }
+}
+
+}  // namespace

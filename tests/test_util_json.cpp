@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace {
+
+using hadas::util::Json;
+
+TEST(Json, DefaultIsNull) {
+  Json json;
+  EXPECT_TRUE(json.is_null());
+  EXPECT_EQ(json.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::size_t{7}).dump(), "7");
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Json json(42);
+  EXPECT_EQ(json.as_number(), 42.0);
+  EXPECT_EQ(json.as_int(), 42);
+  EXPECT_EQ(json.as_index(), 42u);
+  EXPECT_THROW(json.as_string(), std::logic_error);
+  EXPECT_THROW(json.as_bool(), std::logic_error);
+  EXPECT_THROW(Json(1.5).as_int(), std::logic_error);
+  EXPECT_THROW(Json(-1).as_index(), std::logic_error);
+}
+
+TEST(Json, ObjectBuildAndAccess) {
+  Json json;
+  json["name"] = Json("hadas");
+  json["nested"]["x"] = Json(1);
+  EXPECT_TRUE(json.is_object());
+  EXPECT_EQ(json.at("name").as_string(), "hadas");
+  EXPECT_EQ(json.at("nested").at("x").as_int(), 1);
+  EXPECT_TRUE(json.contains("name"));
+  EXPECT_FALSE(json.contains("missing"));
+  EXPECT_THROW(json.at("missing"), std::out_of_range);
+  EXPECT_EQ(json.size(), 2u);
+}
+
+TEST(Json, ArrayBuildAndAccess) {
+  Json json;
+  auto& array = json.make_array();
+  array.push_back(Json(1));
+  array.push_back(Json("two"));
+  EXPECT_EQ(json.size(), 2u);
+  EXPECT_EQ(json.at(std::size_t{0}).as_int(), 1);
+  EXPECT_EQ(json.at(std::size_t{1}).as_string(), "two");
+  EXPECT_THROW(json.at(std::size_t{2}), std::out_of_range);
+}
+
+TEST(Json, CompactDumpIsDeterministic) {
+  Json json;
+  json["b"] = Json(2);
+  json["a"] = Json(1);
+  // std::map ordering -> keys sorted.
+  EXPECT_EQ(json.dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(Json, PrettyDump) {
+  Json json;
+  json["k"] = Json(Json::Array{Json(1), Json(2)});
+  EXPECT_EQ(json.dump(2), "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, StringEscaping) {
+  const Json json(std::string("a\"b\\c\nd\te"));
+  const std::string dumped = json.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), json.as_string());
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("-12.5e1").as_number(), -125.0);
+  EXPECT_EQ(Json::parse("\"x\"").as_string(), "x");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json json = Json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": null, "d": {"e": "f"}})");
+  EXPECT_EQ(json.at("a").size(), 3u);
+  EXPECT_TRUE(json.at("a").at(std::size_t{2}).at("b").as_bool());
+  EXPECT_TRUE(json.at("c").is_null());
+  EXPECT_EQ(json.at("d").at("e").as_string(), "f");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  const std::string two_byte = Json::parse("\"\\u00e9\"").as_string();  // é
+  EXPECT_EQ(two_byte.size(), 2u);
+  const std::string three_byte = Json::parse("\"\\u20ac\"").as_string();  // €
+  EXPECT_EQ(three_byte.size(), 3u);
+}
+
+TEST(JsonParse, Whitespace) {
+  const Json json = Json::parse("  {  \"a\"  :  [ 1 , 2 ]  }  ");
+  EXPECT_EQ(json.at("a").size(), 2u);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{1: 2}",
+        "[1,]2", "nul"}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParse, RoundTripRandomStructure) {
+  Json json;
+  json["numbers"] = Json(Json::Array{Json(0), Json(-1.25), Json(1e9)});
+  json["flags"] = Json(Json::Array{Json(true), Json(false), Json()});
+  json["meta"]["device"] = Json("TX2 Pascal GPU");
+  const Json reparsed_compact = Json::parse(json.dump());
+  const Json reparsed_pretty = Json::parse(json.dump(4));
+  EXPECT_EQ(reparsed_compact, json);
+  EXPECT_EQ(reparsed_pretty, json);
+}
+
+TEST(Json, NonFiniteNumbersRejected) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(),
+               std::logic_error);
+}
+
+}  // namespace

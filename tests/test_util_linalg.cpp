@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "util/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hadas::util;
+
+TEST(SolveSpd, IdentitySystem) {
+  const std::vector<double> a = {1, 0, 0, 1};
+  const std::vector<double> b = {3, -2};
+  const auto x = solve_spd(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(SolveSpd, KnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  const auto x = solve_spd({4, 2, 2, 3}, {10, 9});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpd, RandomizedRoundTrip) {
+  hadas::util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);
+    // Build SPD A = M^T M + I, random x, b = A x.
+    std::vector<double> m(n * n);
+    for (auto& v : m) v = rng.normal();
+    std::vector<double> a(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) a[i * n + j] += m[k * n + i] * m[k * n + j];
+        if (i == j) a[i * n + j] += 1.0;
+      }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.normal();
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+    const auto x = solve_spd(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveSpd, RejectsNonSpd) {
+  EXPECT_THROW(solve_spd({0, 0, 0, 0}, {1, 1}), std::runtime_error);
+  EXPECT_THROW(solve_spd({1, 2, 3}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Ridge, RecoversExactLinearModel) {
+  hadas::util::Rng rng(2);
+  const std::vector<double> w_true = {2.0, -1.0, 0.5};
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row = {1.0, rng.normal(), rng.normal()};
+    double target = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) target += w_true[j] * row[j];
+    x.push_back(row);
+    y.push_back(target);
+  }
+  const auto w = ridge_regression(x, y, 1e-9);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(w[j], w_true[j], 1e-5);
+}
+
+TEST(Ridge, RegularizationShrinksWeights) {
+  hadas::util::Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.normal();
+    x.push_back({v});
+    y.push_back(3.0 * v + rng.normal(0.0, 0.1));
+  }
+  const double w_small = ridge_regression(x, y, 1e-9)[0];
+  const double w_big = ridge_regression(x, y, 100.0)[0];
+  EXPECT_GT(w_small, w_big);
+  EXPECT_GT(w_big, 0.0);
+}
+
+TEST(Ridge, ValidatesInput) {
+  EXPECT_THROW(ridge_regression({}, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(ridge_regression({{1.0}}, {1.0, 2.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(ridge_regression({{1.0}, {1.0, 2.0}}, {1.0, 2.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(RSquared, PerfectAndBaseline) {
+  EXPECT_DOUBLE_EQ(r_squared({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Predicting the mean -> R^2 = 0.
+  EXPECT_NEAR(r_squared({2, 2, 2}, {1, 2, 3}), 0.0, 1e-12);
+  // Worse than the mean -> negative.
+  EXPECT_LT(r_squared({3, 2, 1}, {1, 2, 3}), 0.0);
+  EXPECT_THROW(r_squared({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace hadas::util;
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> data = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : data) rs.add(x);
+  EXPECT_EQ(rs.count(), data.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(data));
+  EXPECT_NEAR(rs.variance(), variance(data), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+  EXPECT_NEAR(rs.sum(), 31.0, 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), m);
+}
+
+TEST(Statistics, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);
+}
+
+TEST(Statistics, PercentileThrowsOutOfRange) {
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonDegenerateIsZero) {
+  EXPECT_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(pearson({1}, {2}), 0.0);
+}
+
+TEST(Statistics, PearsonThrowsOnSizeMismatch) {
+  EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Statistics, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Statistics, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 4};
+  const std::vector<double> y = {1, 3, 3, 8};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Statistics, VarianceMatchesDefinition) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,388 @@
+// hadas — command-line front end to the library.
+//
+//   hadas devices
+//   hadas baselines --device tx2-gpu
+//   hadas search    --device tx2-gpu --out result.json
+//                   [--pop N] [--gens N] [--ioe-per-gen N] [--seed S]
+//   hadas show      result.json
+//   hadas deploy    --device tx2-gpu --result result.json [--index I]
+//                   [--policy entropy|confidence|oracle] [--threshold T]
+//
+// Every command is deterministic given its arguments.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/multi_device.hpp"
+#include "core/sensitivity.hpp"
+#include "core/serialize.hpp"
+#include "data/sample_stream.hpp"
+#include "runtime/deployment.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+#include "util/table.hpp"
+
+using namespace hadas;
+
+namespace {
+
+const std::map<std::string, hw::Target>& device_map() {
+  static const std::map<std::string, hw::Target> map = {
+      {"agx-gpu", hw::Target::kAgxVoltaGpu},
+      {"agx-cpu", hw::Target::kCarmelCpu},
+      {"tx2-gpu", hw::Target::kTx2PascalGpu},
+      {"tx2-cpu", hw::Target::kDenverCpu},
+  };
+  return map;
+}
+
+hw::Target parse_device(const std::string& name) {
+  const auto it = device_map().find(name);
+  if (it == device_map().end())
+    throw std::invalid_argument("unknown device '" + name +
+                                "' (try: hadas devices)");
+  return it->second;
+}
+
+/// Minimal flag parser: --key value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        positional_.push_back(key);
+        continue;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  std::size_t get_or(const std::string& key, std::size_t fallback) const {
+    const auto v = get(key);
+    return v ? static_cast<std::size_t>(std::stoul(*v)) : fallback;
+  }
+  double get_or(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+supernet::SearchSpace parse_space(const Args& args) {
+  const std::string name = args.get_or("space", std::string("attentive"));
+  if (name == "attentive") return supernet::SearchSpace::attentive_nas();
+  if (name == "ofa") return supernet::SearchSpace::once_for_all();
+  throw std::invalid_argument("unknown --space '" + name +
+                              "' (attentive | ofa)");
+}
+
+int cmd_devices() {
+  util::TextTable table({"name", "device", "core DVFS", "emc DVFS"},
+                        {util::Align::kLeft, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight});
+  for (const auto& [name, target] : device_map()) {
+    const auto device = hw::make_device(target);
+    table.add_row({name, device.name, std::to_string(device.core_freqs_hz.size()),
+                   std::to_string(device.emc_freqs_hz.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_baselines(const Args& args) {
+  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const core::StaticEvaluator evaluator(space, target);
+  util::TextTable table({"model", "accuracy", "latency ms", "energy mJ", "MMACs"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  table.set_title("AttentiveNAS baselines on " + hw::target_name(target));
+  for (const auto& baseline : supernet::attentive_nas_baselines()) {
+    const core::StaticEval eval = evaluator.evaluate(baseline.config);
+    const auto cost = evaluator.cost_model().analyze(baseline.config);
+    table.add_row({baseline.name, util::fmt_pct(eval.accuracy, 2),
+                   util::fmt_fixed(eval.latency_s * 1e3, 2),
+                   util::fmt_fixed(eval.energy_j * 1e3, 2),
+                   util::fmt_fixed(cost.total_macs / 1e6, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
+  const std::string out_path = args.get_or("out", std::string("hadas_result.json"));
+
+  core::HadasConfig config;
+  config.outer_population = args.get_or("pop", std::size_t{16});
+  config.outer_generations = args.get_or("gens", std::size_t{6});
+  config.ioe_backbones_per_generation = args.get_or("ioe-per-gen", std::size_t{2});
+  config.ioe.nsga.population = args.get_or("ioe-pop", std::size_t{30});
+  config.ioe.nsga.generations = args.get_or("ioe-gens", std::size_t{20});
+  config.seed = args.get_or("seed", std::size_t{2023});
+  config.data.train_size = args.get_or("train-size", std::size_t{1500});
+  config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
+  config.max_latency_s = args.get_or("max-latency-ms", 0.0) * 1e-3;
+
+  const supernet::SearchSpace space = parse_space(args);
+  core::WarmStart warm;
+  if (const auto resume = args.get("resume")) {
+    const auto solutions = core::final_pareto_from_json(core::load_json(*resume));
+    warm = core::warm_start_from_solutions(space, solutions);
+    std::cout << "warm-starting from " << *resume << " (" << warm.known.size()
+              << " known backbones)\n";
+  }
+
+  std::cout << "searching on " << hw::target_name(target) << " ("
+            << config.outer_population << "x" << config.outer_generations
+            << " outer, " << config.ioe.nsga.population << "x"
+            << config.ioe.nsga.generations << " inner)...\n";
+  core::HadasEngine engine(space, target, config);
+  const core::HadasResult result = engine.run(warm);
+
+  core::save_json(out_path, core::result_to_json(result, target));
+  std::cout << "explored " << result.backbones.size() << " backbones, "
+            << result.inner_evaluations << " inner evaluations\n"
+            << "final Pareto set: " << result.final_pareto.size()
+            << " designs -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  if (args.positional().empty())
+    throw std::invalid_argument("usage: hadas show <result.json>");
+  const auto json = core::load_json(args.positional().front());
+  const auto solutions = core::final_pareto_from_json(json);
+  util::TextTable table({"#", "backbone", "exits", "core", "emc", "static acc",
+                         "dyn acc", "E/sample mJ", "gain"},
+                        {util::Align::kRight, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  table.set_title("HADAS result: " + json.at("device").as_string() + " (" +
+                  std::to_string(json.at("explored_backbones").as_index()) +
+                  " backbones explored)");
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    const auto& sol = solutions[i];
+    table.add_row({std::to_string(i),
+                   "r" + std::to_string(sol.backbone.resolution) + "/" +
+                       std::to_string(sol.backbone.total_layers()) + "L",
+                   std::to_string(sol.placement.count()),
+                   std::to_string(sol.setting.core_idx),
+                   std::to_string(sol.setting.emc_idx),
+                   util::fmt_pct(sol.static_eval.accuracy, 2),
+                   util::fmt_pct(sol.dynamic.oracle_accuracy, 2),
+                   util::fmt_fixed(sol.dynamic.energy_per_sample_j * 1e3, 2),
+                   util::fmt_pct(sol.dynamic.energy_gain, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_deploy(const Args& args) {
+  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
+  const std::string result_path =
+      args.get_or("result", std::string("hadas_result.json"));
+  const std::size_t index = args.get_or("index", std::size_t{0});
+  const std::string policy_name = args.get_or("policy", std::string("entropy"));
+
+  const auto solutions =
+      core::final_pareto_from_json(core::load_json(result_path));
+  if (index >= solutions.size())
+    throw std::invalid_argument("--index out of range (have " +
+                                std::to_string(solutions.size()) + " designs)");
+  const core::FinalSolution& sol = solutions[index];
+
+  core::HadasConfig config;
+  config.data.train_size = args.get_or("train-size", std::size_t{1500});
+  config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
+  const supernet::SearchSpace space = parse_space(args);
+  core::HadasEngine engine(space, target, config);
+
+  std::cout << "training exit bank for the selected design...\n";
+  const auto& bank = engine.exit_bank(sol.backbone);
+  const auto& costs = engine.cost_table(sol.backbone);
+  const runtime::DeploymentSimulator sim(bank, costs);
+  const data::SampleStream stream(engine.task(), 2000,
+                                  args.get_or("stream-seed", std::size_t{5}));
+
+  std::unique_ptr<runtime::ExitPolicy> policy;
+  if (policy_name == "oracle") {
+    policy = std::make_unique<runtime::OraclePolicy>();
+  } else if (policy_name == "confidence") {
+    policy = std::make_unique<runtime::ConfidencePolicy>(
+        args.get_or("threshold", 0.6));
+  } else if (policy_name == "entropy") {
+    double threshold = args.get_or("threshold", -1.0);
+    if (threshold < 0.0) {
+      threshold = sim.calibrate_entropy_threshold(
+          sol.placement, sol.setting, stream, bank.backbone_accuracy() - 0.02);
+      std::cout << "calibrated entropy threshold: "
+                << util::fmt_fixed(threshold, 3) << "\n";
+    }
+    policy = std::make_unique<runtime::EntropyPolicy>(threshold);
+  } else {
+    throw std::invalid_argument("unknown --policy '" + policy_name + "'");
+  }
+
+  const auto report = sim.run(sol.placement, sol.setting, *policy, stream);
+  util::TextTable table({"metric", "value"},
+                        {util::Align::kLeft, util::Align::kRight});
+  table.set_title("deployment of design #" + std::to_string(index) + " with " +
+                  policy->name() + " controller");
+  table.add_row({"samples", std::to_string(report.samples)});
+  table.add_row({"accuracy", util::fmt_pct(report.accuracy, 2)});
+  table.add_row({"avg energy", util::fmt_fixed(report.avg_energy_j * 1e3, 2) + " mJ"});
+  table.add_row({"avg latency", util::fmt_fixed(report.avg_latency_s * 1e3, 2) + " ms"});
+  table.add_row({"energy gain vs static", util::fmt_pct(report.energy_gain, 1)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args) {
+  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
+  const std::string result_path =
+      args.get_or("result", std::string("hadas_result.json"));
+  const std::size_t index = args.get_or("index", std::size_t{0});
+
+  supernet::BackboneConfig backbone;
+  if (args.get("baseline")) {
+    const std::string name = *args.get("baseline");
+    bool found = false;
+    for (const auto& baseline : supernet::attentive_nas_baselines())
+      if (baseline.name == name) {
+        backbone = baseline.config;
+        found = true;
+      }
+    if (!found) throw std::invalid_argument("unknown --baseline '" + name + "'");
+  } else {
+    const auto solutions =
+        core::final_pareto_from_json(core::load_json(result_path));
+    if (index >= solutions.size())
+      throw std::invalid_argument("--index out of range");
+    backbone = solutions[index].backbone;
+  }
+
+  const core::StaticEvaluator evaluator(parse_space(args), target);
+  const auto report = core::analyze_sensitivity(evaluator, backbone);
+  util::TextTable table({"gene", "choices", "max acc drop", "max energy saving",
+                         "acc%/J of best save"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  table.set_title("single-gene sensitivity of " + backbone.describe().substr(0, 44) +
+                  "... on " + hw::target_name(target));
+  for (const auto& gene : report) {
+    if (gene.cardinality <= 1) continue;
+    table.add_row({gene.name, std::to_string(gene.cardinality),
+                   util::fmt_pct(gene.max_accuracy_drop, 2),
+                   util::fmt_fixed(gene.max_energy_saving_j * 1e3, 2) + " mJ",
+                   gene.max_energy_saving_j > 1e-9
+                       ? util::fmt_fixed(gene.accuracy_per_joule * 100.0, 1)
+                       : std::string("-")});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_portable(const Args& args) {
+  core::MultiDeviceConfig config;
+  config.outer_population = args.get_or("pop", std::size_t{16});
+  config.outer_generations = args.get_or("gens", std::size_t{5});
+  config.inner_backbones = args.get_or("backbones", std::size_t{2});
+  config.inner_nsga.population = args.get_or("ioe-pop", std::size_t{24});
+  config.inner_nsga.generations = args.get_or("ioe-gens", std::size_t{14});
+  config.data.train_size = args.get_or("train-size", std::size_t{1500});
+  config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
+  config.seed = args.get_or("seed", std::size_t{4242});
+
+  std::cout << "cross-device joint search (one backbone+exits, per-device"
+               " DVFS)...\n";
+  const supernet::SearchSpace space = parse_space(args);
+  core::MultiDeviceEngine engine(space, config);
+  const core::MultiDeviceResult result = engine.run();
+
+  util::TextTable table({"#", "backbone", "exits", "dyn acc", "worst gain",
+                         "mean gain"},
+                        {util::Align::kRight, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  table.set_title("portable Pareto designs (worst-device gain x accuracy)");
+  for (std::size_t i = 0; i < result.pareto.size(); ++i) {
+    const auto& sol = result.pareto[i];
+    table.add_row({std::to_string(i),
+                   "r" + std::to_string(sol.backbone.resolution) + "/" +
+                       std::to_string(sol.backbone.total_layers()) + "L",
+                   std::to_string(sol.placement.count()),
+                   util::fmt_pct(sol.oracle_accuracy, 2),
+                   util::fmt_pct(sol.worst_gain, 1),
+                   util::fmt_pct(sol.mean_gain, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void print_usage() {
+  std::cout << "usage: hadas <command> [options]\n\n"
+               "commands:\n"
+               "  devices                      list hardware targets\n"
+               "  baselines --device D         evaluate a0..a6 on a device\n"
+               "  search --device D --out F    run a bi-level search\n"
+               "         [--resume F]          warm-start from a saved result\n"
+               "         [--space attentive|ofa] [--max-latency-ms T]\n"
+               "  show F                       print a saved result\n"
+               "  deploy --device D --result F simulate a saved design\n"
+               "  sensitivity --device D       per-gene ablation of a design\n"
+               "    (--baseline aN | --result F [--index I])\n"
+               "  portable                     cross-device joint search\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "devices") return cmd_devices();
+    if (command == "baselines") return cmd_baselines(args);
+    if (command == "search") return cmd_search(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "deploy") return cmd_deploy(args);
+    if (command == "sensitivity") return cmd_sensitivity(args);
+    if (command == "portable") return cmd_portable(args);
+    if (command == "help" || command == "--help") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
