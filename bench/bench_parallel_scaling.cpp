@@ -1,0 +1,189 @@
+// Scaling bench for the exec/ subsystem: fixed-seed HadasEngine::run at
+// 1/2/4/auto threads — wall clock, speedup vs. serial, memo-cache hit
+// rates, and a fingerprint check that every thread count produced the
+// bit-identical final Pareto set. A warm-started rerun demonstrates the
+// cross-run S(b) memo. Results go to stdout and
+// bench_out/parallel_scaling.json.
+//
+// Note: the speedup column measures the host, not the code — on a
+// single-core container every thread count timeslices one CPU and the
+// ratio stays ~1x; the determinism ("identical") column must hold
+// everywhere.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/hadas_engine.hpp"
+#include "util/json.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas {
+namespace {
+
+/// Stable FNV-1a fingerprint of a result's final Pareto set (bit patterns
+/// of every reported metric) — equal fingerprints <=> bit-identical fronts.
+std::uint64_t fingerprint(const core::HadasResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(result.final_pareto.size());
+  for (const core::FinalSolution& sol : result.final_pareto) {
+    for (std::uint8_t bit : sol.placement.mask()) mix(bit);
+    mix(sol.setting.core_idx);
+    mix(sol.setting.emc_idx);
+    mix_double(sol.dynamic.score_eq5);
+    mix_double(sol.dynamic.energy_gain);
+    mix_double(sol.dynamic.oracle_accuracy);
+    mix_double(sol.static_eval.latency_s);
+    mix_double(sol.static_eval.energy_j);
+  }
+  for (std::size_t idx : result.static_front) mix(idx);
+  return h;
+}
+
+core::HadasConfig scaling_config() {
+  core::HadasConfig config = bench::experiment_config();
+  if (!bench::paper_budget()) {
+    // Scaled to keep 4 full runs + a warm rerun in bench-suite time while
+    // leaving several concurrent IOEs per generation to dispatch.
+    config.outer_population = 12;
+    config.outer_generations = 4;
+    config.ioe_backbones_per_generation = 4;
+    config.ioe.nsga.population = 20;
+    config.ioe.nsga.generations = 10;
+    config.data.train_size = 1000;
+    config.bank.train.epochs = 6;
+  }
+  return config;
+}
+
+}  // namespace
+}  // namespace hadas
+
+int main() {
+  using namespace hadas;
+  using clock = std::chrono::steady_clock;
+
+  std::cout << "=== Parallel execution scaling (exec/) ===\n\n";
+
+  const supernet::SearchSpace space = supernet::SearchSpace::attentive_nas();
+  const core::HadasConfig base = scaling_config();
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t hw_threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw_threads) ==
+      thread_counts.end())
+    thread_counts.push_back(hw_threads);
+
+  util::Json::Array runs;
+  double serial_seconds = 0.0;
+  std::uint64_t serial_fingerprint = 0;
+  bool all_identical = true;
+
+  std::cout << "threads  seconds  speedup  identical  s_cache_hit%  cost_hit%\n";
+  for (const std::size_t threads : thread_counts) {
+    core::HadasConfig config = base;
+    config.exec.threads = threads;
+    core::HadasEngine engine(space, hw::Target::kTx2PascalGpu, config);
+
+    const auto t0 = clock::now();
+    const core::HadasResult result = engine.run();
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    const std::uint64_t fp = fingerprint(result);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_fingerprint = fp;
+    }
+    const bool identical = fp == serial_fingerprint;
+    all_identical = all_identical && identical;
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    const exec::CacheStats s_stats = engine.static_cache_stats();
+    const exec::CacheStats c_stats = engine.cost_cache_stats();
+
+    std::cout << "  " << engine.threads() << "      "
+              << util::fmt_fixed(seconds, 2) << "    "
+              << util::fmt_fixed(speedup, 2) << "x    "
+              << (identical ? "yes" : "NO ") << "       "
+              << util::fmt_fixed(100.0 * s_stats.hit_rate(), 1) << "          "
+              << util::fmt_fixed(100.0 * c_stats.hit_rate(), 1) << "\n";
+
+    util::Json::Object run;
+    run["threads"] = engine.threads();
+    run["seconds"] = seconds;
+    run["speedup_vs_serial"] = speedup;
+    run["identical_to_serial"] = identical;
+    run["final_pareto_size"] = result.final_pareto.size();
+    run["outer_evaluations"] = result.outer_evaluations;
+    run["inner_evaluations"] = result.inner_evaluations;
+    run["static_cache_hits"] = s_stats.hits;
+    run["static_cache_misses"] = s_stats.misses;
+    run["cost_cache_hits"] = c_stats.hits;
+    run["cost_cache_misses"] = c_stats.misses;
+    run["cost_cache_hit_rate"] = c_stats.hit_rate();
+    runs.push_back(util::Json(std::move(run)));
+  }
+
+  // Warm-started rerun on a fresh engine pre-seeded by a cold run: the
+  // second run's repeated genomes hit the S(b) memo instead of re-running
+  // the static pipeline.
+  core::HadasConfig warm_config = base;
+  warm_config.exec.threads = hw_threads;
+  core::HadasEngine warm_engine(space, hw::Target::kTx2PascalGpu, warm_config);
+  const core::HadasResult cold = warm_engine.run();
+  const exec::CacheStats before = warm_engine.static_cache_stats();
+  const core::WarmStart warm =
+      core::warm_start_from_solutions(space, cold.final_pareto);
+  const auto w0 = clock::now();
+  const core::HadasResult resumed = warm_engine.run(warm);
+  const double warm_seconds =
+      std::chrono::duration<double>(clock::now() - w0).count();
+  const exec::CacheStats after = warm_engine.static_cache_stats();
+  const std::uint64_t warm_hits = after.hits - before.hits;
+
+  std::cout << "\nwarm-started rerun: " << util::fmt_fixed(warm_seconds, 2)
+            << " s, " << warm_hits << " S(b) memo hits, final front "
+            << resumed.final_pareto.size() << " solutions\n";
+  std::cout << "determinism: "
+            << (all_identical ? "all thread counts bit-identical"
+                              : "MISMATCH ACROSS THREAD COUNTS")
+            << "\n";
+
+  util::Json::Object doc;
+  doc["bench"] = "parallel_scaling";
+  doc["config_outer_population"] = base.outer_population;
+  doc["config_outer_generations"] = base.outer_generations;
+  doc["config_ioe_backbones_per_generation"] = base.ioe_backbones_per_generation;
+  doc["hardware_concurrency"] = hw_threads;
+  doc["all_identical"] = all_identical;
+  doc["runs"] = util::Json(std::move(runs));
+  util::Json::Object warm_obj;
+  warm_obj["seconds"] = warm_seconds;
+  warm_obj["static_cache_hits"] = warm_hits;
+  warm_obj["static_cache_hit_rate"] = after.hit_rate();
+  warm_obj["final_pareto_size"] = resumed.final_pareto.size();
+  doc["warm_start"] = util::Json(std::move(warm_obj));
+
+  const std::string path = bench::out_dir() + "/parallel_scaling.json";
+  std::ofstream out(path);
+  out << util::Json(std::move(doc)).dump(2) << "\n";
+  std::cout << "\nwrote " << path << "\n";
+
+  return all_identical ? 0 : 1;
+}

@@ -22,16 +22,25 @@ HadasEngine::HadasEngine(const supernet::SearchSpace& space, hw::Target target,
                          HadasConfig config)
     : space_(space),
       config_(config),
-      static_eval_(space, target),
-      task_(config.data) {}
+      static_eval_(space, target, config.exec.cache_capacity),
+      task_(config.data),
+      dispatcher_(config.exec),
+      static_cache_(config.exec.cache_capacity) {}
 
 const HadasEngine::BankEntry& HadasEngine::bank_entry(
     const supernet::BackboneConfig& config) const {
   const std::uint64_t key = supernet::genome_hash(supernet::encode(space_, config));
-  auto it = bank_cache_.find(key);
-  if (it != bank_cache_.end()) return it->second;
+  {
+    std::scoped_lock lock(bank_mutex_);
+    auto it = bank_cache_.find(key);
+    if (it != bank_cache_.end()) return it->second;
+  }
 
-  const supernet::NetworkCost cost = static_eval_.cost_model().analyze(config);
+  // Built outside the lock so concurrent IOE tasks train the banks of
+  // distinct backbones in parallel. If two tasks race on the same key the
+  // loser's entry is discarded by try_emplace — wasted work, never a wrong
+  // result, since construction is deterministic in (config, seed).
+  const supernet::NetworkCost cost = static_eval_.cost_cache().analyze(config);
   const double accuracy = static_eval_.surrogate().accuracy(config);
   const double separability = data::separability_from_accuracy(accuracy);
 
@@ -43,7 +52,8 @@ const HadasEngine::BankEntry& HadasEngine::bank_entry(
       std::make_unique<dynn::ExitBank>(task_, cost, separability, bank_config);
   entry.cost = std::make_unique<dynn::MultiExitCostTable>(
       cost, static_eval_.hardware());
-  return bank_cache_.emplace(key, std::move(entry)).first->second;
+  std::scoped_lock lock(bank_mutex_);
+  return bank_cache_.try_emplace(key, std::move(entry)).first->second;
 }
 
 const dynn::ExitBank& HadasEngine::exit_bank(
@@ -150,19 +160,6 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     seen.emplace(genome, result.backbones.size() - 1);
   }
 
-  auto evaluate_static = [&](const supernet::Genome& genome) -> std::size_t {
-    auto it = seen.find(genome);
-    if (it != seen.end()) return it->second;
-    BackboneOutcome outcome;
-    outcome.config = supernet::decode(space_, genome);
-    outcome.static_eval = static_eval_.evaluate(outcome.config);
-    result.backbones.push_back(std::move(outcome));
-    ++result.outer_evaluations;
-    const std::size_t index = result.backbones.size() - 1;
-    seen.emplace(genome, index);
-    return index;
-  };
-
   // Initial population: warm-start genomes first, random fill after.
   std::vector<supernet::Genome> population;
   population.reserve(config_.outer_population);
@@ -174,10 +171,38 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     population.push_back(supernet::random_genome(space_, rng));
 
   for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
-    // --- S evaluation of the generation (eq. 3). ---
-    std::vector<std::size_t> indices;
-    indices.reserve(population.size());
-    for (const auto& genome : population) indices.push_back(evaluate_static(genome));
+    // --- S evaluation of the generation (eq. 3), fanned out over the
+    // dispatcher. Indices are assigned serially in first-occurrence order
+    // (so result.backbones matches the serial path exactly); only the pure
+    // S(b) computations of genomes not seen before run concurrently, each
+    // memoized across run() calls by the static cache. ---
+    std::vector<std::size_t> indices(population.size());
+    std::vector<std::pair<std::size_t, supernet::Genome>> fresh;  // index, genome
+    for (std::size_t p = 0; p < population.size(); ++p) {
+      const supernet::Genome& genome = population[p];
+      auto it = seen.find(genome);
+      if (it != seen.end()) {
+        indices[p] = it->second;
+        continue;
+      }
+      BackboneOutcome outcome;
+      outcome.config = supernet::decode(space_, genome);
+      result.backbones.push_back(std::move(outcome));
+      ++result.outer_evaluations;
+      const std::size_t index = result.backbones.size() - 1;
+      seen.emplace(genome, index);
+      indices[p] = index;
+      fresh.emplace_back(index, genome);
+    }
+    const std::vector<StaticEval> evals =
+        dispatcher_.map(fresh.size(), [&](std::size_t k) {
+          const auto& [index, genome] = fresh[k];
+          return static_cache_.get_or_compute(supernet::genome_hash(genome), [&] {
+            return static_eval_.evaluate(result.backbones[index].config);
+          });
+        });
+    for (std::size_t k = 0; k < fresh.size(); ++k)
+      result.backbones[fresh[k].first].static_eval = evals[k];
 
     // --- Early selection: prune P_B^g to P_B^g' via non-dominated sorting
     // on the static objectives; the elites are mapped to IOEs. ---
@@ -197,22 +222,36 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       for (std::size_t i : by_crowding) elite_order.push_back(front[i]);
     }
 
-    std::size_t launched = 0;
+    // The launch set is fully determined by the static evaluations, so it
+    // can be fixed up front and the |P_B^g'| independent IOEs dispatched
+    // concurrently — the paper's "independent Inner Optimization Engines"
+    // fan-out. Each IOE's NSGA seed derives from its backbone hash alone,
+    // so the results do not depend on scheduling order.
+    std::vector<std::size_t> launch;  // indices into result.backbones
     for (std::size_t pos : elite_order) {
-      if (launched == config_.ioe_backbones_per_generation) break;
-      BackboneOutcome& outcome = result.backbones[indices[pos]];
+      if (launch.size() == config_.ioe_backbones_per_generation) break;
+      const std::size_t idx = indices[pos];
+      const BackboneOutcome& outcome = result.backbones[idx];
       if (outcome.ioe_ran) continue;  // already explored in a prior generation
       if (config_.max_latency_s > 0.0 &&
           outcome.static_eval.latency_s > config_.max_latency_s)
         continue;  // never spend IOE budget on undeployable backbones
-      IoeResult ioe = run_ioe(outcome.config);
+      if (std::find(launch.begin(), launch.end(), idx) != launch.end())
+        continue;  // duplicate genome in the population
+      launch.push_back(idx);
+    }
+    std::vector<IoeResult> ioes = dispatcher_.map(
+        launch.size(),
+        [&](std::size_t k) { return run_ioe(result.backbones[launch[k]].config); });
+    for (std::size_t k = 0; k < launch.size(); ++k) {
+      BackboneOutcome& outcome = result.backbones[launch[k]];
+      IoeResult& ioe = ioes[k];
       outcome.ioe_ran = true;
       outcome.inner_pareto = std::move(ioe.pareto);
       if (config_.keep_inner_history)
         outcome.inner_history = std::move(ioe.history);
       outcome.inner_hv = inner_hypervolume(outcome.inner_pareto);
       result.inner_evaluations += ioe.evaluations;
-      ++launched;
     }
 
     // --- Second selection: rank by combined S and D scores, then apply

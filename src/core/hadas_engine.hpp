@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "data/synthetic_task.hpp"
 #include "dynn/exit_bank.hpp"
 #include "dynn/multi_exit_cost.hpp"
+#include "exec/dispatcher.hpp"
+#include "exec/eval_cache.hpp"
 
 namespace hadas::core {
 
@@ -35,6 +38,12 @@ struct HadasConfig {
   /// IOE budget only on deployable designs. <= 0 disables the constraint.
   double max_latency_s = 0.0;
   std::uint64_t seed = 2023;
+  /// Parallel-execution knobs: per-generation static evaluations and the
+  /// per-generation IOE runs are dispatched over `exec.threads` workers
+  /// (0 = auto, 1 = serial fallback; HADAS_THREADS overrides). The result
+  /// is bit-identical at any thread count — see DESIGN.md "Parallel
+  /// execution" for the determinism contract.
+  exec::ExecConfig exec;
 };
 
 /// A fully specified dynamic design: the paper's (b*, x*, f*) triple with
@@ -130,6 +139,19 @@ class HadasEngine {
   const dynn::MultiExitCostTable& cost_table(
       const supernet::BackboneConfig& config) const;
 
+  /// Resolved worker count of the parallel dispatcher (>= 1).
+  std::size_t threads() const { return dispatcher_.threads(); }
+
+  /// Counters of the S(b) memo table (hits appear on warm starts and on
+  /// repeated run() calls against the same engine).
+  exec::CacheStats static_cache_stats() const { return static_cache_.stats(); }
+
+  /// Counters of the shared cost-model memo (hit whenever static eval,
+  /// exit-bank training and cost-table construction reuse one analysis).
+  exec::CacheStats cost_cache_stats() const {
+    return static_eval_.cost_cache().stats();
+  }
+
  private:
   struct BankEntry {
     std::unique_ptr<dynn::ExitBank> bank;
@@ -141,6 +163,12 @@ class HadasEngine {
   HadasConfig config_;
   StaticEvaluator static_eval_;
   data::SyntheticTask task_;
+  exec::ParallelDispatcher dispatcher_;
+  /// S(b) memo across run() calls (warm starts); keyed by genome hash.
+  mutable exec::EvalCache<StaticEval> static_cache_;
+  /// Guards bank_cache_ lookup/insert; bank construction happens outside
+  /// the lock so distinct backbones train their exit banks concurrently.
+  mutable std::mutex bank_mutex_;
   mutable std::unordered_map<std::uint64_t, BankEntry> bank_cache_;
 };
 

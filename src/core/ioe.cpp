@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "exec/eval_cache.hpp"
+
 namespace hadas::core {
 
 namespace {
-/// Adapts the (X, F) subspaces to the generic integer-genome Problem.
+/// Adapts the (X, F) subspaces to the generic integer-genome Problem. D
+/// evaluations are memoized by genome hash: NSGA-II evaluates each distinct
+/// candidate during the search and the result materialization re-evaluates
+/// the whole history, so the memo halves the evaluator work per IOE run.
 class InnerProblem final : public Problem {
  public:
   InnerProblem(const dynn::ExitBank& bank, const dynn::DynamicEvaluator& eval,
@@ -19,6 +24,15 @@ class InnerProblem final : public Problem {
     if (num_eligible_ == 0)
       throw std::invalid_argument("InnerProblem: no eligible exit positions");
     (void)bank;
+  }
+
+  /// Memoized D(x, f | b) of a genome (exact same value as a direct
+  /// DynamicEvaluator call — the evaluation is deterministic).
+  dynn::DynamicMetrics metrics(const IntGenome& genome) {
+    return memo_.get_or_compute(exec::hash_ints(genome), [&] {
+      const auto [placement, setting] = decode(genome);
+      return eval_.evaluate(placement, setting);
+    });
   }
 
   std::vector<std::size_t> gene_cardinalities() const override {
@@ -36,8 +50,7 @@ class InnerProblem final : public Problem {
   }
 
   Objectives evaluate(const IntGenome& genome) override {
-    const auto [placement, setting] = decode(genome);
-    const dynn::DynamicMetrics m = eval_.evaluate(placement, setting);
+    const dynn::DynamicMetrics m = metrics(genome);
     // Maximized objectives: the regularized eq.(5) score (carries the
     // dissimilarity pressure), optionally the ideal-mapping energy gain,
     // and the dynamic (oracle) accuracy. The returned Pareto set is then
@@ -67,6 +80,9 @@ class InnerProblem final : public Problem {
   std::size_t total_layers_;
   bool include_gain_objective_;
   std::size_t num_eligible_ = 0;
+  /// Unbounded within one IOE run (at most one entry per distinct
+  /// candidate, and a run is capped by its NSGA budget).
+  exec::EvalCache<dynn::DynamicMetrics> memo_{/*capacity=*/0, /*shards=*/1};
 };
 }  // namespace
 
@@ -101,8 +117,7 @@ IoeResult InnerEngine::run() {
 
   auto to_solution = [&](const Individual& ind) {
     const auto [placement, setting] = problem.decode(ind.genome);
-    InnerSolution sol{placement, setting,
-                      evaluator_.evaluate(placement, setting), {}};
+    InnerSolution sol{placement, setting, problem.metrics(ind.genome), {}};
     sol.objectives = ind.objectives;
     return sol;
   };

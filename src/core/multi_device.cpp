@@ -77,14 +77,18 @@ class JointInnerProblem final : public Problem {
 
 MultiDeviceEngine::MultiDeviceEngine(const supernet::SearchSpace& space,
                                      MultiDeviceConfig config)
-    : space_(space), config_(config), task_(config.data) {
+    : space_(space),
+      config_(config),
+      task_(config.data),
+      dispatcher_(config.exec) {
   targets_ = config_.targets.empty() ? hw::all_targets() : config_.targets;
   if (targets_.empty())
     throw std::invalid_argument("MultiDeviceEngine: no targets");
   devices_.reserve(targets_.size());
   for (hw::Target target : targets_) {
     DeviceContext context;
-    context.static_eval = std::make_unique<StaticEvaluator>(space_, target);
+    context.static_eval = std::make_unique<StaticEvaluator>(
+        space_, target, config_.exec.cache_capacity);
     devices_.push_back(std::move(context));
   }
 }
@@ -105,31 +109,52 @@ MultiDeviceResult MultiDeviceEngine::run() {
   std::map<supernet::Genome, std::size_t> seen;
   std::vector<Entry> entries;
 
-  auto evaluate_static = [&](const supernet::Genome& genome) -> std::size_t {
-    auto it = seen.find(genome);
-    if (it != seen.end()) return it->second;
-    Entry entry;
-    entry.config = supernet::decode(space_, genome);
-    entry.objectives.push_back(
-        devices_.front().static_eval->surrogate().accuracy(entry.config));
-    for (const auto& device : devices_)
-      entry.objectives.push_back(-device.static_eval->evaluate(entry.config).energy_j);
-    entries.push_back(std::move(entry));
-    ++result.static_evaluations;
-    seen.emplace(genome, entries.size() - 1);
-    return entries.size() - 1;
-  };
-
   std::vector<supernet::Genome> population;
   for (std::size_t i = 0; i < config_.outer_population; ++i)
     population.push_back(supernet::random_genome(space_, rng));
 
+  const std::size_t device_count = devices_.size();
   for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
-    std::vector<Individual> individuals;
-    for (const auto& genome : population) {
-      const std::size_t idx = evaluate_static(genome);
-      individuals.push_back({genome, entries[idx].objectives});
+    // Static evaluation of the generation's fresh genomes, one device per
+    // task: the (genome, device) grid is flattened so every per-device
+    // roofline measurement is an independent unit of work. Entry slots are
+    // assigned serially in first-occurrence order, keeping the result
+    // layout identical to the serial path.
+    std::vector<std::size_t> idxs(population.size());
+    std::vector<std::size_t> fresh;  // entry indices needing evaluation
+    for (std::size_t p = 0; p < population.size(); ++p) {
+      const supernet::Genome& genome = population[p];
+      auto it = seen.find(genome);
+      if (it != seen.end()) {
+        idxs[p] = it->second;
+        continue;
+      }
+      Entry entry;
+      entry.config = supernet::decode(space_, genome);
+      entries.push_back(std::move(entry));
+      ++result.static_evaluations;
+      const std::size_t index = entries.size() - 1;
+      seen.emplace(genome, index);
+      idxs[p] = index;
+      fresh.push_back(index);
     }
+    const std::vector<double> energies =
+        dispatcher_.map(fresh.size() * device_count, [&](std::size_t t) {
+          const std::size_t g = t / device_count;
+          const std::size_t d = t % device_count;
+          return devices_[d].static_eval->evaluate(entries[fresh[g]].config).energy_j;
+        });
+    for (std::size_t g = 0; g < fresh.size(); ++g) {
+      Entry& entry = entries[fresh[g]];
+      entry.objectives.push_back(
+          devices_.front().static_eval->surrogate().accuracy(entry.config));
+      for (std::size_t d = 0; d < device_count; ++d)
+        entry.objectives.push_back(-energies[g * device_count + d]);
+    }
+
+    std::vector<Individual> individuals;
+    for (std::size_t p = 0; p < population.size(); ++p)
+      individuals.push_back({population[p], entries[idxs[p]].objectives});
     const std::size_t parents =
         std::max<std::size_t>(2, config_.outer_population / 2);
     std::vector<Individual> selected =
@@ -161,14 +186,23 @@ MultiDeviceResult MultiDeviceEngine::run() {
     return crowding[a] > crowding[b];
   });
 
-  // --- Joint inner search per elite backbone. ---
+  // --- Joint inner search per elite backbone, one IOE per task. Each task
+  // is self-contained (own bank, cost tables, evaluators) and seeded from
+  // its backbone hash, so the dispatch order cannot affect the results;
+  // evaluation counts and Pareto insertions are merged serially in elite
+  // order afterwards. ---
   ParetoArchive archive;
   std::vector<MultiDeviceSolution> pool;
   const std::size_t elites = std::min(config_.inner_backbones, front.size());
-  for (std::size_t e = 0; e < elites; ++e) {
+  struct EliteOutcome {
+    std::vector<MultiDeviceSolution> solutions;
+    std::size_t evaluations = 0;
+  };
+  std::vector<EliteOutcome> elite_outcomes =
+      dispatcher_.map(elites, [&](std::size_t e) {
     const supernet::BackboneConfig& backbone = entries[front[order[e]]].config;
     const supernet::NetworkCost cost =
-        devices_.front().static_eval->cost_model().analyze(backbone);
+        devices_.front().static_eval->cost_cache().analyze(backbone);
     const double accuracy =
         devices_.front().static_eval->surrogate().accuracy(backbone);
     dynn::ExitBankConfig bank_config = config_.bank;
@@ -193,8 +227,9 @@ MultiDeviceResult MultiDeviceEngine::run() {
     Nsga2Config nsga_config = config_.inner_nsga;
     nsga_config.seed ^= supernet::genome_hash(supernet::encode(space_, backbone));
     const Nsga2Result inner = Nsga2(nsga_config).run(problem);
-    result.inner_evaluations += inner.evaluations;
 
+    EliteOutcome outcome;
+    outcome.evaluations = inner.evaluations;
     for (const auto& ind : inner.front) {
       const auto [placement, settings] = problem.decode(ind.genome);
       MultiDeviceSolution sol{backbone, placement, settings, {}, 1.0, 0.0, 0.0};
@@ -205,6 +240,14 @@ MultiDeviceResult MultiDeviceEngine::run() {
                          static_cast<double>(eval_ptrs.size());
         sol.oracle_accuracy = sol.per_device.back().oracle_accuracy;
       }
+      outcome.solutions.push_back(std::move(sol));
+    }
+    return outcome;
+  });
+
+  for (EliteOutcome& outcome : elite_outcomes) {
+    result.inner_evaluations += outcome.evaluations;
+    for (MultiDeviceSolution& sol : outcome.solutions) {
       pool.push_back(std::move(sol));
       archive.insert({pool.back().worst_gain, pool.back().oracle_accuracy},
                      pool.size() - 1);

@@ -8,6 +8,7 @@
 #include "data/synthetic_task.hpp"
 #include "dynn/exit_bank.hpp"
 #include "dynn/multi_exit_cost.hpp"
+#include "exec/dispatcher.hpp"
 
 namespace hadas::core {
 
@@ -23,6 +24,10 @@ struct MultiDeviceConfig {
   dynn::ExitBankConfig bank;
   data::DataConfig data;
   std::uint64_t seed = 4242;
+  /// Parallel execution: per-device static measurements run one device per
+  /// task, and the per-elite joint inner searches run concurrently. Results
+  /// are bit-identical at any thread count.
+  exec::ExecConfig exec;
 };
 
 /// One portable dynamic design: a single (backbone, exits) pair with a
@@ -59,6 +64,9 @@ class MultiDeviceEngine {
 
   MultiDeviceResult run();
 
+  /// Resolved worker count of the parallel dispatcher (>= 1).
+  std::size_t threads() const { return dispatcher_.threads(); }
+
  private:
   struct DeviceContext {
     std::unique_ptr<StaticEvaluator> static_eval;
@@ -69,6 +77,7 @@ class MultiDeviceEngine {
   std::vector<hw::Target> targets_;
   std::vector<DeviceContext> devices_;
   data::SyntheticTask task_;
+  exec::ParallelDispatcher dispatcher_;
 };
 
 }  // namespace hadas::core

@@ -3,16 +3,18 @@
 namespace hadas::core {
 
 StaticEvaluator::StaticEvaluator(const supernet::SearchSpace& space,
-                                 hw::Target target)
+                                 hw::Target target,
+                                 std::size_t cost_cache_capacity)
     : space_(space),
       cost_model_(space),
-      surrogate_(std::make_unique<supernet::AccuracySurrogate>(cost_model_)),
+      cost_cache_(cost_model_, cost_cache_capacity),
+      surrogate_(std::make_unique<supernet::AccuracySurrogate>(cost_cache_)),
       hw_(hw::make_device(target)) {}
 
 StaticEval StaticEvaluator::evaluate(const supernet::BackboneConfig& config) const {
   StaticEval s;
   s.accuracy = surrogate_->accuracy(config);
-  const supernet::NetworkCost cost = cost_model_.analyze(config);
+  const supernet::NetworkCost cost = cost_cache_.analyze(config);
   const hw::HwMeasurement m =
       hw_.measure_network(cost, hw::default_setting(hw_.device()));
   s.latency_s = m.latency_s;

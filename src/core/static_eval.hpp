@@ -27,18 +27,25 @@ struct StaticEval {
 /// engines and benches share one consistent measurement pipeline.
 class StaticEvaluator {
  public:
-  StaticEvaluator(const supernet::SearchSpace& space, hw::Target target);
+  StaticEvaluator(const supernet::SearchSpace& space, hw::Target target,
+                  std::size_t cost_cache_capacity = 4096);
 
   const supernet::SearchSpace& space() const { return space_; }
   const supernet::CostModel& cost_model() const { return cost_model_; }
+  /// Memoized view of the cost model; engines route repeated analyses of
+  /// the same backbone (static eval, exit bank, cost tables) through this.
+  const supernet::CachedCostModel& cost_cache() const { return cost_cache_; }
   const supernet::AccuracySurrogate& surrogate() const { return *surrogate_; }
   const hw::HardwareEvaluator& hardware() const { return hw_; }
 
+  /// Thread-safe: concurrent evaluations only share the cost cache, which
+  /// is internally synchronized.
   StaticEval evaluate(const supernet::BackboneConfig& config) const;
 
  private:
   supernet::SearchSpace space_;
   supernet::CostModel cost_model_;
+  supernet::CachedCostModel cost_cache_;
   std::unique_ptr<supernet::AccuracySurrogate> surrogate_;
   hw::HardwareEvaluator hw_;
 };

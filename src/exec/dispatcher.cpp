@@ -1,0 +1,38 @@
+#include "exec/dispatcher.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace hadas::exec {
+
+std::size_t resolve_threads(const ExecConfig& config) {
+  std::size_t threads = config.threads;
+  if (const char* env = std::getenv("HADAS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      threads = static_cast<std::size_t>(parsed);
+  }
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return threads;
+}
+
+ParallelDispatcher::ParallelDispatcher(const ExecConfig& config)
+    : threads_(resolve_threads(config)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void ParallelDispatcher::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (pool_ == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool_->parallel_for(n, body);
+}
+
+}  // namespace hadas::exec

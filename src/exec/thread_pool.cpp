@@ -1,0 +1,131 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace hadas::exec {
+
+namespace {
+/// Set while a thread runs a worker_loop, so nested waits can tell whether
+/// they may steal queue work from the pool they belong to.
+thread_local const ThreadPool* current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode: no workers, no queue consumers
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Inline mode never queues, and workers drain the queue before exiting,
+  // so nothing is left behind here.
+}
+
+bool ThreadPool::on_worker_thread() const { return current_pool == this; }
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // serial fallback: run inline
+    return;
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  current_pool = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  // Shared so queued runners outliving this call (they find no iteration
+  // left and exit) keep a valid state. `body` stays valid because we do not
+  // return before done == total.
+  auto state = std::make_shared<State>();
+  state->total = n;
+  state->body = &body;
+
+  auto run_iterations = [state] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) break;
+      try {
+        (*state->body)(i);
+      } catch (...) {
+        std::scoped_lock lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::scoped_lock lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per worker (they no-op if the caller drains everything
+  // first); the caller claims iterations too, so a worker that issues a
+  // nested parallel_for still makes progress with zero free workers.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t i = 0; i < helpers; ++i) post(run_iterations);
+  run_iterations();
+
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace hadas::exec

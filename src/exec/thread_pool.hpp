@@ -1,0 +1,88 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hadas::exec {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// - `submit` returns a std::future carrying the task's result or exception.
+/// - `parallel_for` blocks until every iteration ran; the calling thread
+///   participates in the work, so nested parallel_for calls (a task that
+///   itself fans out) cannot deadlock even with a single worker.
+/// - `wait` drains pending queue entries while waiting on a future, which
+///   makes nested submit-and-wait safe on pool threads.
+/// - The destructor drains the queue, then stops and joins every worker
+///   (clean shutdown: no submitted task is dropped).
+///
+/// A pool constructed with 0 or 1 threads runs everything inline on the
+/// calling thread — the serial fallback used for debugging.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 = inline execution).
+  std::size_t size() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Queue a task and return a future for its result. Throws
+  /// std::runtime_error after shutdown has begun. With no workers the task
+  /// runs inline before returning.
+  template <typename F>
+  auto submit(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Run `body(i)` for every i in [0, n). Iterations are claimed from an
+  /// atomic counter by the caller plus up to size() workers; the call
+  /// returns once all n ran. The first exception thrown by any iteration is
+  /// rethrown here (remaining iterations still run to completion).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Execute one queued task on the calling thread if any is pending.
+  bool run_pending_task();
+
+  /// Cooperative future wait: drains pending tasks while the future is not
+  /// ready, then returns future.get(). Safe to call from a worker.
+  template <typename T>
+  T wait(std::future<T> future) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!run_pending_task())
+        future.wait_for(std::chrono::microseconds(100));
+    }
+    return future.get();
+  }
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hadas::exec

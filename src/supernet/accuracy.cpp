@@ -21,8 +21,14 @@ AccuracySurrogate::AccuracySurrogate(const CostModel& cost_model)
   lambda_ = -std::log((ceiling_ - target6) / (ceiling_ - anchor_accuracy_)) / cap6;
 }
 
+AccuracySurrogate::AccuracySurrogate(const CachedCostModel& cached)
+    : AccuracySurrogate(cached.model()) {
+  cached_ = &cached;
+}
+
 double AccuracySurrogate::capacity(const BackboneConfig& config) const {
-  const NetworkCost cost = cost_model_.analyze(config);
+  const NetworkCost cost =
+      cached_ != nullptr ? cached_->analyze(config) : cost_model_.analyze(config);
   // Capacity grows with log-compute and log-params; resolution contributes
   // beyond its MAC count (more input detail), which is what decouples the
   // accuracy landscape from the pure-FLOPs energy landscape and gives the

@@ -22,6 +22,10 @@ class AccuracySurrogate {
   /// cost model's arithmetic.
   explicit AccuracySurrogate(const CostModel& cost_model);
 
+  /// Same, but per-config analyses go through the shared memo cache, so an
+  /// accuracy query for an already-analyzed backbone costs one hash lookup.
+  explicit AccuracySurrogate(const CachedCostModel& cached);
+
   /// Top-1 accuracy fraction in (0, ceiling).
   double accuracy(const BackboneConfig& config) const;
 
@@ -34,6 +38,7 @@ class AccuracySurrogate {
 
  private:
   const CostModel& cost_model_;
+  const CachedCostModel* cached_ = nullptr;  ///< optional memoized route
   double ceiling_ = 0.93;
   double anchor_accuracy_ = 0.8633;  // a0
   double lambda_ = 1.0;              // decay rate, solved at construction

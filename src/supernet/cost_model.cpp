@@ -152,4 +152,9 @@ NetworkCost CostModel::analyze(const BackboneConfig& config) const {
   return net;
 }
 
+NetworkCost CachedCostModel::analyze(const BackboneConfig& config) const {
+  const std::uint64_t key = genome_hash(encode(model_->space(), config));
+  return cache_.get_or_compute(key, [&] { return model_->analyze(config); });
+}
+
 }  // namespace hadas::supernet

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/eval_cache.hpp"
 #include "supernet/backbone.hpp"
 
 namespace hadas::supernet {
@@ -69,6 +70,30 @@ class CostModel {
 
  private:
   SearchSpace space_;
+};
+
+/// Memoizing facade over CostModel::analyze, keyed by genome hash. The
+/// same backbone is analyzed by the static evaluator, the exit-bank
+/// builder and the cost-table builder; routing them through one
+/// CachedCostModel collapses those repeats (within a run and across
+/// warm-started runs) into a single analysis. Thread-safe — the underlying
+/// exec::EvalCache is sharded and mutex-striped, so concurrent searches
+/// share the table without serializing on one lock.
+class CachedCostModel {
+ public:
+  explicit CachedCostModel(const CostModel& model, std::size_t capacity = 4096)
+      : model_(&model), cache_(capacity) {}
+
+  const CostModel& model() const { return *model_; }
+
+  /// Cached per-layer cost breakdown (computes on first sight).
+  NetworkCost analyze(const BackboneConfig& config) const;
+
+  exec::CacheStats stats() const { return cache_.stats(); }
+
+ private:
+  const CostModel* model_;
+  mutable exec::EvalCache<NetworkCost> cache_;
 };
 
 }  // namespace hadas::supernet

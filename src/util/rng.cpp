@@ -77,6 +77,18 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Hash the full 256-bit state together with the stream id down to a child
+  // seed. SplitMix64 steps decorrelate the words; the state is read-only, so
+  // concurrent forks of a shared parent are race-free.
+  SplitMix64 sm(s_[0] ^ 0xa0761d6478bd642fULL);
+  std::uint64_t h = sm.next() ^ s_[1];
+  h = SplitMix64(h).next() ^ s_[2];
+  h = SplitMix64(h).next() ^ s_[3];
+  h = SplitMix64(h).next() ^ stream_id;
+  return Rng(SplitMix64(h).next());
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");

@@ -67,8 +67,16 @@ class Rng {
   bool bernoulli(double p);
 
   /// Derive an independent child generator; the i-th child of a given parent
-  /// is deterministic in (parent seed, i).
+  /// is deterministic in (parent seed, i). Advances this generator.
   Rng split();
+
+  /// Splittable-stream derivation for parallel fan-out: an independent
+  /// generator deterministic in (current state, stream_id) that does NOT
+  /// advance this generator. Unlike split(), forks are order-independent —
+  /// fork(3) yields the same stream whether or not fork(0..2) were taken,
+  /// so per-task streams derived from (seed, task_index) are identical at
+  /// any thread count and scheduling order.
+  Rng fork(std::uint64_t stream_id) const;
 
   /// Fisher–Yates shuffle of a vector.
   template <typename T>

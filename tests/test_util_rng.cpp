@@ -163,6 +163,27 @@ TEST(Rng, SplitProducesIndependentStreams) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, ForkIsOrderIndependentAndLeavesParentUntouched) {
+  Rng a(31), b(31);
+  // Forking does not advance the parent, and fork(k) is the same stream no
+  // matter how many (or few) other forks were taken first.
+  Rng a3 = a.fork(3);
+  (void)b.fork(0);
+  (void)b.fork(1);
+  Rng b3 = b.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a3.next_u64(), b3.next_u64());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreIndependentAcrossIds) {
+  Rng parent(37);
+  Rng f0 = parent.fork(0);
+  Rng f1 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += f0.next_u64() == f1.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RngSeedSweep, UniformIntStaysInRangeForManySeeds) {
