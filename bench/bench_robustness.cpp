@@ -1,0 +1,262 @@
+// Robustness bench for the hw/ fault-tolerance layer: (1) wrapper overhead
+// of the robust measurement envelope at a 0% fault rate — a tight
+// measure_network micro-loop plus a full HadasEngine::run, both of which
+// must stay bit-identical to the raw path — and (2) recovery statistics
+// (retries, quarantines, breaker trips) at 5% and 20% transient fault
+// rates, where the noiseless fault model lets the search reconverge to the
+// clean run's exact Pareto front. Results go to stdout and
+// bench_out/robustness.json.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/hadas_engine.hpp"
+#include "hw/device.hpp"
+#include "hw/robust_eval.hpp"
+#include "supernet/baselines.hpp"
+#include "supernet/cost_model.hpp"
+#include "util/json.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+/// Stable FNV-1a fingerprint of a result's final Pareto set (bit patterns
+/// of every reported metric) — equal fingerprints <=> bit-identical fronts.
+std::uint64_t fingerprint(const core::HadasResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(result.final_pareto.size());
+  for (const core::FinalSolution& sol : result.final_pareto) {
+    for (std::uint8_t bit : sol.placement.mask()) mix(bit);
+    mix(sol.setting.core_idx);
+    mix(sol.setting.emc_idx);
+    mix_double(sol.dynamic.score_eq5);
+    mix_double(sol.dynamic.energy_gain);
+    mix_double(sol.dynamic.oracle_accuracy);
+    mix_double(sol.static_eval.latency_s);
+    mix_double(sol.static_eval.energy_j);
+  }
+  for (std::size_t idx : result.static_front) mix(idx);
+  return h;
+}
+
+core::HadasConfig robustness_config() {
+  core::HadasConfig config = bench::experiment_config();
+  if (!bench::paper_budget()) {
+    // Scaled so six full runs (raw, 2x engaged, 5%, 20%, spare) fit in
+    // bench-suite time.
+    config.outer_population = 12;
+    config.outer_generations = 3;
+    config.ioe_backbones_per_generation = 3;
+    config.ioe.nsga.population = 16;
+    config.ioe.nsga.generations = 8;
+    config.data.train_size = 800;
+    config.bank.train.epochs = 4;
+  }
+  return config;
+}
+
+/// Tight measure_network loop over the AttentiveNAS baselines; returns
+/// seconds. The latency sum is returned through `sink` to keep the
+/// optimizer honest.
+double micro_loop(const hw::HardwareEvaluator& eval,
+                  const hw::RobustEvaluator* robust,
+                  const std::vector<supernet::NetworkCost>& costs,
+                  std::size_t iterations, double* sink) {
+  const hw::DvfsSetting setting = hw::default_setting(eval.device());
+  double acc = 0.0;
+  const auto t0 = clock_type::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const supernet::NetworkCost& cost = costs[i % costs.size()];
+    const hw::HwMeasurement m =
+        robust != nullptr ? robust->measure_network(cost, setting, i)
+                          : eval.measure_network(cost, setting);
+    acc += m.latency_s;
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock_type::now() - t0).count();
+  *sink += acc;
+  return seconds;
+}
+
+util::Json::Object health_json(const hw::HealthReport& report) {
+  util::Json::Object obj;
+  obj["state"] = hw::breaker_state_name(report.state);
+  obj["measurements"] = report.measurements;
+  obj["attempts"] = report.attempts;
+  obj["retries"] = report.retries;
+  obj["transient_failures"] = report.transient_failures;
+  obj["quarantined"] = report.quarantined;
+  obj["outliers_rejected"] = report.outliers_rejected;
+  obj["failed_measurements"] = report.failed_measurements;
+  obj["breaker_trips"] = report.breaker_trips;
+  obj["simulated_backoff_s"] = report.backoff_s;
+  return obj;
+}
+
+}  // namespace
+}  // namespace hadas
+
+int main() {
+  using namespace hadas;
+
+  std::cout << "=== Robust measurement envelope: overhead & recovery ===\n\n";
+
+  const supernet::SearchSpace space = supernet::SearchSpace::attentive_nas();
+  const core::HadasConfig base = robustness_config();
+  util::Json::Object doc;
+  doc["bench"] = "robustness";
+
+  // ---- Part 1a: per-call wrapper overhead (micro-loop, 0% faults) ----
+  const hw::HardwareEvaluator eval(hw::make_device(hw::Target::kTx2PascalGpu));
+  const supernet::CostModel cost_model(space);
+  std::vector<supernet::NetworkCost> costs;
+  for (const auto& baseline : supernet::attentive_nas_baselines())
+    costs.push_back(cost_model.analyze(baseline.config));
+
+  const std::size_t iterations = bench::paper_budget() ? 200000 : 50000;
+  double sink = 0.0;
+  // Warm up caches, then time raw vs. engaged (samples=1: pure envelope
+  // cost; samples=3: envelope + median aggregation).
+  (void)micro_loop(eval, nullptr, costs, iterations / 10, &sink);
+  const double raw_s = micro_loop(eval, nullptr, costs, iterations, &sink);
+
+  hw::RobustConfig engaged1;
+  engaged1.engage = true;
+  engaged1.samples = 1;
+  const hw::RobustEvaluator robust1(eval, engaged1);
+  const double wrap1_s = micro_loop(eval, &robust1, costs, iterations, &sink);
+
+  hw::RobustConfig engaged3;
+  engaged3.engage = true;
+  engaged3.samples = 3;
+  const hw::RobustEvaluator robust3(eval, engaged3);
+  const double wrap3_s = micro_loop(eval, &robust3, costs, iterations, &sink);
+
+  const double micro1_pct = raw_s > 0.0 ? 100.0 * (wrap1_s - raw_s) / raw_s : 0.0;
+  const double micro3_pct = raw_s > 0.0 ? 100.0 * (wrap3_s - raw_s) / raw_s : 0.0;
+  std::cout << "micro measure_network x" << iterations << ":\n"
+            << "  raw                 " << util::fmt_fixed(raw_s * 1e3, 1)
+            << " ms\n"
+            << "  engaged, samples=1  " << util::fmt_fixed(wrap1_s * 1e3, 1)
+            << " ms  (+" << util::fmt_fixed(micro1_pct, 1) << "%)\n"
+            << "  engaged, samples=3  " << util::fmt_fixed(wrap3_s * 1e3, 1)
+            << " ms  (+" << util::fmt_fixed(micro3_pct, 1) << "%)\n\n";
+
+  util::Json::Object micro;
+  micro["iterations"] = iterations;
+  micro["raw_seconds"] = raw_s;
+  micro["engaged_samples1_seconds"] = wrap1_s;
+  micro["engaged_samples3_seconds"] = wrap3_s;
+  micro["overhead_samples1_pct"] = micro1_pct;
+  micro["overhead_samples3_pct"] = micro3_pct;
+  doc["micro"] = util::Json(std::move(micro));
+
+  // ---- Part 1b: end-to-end search overhead at 0% faults ----
+  // The engaged envelope must not change a single bit of the result.
+  auto timed_run = [&](const core::HadasConfig& config, double* seconds) {
+    core::HadasEngine engine(space, hw::Target::kTx2PascalGpu, config);
+    const auto t0 = clock_type::now();
+    core::HadasResult result = engine.run();
+    *seconds = std::chrono::duration<double>(clock_type::now() - t0).count();
+    return result;
+  };
+
+  double clean_s = 0.0;
+  const core::HadasResult clean = timed_run(base, &clean_s);
+  const std::uint64_t clean_fp = fingerprint(clean);
+
+  core::HadasConfig engaged_cfg = base;
+  engaged_cfg.robust.engage = true;
+  engaged_cfg.robust.samples = 3;
+  double engaged_s = 0.0;
+  const core::HadasResult engaged = timed_run(engaged_cfg, &engaged_s);
+  const bool engaged_identical = fingerprint(engaged) == clean_fp;
+  const double search_pct =
+      clean_s > 0.0 ? 100.0 * (engaged_s - clean_s) / clean_s : 0.0;
+
+  std::cout << "full search (pop " << base.outer_population << ", gens "
+            << base.outer_generations << "):\n"
+            << "  raw path            " << util::fmt_fixed(clean_s, 2) << " s\n"
+            << "  engaged, samples=3  " << util::fmt_fixed(engaged_s, 2)
+            << " s  (" << (search_pct >= 0.0 ? "+" : "")
+            << util::fmt_fixed(search_pct, 1) << "%, target < 5%)  front "
+            << (engaged_identical ? "identical" : "DIFFERS") << "\n\n";
+
+  util::Json::Object search;
+  search["raw_seconds"] = clean_s;
+  search["engaged_samples3_seconds"] = engaged_s;
+  search["overhead_pct"] = search_pct;
+  search["overhead_target_pct"] = 5.0;
+  search["within_target"] = search_pct < 5.0;
+  search["front_identical_to_raw"] = engaged_identical;
+  search["final_pareto_size"] = clean.final_pareto.size();
+  doc["search_overhead"] = util::Json(std::move(search));
+
+  // ---- Part 2: recovery statistics under transient faults ----
+  // Faults are noiseless here, so every recovered measurement equals the
+  // clean value exactly and the 5% front must match the clean fingerprint.
+  util::Json::Array recovery;
+  bool low_rate_identical = false;
+  std::cout << "rate   seconds  retries  transient  quarantined  failed  "
+               "trips  front==clean\n";
+  for (const double rate : {0.05, 0.20}) {
+    core::HadasConfig config = base;
+    config.robust.faults.transient_failure_rate = rate;
+    config.robust.faults.nan_rate = rate / 5.0;
+    double seconds = 0.0;
+    const core::HadasResult result = timed_run(config, &seconds);
+    const hw::HealthReport& health = result.device_health;
+    const bool identical = fingerprint(result) == clean_fp;
+    if (rate == 0.05) low_rate_identical = identical;
+
+    std::cout << util::fmt_fixed(rate, 2) << "   "
+              << util::fmt_fixed(seconds, 2) << "     " << health.retries
+              << "      " << health.transient_failures << "        "
+              << health.quarantined << "           "
+              << health.failed_measurements << "       "
+              << health.breaker_trips << "      "
+              << (identical ? "yes" : "NO") << "\n";
+
+    util::Json::Object entry;
+    entry["transient_failure_rate"] = rate;
+    entry["nan_rate"] = rate / 5.0;
+    entry["seconds"] = seconds;
+    entry["front_identical_to_clean"] = identical;
+    entry["final_pareto_size"] = result.final_pareto.size();
+    entry["health"] = util::Json(health_json(health));
+    recovery.push_back(util::Json(std::move(entry)));
+  }
+  doc["recovery"] = util::Json(std::move(recovery));
+  doc["checksum_sink"] = sink;  // anti-DCE; also documents determinism drift
+
+  const bool ok = engaged_identical && low_rate_identical;
+  std::cout << "\nverdict: engaged-at-0% "
+            << (engaged_identical ? "bit-identical" : "MISMATCH")
+            << ", 5%-rate front "
+            << (low_rate_identical ? "reconverged exactly" : "DIVERGED")
+            << "\n";
+
+  const std::string path = bench::out_dir() + "/robustness.json";
+  std::ofstream out(path);
+  out << util::Json(std::move(doc)).dump(2) << "\n";
+  std::cout << "wrote " << path << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,12 @@
 #include "core/hadas_engine.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/serialize.hpp"
 
 namespace hadas::core {
 
@@ -18,11 +22,37 @@ double inner_hypervolume(const std::vector<InnerSolution>& pareto) {
 }
 }  // namespace
 
+std::string checkpoint_fingerprint(const supernet::SearchSpace& space,
+                                   const HadasConfig& c) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "hadas-ckpt-v1|genes:";
+  for (std::size_t card : space.gene_cardinalities()) out << card << ',';
+  out << "|seed:" << c.seed << "|pop:" << c.outer_population
+      << "|elites:" << c.ioe_backbones_per_generation
+      << "|cx:" << c.crossover_prob << "|mut:" << c.mutation_prob
+      << "|maxlat:" << c.max_latency_s << "|hist:" << c.keep_inner_history
+      << "|ioe:" << c.ioe.nsga.population << '/' << c.ioe.nsga.generations
+      << '/' << c.ioe.nsga.crossover_prob << '/' << c.ioe.nsga.mutation_prob
+      << '/' << c.ioe.nsga.seed << "|score:" << c.ioe.score.gamma << '/'
+      << c.ioe.score.use_dissim << "|gainobj:" << c.ioe.include_gain_objective
+      << "|bank:" << c.bank.head_hidden << '/' << c.bank.seed
+      << "|data:" << c.data.num_classes << '/' << c.data.feature_dim << '/'
+      << c.data.train_size << '/' << c.data.val_size << '/' << c.data.test_size
+      << "|faults:" << c.robust.faults.transient_failure_rate << '/'
+      << c.robust.faults.noise_sigma << '/' << c.robust.faults.thermal_drift
+      << '/' << c.robust.faults.nan_rate << '/'
+      << c.robust.faults.dropout_after_n << '/' << c.robust.faults.seed
+      << "|robust:" << c.robust.samples << '/' << c.robust.mad_threshold << '/'
+      << c.robust.retry.max_attempts << '/' << c.robust.engage;
+  return out.str();
+}
+
 HadasEngine::HadasEngine(const supernet::SearchSpace& space, hw::Target target,
                          HadasConfig config)
     : space_(space),
       config_(config),
-      static_eval_(space, target, config.exec.cache_capacity),
+      static_eval_(space, target, config.exec.cache_capacity, config.robust),
       task_(config.data),
       dispatcher_(config.exec),
       static_cache_(config.exec.cache_capacity) {}
@@ -52,6 +82,8 @@ const HadasEngine::BankEntry& HadasEngine::bank_entry(
       std::make_unique<dynn::ExitBank>(task_, cost, separability, bank_config);
   entry.cost = std::make_unique<dynn::MultiExitCostTable>(
       cost, static_eval_.hardware());
+  if (static_eval_.robust().active())
+    entry.cost->set_robust(&static_eval_.robust(), key);
   std::scoped_lock lock(bank_mutex_);
   return bank_cache_.try_emplace(key, std::move(entry)).first->second;
 }
@@ -150,27 +182,59 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
 
   HadasResult result;
   std::map<supernet::Genome, std::size_t> seen;  // genome -> backbone index
-
-  // Pre-load known outcomes (warm start): their static evaluations and inner
-  // Pareto sets are reused verbatim.
-  for (const BackboneOutcome& outcome : warm.known) {
-    const supernet::Genome genome = supernet::encode(space_, outcome.config);
-    if (seen.count(genome)) continue;
-    result.backbones.push_back(outcome);
-    seen.emplace(genome, result.backbones.size() - 1);
-  }
-
-  // Initial population: warm-start genomes first, random fill after.
   std::vector<supernet::Genome> population;
-  population.reserve(config_.outer_population);
-  for (const supernet::Genome& genome : warm.population) {
-    if (population.size() == config_.outer_population) break;
-    if (supernet::is_valid_genome(space_, genome)) population.push_back(genome);
-  }
-  while (population.size() < config_.outer_population)
-    population.push_back(supernet::random_genome(space_, rng));
+  std::size_t start_gen = 0;
 
-  for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
+  // --- Resume: if a checkpoint file exists for this config, restore the
+  // exact mid-search state (population, outcomes, RNG) and skip the
+  // completed generations. The fingerprint guards against resuming a
+  // checkpoint from a different problem; outer_generations is deliberately
+  // excluded so a finished search can be extended. ---
+  const std::string fingerprint = config_.checkpoint_path.empty()
+                                      ? std::string()
+                                      : checkpoint_fingerprint(space_, config_);
+  bool resumed = false;
+  if (!config_.checkpoint_path.empty() &&
+      std::ifstream(config_.checkpoint_path).good()) {
+    SearchCheckpoint ck = load_checkpoint(config_.checkpoint_path);
+    if (ck.fingerprint != fingerprint)
+      throw std::invalid_argument(
+          "HadasEngine: checkpoint '" + config_.checkpoint_path +
+          "' was written by a different search configuration; refusing to "
+          "resume (delete the file to start fresh)");
+    rng = hadas::util::Rng::from_state(ck.rng);
+    result.backbones = std::move(ck.backbones);
+    result.outer_evaluations = ck.outer_evaluations;
+    result.inner_evaluations = ck.inner_evaluations;
+    for (std::size_t i = 0; i < result.backbones.size(); ++i)
+      seen.emplace(supernet::encode(space_, result.backbones[i].config), i);
+    population = std::move(ck.population);
+    start_gen = ck.next_generation;
+    result.resumed_from_generation = start_gen;
+    resumed = true;
+  }
+
+  if (!resumed) {
+    // Pre-load known outcomes (warm start): their static evaluations and
+    // inner Pareto sets are reused verbatim.
+    for (const BackboneOutcome& outcome : warm.known) {
+      const supernet::Genome genome = supernet::encode(space_, outcome.config);
+      if (seen.count(genome)) continue;
+      result.backbones.push_back(outcome);
+      seen.emplace(genome, result.backbones.size() - 1);
+    }
+
+    // Initial population: warm-start genomes first, random fill after.
+    population.reserve(config_.outer_population);
+    for (const supernet::Genome& genome : warm.population) {
+      if (population.size() == config_.outer_population) break;
+      if (supernet::is_valid_genome(space_, genome)) population.push_back(genome);
+    }
+    while (population.size() < config_.outer_population)
+      population.push_back(supernet::random_genome(space_, rng));
+  }
+
+  for (std::size_t gen = start_gen; gen < config_.outer_generations; ++gen) {
     // --- S evaluation of the generation (eq. 3), fanned out over the
     // dispatcher. Indices are assigned serially in first-occurrence order
     // (so result.backbones matches the serial path exactly); only the pure
@@ -290,6 +354,22 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       }
     }
     population = std::move(next);
+
+    // --- Checkpoint at the generation boundary (atomic write-then-rename,
+    // so a kill mid-write can never corrupt an existing checkpoint). ---
+    const std::size_t every = std::max<std::size_t>(1, config_.checkpoint_every);
+    if (!config_.checkpoint_path.empty() &&
+        ((gen + 1) % every == 0 || gen + 1 == config_.outer_generations)) {
+      SearchCheckpoint ck;
+      ck.fingerprint = fingerprint;
+      ck.next_generation = gen + 1;
+      ck.rng = rng.state();
+      ck.population = population;
+      ck.backbones = result.backbones;
+      ck.outer_evaluations = result.outer_evaluations;
+      ck.inner_evaluations = result.inner_evaluations;
+      save_checkpoint(config_.checkpoint_path, ck);
+    }
   }
 
   // --- Static Pareto front over every evaluated backbone (feasible ones
@@ -318,6 +398,8 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     for (std::size_t payload : archive.payloads())
       result.final_pareto.push_back(pool[payload]);
   }
+
+  result.device_health = static_eval_.robust().report();
   return result;
 }
 

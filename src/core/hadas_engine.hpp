@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "dynn/multi_exit_cost.hpp"
 #include "exec/dispatcher.hpp"
 #include "exec/eval_cache.hpp"
+#include "util/rng.hpp"
 
 namespace hadas::core {
 
@@ -38,6 +40,18 @@ struct HadasConfig {
   /// IOE budget only on deployable designs. <= 0 disables the constraint.
   double max_latency_s = 0.0;
   std::uint64_t seed = 2023;
+  /// Fault-tolerant measurement envelope (retry/backoff, sample aggregation,
+  /// circuit breaker). Inactive by default: all measurements pass through
+  /// bit-identically. Activated by non-zero fault rates in robust.faults or
+  /// by robust.engage; see DESIGN.md "Fault tolerance".
+  hw::RobustConfig robust;
+  /// When non-empty, run() writes a resumable checkpoint to this path after
+  /// every `checkpoint_every` completed outer generations (atomic
+  /// write-then-rename), and on startup resumes from the file if it exists
+  /// and matches this config's fingerprint. A resumed search reproduces the
+  /// uninterrupted run's final result bit-identically.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
   /// Parallel-execution knobs: per-generation static evaluations and the
   /// per-generation IOE runs are dispatched over `exec.threads` workers
   /// (0 = auto, 1 = serial fallback; HADAS_THREADS overrides). The result
@@ -74,7 +88,37 @@ struct HadasResult {
                                             ///< in (energy_gain, oracle_acc)
   std::size_t outer_evaluations = 0;        ///< distinct S(b) evaluations
   std::size_t inner_evaluations = 0;        ///< summed IOE evaluations
+  /// Health of this engine's device under the robust measurement envelope
+  /// (all-zero when the robust layer is inactive).
+  hw::HealthReport device_health;
+  /// Generation the run resumed from (0 = started fresh).
+  std::size_t resumed_from_generation = 0;
 };
+
+/// Mid-search snapshot: everything run() needs to continue from the start of
+/// generation `next_generation` exactly as the uninterrupted run would.
+/// Serialized via core/serialize (checkpoint_to_json / checkpoint_from_json).
+struct SearchCheckpoint {
+  /// Fingerprint of the searched problem (seed, budgets, space shape).
+  /// Resume refuses a checkpoint whose fingerprint mismatches the engine's —
+  /// except outer_generations, which may grow between runs (extending a
+  /// finished search is the legitimate use-case).
+  std::string fingerprint;
+  std::size_t next_generation = 0;
+  hadas::util::Rng::State rng;
+  std::vector<supernet::Genome> population;
+  std::vector<BackboneOutcome> backbones;
+  std::size_t outer_evaluations = 0;
+  std::size_t inner_evaluations = 0;
+};
+
+/// Canonical fingerprint of the searched problem for checkpoint validation.
+/// Covers everything that changes the evaluation/evolution stream (seed,
+/// population size, IOE budgets, data/bank parameters, fault model) but NOT
+/// outer_generations or execution knobs (thread count, cache sizes) — those
+/// may differ between the interrupted and the resuming process.
+std::string checkpoint_fingerprint(const supernet::SearchSpace& space,
+                                   const HadasConfig& config);
 
 /// Seed material for continuing a search: genomes to inject into the first
 /// generation plus backbones whose evaluations are already known (their

@@ -84,16 +84,83 @@ MultiDeviceEngine::MultiDeviceEngine(const supernet::SearchSpace& space,
   targets_ = config_.targets.empty() ? hw::all_targets() : config_.targets;
   if (targets_.empty())
     throw std::invalid_argument("MultiDeviceEngine: no targets");
+  if (!config_.robust.empty() && config_.robust.size() != targets_.size())
+    throw std::invalid_argument(
+        "MultiDeviceEngine: robust configs must be empty or one per target");
   devices_.reserve(targets_.size());
-  for (hw::Target target : targets_) {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
     DeviceContext context;
     context.static_eval = std::make_unique<StaticEvaluator>(
-        space_, target, config_.exec.cache_capacity);
+        space_, targets_[i], config_.exec.cache_capacity,
+        config_.robust.empty() ? hw::RobustConfig{} : config_.robust[i]);
     devices_.push_back(std::move(context));
   }
 }
 
+bool MultiDeviceEngine::device_alive(std::size_t index) const {
+  return devices_[index].static_eval->robust().health().state() !=
+         hw::BreakerState::kOpen;
+}
+
+void MultiDeviceEngine::probe_devices() {
+  // A dead device should fail fast, before the search sinks work into it.
+  // Each probe measures a *different* backbone (faults are keyed by the
+  // measurement identity, so re-measuring one backbone re-derives the same
+  // outcome): failure_threshold failed probes in a row open the breaker,
+  // one success proves the device usable.
+  hadas::util::Rng prng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto& robust = devices_[i].static_eval->robust();
+    if (!robust.active()) continue;
+    hadas::util::Rng device_rng = prng.fork(i);
+    const std::size_t tries = robust.config().breaker.failure_threshold;
+    for (std::size_t t = 0; t < tries; ++t) {
+      try {
+        devices_[i].static_eval->evaluate(
+            supernet::decode(space_, supernet::random_genome(space_, device_rng)));
+        break;  // device answers: leave it in the fleet
+      } catch (const hw::DeviceUnavailableError&) {
+        break;  // breaker already open (dropout): give up on it
+      } catch (const hw::MeasurementError&) {
+        continue;  // counted by the breaker; keep probing
+      }
+    }
+  }
+}
+
 MultiDeviceResult MultiDeviceEngine::run() {
+  probe_devices();
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (device_alive(i)) alive.push_back(i);
+
+  for (;;) {
+    if (alive.empty())
+      throw hw::DeviceUnavailableError(
+          "MultiDeviceEngine: every configured device is unavailable "
+          "(all circuit breakers open)");
+    try {
+      MultiDeviceResult result = search(alive);
+      for (std::size_t idx : alive)
+        result.active_targets.push_back(targets_[idx]);
+      for (std::size_t i = 0; i < devices_.size(); ++i)
+        result.health.push_back({targets_[i], device_alive(i),
+                                 devices_[i].static_eval->robust().report()});
+      return result;
+    } catch (const hw::DeviceUnavailableError&) {
+      // A breaker opened mid-search: drop the dead device(s) and restart
+      // deterministically on the survivors. If nothing actually died the
+      // error is not ours to absorb.
+      std::vector<std::size_t> survivors;
+      for (std::size_t idx : alive)
+        if (device_alive(idx)) survivors.push_back(idx);
+      if (survivors.size() == alive.size()) throw;
+      alive = std::move(survivors);
+    }
+  }
+}
+
+MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& alive) {
   hadas::util::Rng rng(config_.seed);
   const auto cardinalities = space_.gene_cardinalities();
   const double mutation_prob = 1.0 / static_cast<double>(cardinalities.size());
@@ -113,7 +180,7 @@ MultiDeviceResult MultiDeviceEngine::run() {
   for (std::size_t i = 0; i < config_.outer_population; ++i)
     population.push_back(supernet::random_genome(space_, rng));
 
-  const std::size_t device_count = devices_.size();
+  const std::size_t device_count = alive.size();
   for (std::size_t gen = 0; gen < config_.outer_generations; ++gen) {
     // Static evaluation of the generation's fresh genomes, one device per
     // task: the (genome, device) grid is flattened so every per-device
@@ -142,12 +209,15 @@ MultiDeviceResult MultiDeviceEngine::run() {
         dispatcher_.map(fresh.size() * device_count, [&](std::size_t t) {
           const std::size_t g = t / device_count;
           const std::size_t d = t % device_count;
-          return devices_[d].static_eval->evaluate(entries[fresh[g]].config).energy_j;
+          return devices_[alive[d]]
+              .static_eval->evaluate(entries[fresh[g]].config)
+              .energy_j;
         });
     for (std::size_t g = 0; g < fresh.size(); ++g) {
       Entry& entry = entries[fresh[g]];
-      entry.objectives.push_back(
-          devices_.front().static_eval->surrogate().accuracy(entry.config));
+      entry.objectives.push_back(devices_[alive.front()]
+                                     .static_eval->surrogate()
+                                     .accuracy(entry.config));
       for (std::size_t d = 0; d < device_count; ++d)
         entry.objectives.push_back(-energies[g * device_count + d]);
     }
@@ -201,12 +271,14 @@ MultiDeviceResult MultiDeviceEngine::run() {
   std::vector<EliteOutcome> elite_outcomes =
       dispatcher_.map(elites, [&](std::size_t e) {
     const supernet::BackboneConfig& backbone = entries[front[order[e]]].config;
+    const std::uint64_t backbone_key =
+        supernet::genome_hash(supernet::encode(space_, backbone));
     const supernet::NetworkCost cost =
-        devices_.front().static_eval->cost_cache().analyze(backbone);
+        devices_[alive.front()].static_eval->cost_cache().analyze(backbone);
     const double accuracy =
-        devices_.front().static_eval->surrogate().accuracy(backbone);
+        devices_[alive.front()].static_eval->surrogate().accuracy(backbone);
     dynn::ExitBankConfig bank_config = config_.bank;
-    bank_config.seed ^= supernet::genome_hash(supernet::encode(space_, backbone));
+    bank_config.seed ^= backbone_key;
     const dynn::ExitBank bank(
         task_, cost, data::separability_from_accuracy(accuracy), bank_config);
 
@@ -214,9 +286,12 @@ MultiDeviceResult MultiDeviceEngine::run() {
     std::vector<std::unique_ptr<dynn::DynamicEvaluator>> evaluators;
     std::vector<const dynn::DynamicEvaluator*> eval_ptrs;
     std::vector<const hw::DeviceSpec*> device_ptrs;
-    for (const auto& device : devices_) {
+    for (std::size_t idx : alive) {
+      const auto& device = devices_[idx];
       tables.push_back(std::make_unique<dynn::MultiExitCostTable>(
           cost, device.static_eval->hardware()));
+      if (device.static_eval->robust().active())
+        tables.back()->set_robust(&device.static_eval->robust(), backbone_key);
       evaluators.push_back(std::make_unique<dynn::DynamicEvaluator>(
           bank, *tables.back(), config_.score));
       eval_ptrs.push_back(evaluators.back().get());
@@ -225,7 +300,7 @@ MultiDeviceResult MultiDeviceEngine::run() {
 
     JointInnerProblem problem(eval_ptrs, device_ptrs, bank.total_layers());
     Nsga2Config nsga_config = config_.inner_nsga;
-    nsga_config.seed ^= supernet::genome_hash(supernet::encode(space_, backbone));
+    nsga_config.seed ^= backbone_key;
     const Nsga2Result inner = Nsga2(nsga_config).run(problem);
 
     EliteOutcome outcome;

@@ -28,6 +28,18 @@ struct MultiDeviceConfig {
   /// task, and the per-elite joint inner searches run concurrently. Results
   /// are bit-identical at any thread count.
   exec::ExecConfig exec;
+  /// Per-device fault-tolerance configs. Empty = no robust layer anywhere;
+  /// otherwise must have one entry per target (in target order). A device
+  /// whose circuit breaker opens is dropped from the search instead of
+  /// aborting it; see MultiDeviceResult::health.
+  std::vector<hw::RobustConfig> robust;
+};
+
+/// Post-run health record of one configured device.
+struct DeviceHealthEntry {
+  hw::Target target{};
+  bool alive = true;  ///< still in the search when it finished
+  hw::HealthReport report;
 };
 
 /// One portable dynamic design: a single (backbone, exits) pair with a
@@ -42,11 +54,16 @@ struct MultiDeviceSolution {
   double oracle_accuracy = 0.0;  ///< device-independent
 };
 
-/// Result of a cross-device search.
+/// Result of a cross-device search. `settings`/`per_device` of each solution
+/// are indexed by `active_targets` (the devices that survived), not by the
+/// originally configured target list; `health` reports on every configured
+/// device, dead or alive.
 struct MultiDeviceResult {
   std::vector<MultiDeviceSolution> pareto;  ///< front in (worst_gain, accuracy)
   std::size_t static_evaluations = 0;
   std::size_t inner_evaluations = 0;
+  std::vector<hw::Target> active_targets;
+  std::vector<DeviceHealthEntry> health;
 };
 
 /// Cross-device extension of HADAS (beyond the paper, which searches per
@@ -62,6 +79,11 @@ class MultiDeviceEngine {
 
   const std::vector<hw::Target>& targets() const { return targets_; }
 
+  /// Cross-device search with graceful degradation: devices whose circuit
+  /// breaker opens (probe phase or mid-search) are dropped and the search
+  /// deterministically restarts on the survivors — a partial-but-valid
+  /// result instead of an aborted run. Throws hw::DeviceUnavailableError
+  /// only when every device is dead.
   MultiDeviceResult run();
 
   /// Resolved worker count of the parallel dispatcher (>= 1).
@@ -71,6 +93,14 @@ class MultiDeviceEngine {
   struct DeviceContext {
     std::unique_ptr<StaticEvaluator> static_eval;
   };
+
+  /// Drive the breaker of obviously-dead devices open before searching.
+  void probe_devices();
+  bool device_alive(std::size_t index) const;
+  /// One deterministic search over the given device subset (indices into
+  /// devices_/targets_). Throws hw::DeviceUnavailableError if a breaker
+  /// opens mid-run.
+  MultiDeviceResult search(const std::vector<std::size_t>& alive);
 
   const supernet::SearchSpace& space_;
   MultiDeviceConfig config_;

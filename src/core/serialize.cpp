@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -145,6 +146,159 @@ std::vector<FinalSolution> final_pareto_from_json(const Json& json) {
   for (const Json& entry : json.at("final_pareto").as_array())
     solutions.push_back(final_solution_from_json(entry));
   return solutions;
+}
+
+namespace {
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+std::uint64_t u64_from_hex(const std::string& text) {
+  if (text.empty() || text.size() > 16)
+    throw std::invalid_argument("u64_from_hex: bad length '" + text + "'");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else throw std::invalid_argument("u64_from_hex: bad digit in '" + text + "'");
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+}  // namespace
+
+Json to_json(const hadas::util::Rng::State& state) {
+  Json json;
+  Json::Array words;
+  for (std::uint64_t w : state.words) words.push_back(Json(hex_u64(w)));
+  json["words"] = Json(std::move(words));
+  json["has_cached_normal"] = Json(state.has_cached_normal);
+  json["cached_normal"] = Json(state.cached_normal);
+  return json;
+}
+
+hadas::util::Rng::State rng_state_from_json(const Json& json) {
+  hadas::util::Rng::State state;
+  const auto& words = json.at("words").as_array();
+  if (words.size() != state.words.size())
+    throw std::invalid_argument("rng_state_from_json: wrong word count");
+  for (std::size_t i = 0; i < words.size(); ++i)
+    state.words[i] = u64_from_hex(words[i].as_string());
+  state.has_cached_normal = json.at("has_cached_normal").as_bool();
+  state.cached_normal = json.at("cached_normal").as_number();
+  return state;
+}
+
+Json to_json(const InnerSolution& solution) {
+  Json json;
+  json["placement"] = to_json(solution.placement);
+  json["setting"] = to_json(solution.setting);
+  json["metrics"] = to_json(solution.metrics);
+  Json::Array objectives;
+  for (double v : solution.objectives) objectives.push_back(Json(v));
+  json["objectives"] = Json(std::move(objectives));
+  return json;
+}
+
+InnerSolution inner_solution_from_json(const Json& json) {
+  InnerSolution solution{placement_from_json(json.at("placement")),
+                         setting_from_json(json.at("setting")),
+                         dynamic_metrics_from_json(json.at("metrics")),
+                         {}};
+  for (const Json& v : json.at("objectives").as_array())
+    solution.objectives.push_back(v.as_number());
+  return solution;
+}
+
+Json to_json(const BackboneOutcome& outcome) {
+  Json json;
+  json["config"] = to_json(outcome.config);
+  json["static"] = to_json(outcome.static_eval);
+  json["ioe_ran"] = Json(outcome.ioe_ran);
+  json["inner_hv"] = Json(outcome.inner_hv);
+  Json::Array pareto;
+  for (const auto& sol : outcome.inner_pareto) pareto.push_back(to_json(sol));
+  json["inner_pareto"] = Json(std::move(pareto));
+  Json::Array history;
+  for (const auto& sol : outcome.inner_history) history.push_back(to_json(sol));
+  json["inner_history"] = Json(std::move(history));
+  return json;
+}
+
+BackboneOutcome backbone_outcome_from_json(const Json& json) {
+  BackboneOutcome outcome;
+  outcome.config = backbone_from_json(json.at("config"));
+  outcome.static_eval = static_eval_from_json(json.at("static"));
+  outcome.ioe_ran = json.at("ioe_ran").as_bool();
+  outcome.inner_hv = json.at("inner_hv").as_number();
+  for (const Json& sol : json.at("inner_pareto").as_array())
+    outcome.inner_pareto.push_back(inner_solution_from_json(sol));
+  for (const Json& sol : json.at("inner_history").as_array())
+    outcome.inner_history.push_back(inner_solution_from_json(sol));
+  return outcome;
+}
+
+Json checkpoint_to_json(const SearchCheckpoint& checkpoint) {
+  Json json;
+  json["format"] = Json("hadas-checkpoint-v1");
+  json["fingerprint"] = Json(checkpoint.fingerprint);
+  json["next_generation"] = Json(checkpoint.next_generation);
+  json["rng"] = to_json(checkpoint.rng);
+  Json::Array population;
+  for (const supernet::Genome& genome : checkpoint.population) {
+    Json::Array genes;
+    for (std::int32_t g : genome) genes.push_back(Json(static_cast<int>(g)));
+    population.push_back(Json(std::move(genes)));
+  }
+  json["population"] = Json(std::move(population));
+  Json::Array backbones;
+  for (const auto& outcome : checkpoint.backbones)
+    backbones.push_back(to_json(outcome));
+  json["backbones"] = Json(std::move(backbones));
+  json["outer_evaluations"] = Json(checkpoint.outer_evaluations);
+  json["inner_evaluations"] = Json(checkpoint.inner_evaluations);
+  return json;
+}
+
+SearchCheckpoint checkpoint_from_json(const Json& json) {
+  if (!json.contains("format") ||
+      json.at("format").as_string() != "hadas-checkpoint-v1")
+    throw std::invalid_argument("checkpoint_from_json: unknown format");
+  SearchCheckpoint checkpoint;
+  checkpoint.fingerprint = json.at("fingerprint").as_string();
+  checkpoint.next_generation = json.at("next_generation").as_index();
+  checkpoint.rng = rng_state_from_json(json.at("rng"));
+  for (const Json& genes : json.at("population").as_array()) {
+    supernet::Genome genome;
+    for (const Json& g : genes.as_array())
+      genome.push_back(static_cast<std::int32_t>(g.as_int()));
+    checkpoint.population.push_back(std::move(genome));
+  }
+  for (const Json& outcome : json.at("backbones").as_array())
+    checkpoint.backbones.push_back(backbone_outcome_from_json(outcome));
+  checkpoint.outer_evaluations = json.at("outer_evaluations").as_index();
+  checkpoint.inner_evaluations = json.at("inner_evaluations").as_index();
+  return checkpoint;
+}
+
+void save_checkpoint(const std::string& path,
+                     const SearchCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  save_json(tmp, checkpoint_to_json(checkpoint));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("save_checkpoint: cannot rename " + tmp + " to " +
+                             path);
+}
+
+SearchCheckpoint load_checkpoint(const std::string& path) {
+  return checkpoint_from_json(load_json(path));
 }
 
 void save_json(const std::string& path, const Json& json) {

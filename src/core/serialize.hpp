@@ -36,6 +36,30 @@ hadas::util::Json result_to_json(const HadasResult& result,
                                  hw::Target target);
 std::vector<FinalSolution> final_pareto_from_json(const hadas::util::Json& json);
 
+/// --- Checkpoint serialization (see HadasConfig::checkpoint_path). ---
+///
+/// Doubles survive the JSON round trip exactly (emitted at %.17g), and RNG
+/// words are stored as hex strings (they do not fit in a double), so a
+/// resumed search is bit-identical to the uninterrupted one.
+
+hadas::util::Json to_json(const hadas::util::Rng::State& state);
+hadas::util::Rng::State rng_state_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const InnerSolution& solution);
+InnerSolution inner_solution_from_json(const hadas::util::Json& json);
+
+hadas::util::Json to_json(const BackboneOutcome& outcome);
+BackboneOutcome backbone_outcome_from_json(const hadas::util::Json& json);
+
+hadas::util::Json checkpoint_to_json(const SearchCheckpoint& checkpoint);
+SearchCheckpoint checkpoint_from_json(const hadas::util::Json& json);
+
+/// Atomic save: writes `path` + ".tmp" then renames over `path`, so a crash
+/// mid-write never corrupts the previous checkpoint.
+void save_checkpoint(const std::string& path,
+                     const SearchCheckpoint& checkpoint);
+SearchCheckpoint load_checkpoint(const std::string& path);
+
 /// File helpers.
 void save_json(const std::string& path, const hadas::util::Json& json);
 hadas::util::Json load_json(const std::string& path);

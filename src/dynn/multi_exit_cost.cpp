@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace hadas::dynn {
 
 supernet::LayerCost exit_branch_cost(const supernet::LayerCost& tap_layer,
@@ -52,6 +54,25 @@ std::size_t MultiExitCostTable::setting_key(hw::DvfsSetting setting) const {
   return setting.core_idx * 1024 + setting.emc_idx;
 }
 
+void MultiExitCostTable::set_robust(const hw::RobustEvaluator* robust,
+                                    std::uint64_t base_key) {
+  robust_ = robust;
+  base_key_ = base_key;
+}
+
+hw::HwMeasurement MultiExitCostTable::finish(const hw::LatencyBreakdown& bd,
+                                             hw::DvfsSetting setting,
+                                             std::uint64_t sub_key) const {
+  if (robust_ == nullptr || !robust_->active())
+    return evaluator_.from_breakdown(bd, setting);
+  // Fold (table, path, setting) into one 64-bit measurement identity.
+  util::SplitMix64 sm(base_key_ ^ (sub_key * 0x9e3779b97f4a7c15ULL) ^
+                      (setting.core_idx * 0xc2b2ae3d27d4eb4fULL) ^
+                      (setting.emc_idx * 0x165667b19e3779f9ULL));
+  return robust_->measure(sm.next(),
+                          [&] { return evaluator_.from_breakdown(bd, setting); });
+}
+
 const MultiExitCostTable::SettingTable& MultiExitCostTable::table_for(
     hw::DvfsSetting setting) const {
   const std::size_t key = setting_key(setting);
@@ -96,7 +117,7 @@ hw::HwMeasurement MultiExitCostTable::full_network(
   bd.launch_s = dev.layer_launch_s * static_cast<double>(t.full_layer_count);
   bd.fixed_s = dev.fixed_overhead_s;
   bd.total_s = t.full_rooftime_s + bd.launch_s + bd.fixed_s;
-  return evaluator_.from_breakdown(bd, setting);
+  return finish(bd, setting, /*sub_key=*/0);
 }
 
 hw::HwMeasurement MultiExitCostTable::exit_path(std::size_t layer,
@@ -116,7 +137,7 @@ hw::HwMeasurement MultiExitCostTable::exit_path(std::size_t layer,
   bd.total_s = t.cum_rooftime_s[layer] +
                std::max(branch.compute_s, branch.memory_s) + bd.launch_s +
                bd.fixed_s;
-  return evaluator_.from_breakdown(bd, setting);
+  return finish(bd, setting, /*sub_key=*/layer + 1);
 }
 
 hw::HwMeasurement MultiExitCostTable::cascade_path(
@@ -161,7 +182,13 @@ hw::HwMeasurement MultiExitCostTable::cascade_path(
 
   bd.fixed_s = dev.fixed_overhead_s;
   bd.total_s += bd.launch_s + bd.fixed_s;
-  return evaluator_.from_breakdown(bd, setting);
+  // Sub-key: the visited set plus the exit flag (FNV over the layers).
+  std::uint64_t sub = exited ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL;
+  for (std::size_t layer : visited) {
+    sub ^= layer + 1;
+    sub *= 0x100000001b3ULL;
+  }
+  return finish(bd, setting, sub);
 }
 
 double MultiExitCostTable::exit_branch_macs(std::size_t layer) const {

@@ -6,6 +6,7 @@
 
 #include "dynn/exit_placement.hpp"
 #include "hw/evaluator.hpp"
+#include "hw/robust_eval.hpp"
 #include "supernet/cost_model.hpp"
 
 namespace hadas::dynn {
@@ -43,6 +44,14 @@ class MultiExitCostTable {
   const hw::HardwareEvaluator& evaluator() const { return evaluator_; }
   const ExitBranchSpec& branch_spec() const { return spec_; }
 
+  /// Route the three measurement entry points through a fault-tolerant
+  /// wrapper. Keys are derived from (base_key, path identity, setting), so
+  /// injected faults on the dynamic path are deterministic per (backbone,
+  /// candidate) at any thread count. Pass nullptr to disable. The robust
+  /// evaluator must outlive this table and wrap the same device model.
+  void set_robust(const hw::RobustEvaluator* robust, std::uint64_t base_key);
+  const hw::RobustEvaluator* robust() const { return robust_; }
+
   /// Static full-network measurement at a setting.
   hw::HwMeasurement full_network(hw::DvfsSetting setting) const;
 
@@ -74,12 +83,18 @@ class MultiExitCostTable {
 
   const SettingTable& table_for(hw::DvfsSetting setting) const;
   std::size_t setting_key(hw::DvfsSetting setting) const;
+  /// from_breakdown, optionally through the robust wrapper with a key
+  /// deterministic in (base_key_, sub_key, setting).
+  hw::HwMeasurement finish(const hw::LatencyBreakdown& bd,
+                           hw::DvfsSetting setting, std::uint64_t sub_key) const;
 
   supernet::NetworkCost net_;
   const hw::HardwareEvaluator& evaluator_;
   ExitBranchSpec spec_;
   std::vector<supernet::LayerCost> branch_costs_;  // one per MBConv layer
   mutable std::unordered_map<std::size_t, SettingTable> tables_;
+  const hw::RobustEvaluator* robust_ = nullptr;
+  std::uint64_t base_key_ = 0;
 };
 
 }  // namespace hadas::dynn

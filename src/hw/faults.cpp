@@ -1,0 +1,121 @@
+#include "hw/faults.hpp"
+
+#include <limits>
+
+#include "util/rng.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas::hw {
+
+namespace {
+
+/// Independent per-(key, attempt) stream: the fault outcome of one attempt
+/// is a pure function of (seed, key, attempt), never of call order.
+util::Rng attempt_stream(std::uint64_t seed, std::uint64_t key,
+                         std::uint64_t attempt) {
+  util::SplitMix64 sm(key ^ (attempt * 0x9e3779b97f4a7c15ULL));
+  return util::Rng(seed).fork(sm.next());
+}
+
+/// Per-site stream for the stationary thermal-drift bias (attempt-free).
+util::Rng site_stream(std::uint64_t seed, std::uint64_t key) {
+  return util::Rng(seed ^ 0x7e3a11dULL).fork(key);
+}
+
+}  // namespace
+
+FaultConfig parse_fault_config(const std::string& spec) {
+  FaultConfig config;
+  if (spec.empty()) return config;
+  for (const std::string& item : util::split(spec, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("parse_fault_config: expected key=value in '" +
+                                  item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "rate") {
+        config.transient_failure_rate = std::stod(value);
+      } else if (key == "noise") {
+        config.noise_sigma = std::stod(value);
+      } else if (key == "drift") {
+        config.thermal_drift = std::stod(value);
+      } else if (key == "nan") {
+        config.nan_rate = std::stod(value);
+      } else if (key == "dropout") {
+        config.dropout_after_n = static_cast<std::size_t>(std::stoul(value));
+      } else if (key == "seed") {
+        config.seed = static_cast<std::uint64_t>(std::stoull(value));
+      } else {
+        throw std::invalid_argument(
+            "parse_fault_config: unknown key '" + key +
+            "' (rate | noise | drift | nan | dropout | seed)");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_fault_config: bad value '" + value +
+                                  "' for key '" + key + "'");
+    }
+  }
+  if (config.transient_failure_rate < 0.0 || config.transient_failure_rate > 1.0 ||
+      config.nan_rate < 0.0 || config.nan_rate > 1.0 || config.noise_sigma < 0.0 ||
+      config.thermal_drift < 0.0)
+    throw std::invalid_argument("parse_fault_config: rates must be in [0, 1] "
+                                "and sigmas non-negative");
+  return config;
+}
+
+HwMeasurement FaultInjector::apply(const HwMeasurement& clean, std::uint64_t key,
+                                   std::uint64_t attempt) const {
+  if (!config_.active()) return clean;
+
+  if (config_.dropout_after_n > 0) {
+    const std::uint64_t n = attempts_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (dropped_.load(std::memory_order_relaxed) || n > config_.dropout_after_n) {
+      dropped_.store(true, std::memory_order_relaxed);
+      throw DeviceUnavailableError(
+          "fault injection: device dropped out after " +
+          std::to_string(config_.dropout_after_n) + " measurement attempts");
+    }
+  } else {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  util::Rng rng = attempt_stream(config_.seed, key, attempt);
+  // Draw order is fixed (failure, nan, noise x2) so each fault channel sees
+  // a stable stream regardless of which channels are enabled downstream.
+  if (rng.bernoulli(config_.transient_failure_rate))
+    throw MeasurementError("fault injection: transient measurement failure (key=" +
+                           std::to_string(key) + ", attempt=" +
+                           std::to_string(attempt) + ")");
+
+  HwMeasurement m = clean;
+  if (rng.bernoulli(config_.nan_rate)) {
+    m.latency_s = std::numeric_limits<double>::quiet_NaN();
+    m.energy_j = std::numeric_limits<double>::quiet_NaN();
+    m.avg_power_w = std::numeric_limits<double>::quiet_NaN();
+    return m;
+  }
+  if (config_.noise_sigma > 0.0) {
+    // Multiplicative noise, floored so a wild draw cannot flip the sign.
+    const double lat_factor =
+        std::max(1e-6, 1.0 + config_.noise_sigma * rng.normal());
+    const double energy_factor =
+        std::max(1e-6, 1.0 + config_.noise_sigma * rng.normal());
+    m.latency_s *= lat_factor;
+    m.energy_j *= energy_factor;
+  }
+  if (config_.thermal_drift > 0.0) {
+    // Stationary per-site bias: this workload always runs this much hotter.
+    const double bias = 1.0 + config_.thermal_drift *
+                                  site_stream(config_.seed, key).uniform();
+    m.latency_s *= bias;
+    m.energy_j *= bias;
+  }
+  m.avg_power_w = m.latency_s > 0.0 ? m.energy_j / m.latency_s : 0.0;
+  return m;
+}
+
+}  // namespace hadas::hw

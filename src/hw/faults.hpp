@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "hw/evaluator.hpp"
+
+namespace hadas::hw {
+
+/// A single hardware measurement failed (transiently or after exhausting
+/// retries). Recoverable: the robust layer retries these.
+class MeasurementError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The device itself is gone (dropout, or its circuit breaker is open).
+/// Not recoverable by retrying the same measurement; callers must degrade
+/// (skip the device) or abort with a clear error.
+class DeviceUnavailableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fault model of a flaky HW-in-the-loop measurement rig. All rates are
+/// probabilities per measurement attempt; everything is derived
+/// deterministically from `seed` and the measurement identity, so the same
+/// (seed, workload) produces the same fault sequence at any thread count.
+struct FaultConfig {
+  /// P(an attempt throws MeasurementError) — sensor glitch, sampling hiccup.
+  double transient_failure_rate = 0.0;
+  /// Relative sigma of multiplicative Gaussian noise on latency and energy
+  /// (noisy power rails). 0 = noiseless.
+  double noise_sigma = 0.0;
+  /// Workload-correlated throttling bias: latency/energy of a measurement
+  /// site are inflated by up to this relative fraction (deterministic per
+  /// site, modelling a device that runs some workloads hot).
+  double thermal_drift = 0.0;
+  /// Whole-device dropout: after this many attempts the device permanently
+  /// answers DeviceUnavailableError. 0 disables. NOTE: the attempt counter
+  /// is global, so with worker threads the exact attempt that observes the
+  /// dropout is schedule-dependent (the keyed faults above are not).
+  std::size_t dropout_after_n = 0;
+  /// P(an attempt returns non-finite latency/energy) — garbage readout.
+  double nan_rate = 0.0;
+  /// Master seed of the fault stream (independent of the search seed).
+  std::uint64_t seed = 0xFA417;
+
+  /// True if any fault can actually fire.
+  bool active() const {
+    return transient_failure_rate > 0.0 || noise_sigma > 0.0 ||
+           thermal_drift > 0.0 || dropout_after_n > 0 || nan_rate > 0.0;
+  }
+};
+
+/// Parse "key=value,key=value" fault specs (CLI --faults). Keys: rate,
+/// noise, drift, nan, dropout, seed. Unknown keys throw.
+FaultConfig parse_fault_config(const std::string& spec);
+
+/// All three fields finite?
+inline bool finite_measurement(const HwMeasurement& m) {
+  return std::isfinite(m.latency_s) && std::isfinite(m.energy_j) &&
+         std::isfinite(m.avg_power_w);
+}
+
+/// Deterministic fault layer: corrupts clean measurements according to a
+/// FaultConfig. Stateless apart from the dropout counter — each fault draw
+/// comes from an independent RNG stream forked from (seed, key, attempt),
+/// so outcomes depend on the measurement's identity, never on scheduling
+/// order. Thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(config) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool active() const { return config_.active(); }
+
+  /// Apply the fault model to one attempt at the measurement identified by
+  /// `key`. Throws MeasurementError (transient) or DeviceUnavailableError
+  /// (dropout); may return non-finite values (nan_rate) or noisy/drifted
+  /// values. With no faults configured, returns `clean` bit-identically.
+  HwMeasurement apply(const HwMeasurement& clean, std::uint64_t key,
+                      std::uint64_t attempt) const;
+
+  /// Total attempts seen (the dropout clock).
+  std::uint64_t attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+  bool dropped_out() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultConfig config_;
+  mutable std::atomic<std::uint64_t> attempts_{0};
+  mutable std::atomic<bool> dropped_{false};
+};
+
+}  // namespace hadas::hw

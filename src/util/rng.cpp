@@ -19,6 +19,16 @@ Rng::Rng(std::uint64_t seed) {
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
 }
 
+Rng Rng::from_state(const State& state) {
+  Rng rng(0);
+  rng.s_ = state.words;
+  if (rng.s_[0] == 0 && rng.s_[1] == 0 && rng.s_[2] == 0 && rng.s_[3] == 0)
+    rng.s_[0] = 1;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  rng.cached_normal_ = state.cached_normal;
+  return rng;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -32,8 +32,24 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete serializable generator state: the four xoshiro words plus the
+  /// Box–Muller cache. Capturing and restoring this mid-stream reproduces
+  /// the remaining draw sequence exactly — the basis of search
+  /// checkpoint/resume.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
   /// Seeds the four 64-bit words from SplitMix64(seed).
   explicit Rng(std::uint64_t seed = 0x9d2c5680f1234567ULL);
+
+  /// Restore a generator captured with state().
+  static Rng from_state(const State& state);
+
+  /// Snapshot of the full generator state.
+  State state() const { return {s_, has_cached_normal_, cached_normal_}; }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {

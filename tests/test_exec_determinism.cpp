@@ -111,6 +111,30 @@ TEST(ExecDeterminism, StaticCacheHitsOnWarmStartedRun) {
   EXPECT_GE(resumed.backbones.size(), first.final_pareto.empty() ? 0u : 1u);
 }
 
+TEST(ExecDeterminism, FaultyRunIsIdenticalAcrossThreadCounts) {
+  // Fault outcomes are keyed by (fault seed, measurement identity, attempt),
+  // never by scheduling order, so even a flaky-rig simulation is
+  // bit-identical at any thread count.
+  auto faulty_config = [](std::size_t threads) {
+    core::HadasConfig config = exec_test_config(11, threads);
+    config.robust.faults.transient_failure_rate = 0.05;
+    config.robust.faults.nan_rate = 0.02;
+    config.robust.faults.noise_sigma = 0.01;
+    return config;
+  };
+  core::HadasEngine serial(space(), hw::Target::kTx2PascalGpu, faulty_config(1));
+  core::HadasEngine parallel(space(), hw::Target::kTx2PascalGpu, faulty_config(4));
+  const core::HadasResult a = serial.run();
+  const core::HadasResult b = parallel.run();
+  expect_identical(a, b);
+  // The fault layer really was in play, identically on both sides.
+  EXPECT_GT(a.device_health.transient_failures, 0u);
+  EXPECT_EQ(a.device_health.transient_failures,
+            b.device_health.transient_failures);
+  EXPECT_EQ(a.device_health.quarantined, b.device_health.quarantined);
+  EXPECT_EQ(a.device_health.retries, b.device_health.retries);
+}
+
 TEST(ExecDeterminism, MultiDeviceParallelMatchesSerial) {
   core::MultiDeviceConfig base;
   base.targets = {hw::Target::kTx2PascalGpu, hw::Target::kAgxVoltaGpu};

@@ -1,0 +1,276 @@
+// The fault-injection layer and its recovery envelope: deterministic keyed
+// faults, retry/backoff on the simulated clock, median+MAD aggregation,
+// non-finite quarantine, and the per-device circuit breaker state machine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/faults.hpp"
+#include "hw/robust_eval.hpp"
+#include "supernet/baselines.hpp"
+#include "supernet/cost_model.hpp"
+
+namespace {
+
+using namespace hadas;
+
+hw::HwMeasurement truth() {
+  hw::HwMeasurement m;
+  m.latency_s = 0.004;
+  m.energy_j = 0.02;
+  m.avg_power_w = m.energy_j / m.latency_s;
+  return m;
+}
+
+/// Outcome of one injector attempt, comparable across injectors.
+struct Outcome {
+  int kind;  // 0 = value, 1 = MeasurementError, 2 = DeviceUnavailableError
+  double latency = 0.0;
+  double energy = 0.0;
+
+  bool operator==(const Outcome& o) const {
+    if (kind != o.kind) return false;
+    if (kind != 0) return true;
+    // NaN-tolerant bitwise-ish comparison.
+    const auto same = [](double a, double b) {
+      return (std::isnan(a) && std::isnan(b)) || a == b;
+    };
+    return same(latency, o.latency) && same(energy, o.energy);
+  }
+};
+
+Outcome apply(const hw::FaultInjector& injector, std::uint64_t key,
+              std::uint64_t attempt) {
+  try {
+    const hw::HwMeasurement m = injector.apply(truth(), key, attempt);
+    return {0, m.latency_s, m.energy_j};
+  } catch (const hw::MeasurementError&) {
+    return {1};
+  } catch (const hw::DeviceUnavailableError&) {
+    return {2};
+  }
+}
+
+TEST(HwFaults, NoFaultsIsBitIdenticalPassThrough) {
+  const hw::FaultInjector injector(hw::FaultConfig{});
+  EXPECT_FALSE(injector.active());
+  const hw::HwMeasurement m = injector.apply(truth(), 42, 0);
+  EXPECT_EQ(m.latency_s, truth().latency_s);
+  EXPECT_EQ(m.energy_j, truth().energy_j);
+  EXPECT_EQ(m.avg_power_w, truth().avg_power_w);
+}
+
+TEST(HwFaults, OutcomesAreKeyedNotOrdered) {
+  hw::FaultConfig config;
+  config.transient_failure_rate = 0.3;
+  config.noise_sigma = 0.05;
+  config.nan_rate = 0.1;
+  const hw::FaultInjector forward(config);
+  const hw::FaultInjector backward(config);
+
+  // Same (key, attempt) grid visited in opposite orders: every cell agrees.
+  std::vector<Outcome> a, b;
+  for (std::uint64_t key = 0; key < 16; ++key)
+    for (std::uint64_t attempt = 0; attempt < 4; ++attempt)
+      a.push_back(apply(forward, key, attempt));
+  for (std::uint64_t key = 16; key-- > 0;)
+    for (std::uint64_t attempt = 4; attempt-- > 0;) {
+      const Outcome o = apply(backward, key, attempt);
+      EXPECT_TRUE(o == a[key * 4 + attempt]) << "key " << key;
+      b.push_back(o);
+    }
+
+  // And the grid is not degenerate: some failures, some values.
+  int values = 0, failures = 0;
+  for (const Outcome& o : a) (o.kind == 0 ? values : failures)++;
+  EXPECT_GT(values, 0);
+  EXPECT_GT(failures, 0);
+}
+
+TEST(HwFaults, FullTransientRateAlwaysThrows) {
+  hw::FaultConfig config;
+  config.transient_failure_rate = 1.0;
+  const hw::FaultInjector injector(config);
+  for (std::uint64_t key = 0; key < 20; ++key)
+    EXPECT_THROW((void)injector.apply(truth(), key, key), hw::MeasurementError);
+}
+
+TEST(HwFaults, FullNanRateIsNeverFinite) {
+  hw::FaultConfig config;
+  config.nan_rate = 1.0;
+  const hw::FaultInjector injector(config);
+  for (std::uint64_t key = 0; key < 20; ++key)
+    EXPECT_FALSE(hw::finite_measurement(injector.apply(truth(), key, 0)));
+}
+
+TEST(HwFaults, DropoutFiresAfterNAttempts) {
+  hw::FaultConfig config;
+  config.dropout_after_n = 5;
+  const hw::FaultInjector injector(config);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    EXPECT_NO_THROW((void)injector.apply(truth(), i, 0));
+  EXPECT_THROW((void)injector.apply(truth(), 99, 0),
+               hw::DeviceUnavailableError);
+  EXPECT_TRUE(injector.dropped_out());
+}
+
+TEST(HwFaults, ParseFaultConfigRoundTrip) {
+  const hw::FaultConfig c = hw::parse_fault_config(
+      "rate=0.1,noise=0.05,drift=0.02,nan=0.01,dropout=100,seed=42");
+  EXPECT_DOUBLE_EQ(c.transient_failure_rate, 0.1);
+  EXPECT_DOUBLE_EQ(c.noise_sigma, 0.05);
+  EXPECT_DOUBLE_EQ(c.thermal_drift, 0.02);
+  EXPECT_DOUBLE_EQ(c.nan_rate, 0.01);
+  EXPECT_EQ(c.dropout_after_n, 100u);
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_TRUE(c.active());
+  EXPECT_FALSE(hw::parse_fault_config("").active());
+}
+
+TEST(HwFaults, ParseFaultConfigRejectsGarbage) {
+  EXPECT_THROW(hw::parse_fault_config("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(hw::parse_fault_config("rate=1.5"), std::invalid_argument);
+  EXPECT_THROW(hw::parse_fault_config("rate=-0.1"), std::invalid_argument);
+  EXPECT_THROW(hw::parse_fault_config("rate"), std::invalid_argument);
+  EXPECT_THROW(hw::parse_fault_config("noise=abc"), std::invalid_argument);
+}
+
+TEST(HwFaults, RobustAggregateRejectsOutliers) {
+  std::vector<hw::HwMeasurement> samples;
+  for (double lat : {0.010, 0.0101, 0.0099, 0.0102, 0.5}) {  // one spike
+    hw::HwMeasurement m;
+    m.latency_s = lat;
+    m.energy_j = lat * 5.0;
+    samples.push_back(m);
+  }
+  std::uint64_t rejected = 0;
+  const hw::HwMeasurement m = hw::robust_aggregate(samples, 3.5, &rejected);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_LT(m.latency_s, 0.011);
+  EXPECT_GT(m.latency_s, 0.009);
+}
+
+TEST(HwFaults, RobustAggregateOfIdenticalSamplesIsExact) {
+  std::vector<hw::HwMeasurement> samples(4, truth());
+  const hw::HwMeasurement m = hw::robust_aggregate(samples, 3.5);
+  EXPECT_EQ(m.latency_s, truth().latency_s);
+  EXPECT_EQ(m.energy_j, truth().energy_j);
+  EXPECT_EQ(m.avg_power_w, truth().avg_power_w);
+}
+
+TEST(HwFaults, InactiveRobustEvaluatorIsBitIdentical) {
+  const hw::HardwareEvaluator eval(hw::make_device(hw::Target::kTx2PascalGpu));
+  const hw::RobustEvaluator robust(eval, hw::RobustConfig{});
+  EXPECT_FALSE(robust.active());
+  const auto space = supernet::SearchSpace::attentive_nas();
+  const supernet::CostModel cost_model(space);
+  const auto cost =
+      cost_model.analyze(supernet::attentive_nas_baselines().front().config);
+  const auto setting = hw::default_setting(eval.device());
+  const hw::HwMeasurement raw = eval.measure_network(cost, setting);
+  const hw::HwMeasurement wrapped = robust.measure_network(cost, setting, 7);
+  EXPECT_EQ(raw.latency_s, wrapped.latency_s);
+  EXPECT_EQ(raw.energy_j, wrapped.energy_j);
+  EXPECT_EQ(raw.avg_power_w, wrapped.avg_power_w);
+}
+
+TEST(HwFaults, TransientRecoveryReturnsExactTruthAndCountsRetries) {
+  const hw::HardwareEvaluator eval(hw::make_device(hw::Target::kTx2PascalGpu));
+  hw::RobustConfig config;
+  config.faults.transient_failure_rate = 0.5;  // noiseless: survivors == truth
+  const hw::RobustEvaluator robust(eval, config);
+  std::size_t successes = 0;
+  for (std::uint64_t key = 0; key < 24; ++key) {
+    try {
+      const hw::HwMeasurement m = robust.measure(key, truth);
+      EXPECT_EQ(m.latency_s, truth().latency_s);
+      EXPECT_EQ(m.energy_j, truth().energy_j);
+      ++successes;
+    } catch (const hw::MeasurementError&) {
+      // astronomically unlikely (p ~ 0.5^15 per key), but legal
+    }
+  }
+  EXPECT_GT(successes, 0u);
+  const hw::HealthReport report = robust.report();
+  EXPECT_GT(report.transient_failures, 0u);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_GT(report.backoff_s, 0.0);  // retries advanced the simulated clock
+  EXPECT_EQ(report.measurements, successes);
+}
+
+TEST(HwFaults, NanSamplesAreQuarantinedNotAggregated) {
+  const hw::HardwareEvaluator eval(hw::make_device(hw::Target::kTx2PascalGpu));
+  hw::RobustConfig config;
+  config.faults.nan_rate = 0.5;
+  const hw::RobustEvaluator robust(eval, config);
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    try {
+      const hw::HwMeasurement m = robust.measure(key, truth);
+      EXPECT_TRUE(hw::finite_measurement(m));  // NaN never escapes
+      EXPECT_EQ(m.latency_s, truth().latency_s);
+    } catch (const hw::MeasurementError&) {
+    }
+  }
+  EXPECT_GT(robust.report().quarantined, 0u);
+}
+
+TEST(HwFaults, BreakerOpensAfterConsecutiveFailuresThenRecovers) {
+  const hw::HardwareEvaluator eval(hw::make_device(hw::Target::kTx2PascalGpu));
+  hw::RobustConfig config;
+  config.faults.transient_failure_rate = 1.0;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_s = 10.0;
+  const hw::RobustEvaluator robust(eval, config);
+
+  // Two hard failures trip the breaker...
+  EXPECT_THROW((void)robust.measure(1, truth), hw::MeasurementError);
+  EXPECT_THROW((void)robust.measure(2, truth), hw::MeasurementError);
+  EXPECT_EQ(robust.health().state(), hw::BreakerState::kOpen);
+  // ...after which calls are rejected without touching the device.
+  const std::uint64_t attempts_when_open = robust.report().attempts;
+  EXPECT_THROW((void)robust.measure(3, truth), hw::DeviceUnavailableError);
+  EXPECT_EQ(robust.report().attempts, attempts_when_open);
+
+  // After the cooldown the breaker half-opens; the still-broken device
+  // fails its probe and the breaker re-opens (a second trip).
+  robust.health().advance_clock(11.0, /*is_backoff=*/false);
+  EXPECT_THROW((void)robust.measure(4, truth), hw::MeasurementError);
+  EXPECT_EQ(robust.health().state(), hw::BreakerState::kOpen);
+  EXPECT_GE(robust.report().breaker_trips, 2u);
+}
+
+TEST(HwFaults, HalfOpenSuccessesCloseTheBreaker) {
+  hw::BreakerConfig config;
+  config.failure_threshold = 2;
+  config.cooldown_s = 5.0;
+  config.half_open_successes = 2;
+  hw::DeviceHealth health(config);
+
+  EXPECT_TRUE(health.admit());
+  health.record_failure();
+  health.record_failure();
+  EXPECT_EQ(health.state(), hw::BreakerState::kOpen);
+  EXPECT_FALSE(health.admit());
+
+  health.advance_clock(6.0, false);
+  EXPECT_TRUE(health.admit());  // open -> half-open
+  EXPECT_EQ(health.state(), hw::BreakerState::kHalfOpen);
+  health.record_success();
+  EXPECT_EQ(health.state(), hw::BreakerState::kHalfOpen);
+  health.record_success();
+  EXPECT_EQ(health.state(), hw::BreakerState::kClosed);
+}
+
+TEST(HwFaults, DropoutOpensTheBreakerPermanently) {
+  hw::DeviceHealth health;
+  health.record_dropout();
+  EXPECT_EQ(health.state(), hw::BreakerState::kOpen);
+  EXPECT_TRUE(health.report().dropped_out);
+  health.advance_clock(1e9, false);
+  EXPECT_FALSE(health.admit());  // no half-open probing after a dropout
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 //   hadas baselines --device tx2-gpu
 //   hadas search    --device tx2-gpu --out result.json
 //                   [--pop N] [--gens N] [--ioe-per-gen N] [--seed S]
+//                   [--checkpoint F] [--faults rate=0.05,noise=0.01]
 //   hadas show      result.json
 //   hadas deploy    --device tx2-gpu --result result.json [--index I]
 //                   [--policy entropy|confidence|oracle] [--threshold T]
@@ -14,6 +15,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "core/multi_device.hpp"
@@ -47,10 +49,35 @@ hw::Target parse_device(const std::string& name) {
   return it->second;
 }
 
-/// Minimal flag parser: --key value pairs after the subcommand.
+/// The flags each subcommand accepts. Parsing validates against this, so a
+/// typo'd --flag fails loudly instead of being silently ignored (and, e.g.,
+/// silently running a search with default budgets).
+const std::map<std::string, std::set<std::string>>& command_flags() {
+  static const std::map<std::string, std::set<std::string>> map = {
+      {"devices", {}},
+      {"baselines", {"device"}},
+      {"search",
+       {"device", "out", "pop", "gens", "ioe-per-gen", "ioe-pop", "ioe-gens",
+        "seed", "train-size", "epochs", "max-latency-ms", "space", "resume",
+        "checkpoint", "checkpoint-every", "faults"}},
+      {"show", {}},
+      {"deploy",
+       {"device", "result", "index", "policy", "threshold", "train-size",
+        "epochs", "space", "stream-seed"}},
+      {"sensitivity", {"device", "result", "index", "baseline", "space"}},
+      {"portable",
+       {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
+        "epochs", "seed", "space"}},
+  };
+  return map;
+}
+
+/// Minimal flag parser: --key value pairs after the subcommand, checked
+/// against the subcommand's allowed flag set.
 class Args {
  public:
-  Args(int argc, char** argv, int start) {
+  Args(int argc, char** argv, int start, const std::string& command,
+       const std::set<std::string>& allowed) {
     for (int i = start; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
@@ -58,6 +85,10 @@ class Args {
         continue;
       }
       key = key.substr(2);
+      if (!allowed.count(key))
+        throw std::invalid_argument("unknown option --" + key +
+                                    " for 'hadas " + command +
+                                    "' (see: hadas help)");
       if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + key);
       values_[key] = argv[++i];
     }
@@ -142,6 +173,10 @@ int cmd_search(const Args& args) {
   config.data.train_size = args.get_or("train-size", std::size_t{1500});
   config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
   config.max_latency_s = args.get_or("max-latency-ms", 0.0) * 1e-3;
+  config.checkpoint_path = args.get_or("checkpoint", std::string());
+  config.checkpoint_every = args.get_or("checkpoint-every", std::size_t{1});
+  if (const auto faults = args.get("faults"))
+    config.robust.faults = hw::parse_fault_config(*faults);
 
   const supernet::SearchSpace space = parse_space(args);
   core::WarmStart warm;
@@ -160,6 +195,14 @@ int cmd_search(const Args& args) {
   const core::HadasResult result = engine.run(warm);
 
   core::save_json(out_path, core::result_to_json(result, target));
+  if (engine.static_evaluator().robust().active()) {
+    const hw::HealthReport& h = result.device_health;
+    std::cout << "device health: breaker " << hw::breaker_state_name(h.state)
+              << ", " << h.measurements << " measurements, " << h.retries
+              << " retries, " << h.transient_failures << " transient failures, "
+              << h.quarantined << " quarantined, " << h.failed_measurements
+              << " hard failures, " << h.breaker_trips << " breaker trips\n";
+  }
   std::cout << "explored " << result.backbones.size() << " backbones, "
             << result.inner_evaluations << " inner evaluations\n"
             << "final Pareto set: " << result.final_pareto.size()
@@ -350,6 +393,10 @@ void print_usage() {
                "  search --device D --out F    run a bi-level search\n"
                "         [--resume F]          warm-start from a saved result\n"
                "         [--space attentive|ofa] [--max-latency-ms T]\n"
+               "         [--checkpoint F]      save/resume generation snapshots\n"
+               "         [--checkpoint-every N]\n"
+               "         [--faults CFG]        inject faults, e.g.\n"
+               "                               rate=0.05,noise=0.01,nan=0.01\n"
                "  show F                       print a saved result\n"
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
@@ -366,7 +413,17 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    const Args args(argc, argv, 2);
+    if (command == "help" || command == "--help") {
+      print_usage();
+      return 0;
+    }
+    const auto flags = command_flags().find(command);
+    if (flags == command_flags().end()) {
+      std::cerr << "unknown command '" << command << "'\n";
+      print_usage();
+      return 2;
+    }
+    const Args args(argc, argv, 2, command, flags->second);
     if (command == "devices") return cmd_devices();
     if (command == "baselines") return cmd_baselines(args);
     if (command == "search") return cmd_search(args);
@@ -374,12 +431,7 @@ int main(int argc, char** argv) {
     if (command == "deploy") return cmd_deploy(args);
     if (command == "sensitivity") return cmd_sensitivity(args);
     if (command == "portable") return cmd_portable(args);
-    if (command == "help" || command == "--help") {
-      print_usage();
-      return 0;
-    }
     std::cerr << "unknown command '" << command << "'\n";
-    print_usage();
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
