@@ -1,0 +1,217 @@
+// Serving-layer bench for runtime/serve: (1) pass-through fidelity — with
+// the robustness envelope inactive the supervisor's deployment accounting
+// must equal DeploymentSimulator::run bit for bit; (2) overload behaviour of
+// the bounded admission queue (shed rate, queue depth, SLO percentiles
+// across offered load); (3) determinism — a 5% fault trace replayed twice
+// and at several thread counts must produce byte-identical ServeReports;
+// (4) failover — a primary that drops dead mid-trace re-homes the remainder
+// onto the replica lane and still answers every admitted request. Results go
+// to stdout and bench_out/serving.json.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/hadas_engine.hpp"
+#include "data/sample_stream.hpp"
+#include "hw/faults.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/serve/supervisor.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas {
+namespace {
+
+/// Stable FNV-1a over the full JSON serialization — equal fingerprints
+/// <=> byte-identical reports (to_json round-trips every counter and the
+/// exact bit pattern of every double via the fixed dump format).
+std::uint64_t fingerprint(const runtime::serve::ServeReport& report) {
+  const std::string dump = report.to_json().dump();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : dump) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+core::HadasConfig serving_config() {
+  core::HadasConfig config = bench::experiment_config();
+  if (!bench::paper_budget()) {
+    config.data.train_size = 900;
+    config.bank.train.epochs = 5;
+  }
+  return config;
+}
+
+}  // namespace
+}  // namespace hadas
+
+int main() {
+  using namespace hadas;
+
+  std::cout << "=== Serving supervisor: fidelity, overload, determinism ===\n\n";
+
+  const supernet::SearchSpace space = supernet::SearchSpace::attentive_nas();
+  core::HadasEngine engine(space, hw::Target::kTx2PascalGpu, serving_config());
+  const supernet::BackboneConfig backbone = supernet::baseline_a0();
+  const dynn::ExitBank& bank = engine.exit_bank(backbone);
+  const dynn::MultiExitCostTable& costs = engine.cost_table(backbone);
+  const hw::DvfsSetting setting = hw::default_setting(costs.evaluator().device());
+  const std::size_t layers = bank.total_layers();
+  const dynn::ExitPlacement placement(
+      layers, {std::max(dynn::ExitPlacement::kFirstEligible, layers / 3),
+               std::max(dynn::ExitPlacement::kFirstEligible + 1, 2 * layers / 3)});
+  const runtime::EntropyPolicy policy(0.5);
+
+  const std::size_t requests = bench::paper_budget() ? 4000 : 1000;
+  const data::SampleStream stream(engine.task(), requests, 11);
+  util::Json::Object doc;
+  doc["bench"] = "serving";
+  doc["requests"] = requests;
+
+  // ---- Part 1: pass-through fidelity (inactive envelope) ----
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = requests;
+  traffic.arrival_rate_hz = 0.0;  // back-to-back: queueing plays no role
+  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+
+  const runtime::serve::ServeSupervisor plain(
+      bank, {{&costs, setting, hw::FaultConfig{}}}, {});
+  const runtime::serve::ServeReport pass = plain.run(placement, {&policy}, trace);
+  const runtime::DeploymentSimulator simulator(bank, costs);
+  const runtime::DeploymentReport direct =
+      simulator.run(placement, setting, policy, stream);
+  const bool pass_identical =
+      pass.deployment.samples == direct.samples &&
+      pass.deployment.accuracy == direct.accuracy &&
+      pass.deployment.avg_energy_j == direct.avg_energy_j &&
+      pass.deployment.avg_latency_s == direct.avg_latency_s &&
+      pass.deployment.energy_gain == direct.energy_gain &&
+      pass.deployment.latency_gain == direct.latency_gain &&
+      pass.deployment.exit_histogram == direct.exit_histogram;
+  std::cout << "pass-through vs DeploymentSimulator: "
+            << (pass_identical ? "bit-identical" : "MISMATCH") << " ("
+            << requests << " requests, accuracy "
+            << util::fmt_pct(pass.deployment.accuracy, 2) << ")\n\n";
+  util::Json::Object fidelity;
+  fidelity["envelope_active"] = plain.envelope_active();
+  fidelity["identical_to_simulator"] = pass_identical;
+  fidelity["accuracy"] = pass.deployment.accuracy;
+  fidelity["avg_energy_j"] = pass.deployment.avg_energy_j;
+  doc["pass_through"] = util::Json(std::move(fidelity));
+
+  // ---- Part 2: overload sweep over offered rates ----
+  // Service capacity is roughly 1/avg_latency; sweep loads around it and
+  // watch the bounded queue trade shed rate for p99.
+  const double capacity_hz = 1.0 / pass.deployment.avg_latency_s;
+  std::cout << "overload sweep (queue capacity 32, est. capacity "
+            << util::fmt_fixed(capacity_hz, 0) << " req/s):\n"
+            << "  load    shed%    p50 ms    p99 ms   max depth\n";
+  util::Json::Array sweep;
+  for (const double load : {0.5, 0.9, 1.2, 2.0}) {
+    runtime::serve::ServeConfig config;
+    config.admission.queue_capacity = 32;
+    config.slo.deadline_s = 4.0 * pass.deployment.avg_latency_s;
+    runtime::serve::TrafficConfig shaped;
+    shaped.requests = requests;
+    shaped.arrival_rate_hz = load * capacity_hz;
+    const auto loaded_trace = runtime::serve::poisson_trace(stream, shaped);
+    const runtime::serve::ServeSupervisor supervisor(
+        bank, {{&costs, setting, hw::FaultConfig{}}}, config);
+    const auto report = supervisor.run(placement, {&policy}, loaded_trace);
+    std::cout << "  " << util::fmt_fixed(load, 1) << "x   "
+              << util::fmt_fixed(100.0 * report.shed_rate, 1) << "     "
+              << util::fmt_fixed(report.p50_latency_s * 1e3, 2) << "     "
+              << util::fmt_fixed(report.p99_latency_s * 1e3, 2) << "     "
+              << report.max_queue_depth << "\n";
+    util::Json::Object entry;
+    entry["load_factor"] = load;
+    entry["offered_hz"] = shaped.arrival_rate_hz;
+    entry["shed_rate"] = report.shed_rate;
+    entry["miss_rate"] = report.miss_rate;
+    entry["p50_latency_s"] = report.p50_latency_s;
+    entry["p99_latency_s"] = report.p99_latency_s;
+    entry["max_queue_depth"] = report.max_queue_depth;
+    sweep.push_back(util::Json(std::move(entry)));
+  }
+  doc["overload_sweep"] = util::Json(std::move(sweep));
+
+  // ---- Part 3: determinism at 5% faults across runs and thread counts ----
+  const hw::FaultConfig faults = hw::parse_fault_config("rate=0.05,nan=0.01,seed=77");
+  runtime::serve::TrafficConfig shaped;
+  shaped.requests = requests;
+  shaped.arrival_rate_hz = 0.9 * capacity_hz;
+  const auto fault_trace = runtime::serve::poisson_trace(stream, shaped);
+  bool deterministic = true;
+  std::uint64_t reference = 0;
+  std::size_t fallbacks = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{6}}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      runtime::serve::ServeConfig config;
+      config.watchdog.overrun_factor = 3.0;
+      config.degraded.enabled = true;
+      config.exec.threads = threads;
+      const runtime::serve::ServeSupervisor supervisor(
+          bank, {{&costs, setting, faults}}, config);
+      const auto report = supervisor.run(
+          placement, runtime::serve::ladder_view(
+                         runtime::serve::entropy_ladder(0.5, 0.15, 3)),
+          fault_trace);
+      const std::uint64_t fp = fingerprint(report);
+      if (reference == 0) {
+        reference = fp;
+        fallbacks = report.watchdog_fallbacks;
+      }
+      deterministic = deterministic && fp == reference;
+    }
+  }
+  std::cout << "\n5% faults, threads {1,2,6} x2 runs: "
+            << (deterministic ? "all reports byte-identical" : "DIVERGED")
+            << " (" << fallbacks << " watchdog fallbacks)\n";
+  util::Json::Object determinism;
+  determinism["fingerprint"] = std::to_string(reference);
+  determinism["identical_across_runs_and_threads"] = deterministic;
+  determinism["watchdog_fallbacks"] = fallbacks;
+  doc["determinism"] = util::Json(std::move(determinism));
+
+  // ---- Part 4: dead primary fails over mid-trace ----
+  const hw::FaultConfig dying = hw::parse_fault_config("dropout=100,seed=5");
+  runtime::serve::ServeConfig failover_config;
+  const runtime::serve::ServeSupervisor fleet(
+      bank,
+      {{&costs, setting, dying}, {&costs, setting, hw::FaultConfig{}}},
+      failover_config);
+  const auto failover_report = fleet.run(placement, {&policy}, fault_trace);
+  const bool failover_ok =
+      failover_report.devices_lost == 1 &&
+      failover_report.deployment.samples == failover_report.admitted &&
+      failover_report.lanes.size() == 2 &&
+      failover_report.lanes[0].served == 100;
+  std::cout << "dead primary after 100 requests: "
+            << (failover_ok ? "replica served the remainder" : "FAILED") << " ("
+            << failover_report.lanes[1].served << " re-homed, "
+            << failover_report.failovers << " failover events)\n";
+  util::Json::Object failover;
+  failover["devices_lost"] = failover_report.devices_lost;
+  failover["primary_served"] = failover_report.lanes[0].served;
+  failover["replica_served"] = failover_report.lanes[1].served;
+  failover["all_admitted_answered"] = failover_ok;
+  doc["failover"] = util::Json(std::move(failover));
+
+  const bool ok = pass_identical && deterministic && failover_ok;
+  std::cout << "\nverdict: "
+            << (ok ? "serving layer holds all three contracts"
+                   : "CONTRACT VIOLATION")
+            << "\n";
+
+  const std::string path = bench::out_dir() + "/serving.json";
+  std::ofstream out(path);
+  out << util::Json(std::move(doc)).dump(2) << "\n";
+  std::cout << "wrote " << path << "\n";
+  return ok ? 0 : 1;
+}

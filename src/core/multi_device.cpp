@@ -160,6 +160,52 @@ MultiDeviceResult MultiDeviceEngine::run() {
   }
 }
 
+FleetDeployment MultiDeviceEngine::fleet_deployment(
+    const MultiDeviceResult& result, std::size_t index) {
+  if (index >= result.pareto.size())
+    throw std::out_of_range("fleet_deployment: solution index out of range");
+  const MultiDeviceSolution& solution = result.pareto[index];
+
+  // Re-derive the bank exactly as the elite inner search did: same backbone
+  // key, same separability, same seed xor — the serving-time bank is the
+  // searched bank, not a retrained approximation.
+  const std::uint64_t backbone_key =
+      supernet::genome_hash(supernet::encode(space_, solution.backbone));
+  const supernet::NetworkCost cost =
+      devices_.front().static_eval->cost_cache().analyze(solution.backbone);
+  const double accuracy =
+      devices_.front().static_eval->surrogate().accuracy(solution.backbone);
+  dynn::ExitBankConfig bank_config = config_.bank;
+  bank_config.seed ^= backbone_key;
+
+  FleetDeployment deployment;
+  deployment.bank = std::make_unique<dynn::ExitBank>(
+      task_, cost, data::separability_from_accuracy(accuracy), bank_config);
+  deployment.placement = solution.placement;
+  deployment.settings = solution.settings;
+
+  for (hw::Target target : result.active_targets) {
+    std::size_t device_index = targets_.size();
+    for (std::size_t i = 0; i < targets_.size(); ++i)
+      if (targets_[i] == target) {
+        device_index = i;
+        break;
+      }
+    if (device_index == targets_.size())
+      throw std::invalid_argument(
+          "fleet_deployment: result names target '" + hw::target_name(target) +
+          "' which this engine does not hold");
+    // Clean tables only: serve-time fault injection belongs to the serving
+    // supervisor (ServeLane::faults), never to the table.
+    deployment.tables.push_back(std::make_unique<dynn::MultiExitCostTable>(
+        cost, devices_[device_index].static_eval->hardware()));
+  }
+  if (deployment.tables.size() != deployment.settings.size())
+    throw std::invalid_argument(
+        "fleet_deployment: solution settings do not match active targets");
+  return deployment;
+}
+
 MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& alive) {
   hadas::util::Rng rng(config_.seed);
   const auto cardinalities = space_.gene_cardinalities();

@@ -66,6 +66,19 @@ struct MultiDeviceResult {
   std::vector<DeviceHealthEntry> health;
 };
 
+/// Everything the serving layer needs to deploy one searched cross-device
+/// solution: the (re-trained, deterministic) exit bank plus one CLEAN cost
+/// table and DVFS setting per active target. Tables deliberately carry no
+/// search-time robust wrapper — at serve time the supervisor owns fault
+/// injection, and a wrapped table would double-inject. Tables reference the
+/// engine's device models: the engine must outlive the deployment.
+struct FleetDeployment {
+  std::unique_ptr<dynn::ExitBank> bank;
+  std::vector<std::unique_ptr<dynn::MultiExitCostTable>> tables;
+  std::vector<hw::DvfsSetting> settings;  ///< indexed like active_targets
+  dynn::ExitPlacement placement{1};
+};
+
 /// Cross-device extension of HADAS (beyond the paper, which searches per
 /// device): find ONE deployable (b, x) whose exits are shared across a fleet
 /// of heterogeneous devices, with a DVFS point tuned per device. The outer
@@ -88,6 +101,15 @@ class MultiDeviceEngine {
 
   /// Resolved worker count of the parallel dispatcher (>= 1).
   std::size_t threads() const { return dispatcher_.threads(); }
+
+  /// Materialize solution `index` of `result` for the serving layer: rebuild
+  /// its exit bank exactly as the search did (same backbone-derived seed) and
+  /// one clean cost table per active target, in `result.active_targets`
+  /// order. Throws std::out_of_range for a bad index and
+  /// std::invalid_argument if `result` names a target this engine does not
+  /// hold.
+  FleetDeployment fleet_deployment(const MultiDeviceResult& result,
+                                   std::size_t index);
 
  private:
   struct DeviceContext {

@@ -24,6 +24,49 @@ util::Rng site_stream(std::uint64_t seed, std::uint64_t key) {
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void bad_fault_value(const std::string& key,
+                                  const std::string& value,
+                                  const std::string& expected) {
+  throw std::invalid_argument("parse_fault_config: bad value '" + value +
+                              "' for key '" + key + "' (" + expected + ")");
+}
+
+/// Strict double parse: the whole token must be consumed ("0.5x" is an
+/// error, not 0.5), and the result must lie in [lo, hi]. Errors name the
+/// offending key and value.
+double parse_fault_rate(const std::string& key, const std::string& value,
+                        double lo, double hi, const std::string& expected) {
+  double parsed = 0.0;
+  std::size_t consumed = 0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    bad_fault_value(key, value, expected);
+  }
+  if (consumed != value.size()) bad_fault_value(key, value, expected);
+  if (!std::isfinite(parsed) || parsed < lo || parsed > hi)
+    bad_fault_value(key, value, expected);
+  return parsed;
+}
+
+/// Strict unsigned parse: digits only, so "-1" and "3x" are errors instead
+/// of a wrapped-around huge count (stoul happily parses negatives).
+std::uint64_t parse_fault_count(const std::string& key,
+                                const std::string& value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos)
+    bad_fault_value(key, value, "expected a non-negative integer");
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    bad_fault_value(key, value, "expected a non-negative integer");
+  }
+}
+
+}  // namespace
+
 FaultConfig parse_fault_config(const std::string& spec) {
   FaultConfig config;
   if (spec.empty()) return config;
@@ -34,36 +77,31 @@ FaultConfig parse_fault_config(const std::string& spec) {
                                   item + "'");
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
-    try {
-      if (key == "rate") {
-        config.transient_failure_rate = std::stod(value);
-      } else if (key == "noise") {
-        config.noise_sigma = std::stod(value);
-      } else if (key == "drift") {
-        config.thermal_drift = std::stod(value);
-      } else if (key == "nan") {
-        config.nan_rate = std::stod(value);
-      } else if (key == "dropout") {
-        config.dropout_after_n = static_cast<std::size_t>(std::stoul(value));
-      } else if (key == "seed") {
-        config.seed = static_cast<std::uint64_t>(std::stoull(value));
-      } else {
-        throw std::invalid_argument(
-            "parse_fault_config: unknown key '" + key +
-            "' (rate | noise | drift | nan | dropout | seed)");
-      }
-    } catch (const std::invalid_argument&) {
-      throw;
-    } catch (const std::exception&) {
-      throw std::invalid_argument("parse_fault_config: bad value '" + value +
-                                  "' for key '" + key + "'");
+    if (key == "rate") {
+      config.transient_failure_rate = parse_fault_rate(
+          key, value, 0.0, 1.0, "expected a probability in [0, 1]");
+    } else if (key == "noise") {
+      config.noise_sigma = parse_fault_rate(
+          key, value, 0.0, std::numeric_limits<double>::max(),
+          "expected a non-negative sigma");
+    } else if (key == "drift") {
+      config.thermal_drift = parse_fault_rate(
+          key, value, 0.0, std::numeric_limits<double>::max(),
+          "expected a non-negative fraction");
+    } else if (key == "nan") {
+      config.nan_rate = parse_fault_rate(key, value, 0.0, 1.0,
+                                         "expected a probability in [0, 1]");
+    } else if (key == "dropout") {
+      config.dropout_after_n =
+          static_cast<std::size_t>(parse_fault_count(key, value));
+    } else if (key == "seed") {
+      config.seed = parse_fault_count(key, value);
+    } else {
+      throw std::invalid_argument(
+          "parse_fault_config: unknown key '" + key +
+          "' (rate | noise | drift | nan | dropout | seed)");
     }
   }
-  if (config.transient_failure_rate < 0.0 || config.transient_failure_rate > 1.0 ||
-      config.nan_rate < 0.0 || config.nan_rate > 1.0 || config.noise_sigma < 0.0 ||
-      config.thermal_drift < 0.0)
-    throw std::invalid_argument("parse_fault_config: rates must be in [0, 1] "
-                                "and sigmas non-negative");
   return config;
 }
 

@@ -24,15 +24,18 @@ void ThermalModel::step(double power_w, double dt_s) {
   const double alpha = std::exp(-dt_s / config_.time_constant_s);
   temperature_c_ = target + (temperature_c_ - target) * alpha;
 
-  if (temperature_c_ >= config_.throttle_temp_c)
+  if (temperature_c_ >= config_.throttle_temp_c) {
+    if (!throttled_) ++throttle_events_;
     throttled_ = true;
-  else if (temperature_c_ <= config_.resume_temp_c)
+  } else if (temperature_c_ <= config_.resume_temp_c) {
     throttled_ = false;
+  }
 }
 
 void ThermalModel::reset() {
   temperature_c_ = config_.ambient_c;
   throttled_ = false;
+  throttle_events_ = 0;
 }
 
 }  // namespace hadas::hw

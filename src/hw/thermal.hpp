@@ -32,6 +32,9 @@ class ThermalModel {
   const ThermalConfig& config() const { return config_; }
   double temperature_c() const { return temperature_c_; }
   bool throttled() const { return throttled_; }
+  /// Count of cool->throttled transitions since construction/reset. The
+  /// serving supervisor uses this as its thermal-incident signal.
+  std::size_t throttle_events() const { return throttle_events_; }
 
   /// Advance the model by `dt_s` seconds at dissipated power `power_w`.
   /// Updates the throttle state with hysteresis. dt may be any positive
@@ -48,6 +51,7 @@ class ThermalModel {
   ThermalConfig config_;
   double temperature_c_;
   bool throttled_ = false;
+  std::size_t throttle_events_ = 0;
 };
 
 }  // namespace hadas::hw

@@ -5,6 +5,31 @@
 
 namespace hadas::runtime {
 
+CascadeDecision walk_cascade(const dynn::ExitBank& bank,
+                             const std::vector<std::size_t>& exits,
+                             const ExitPolicy& policy, std::size_t sample) {
+  CascadeDecision decision;
+  for (std::size_t layer : exits) {
+    decision.visited.push_back(layer);
+    if (policy.take_exit(bank.exit_at(layer), sample)) {
+      decision.exited = true;
+      break;
+    }
+  }
+  return decision;
+}
+
+void finalize_deployment_report(DeploymentReport& report, double energy_sum,
+                                double latency_sum, std::size_t correct,
+                                const hw::HwMeasurement& static_baseline) {
+  const double inv_n = 1.0 / static_cast<double>(report.samples);
+  report.accuracy = static_cast<double>(correct) * inv_n;
+  report.avg_energy_j = energy_sum * inv_n;
+  report.avg_latency_s = latency_sum * inv_n;
+  report.energy_gain = 1.0 - report.avg_energy_j / static_baseline.energy_j;
+  report.latency_gain = 1.0 - report.avg_latency_s / static_baseline.latency_s;
+}
+
 DeploymentSimulator::DeploymentSimulator(const dynn::ExitBank& bank,
                                          const dynn::MultiExitCostTable& cost)
     : bank_(bank), cost_(cost) {
@@ -28,21 +53,14 @@ DeploymentReport DeploymentSimulator::run(const dynn::ExitPlacement& placement,
   std::size_t correct = 0;
 
   for (std::size_t sample : stream.indices()) {
-    std::vector<std::size_t> visited;
-    bool exited = false;
-    for (std::size_t layer : exits) {
-      visited.push_back(layer);
-      if (policy.take_exit(bank_.exit_at(layer), sample)) {
-        exited = true;
-        break;
-      }
-    }
-    const hw::HwMeasurement m = cost_.cascade_path(visited, exited, setting);
+    const CascadeDecision decision = walk_cascade(bank_, exits, policy, sample);
+    const hw::HwMeasurement m =
+        cost_.cascade_path(decision.visited, decision.exited, setting);
     energy += m.energy_j;
     latency += m.latency_s;
 
-    if (exited) {
-      const std::size_t layer = visited.back();
+    if (decision.exited) {
+      const std::size_t layer = decision.visited.back();
       correct += bank_.exit_at(layer).test_correct[sample] ? 1 : 0;
       ++report.exit_histogram[layer];
     } else {
@@ -50,15 +68,10 @@ DeploymentReport DeploymentSimulator::run(const dynn::ExitPlacement& placement,
       ++report.exit_histogram[bank_.total_layers()];
     }
     ++report.samples;
-    policy.on_sample_complete(exited);
+    policy.on_sample_complete(decision.exited);
   }
 
-  const double inv_n = 1.0 / static_cast<double>(report.samples);
-  report.accuracy = static_cast<double>(correct) * inv_n;
-  report.avg_energy_j = energy * inv_n;
-  report.avg_latency_s = latency * inv_n;
-  report.energy_gain = 1.0 - report.avg_energy_j / static_baseline.energy_j;
-  report.latency_gain = 1.0 - report.avg_latency_s / static_baseline.latency_s;
+  finalize_deployment_report(report, energy, latency, correct, static_baseline);
   return report;
 }
 
@@ -106,12 +119,7 @@ DeploymentReport DeploymentSimulator::run_predictive(
     ++report.samples;
   }
 
-  const double inv_n = 1.0 / static_cast<double>(report.samples);
-  report.accuracy = static_cast<double>(correct) * inv_n;
-  report.avg_energy_j = energy * inv_n;
-  report.avg_latency_s = latency * inv_n;
-  report.energy_gain = 1.0 - report.avg_energy_j / static_baseline.energy_j;
-  report.latency_gain = 1.0 - report.avg_latency_s / static_baseline.latency_s;
+  finalize_deployment_report(report, energy, latency, correct, static_baseline);
   return report;
 }
 

@@ -12,6 +12,20 @@
 
 namespace hadas::runtime {
 
+/// One sample's cascade walk under a policy: the exit branches it visited
+/// (in placement order) and whether it stopped at the last one. Shared by
+/// the deployment, sustained and serving simulators so every simulator
+/// charges exactly the same branch sequence for a given (policy, sample).
+struct CascadeDecision {
+  std::vector<std::size_t> visited;
+  bool exited = false;
+};
+
+/// Walk the cascade: visit `exits` (ascending) until the policy takes one.
+CascadeDecision walk_cascade(const dynn::ExitBank& bank,
+                             const std::vector<std::size_t>& exits,
+                             const ExitPolicy& policy, std::size_t sample);
+
 /// Outcome of deploying one dynamic design on a sample stream.
 struct DeploymentReport {
   std::size_t samples = 0;
@@ -24,6 +38,15 @@ struct DeploymentReport {
   /// "ran the full backbone".
   std::map<std::size_t, std::size_t> exit_histogram;
 };
+
+/// Fill the derived fields (averages, gains, accuracy) of a report from the
+/// accumulated per-sample sums. All simulators — deployment, sustained and
+/// the serving supervisor — share this exact arithmetic, which is what makes
+/// their reports bit-comparable (`report.samples` must already be set and
+/// non-zero).
+void finalize_deployment_report(DeploymentReport& report, double energy_sum,
+                                double latency_sum, std::size_t correct,
+                                const hw::HwMeasurement& static_baseline);
 
 /// Simulates deploying a searched (b, x, f) design with a runtime controller
 /// over a test-split sample stream. Unlike the design-stage ideal-mapping

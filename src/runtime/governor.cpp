@@ -1,8 +1,17 @@
 #include "runtime/governor.hpp"
 
 #include <limits>
+#include <stdexcept>
 
 namespace hadas::runtime {
+
+DvfsGovernor::DvfsGovernor(const dynn::MultiExitCostTable& costs)
+    : costs_(costs) {
+  const hw::DeviceSpec& device = costs_.evaluator().device();
+  if (device.core_freqs_hz.empty() || device.emc_freqs_hz.empty())
+    throw std::invalid_argument("DvfsGovernor: device '" + device.name +
+                                "' has an empty DVFS table");
+}
 
 template <typename MeasureFn>
 std::optional<hw::DvfsSetting> DvfsGovernor::scan(MeasureFn&& measure,
@@ -59,6 +68,18 @@ std::optional<hw::DvfsSetting> DvfsGovernor::fastest_sustainable_full(
     }
   }
   return best;
+}
+
+hw::DvfsSetting DvfsGovernor::step_down(hw::DvfsSetting from,
+                                        std::size_t steps) const {
+  const hw::DeviceSpec& device = costs_.evaluator().device();
+  if (from.core_idx >= device.core_freqs_hz.size() ||
+      from.emc_idx >= device.emc_freqs_hz.size())
+    throw std::invalid_argument("DvfsGovernor::step_down: setting outside the "
+                                "device's DVFS tables");
+  hw::DvfsSetting down = from;
+  down.core_idx = steps >= down.core_idx ? 0 : down.core_idx - steps;
+  return down;
 }
 
 hw::DvfsSetting DvfsGovernor::latency_optimal_full() const {

@@ -16,7 +16,10 @@ namespace hadas::runtime {
 /// Jetson would do.
 class DvfsGovernor {
  public:
-  explicit DvfsGovernor(const dynn::MultiExitCostTable& costs) : costs_(costs) {}
+  /// Throws std::invalid_argument if either DVFS table of the device behind
+  /// `costs` is empty — a governor over an empty F space has no answer to
+  /// any query, so it refuses to construct rather than fail per call.
+  explicit DvfsGovernor(const dynn::MultiExitCostTable& costs);
 
   /// Minimum-energy setting whose FULL-network latency meets the deadline;
   /// nullopt if no setting does.
@@ -39,6 +42,12 @@ class DvfsGovernor {
   /// The latency-optimal (max performance) setting. For a monotone latency
   /// model this is the max-frequency pair, but it is computed, not assumed.
   hw::DvfsSetting latency_optimal_full() const;
+
+  /// The setting `steps` core-frequency bins below `from`, clamped at the
+  /// table floor (core_idx 0); the EMC index is untouched. Used by the
+  /// serving layer's degraded modes to shed power under sustained faults or
+  /// thermal pressure. Throws if `from` is outside the device's tables.
+  hw::DvfsSetting step_down(hw::DvfsSetting from, std::size_t steps) const;
 
  private:
   template <typename MeasureFn>

@@ -1,0 +1,106 @@
+#include "runtime/serve/slo.hpp"
+
+#include "util/statistics.hpp"
+
+namespace hadas::runtime::serve {
+
+std::string serve_mode_name(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kNormal: return "normal";
+    case ServeMode::kDegraded: return "degraded";
+    case ServeMode::kCritical: return "critical";
+  }
+  return "?";
+}
+
+void SloTracker::record(double end_to_end_s, double queue_wait_s,
+                        bool missed_deadline) {
+  latencies_.push_back(end_to_end_s);
+  wait_sum_s += queue_wait_s;
+  if (missed_deadline) ++misses_;
+}
+
+void SloTracker::finalize(ServeReport& report) const {
+  report.completed = latencies_.size();
+  report.deadline_misses = misses_;
+  if (!latencies_.empty()) {
+    report.p50_latency_s = util::percentile(latencies_, 50.0);
+    report.p95_latency_s = util::percentile(latencies_, 95.0);
+    report.p99_latency_s = util::percentile(latencies_, 99.0);
+    report.avg_queue_wait_s =
+        wait_sum_s / static_cast<double>(latencies_.size());
+    report.miss_rate =
+        static_cast<double>(misses_) / static_cast<double>(latencies_.size());
+  }
+  if (report.offered > 0)
+    report.shed_rate = static_cast<double>(report.shed + report.shed_no_device) /
+                       static_cast<double>(report.offered);
+}
+
+util::Json ServeReport::to_json() const {
+  util::Json json;
+
+  util::Json& dep = json["deployment"];
+  dep["samples"] = deployment.samples;
+  dep["accuracy"] = deployment.accuracy;
+  dep["avg_energy_j"] = deployment.avg_energy_j;
+  dep["avg_latency_s"] = deployment.avg_latency_s;
+  dep["energy_gain"] = deployment.energy_gain;
+  dep["latency_gain"] = deployment.latency_gain;
+  util::Json& histogram = dep["exit_histogram"];
+  histogram.make_object();
+  for (const auto& [layer, count] : deployment.exit_histogram)
+    histogram[std::to_string(layer)] = count;
+
+  util::Json& admission = json["admission"];
+  admission["offered"] = offered;
+  admission["admitted"] = admitted;
+  admission["shed"] = shed;
+  admission["shed_no_device"] = shed_no_device;
+  admission["max_queue_depth"] = max_queue_depth;
+  admission["avg_queue_wait_s"] = avg_queue_wait_s;
+
+  util::Json& slo = json["slo"];
+  slo["completed"] = completed;
+  slo["deadline_misses"] = deadline_misses;
+  slo["p50_latency_s"] = p50_latency_s;
+  slo["p95_latency_s"] = p95_latency_s;
+  slo["p99_latency_s"] = p99_latency_s;
+  slo["shed_rate"] = shed_rate;
+  slo["miss_rate"] = miss_rate;
+
+  util::Json& robust = json["robustness"];
+  robust["watchdog_fallbacks"] = watchdog_fallbacks;
+  robust["transient_faults"] = transient_faults;
+  robust["nan_faults"] = nan_faults;
+  robust["overruns"] = overruns;
+  robust["failovers"] = failovers;
+  robust["devices_lost"] = devices_lost;
+  robust["throttle_events"] = throttle_events;
+  robust["degraded_entries"] = degraded_entries;
+  robust["critical_entries"] = critical_entries;
+  robust["requests_degraded"] = requests_degraded;
+  robust["final_mode"] = serve_mode_name(final_mode);
+
+  json["makespan_s"] = makespan_s;
+  json["total_energy_j"] = total_energy_j;
+
+  util::Json::Array lane_array;
+  for (const LaneReport& lane : lanes) {
+    util::Json entry;
+    entry["served"] = lane.served;
+    entry["alive"] = lane.alive;
+    entry["breaker"] = hw::breaker_state_name(lane.breaker);
+    entry["peak_temperature_c"] = lane.peak_temperature_c;
+    entry["final_temperature_c"] = lane.final_temperature_c;
+    entry["throttle_events"] = lane.throttle_events;
+    entry["measurements"] = lane.health.measurements;
+    entry["failed_measurements"] = lane.health.failed_measurements;
+    entry["breaker_trips"] = lane.health.breaker_trips;
+    lane_array.push_back(std::move(entry));
+  }
+  json["lanes"] = util::Json(std::move(lane_array));
+  return json;
+}
+
+}  // namespace hadas::runtime::serve

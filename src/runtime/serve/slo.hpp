@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/robust_eval.hpp"
+#include "runtime/deployment.hpp"
+#include "util/json.hpp"
+
+namespace hadas::runtime::serve {
+
+/// Degradation level of the serving supervisor.
+enum class ServeMode { kNormal = 0, kDegraded = 1, kCritical = 2 };
+
+/// Human-readable mode name ("normal" | "degraded" | "critical").
+std::string serve_mode_name(ServeMode mode);
+
+/// Post-run record of one serving lane (one device).
+struct LaneReport {
+  std::size_t served = 0;     ///< requests answered by this lane
+  bool alive = true;          ///< false once the device dropped out
+  hw::BreakerState breaker = hw::BreakerState::kClosed;
+  hw::HealthReport health;
+  double peak_temperature_c = 0.0;
+  double final_temperature_c = 0.0;
+  std::size_t throttle_events = 0;
+};
+
+/// Everything `ServeSupervisor::run` measured. All counters and doubles are
+/// a pure function of (trace, config, seed): bit-identical across repeated
+/// runs and thread counts.
+struct ServeReport {
+  /// Per-served-request deployment accounting with the exact arithmetic of
+  /// DeploymentSimulator::run — with the robustness envelope inactive this
+  /// equals the plain deployment report bit for bit.
+  DeploymentReport deployment;
+
+  // --- admission / backpressure ---
+  std::size_t offered = 0;          ///< requests in the trace
+  std::size_t admitted = 0;
+  std::size_t shed = 0;             ///< rejected: queue full
+  std::size_t shed_no_device = 0;   ///< rejected: no lane would admit
+  std::size_t max_queue_depth = 0;  ///< outstanding requests, peak
+  double avg_queue_wait_s = 0.0;    ///< admission -> service start, mean
+
+  // --- SLO ---
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;  ///< end-to-end latency over the budget
+  double p50_latency_s = 0.0;       ///< end-to-end (queue + service)
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double shed_rate = 0.0;           ///< (shed + shed_no_device) / offered
+  double miss_rate = 0.0;           ///< deadline_misses / completed
+
+  // --- robustness events ---
+  std::size_t watchdog_fallbacks = 0;  ///< served from the earliest exit
+  std::size_t transient_faults = 0;
+  std::size_t nan_faults = 0;
+  std::size_t overruns = 0;            ///< watchdog overrun detections
+  std::size_t failovers = 0;           ///< requests re-homed to another lane
+  std::size_t devices_lost = 0;
+  std::size_t throttle_events = 0;     ///< across all lanes
+  std::size_t degraded_entries = 0;    ///< normal -> degraded transitions
+  std::size_t critical_entries = 0;    ///< degraded -> critical transitions
+  std::size_t requests_degraded = 0;   ///< served at mode >= degraded
+  ServeMode final_mode = ServeMode::kNormal;
+
+  // --- totals ---
+  double makespan_s = 0.0;             ///< completion time of the last request
+  double total_energy_j = 0.0;
+  std::vector<LaneReport> lanes;
+
+  /// Full JSON serialization (bench_serving and `hadas serve --out`).
+  util::Json to_json() const;
+};
+
+/// Accumulates per-request latency samples and finalizes the percentile /
+/// rate fields of a ServeReport. Percentiles are linear-interpolated
+/// (util::percentile) over the completed requests' end-to-end latencies —
+/// deterministic because the sample order is the (fixed) trace order.
+class SloTracker {
+ public:
+  void record(double end_to_end_s, double queue_wait_s, bool missed_deadline);
+
+  std::size_t completed() const { return latencies_.size(); }
+
+  /// Write completed/misses/percentiles/rates into the report (which must
+  /// already carry the shed counters).
+  void finalize(ServeReport& report) const;
+
+ private:
+  std::vector<double> latencies_;
+  double wait_sum_s = 0.0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace hadas::runtime::serve

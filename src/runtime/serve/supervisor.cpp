@@ -1,0 +1,399 @@
+#include "runtime/serve/supervisor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace hadas::runtime::serve {
+
+namespace {
+
+/// Mutable per-lane runtime state. Heap-held: DeviceHealth owns a mutex and
+/// is not movable.
+struct LaneState {
+  LaneState(const ServeLane& spec_in, const ServeConfig& config)
+      : spec(&spec_in),
+        injector(spec_in.faults),
+        health(config.breaker),
+        thermal(config.thermal),
+        governor(*spec_in.costs) {}
+
+  const ServeLane* spec;
+  hw::FaultInjector injector;
+  hw::DeviceHealth health;
+  hw::ThermalModel thermal;
+  DvfsGovernor governor;
+
+  bool alive = true;
+  std::size_t served = 0;
+  double clock_s = 0.0;       ///< how far this lane's health clock advanced
+  double last_event_s = 0.0;  ///< service end of the lane's last request
+  double peak_temperature_c;
+
+  /// Advance the health breaker's simulated clock to the global time `t`.
+  void advance_clock_to(double t) {
+    if (t > clock_s) {
+      health.advance_clock(t - clock_s, /*is_backoff=*/false);
+      clock_s = t;
+    }
+  }
+};
+
+/// What serving one request on one lane produced.
+struct ServeOutcome {
+  double latency_s = 0.0;  ///< service time charged (queue wait excluded)
+  double energy_j = 0.0;
+  double power_w = 0.0;    ///< average dissipation while serving
+  bool exited = false;
+  std::size_t resolved_layer = 0;  ///< valid when exited
+  bool fallback = false;           ///< answered from the earliest exit
+  bool transient = false;
+  bool nan = false;
+  bool overrun = false;
+  bool throttled = false;
+};
+
+}  // namespace
+
+ServeSupervisor::ServeSupervisor(const dynn::ExitBank& bank,
+                                 std::vector<ServeLane> lanes,
+                                 ServeConfig config)
+    : bank_(bank),
+      lanes_(std::move(lanes)),
+      config_(config),
+      dispatcher_(config.exec) {
+  if (lanes_.empty())
+    throw std::invalid_argument("ServeSupervisor: no serving lanes");
+  for (const ServeLane& lane : lanes_) {
+    if (lane.costs == nullptr)
+      throw std::invalid_argument("ServeSupervisor: lane without a cost table");
+    if (lane.costs->network().num_mbconv_layers() != bank_.total_layers())
+      throw std::invalid_argument("ServeSupervisor: lane/bank layer mismatch");
+    if (lane.costs->robust() != nullptr)
+      throw std::invalid_argument(
+          "ServeSupervisor: lane cost table carries a search-time robust "
+          "wrapper; the supervisor owns fault injection at serve time");
+    const hw::DeviceSpec& device = lane.costs->evaluator().device();
+    if (device.core_freqs_hz.empty() || device.emc_freqs_hz.empty() ||
+        lane.requested.core_idx >= device.core_freqs_hz.size() ||
+        lane.requested.emc_idx >= device.emc_freqs_hz.size())
+      throw std::invalid_argument(
+          "ServeSupervisor: requested DVFS setting outside the lane device's "
+          "tables");
+  }
+}
+
+bool ServeSupervisor::envelope_active() const {
+  if (lanes_.size() > 1 || config_.admission.queue_capacity > 0 ||
+      config_.slo.deadline_s > 0.0 || config_.watchdog.overrun_factor > 0.0 ||
+      config_.degraded.enabled || config_.thermal_enabled)
+    return true;
+  for (const ServeLane& lane : lanes_)
+    if (lane.faults.active()) return true;
+  return false;
+}
+
+ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
+                                 const std::vector<const ExitPolicy*>& ladder,
+                                 const std::vector<ServeRequest>& trace) const {
+  const std::vector<std::size_t> exits = placement.positions();
+  if (exits.empty())
+    throw std::invalid_argument("ServeSupervisor: empty placement");
+  if (ladder.empty() || ladder.front() == nullptr)
+    throw std::invalid_argument("ServeSupervisor: empty policy ladder");
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    if (trace[i].arrival_s < trace[i - 1].arrival_s)
+      throw std::invalid_argument("ServeSupervisor: trace arrivals decrease");
+
+  // Mode-0 decisions for the whole trace, precomputed in parallel. The walk
+  // is a pure function of (policy, sample), so the result is independent of
+  // the thread count; higher-mode decisions are rare and computed inline.
+  const std::vector<CascadeDecision> base_decisions =
+      dispatcher_.map(trace.size(), [&](std::size_t i) {
+        return walk_cascade(bank_, exits, *ladder.front(), trace[i].sample);
+      });
+
+  std::vector<std::unique_ptr<LaneState>> lanes;
+  for (const ServeLane& spec : lanes_)
+    lanes.push_back(std::make_unique<LaneState>(spec, config_));
+  for (auto& lane : lanes)
+    lane->peak_temperature_c = lane->thermal.temperature_c();
+
+  // The pass-through contract measures gains against the primary device's
+  // default (performance-governor) setting, exactly like DeploymentSimulator.
+  const dynn::MultiExitCostTable& primary_costs = *lanes_.front().costs;
+  const hw::HwMeasurement static_baseline = primary_costs.full_network(
+      hw::default_setting(primary_costs.evaluator().device()));
+
+  ServeReport report;
+  report.lanes.resize(lanes.size());
+  SloTracker slo;
+  std::size_t correct = 0;
+  double energy_sum = 0.0, latency_sum = 0.0;
+
+  // Degraded-mode controller state.
+  ServeMode mode = ServeMode::kNormal;
+  double incident_ema = 0.0;
+  std::size_t dwell = 0;
+
+  // Single logical server fronted by a FIFO queue; lanes are failover
+  // replicas, not parallel servers.
+  std::deque<double> outstanding;  // completion times of admitted requests
+  double busy_until_s = 0.0;
+
+  const DegradedConfig& degraded = config_.degraded;
+
+  // Serve one request on one lane at mode `level`. Throws
+  // hw::DeviceUnavailableError when the lane's device drops out.
+  auto serve_one = [&](LaneState& lane, const ServeRequest& request,
+                       double start_s, std::size_t level,
+                       const CascadeDecision& decision) {
+    ServeOutcome outcome;
+
+    // Idle cooling since the lane's previous request.
+    if (config_.thermal_enabled && start_s > lane.last_event_s)
+      lane.thermal.step(0.0, start_s - lane.last_event_s);
+
+    hw::DvfsSetting effective =
+        level == 0 ? lane.spec->requested
+                   : lane.governor.step_down(lane.spec->requested,
+                                             level * degraded.dvfs_steps);
+    if (config_.thermal_enabled && lane.thermal.throttled()) {
+      effective.core_idx =
+          std::min(effective.core_idx, config_.thermal.throttled_core_idx);
+      outcome.throttled = true;
+    }
+
+    const hw::HwMeasurement clean =
+        lane.spec->costs->cascade_path(decision.visited, decision.exited,
+                                       effective);
+    hw::HwMeasurement measured = clean;
+    if (lane.injector.active()) {
+      try {
+        measured = lane.injector.apply(clean, request.id, /*attempt=*/0);
+      } catch (const hw::MeasurementError&) {
+        outcome.transient = true;
+      }
+      // DeviceUnavailableError propagates: the lane is gone for good.
+    }
+    if (!outcome.transient && !hw::finite_measurement(measured))
+      outcome.nan = true;
+    if (config_.watchdog.overrun_factor > 0.0 && !outcome.transient &&
+        !outcome.nan &&
+        measured.latency_s > config_.watchdog.overrun_factor * clean.latency_s)
+      outcome.overrun = true;
+
+    if (outcome.transient || outcome.nan || outcome.overrun) {
+      // Watchdog fallback: kill at the overrun budget and answer from the
+      // earliest viable exit — a degraded but in-deadline-budget response.
+      const double budget =
+          (config_.watchdog.overrun_factor > 0.0
+               ? config_.watchdog.overrun_factor
+               : 1.0) *
+          clean.latency_s;
+      const hw::HwMeasurement fallback =
+          lane.spec->costs->cascade_path({exits.front()}, true, effective);
+      outcome.fallback = true;
+      outcome.exited = true;
+      outcome.resolved_layer = exits.front();
+      outcome.latency_s = budget + fallback.latency_s;
+      outcome.energy_j = budget * clean.avg_power_w + fallback.energy_j;
+      lane.health.record_failure();
+    } else {
+      outcome.exited = decision.exited;
+      if (decision.exited) outcome.resolved_layer = decision.visited.back();
+      outcome.latency_s = measured.latency_s;
+      outcome.energy_j = measured.energy_j;
+      lane.health.record_success();
+    }
+    outcome.power_w =
+        outcome.latency_s > 0.0 ? outcome.energy_j / outcome.latency_s : 0.0;
+
+    if (config_.thermal_enabled) {
+      lane.thermal.step(outcome.power_w, outcome.latency_s);
+      lane.peak_temperature_c =
+          std::max(lane.peak_temperature_c, lane.thermal.temperature_c());
+    }
+    lane.last_event_s = start_s + outcome.latency_s;
+    lane.advance_clock_to(lane.last_event_s);
+    ++lane.served;
+    return outcome;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const ServeRequest& request = trace[i];
+    ++report.offered;
+
+    // Admission: drain completions, then check the bound.
+    while (!outstanding.empty() && outstanding.front() <= request.arrival_s)
+      outstanding.pop_front();
+    if (config_.admission.queue_capacity > 0 &&
+        outstanding.size() >= config_.admission.queue_capacity) {
+      ++report.shed;
+      continue;
+    }
+
+    const double start_s = std::max(request.arrival_s, busy_until_s);
+
+    // Lane selection: the first alive lane whose breaker admits at the
+    // current simulated time (primary first).
+    for (auto& lane : lanes) lane->advance_clock_to(start_s);
+    std::size_t selected = lanes.size();
+    for (std::size_t l = 0; l < lanes.size(); ++l)
+      if (lanes[l]->alive && lanes[l]->health.admit()) {
+        selected = l;
+        break;
+      }
+    if (selected == lanes.size()) {
+      bool any_alive = false;
+      for (const auto& lane : lanes) any_alive = any_alive || lane->alive;
+      if (!any_alive)
+        throw hw::DeviceUnavailableError(
+            "ServeSupervisor: every serving lane's device has dropped out");
+      ++report.shed_no_device;  // breakers open; shed rather than block
+      continue;
+    }
+
+    const std::size_t level =
+        std::min(static_cast<std::size_t>(mode), ladder.size() - 1);
+    const ExitPolicy& policy = *ladder[level];
+    const CascadeDecision decision =
+        level == 0 ? base_decisions[i]
+                   : walk_cascade(bank_, exits, policy, request.sample);
+
+    // Serve, failing over through the remaining lanes on device dropout.
+    ServeOutcome outcome;
+    bool served = false;
+    while (!served) {
+      try {
+        outcome = serve_one(*lanes[selected], request, start_s, level, decision);
+        served = true;
+      } catch (const hw::DeviceUnavailableError&) {
+        lanes[selected]->alive = false;
+        lanes[selected]->health.record_dropout();
+        ++report.devices_lost;
+        std::size_t next = lanes.size();
+        for (std::size_t l = 0; l < lanes.size(); ++l)
+          if (lanes[l]->alive && lanes[l]->health.admit()) {
+            next = l;
+            break;
+          }
+        if (next == lanes.size()) {
+          bool any_alive = false;
+          for (const auto& lane : lanes) any_alive = any_alive || lane->alive;
+          if (!any_alive)
+            throw hw::DeviceUnavailableError(
+                "ServeSupervisor: every serving lane's device has dropped "
+                "out");
+          break;  // alive lanes exist but none admits right now: shed
+        }
+        selected = next;
+        ++report.failovers;
+      }
+    }
+    if (!served) {
+      ++report.shed_no_device;
+      continue;
+    }
+
+    ++report.admitted;
+    report.max_queue_depth =
+        std::max(report.max_queue_depth, outstanding.size() + 1);
+    const double completion_s = start_s + outcome.latency_s;
+    outstanding.push_back(completion_s);
+    busy_until_s = completion_s;
+    report.makespan_s = completion_s;
+
+    const double end_to_end_s = completion_s - request.arrival_s;
+    const bool missed = config_.slo.deadline_s > 0.0 &&
+                        end_to_end_s > config_.slo.deadline_s;
+    slo.record(end_to_end_s, start_s - request.arrival_s, missed);
+
+    // Deployment accounting — the exact arithmetic of DeploymentSimulator.
+    energy_sum += outcome.energy_j;
+    latency_sum += outcome.latency_s;
+    if (outcome.exited) {
+      correct +=
+          bank_.exit_at(outcome.resolved_layer).test_correct[request.sample]
+              ? 1
+              : 0;
+      ++report.deployment.exit_histogram[outcome.resolved_layer];
+    } else {
+      correct += bank_.final_exit().test_correct[request.sample] ? 1 : 0;
+      ++report.deployment.exit_histogram[bank_.total_layers()];
+    }
+    ++report.deployment.samples;
+    policy.on_sample_complete(outcome.exited);
+
+    if (outcome.fallback) ++report.watchdog_fallbacks;
+    if (outcome.transient) ++report.transient_faults;
+    if (outcome.nan) ++report.nan_faults;
+    if (outcome.overrun) ++report.overruns;
+    if (mode != ServeMode::kNormal) ++report.requests_degraded;
+
+    // Degraded-mode controller with hysteresis.
+    if (degraded.enabled) {
+      const bool incident = outcome.fallback || outcome.throttled;
+      incident_ema = (1.0 - degraded.ema_alpha) * incident_ema +
+                     degraded.ema_alpha * (incident ? 1.0 : 0.0);
+      ++dwell;
+      if (mode == ServeMode::kNormal && incident_ema > degraded.enter_rate) {
+        mode = ServeMode::kDegraded;
+        dwell = 0;
+        ++report.degraded_entries;
+      } else if (mode == ServeMode::kDegraded &&
+                 incident_ema > degraded.critical_rate) {
+        mode = ServeMode::kCritical;
+        dwell = 0;
+        ++report.critical_entries;
+      } else if (mode != ServeMode::kNormal &&
+                 incident_ema < degraded.exit_rate &&
+                 dwell >= degraded.min_dwell) {
+        mode = mode == ServeMode::kCritical ? ServeMode::kDegraded
+                                            : ServeMode::kNormal;
+        dwell = 0;
+      }
+    }
+  }
+
+  if (report.deployment.samples > 0)
+    finalize_deployment_report(report.deployment, energy_sum, latency_sum,
+                               correct, static_baseline);
+  report.total_energy_j = energy_sum;
+  report.final_mode = mode;
+  slo.finalize(report);
+
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    LaneReport& lane_report = report.lanes[l];
+    lane_report.served = lanes[l]->served;
+    lane_report.alive = lanes[l]->alive;
+    lane_report.breaker = lanes[l]->health.state();
+    lane_report.health = lanes[l]->health.report();
+    lane_report.peak_temperature_c = lanes[l]->peak_temperature_c;
+    lane_report.final_temperature_c = lanes[l]->thermal.temperature_c();
+    lane_report.throttle_events = lanes[l]->thermal.throttle_events();
+    report.throttle_events += lane_report.throttle_events;
+  }
+  return report;
+}
+
+std::vector<std::unique_ptr<ExitPolicy>> entropy_ladder(double threshold,
+                                                        double shift,
+                                                        std::size_t levels) {
+  if (levels == 0)
+    throw std::invalid_argument("entropy_ladder: need at least one level");
+  std::vector<std::unique_ptr<ExitPolicy>> ladder;
+  for (std::size_t level = 0; level < levels; ++level)
+    ladder.push_back(std::make_unique<EntropyPolicy>(
+        std::min(1.0, threshold + shift * static_cast<double>(level))));
+  return ladder;
+}
+
+std::vector<const ExitPolicy*> ladder_view(
+    const std::vector<std::unique_ptr<ExitPolicy>>& ladder) {
+  std::vector<const ExitPolicy*> view;
+  for (const auto& policy : ladder) view.push_back(policy.get());
+  return view;
+}
+
+}  // namespace hadas::runtime::serve

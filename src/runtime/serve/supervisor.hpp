@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynn/exit_bank.hpp"
+#include "dynn/exit_placement.hpp"
+#include "dynn/multi_exit_cost.hpp"
+#include "exec/dispatcher.hpp"
+#include "hw/faults.hpp"
+#include "hw/robust_eval.hpp"
+#include "hw/thermal.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/governor.hpp"
+#include "runtime/serve/slo.hpp"
+#include "runtime/serve/traffic.hpp"
+
+namespace hadas::runtime::serve {
+
+/// Bounded admission queue. Capacity counts outstanding requests (the one
+/// being served plus everything waiting); an arrival finding the queue full
+/// is shed instead of growing an unbounded backlog.
+struct AdmissionConfig {
+  std::size_t queue_capacity = 0;  ///< 0 = unbounded (never sheds)
+};
+
+/// Per-request latency objective. End-to-end latency (queueing + service)
+/// above the deadline counts as an SLO miss; the request is still answered.
+struct SloConfig {
+  double deadline_s = 0.0;  ///< 0 = no deadline tracking
+};
+
+/// Overrun/stuck-inference detection. An inference whose (fault-injected)
+/// latency exceeds `overrun_factor` times the clean expectation is killed at
+/// the budget and answered from the earliest viable exit. Crashed (transient
+/// fault) and garbage (non-finite) inferences always fall back, watchdog or
+/// not — a serving layer cannot re-run a missed deadline.
+struct WatchdogConfig {
+  double overrun_factor = 0.0;  ///< 0 = overrun detection off
+};
+
+/// Degraded-mode controller with hysteresis. Tracks an incident EMA
+/// (watchdog fallbacks, injected faults, thermal throttling) and walks the
+/// mode ladder normal -> degraded -> critical when it rises; recovery
+/// requires the EMA back under `exit_rate` AND `min_dwell` requests at the
+/// current mode, so a borderline device cannot flap between modes. Each
+/// level above normal steps DVFS down (via DvfsGovernor::step_down) and
+/// serves with the next policy of the degradation ladder (cheaper exits).
+struct DegradedConfig {
+  bool enabled = false;
+  double enter_rate = 0.25;     ///< EMA above this: normal -> degraded
+  double critical_rate = 0.50;  ///< EMA above this: degraded -> critical
+  double exit_rate = 0.10;      ///< EMA below this allows stepping back down
+  double ema_alpha = 0.05;      ///< incident EMA smoothing
+  std::size_t min_dwell = 32;   ///< requests before a mode may step down
+  std::size_t dvfs_steps = 2;   ///< core-frequency bins shed per mode level
+};
+
+/// One serving lane: a device (through its multi-exit cost table), the DVFS
+/// point requested for it, and its fault model. Lane 0 is the primary;
+/// higher lanes are failover replicas in priority order. The cost table must
+/// NOT carry a search-time robust wrapper (set_robust): the supervisor owns
+/// fault injection at serve time.
+struct ServeLane {
+  const dynn::MultiExitCostTable* costs = nullptr;
+  hw::DvfsSetting requested;
+  hw::FaultConfig faults;  ///< per-lane; keyed by the request id
+};
+
+/// Everything the serving supervisor needs beyond the lanes.
+struct ServeConfig {
+  AdmissionConfig admission;
+  SloConfig slo;
+  WatchdogConfig watchdog;
+  DegradedConfig degraded;
+  /// Per-lane circuit breaker (opens after consecutive watchdog fallbacks;
+  /// an open lane leaves the rotation until its cooldown elapses on the
+  /// simulated clock).
+  hw::BreakerConfig breaker;
+  /// Thermal dynamics: each lane heats while serving and cools while idle;
+  /// a throttled lane is capped at the thermal config's throttled core
+  /// index, and throttle events feed the degraded-mode controller.
+  bool thermal_enabled = false;
+  hw::ThermalConfig thermal;
+  /// Thread pool for the cascade-decision precompute. Results are
+  /// bit-identical at any thread count.
+  exec::ExecConfig exec;
+};
+
+/// Deterministic, simulated-clock serving supervisor over the deployment
+/// stack: bounded admission with load shedding, per-request deadline SLOs
+/// (p50/p95/p99, miss and shed rates), a watchdog that answers overrun or
+/// crashed inferences from the earliest viable exit, degraded modes with
+/// hysteresis (DVFS step-down + cheaper exit policy), and multi-lane device
+/// failover driven by the PR-2 fault machinery (FaultInjector dropout,
+/// DeviceHealth breaker).
+///
+/// Determinism: the clock is simulated (no wall time), every fault outcome
+/// is a pure function of (lane fault seed, request id), and the serving loop
+/// is serial — reports are bit-identical across repeated runs and thread
+/// counts. With the whole envelope inactive (single fault-free lane, no
+/// queue bound, no deadline, no watchdog, no degraded modes, no thermal),
+/// the embedded DeploymentReport equals DeploymentSimulator::run bit for
+/// bit.
+///
+/// Policies in the degradation ladder must be stateless (oracle, entropy,
+/// confidence): decisions are precomputed in parallel, so an adaptive
+/// policy's feedback loop would not see requests in order.
+class ServeSupervisor {
+ public:
+  /// `lanes` must be non-empty; every lane's cost table must match the bank
+  /// and be free of a robust wrapper, and its requested setting must lie
+  /// inside the device's DVFS tables.
+  ServeSupervisor(const dynn::ExitBank& bank, std::vector<ServeLane> lanes,
+                  ServeConfig config);
+
+  const ServeConfig& config() const { return config_; }
+
+  /// True if any robustness feature can change behaviour vs. the plain
+  /// deployment path.
+  bool envelope_active() const;
+
+  /// Replay `trace` (arrivals must be non-decreasing) through the design.
+  /// `ladder[0]` is the baseline policy; `ladder[level]` (clamped to the
+  /// last entry) serves mode `level`. Throws hw::DeviceUnavailableError only
+  /// when every lane's device has dropped out.
+  ServeReport run(const dynn::ExitPlacement& placement,
+                  const std::vector<const ExitPolicy*>& ladder,
+                  const std::vector<ServeRequest>& trace) const;
+
+ private:
+  const dynn::ExitBank& bank_;
+  std::vector<ServeLane> lanes_;
+  ServeConfig config_;
+  exec::ParallelDispatcher dispatcher_;
+};
+
+/// Convenience builder for the usual entropy degradation ladder: level 0 at
+/// `threshold`, each level above shifted by `+shift` (clamped to 1) so
+/// degraded modes exit earlier. Returns `levels` policies.
+std::vector<std::unique_ptr<ExitPolicy>> entropy_ladder(double threshold,
+                                                        double shift,
+                                                        std::size_t levels);
+
+/// Raw-pointer view of a policy ladder (what ServeSupervisor::run takes).
+std::vector<const ExitPolicy*> ladder_view(
+    const std::vector<std::unique_ptr<ExitPolicy>>& ladder);
+
+}  // namespace hadas::runtime::serve

@@ -1,0 +1,28 @@
+#include "runtime/serve/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hadas::runtime::serve {
+
+std::vector<ServeRequest> poisson_trace(const data::SampleStream& stream,
+                                        const TrafficConfig& config) {
+  if (stream.size() == 0)
+    throw std::invalid_argument("poisson_trace: empty sample stream");
+  util::Rng rng(config.seed);
+  std::vector<ServeRequest> trace;
+  trace.reserve(config.requests);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    if (config.arrival_rate_hz > 0.0) {
+      // Exponential inter-arrival; uniform() < 1 keeps the log finite.
+      arrival += -std::log(1.0 - rng.uniform()) / config.arrival_rate_hz;
+    }
+    trace.push_back({i, arrival, stream.indices()[i % stream.size()]});
+  }
+  return trace;
+}
+
+}  // namespace hadas::runtime::serve

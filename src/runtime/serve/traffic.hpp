@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/sample_stream.hpp"
+
+namespace hadas::runtime::serve {
+
+/// One inference request arriving at the serving supervisor.
+struct ServeRequest {
+  std::size_t id = 0;       ///< position in the trace; the fault-stream key
+  double arrival_s = 0.0;   ///< arrival time on the simulated clock
+  std::size_t sample = 0;   ///< test-split sample index to classify
+};
+
+/// Synthetic traffic shape replayed by `hadas serve` and the serving bench.
+struct TrafficConfig {
+  std::size_t requests = 1000;
+  /// Mean Poisson arrival rate. <= 0 means back-to-back (every request
+  /// arrives at t = 0 and only ever queues behind its predecessors).
+  double arrival_rate_hz = 100.0;
+  /// Seed of the arrival process (independent of the sample stream's).
+  std::uint64_t seed = 0x5E21;
+};
+
+/// Deterministic Poisson trace over a sample stream: request i carries the
+/// stream's i-th sample (wrapping around if the trace is longer than the
+/// stream) and arrivals are spaced by exponential inter-arrival draws from
+/// `config.seed`. Equal (stream, config) always produce the same trace.
+std::vector<ServeRequest> poisson_trace(const data::SampleStream& stream,
+                                        const TrafficConfig& config);
+
+}  // namespace hadas::runtime::serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/deployment.hpp"
+
 namespace hadas::runtime {
 
 SustainedDeployment::SustainedDeployment(const dynn::ExitBank& bank,
@@ -35,20 +37,14 @@ SustainedReport SustainedDeployment::run(const dynn::ExitPlacement& placement,
     }
 
     // Cascade execution at the effective setting.
-    std::vector<std::size_t> visited;
-    bool exited = false;
-    for (std::size_t layer : exits) {
-      visited.push_back(layer);
-      if (policy.take_exit(bank_.exit_at(layer), sample)) {
-        exited = true;
-        break;
-      }
-    }
-    const hw::HwMeasurement m = costs_.cascade_path(visited, exited, effective);
+    const CascadeDecision decision = walk_cascade(bank_, exits, policy, sample);
+    const hw::HwMeasurement m =
+        costs_.cascade_path(decision.visited, decision.exited, effective);
     report.total_time_s += m.latency_s;
     report.total_energy_j += m.energy_j;
-    if (exited) {
-      correct += bank_.exit_at(visited.back()).test_correct[sample] ? 1 : 0;
+    if (decision.exited) {
+      correct +=
+          bank_.exit_at(decision.visited.back()).test_correct[sample] ? 1 : 0;
     } else {
       correct += bank_.final_exit().test_correct[sample] ? 1 : 0;
     }

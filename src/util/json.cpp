@@ -264,7 +264,19 @@ class Parser {
     return parse_number();
   }
 
+  /// RAII nesting guard shared by objects and arrays.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > Json::kMaxParseDepth)
+        parser_.fail("nesting deeper than " +
+                     std::to_string(Json::kMaxParseDepth) + " levels");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json::Object object;
     skip_whitespace();
@@ -289,6 +301,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json::Array array;
     skip_whitespace();
@@ -382,6 +395,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 }  // namespace
 

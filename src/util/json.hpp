@@ -67,7 +67,14 @@ class Json {
   /// with the given indent width.
   std::string dump(int indent = -1) const;
 
+  /// Deepest container nesting parse() accepts. Deeper input (adversarial
+  /// "[[[[..." bombs) is rejected with std::invalid_argument instead of
+  /// recursing toward a stack overflow.
+  static constexpr std::size_t kMaxParseDepth = 256;
+
   /// Strict parser; throws std::invalid_argument with offset on error.
+  /// Rejects trailing garbage after the document and nesting deeper than
+  /// kMaxParseDepth.
   static Json parse(const std::string& text);
 
   bool operator==(const Json& other) const;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/multi_device.hpp"
+#include "runtime/serve/supervisor.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -103,6 +104,41 @@ TEST(MultiDevice, DeterministicBySeed) {
   ASSERT_EQ(again.pareto.size(), fx().result.pareto.size());
   for (std::size_t i = 0; i < again.pareto.size(); ++i)
     EXPECT_DOUBLE_EQ(again.pareto[i].worst_gain, fx().result.pareto[i].worst_gain);
+}
+
+TEST(MultiDevice, FleetDeploymentServesAcrossTheFleet) {
+  // Materialize the best-worst-gain solution and serve a trace with the
+  // non-primary devices as failover lanes.
+  const core::FleetDeployment fleet = fx().engine.fleet_deployment(
+      fx().result, 0);
+  ASSERT_NE(fleet.bank, nullptr);
+  ASSERT_EQ(fleet.tables.size(), fx().result.active_targets.size());
+  ASSERT_EQ(fleet.settings.size(), fleet.tables.size());
+  for (const auto& table : fleet.tables)
+    EXPECT_EQ(table->robust(), nullptr);  // serve-time tables stay clean
+
+  std::vector<runtime::serve::ServeLane> lanes;
+  for (std::size_t d = 0; d < fleet.tables.size(); ++d)
+    lanes.push_back({fleet.tables[d].get(), fleet.settings[d],
+                     hw::FaultConfig{}});
+  const runtime::serve::ServeSupervisor supervisor(*fleet.bank, lanes,
+                                                   runtime::serve::ServeConfig{});
+
+  data::SyntheticTask task(hadas::test::small_data());
+  const data::SampleStream stream(task, 64, 21);
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = 64;
+  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+  const runtime::EntropyPolicy policy(0.5);
+  const runtime::serve::ServeReport report =
+      supervisor.run(fleet.placement, {&policy}, trace);
+  EXPECT_EQ(report.admitted, 64u);
+  EXPECT_EQ(report.deployment.samples, 64u);
+  EXPECT_EQ(report.failovers, 0u);  // clean lanes: the primary serves all
+  EXPECT_EQ(report.lanes.front().served, 64u);
+
+  EXPECT_THROW(fx().engine.fleet_deployment(fx().result, 1u << 20),
+               std::out_of_range);
 }
 
 }  // namespace

@@ -138,6 +138,45 @@ TEST(HwFaults, ParseFaultConfigRejectsGarbage) {
   EXPECT_THROW(hw::parse_fault_config("noise=abc"), std::invalid_argument);
 }
 
+TEST(HwFaults, ParseFaultConfigRejectsPartialNumbers) {
+  // stod would happily parse the numeric prefix; the strict parser must not.
+  for (const char* bad : {"rate=0.5x", "noise=1e", "drift=0.1,nan=0.2junk",
+                          "rate=0.5 ", "nan=.5.5"}) {
+    EXPECT_THROW(hw::parse_fault_config(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(HwFaults, ParseFaultConfigRejectsNegativeAndNonIntegerCounts) {
+  // stoul wraps "-1" into a huge count; digit-only parsing refuses it.
+  for (const char* bad : {"dropout=-1", "dropout=3x", "dropout=1.5",
+                          "dropout=", "seed=-42", "seed=0x10", "seed= 7"}) {
+    EXPECT_THROW(hw::parse_fault_config(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(HwFaults, ParseFaultConfigRejectsOutOfRangeValues) {
+  for (const char* bad : {"nan=1.01", "rate=inf", "noise=nan", "noise=-0.5",
+                          "drift=-1e-9", "seed=99999999999999999999"}) {
+    EXPECT_THROW(hw::parse_fault_config(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(HwFaults, ParseFaultConfigErrorsNameTheOffendingToken) {
+  const auto message_of = [](const std::string& spec) {
+    try {
+      (void)hw::parse_fault_config(spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("rate=0.5x").find("'0.5x'"), std::string::npos);
+  EXPECT_NE(message_of("rate=0.5x").find("'rate'"), std::string::npos);
+  EXPECT_NE(message_of("dropout=-1").find("'-1'"), std::string::npos);
+  EXPECT_NE(message_of("dropout=-1").find("'dropout'"), std::string::npos);
+  EXPECT_NE(message_of("frobnicate=1").find("'frobnicate'"), std::string::npos);
+}
+
 TEST(HwFaults, RobustAggregateRejectsOutliers) {
   std::vector<hw::HwMeasurement> samples;
   for (double lat : {0.010, 0.0101, 0.0099, 0.0102, 0.5}) {  // one spike

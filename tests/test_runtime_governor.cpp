@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <utility>
 
+#include "hw/thermal.hpp"
 #include "runtime/governor.hpp"
 #include "supernet/baselines.hpp"
 
@@ -125,6 +127,127 @@ TEST(Governor, GenerousEnvelopeAllowsMaxFrequency) {
   const auto fastest = fx().governor.latency_optimal_full();
   EXPECT_EQ(sustainable->core_idx, fastest.core_idx);
   EXPECT_EQ(sustainable->emc_idx, fastest.emc_idx);
+}
+
+// --- edge cases: degenerate frequency tables ---
+
+/// The TX2 device with its DVFS tables truncated to `core_n` / `emc_n`
+/// entries (0 = empty).
+hw::DeviceSpec truncated_device(std::size_t core_n, std::size_t emc_n) {
+  hw::DeviceSpec device = hw::make_device(hw::Target::kTx2PascalGpu);
+  device.core_freqs_hz.resize(core_n);
+  device.emc_freqs_hz.resize(emc_n);
+  return device;
+}
+
+TEST(Governor, EmptyFrequencyTableRefusesToConstruct) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {{0, 4}, {4, 0}, {0, 0}};
+  for (const auto& [core_n, emc_n] : shapes) {
+    const hw::HardwareEvaluator evaluator(truncated_device(core_n, emc_n));
+    const dynn::MultiExitCostTable table(fx().net, evaluator);
+    EXPECT_THROW(runtime::DvfsGovernor{table}, std::invalid_argument)
+        << core_n << "x" << emc_n;
+  }
+}
+
+TEST(Governor, SingleEntryTablesHaveOnlyOneAnswer) {
+  // A 1x1 F space: every query either returns {0, 0} or nullopt, and
+  // step_down from the only point stays there.
+  const hw::HardwareEvaluator evaluator(truncated_device(1, 1));
+  const dynn::MultiExitCostTable table(fx().net, evaluator);
+  const runtime::DvfsGovernor governor(table);
+
+  const hw::DvfsSetting only{0, 0};
+  EXPECT_EQ(governor.latency_optimal_full(), only);
+  EXPECT_EQ(governor.energy_optimal_full(), only);
+  const auto unconstrained =
+      governor.min_energy_full(std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(unconstrained.has_value());
+  EXPECT_EQ(*unconstrained, only);
+  EXPECT_FALSE(governor.min_energy_full(1e-9).has_value());
+  EXPECT_EQ(governor.step_down(only, 0), only);
+  EXPECT_EQ(governor.step_down(only, 100), only);
+}
+
+// --- edge cases: step_down ---
+
+TEST(Governor, StepDownClampsAtTheFloor) {
+  const auto device = fx().evaluator.device();
+  const hw::DvfsSetting top = hw::default_setting(device);
+  hw::DvfsSetting setting = top;
+  // Repeated single steps walk to core_idx 0 and then stay pinned.
+  for (std::size_t i = 0; i < device.core_freqs_hz.size() + 3; ++i) {
+    const hw::DvfsSetting next = fx().governor.step_down(setting, 1);
+    EXPECT_EQ(next.emc_idx, top.emc_idx);  // EMC untouched
+    EXPECT_EQ(next.core_idx,
+              setting.core_idx == 0 ? 0u : setting.core_idx - 1);
+    setting = next;
+  }
+  EXPECT_EQ(setting.core_idx, 0u);
+  // One oversized step lands on the same floor.
+  EXPECT_EQ(fx().governor.step_down(top, 1000).core_idx, 0u);
+}
+
+TEST(Governor, StepDownRejectsSettingsOutsideTheTables) {
+  const auto device = fx().evaluator.device();
+  EXPECT_THROW(
+      fx().governor.step_down({device.core_freqs_hz.size(), 0}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      fx().governor.step_down({0, device.emc_freqs_hz.size()}, 1),
+      std::invalid_argument);
+}
+
+// --- edge cases: throttle hysteresis ---
+
+TEST(Governor, ThermalHysteresisAroundTheThrottleThreshold) {
+  hw::ThermalConfig config;
+  config.ambient_c = 25.0;
+  config.throttle_temp_c = 85.0;
+  config.resume_temp_c = 78.0;
+  hw::ThermalModel model(config);
+
+  // Heat to just below the threshold: not throttled, no events.
+  const double power_just_below =
+      (config.throttle_temp_c - 0.5 - config.ambient_c) /
+      config.thermal_resistance_c_per_w;
+  model.step(power_just_below, 1e6);  // settle at steady state
+  EXPECT_FALSE(model.throttled());
+  EXPECT_EQ(model.throttle_events(), 0u);
+
+  // Push over the threshold: exactly one throttle event.
+  const double power_above = (config.throttle_temp_c + 5.0 - config.ambient_c) /
+                             config.thermal_resistance_c_per_w;
+  model.step(power_above, 1e6);
+  EXPECT_TRUE(model.throttled());
+  EXPECT_EQ(model.throttle_events(), 1u);
+
+  // Cool into the hysteresis band (below throttle, above resume): still
+  // throttled, still one event — the band suppresses flapping.
+  const double power_band = (config.resume_temp_c + 2.0 - config.ambient_c) /
+                            config.thermal_resistance_c_per_w;
+  model.step(power_band, 1e6);
+  EXPECT_GT(model.temperature_c(), config.resume_temp_c);
+  EXPECT_LT(model.temperature_c(), config.throttle_temp_c);
+  EXPECT_TRUE(model.throttled());
+  EXPECT_EQ(model.throttle_events(), 1u);
+
+  // Re-heating inside the band is not a new event either.
+  model.step(power_above, 1e6);
+  EXPECT_TRUE(model.throttled());
+  EXPECT_EQ(model.throttle_events(), 1u);
+
+  // Only cooling through the resume point clears the throttle; the next
+  // excursion over the threshold is then a second event.
+  model.step(0.0, 1e6);
+  EXPECT_FALSE(model.throttled());
+  model.step(power_above, 1e6);
+  EXPECT_TRUE(model.throttled());
+  EXPECT_EQ(model.throttle_events(), 2u);
+
+  model.reset();
+  EXPECT_EQ(model.throttle_events(), 0u);
+  EXPECT_FALSE(model.throttled());
 }
 
 }  // namespace

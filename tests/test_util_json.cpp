@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -129,6 +132,91 @@ TEST(JsonParse, RoundTripRandomStructure) {
 TEST(Json, NonFiniteNumbersRejected) {
   EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(),
                std::logic_error);
+}
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  for (const char* bad : {"{} {}", "[1]x", "null,", "42 43", "\"a\"\"b\"",
+                          "{\"a\":1}garbage", "true false"}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << bad;
+  }
+  // Trailing whitespace is fine; trailing tokens are not.
+  EXPECT_NO_THROW(Json::parse("{\"a\": 1}  \n\t "));
+}
+
+TEST(JsonParse, DepthGuardRejectsNestingBombs) {
+  // kMaxParseDepth levels parse; one more is rejected (not a stack overflow).
+  const std::string at_limit(Json::kMaxParseDepth, '[');
+  std::string closed = at_limit;
+  closed.append(Json::kMaxParseDepth, ']');
+  EXPECT_NO_THROW(Json::parse(closed));
+
+  const std::string over(Json::kMaxParseDepth + 1, '[');
+  EXPECT_THROW(Json::parse(over), std::invalid_argument);
+  // Same guard for objects and a megabyte-scale bomb.
+  std::string object_bomb;
+  for (std::size_t i = 0; i <= Json::kMaxParseDepth; ++i) object_bomb += "{\"k\":";
+  EXPECT_THROW(Json::parse(object_bomb), std::invalid_argument);
+  EXPECT_THROW(Json::parse(std::string(1 << 20, '[')), std::invalid_argument);
+}
+
+TEST(JsonParse, DepthGuardResetsBetweenSiblings) {
+  // Depth is nesting depth, not cumulative container count: many shallow
+  // siblings must parse even when their total exceeds the limit.
+  std::string siblings = "[";
+  for (std::size_t i = 0; i < 2 * Json::kMaxParseDepth; ++i) {
+    if (i > 0) siblings += ',';
+    siblings += "[{\"a\":[]}]";
+  }
+  siblings += ']';
+  EXPECT_NO_THROW(Json::parse(siblings));
+}
+
+/// Property-style check: random documents (seeded, deterministic) survive
+/// compact and pretty round trips bit-for-bit.
+Json random_json(hadas::util::Rng& rng, std::size_t depth) {
+  const double pick = rng.uniform();
+  if (depth == 0 || pick < 0.35) {
+    switch (rng.uniform_index(5)) {
+      case 0: return Json();
+      case 1: return Json(rng.uniform() < 0.5);
+      case 2: return Json(rng.uniform() * 2.0 - 1.0);
+      case 3: return Json(static_cast<int>(rng.uniform_index(2000)) - 1000);
+      default: {
+        std::string s;
+        const std::size_t len = rng.uniform_index(12);
+        for (std::size_t i = 0; i < len; ++i)
+          s += static_cast<char>(rng.uniform_index(94) + 32);  // printable ASCII
+        if (rng.uniform() < 0.3) s += "\"\\\n\t";            // escape stress
+        return Json(s);
+      }
+    }
+  }
+  if (pick < 0.675) {
+    Json::Array array;
+    const std::size_t n = rng.uniform_index(4);
+    for (std::size_t i = 0; i < n; ++i)
+      array.push_back(random_json(rng, depth - 1));
+    return Json(std::move(array));
+  }
+  Json::Object object;
+  const std::size_t n = rng.uniform_index(4);
+  for (std::size_t i = 0; i < n; ++i)
+    object["k" + std::to_string(rng.uniform_index(100))] =
+        random_json(rng, depth - 1);
+  return Json(std::move(object));
+}
+
+TEST(JsonParse, PropertyRoundTripAdversarial) {
+  hadas::util::Rng rng(0x15011);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    const Json doc = random_json(rng, 5);
+    const std::string compact = doc.dump();
+    const std::string pretty = doc.dump(2);
+    EXPECT_EQ(Json::parse(compact), doc) << compact;
+    EXPECT_EQ(Json::parse(pretty), doc) << pretty;
+    // dump(parse(dump(x))) is a fixed point.
+    EXPECT_EQ(Json::parse(compact).dump(), compact);
+  }
 }
 
 }  // namespace

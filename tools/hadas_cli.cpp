@@ -11,6 +11,7 @@
 //
 // Every command is deterministic given its arguments.
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -23,6 +24,7 @@
 #include "core/serialize.hpp"
 #include "data/sample_stream.hpp"
 #include "runtime/deployment.hpp"
+#include "runtime/serve/supervisor.hpp"
 #include "supernet/baselines.hpp"
 #include "util/strutil.hpp"
 #include "util/table.hpp"
@@ -65,6 +67,11 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
        {"device", "result", "index", "policy", "threshold", "train-size",
         "epochs", "space", "stream-seed"}},
       {"sensitivity", {"device", "result", "index", "baseline", "space"}},
+      {"serve",
+       {"device", "result", "index", "baseline", "policy", "threshold",
+        "requests", "rate", "queue", "deadline-ms", "watchdog", "degraded",
+        "faults", "failover", "failover-faults", "thermal", "train-size",
+        "epochs", "space", "stream-seed", "trace-seed", "out"}},
       {"portable",
        {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
         "epochs", "seed", "space"}},
@@ -302,6 +309,147 @@ int cmd_deploy(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
+  const std::string policy_name = args.get_or("policy", std::string("entropy"));
+
+  // The design to serve: a saved search result (--result/--index) or a named
+  // baseline backbone with a canonical two-exit placement (--baseline).
+  supernet::BackboneConfig backbone;
+  std::optional<dynn::ExitPlacement> placement;
+  std::optional<hw::DvfsSetting> setting;
+  if (const auto baseline_name = args.get("baseline")) {
+    bool found = false;
+    for (const auto& baseline : supernet::attentive_nas_baselines())
+      if (baseline.name == *baseline_name) {
+        backbone = baseline.config;
+        found = true;
+      }
+    if (!found)
+      throw std::invalid_argument("unknown --baseline '" + *baseline_name + "'");
+  } else {
+    const std::string result_path =
+        args.get_or("result", std::string("hadas_result.json"));
+    const std::size_t index = args.get_or("index", std::size_t{0});
+    const auto solutions =
+        core::final_pareto_from_json(core::load_json(result_path));
+    if (index >= solutions.size())
+      throw std::invalid_argument("--index out of range (have " +
+                                  std::to_string(solutions.size()) +
+                                  " designs)");
+    backbone = solutions[index].backbone;
+    placement = solutions[index].placement;
+    setting = solutions[index].setting;
+  }
+
+  core::HadasConfig config;
+  config.data.train_size = args.get_or("train-size", std::size_t{1500});
+  config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
+  const supernet::SearchSpace space = parse_space(args);
+  core::HadasEngine engine(space, target, config);
+
+  std::cout << "training exit bank for the served design...\n";
+  const auto& bank = engine.exit_bank(backbone);
+  const auto& costs = engine.cost_table(backbone);
+  if (!placement) {
+    // Canonical placement for baselines: exits at ~1/3 and ~2/3 depth.
+    const std::size_t layers = bank.total_layers();
+    const std::size_t early =
+        std::max(dynn::ExitPlacement::kFirstEligible, layers / 3);
+    const std::size_t late = std::max(early + 1, 2 * layers / 3);
+    placement.emplace(layers, std::vector<std::size_t>{early, late});
+  }
+  if (!setting) setting = hw::default_setting(costs.evaluator().device());
+
+  // Policy ladder: level 0 serves normal mode; entropy ladders shift the
+  // threshold up per degraded level (cheaper exits).
+  const double threshold = args.get_or("threshold", 0.5);
+  std::vector<std::unique_ptr<runtime::ExitPolicy>> ladder;
+  if (policy_name == "oracle") {
+    ladder.push_back(std::make_unique<runtime::OraclePolicy>());
+  } else if (policy_name == "confidence") {
+    ladder.push_back(std::make_unique<runtime::ConfidencePolicy>(threshold));
+  } else if (policy_name == "entropy") {
+    ladder = runtime::serve::entropy_ladder(threshold, 0.15, 3);
+  } else {
+    throw std::invalid_argument("unknown --policy '" + policy_name + "'");
+  }
+
+  // Serving lanes: the target device, plus an optional failover replica.
+  std::vector<runtime::serve::ServeLane> lanes;
+  runtime::serve::ServeLane primary{&costs, *setting, hw::FaultConfig{}};
+  if (const auto faults = args.get("faults"))
+    primary.faults = hw::parse_fault_config(*faults);
+  lanes.push_back(primary);
+
+  std::optional<hw::HardwareEvaluator> failover_eval;
+  std::optional<dynn::MultiExitCostTable> failover_costs;
+  if (const auto failover = args.get("failover")) {
+    failover_eval.emplace(hw::make_device(parse_device(*failover)));
+    failover_costs.emplace(costs.network(), *failover_eval);
+    runtime::serve::ServeLane replica{
+        &*failover_costs, hw::default_setting(failover_eval->device()),
+        hw::FaultConfig{}};
+    if (const auto faults = args.get("failover-faults"))
+      replica.faults = hw::parse_fault_config(*faults);
+    lanes.push_back(replica);
+  }
+
+  runtime::serve::ServeConfig serve_config;
+  serve_config.admission.queue_capacity = args.get_or("queue", std::size_t{0});
+  serve_config.slo.deadline_s = args.get_or("deadline-ms", 0.0) * 1e-3;
+  serve_config.watchdog.overrun_factor = args.get_or("watchdog", 0.0);
+  serve_config.degraded.enabled = args.get_or("degraded", std::string("off")) == "on";
+  serve_config.thermal_enabled = args.get_or("thermal", std::string("off")) == "on";
+
+  const data::SampleStream stream(engine.task(), 2000,
+                                  args.get_or("stream-seed", std::size_t{5}));
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = args.get_or("requests", std::size_t{1000});
+  traffic.arrival_rate_hz = args.get_or("rate", 100.0);
+  traffic.seed = args.get_or("trace-seed", std::size_t{0x5E21});
+  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+
+  const runtime::serve::ServeSupervisor supervisor(bank, lanes, serve_config);
+  std::cout << "replaying " << trace.size() << " requests at "
+            << util::fmt_fixed(traffic.arrival_rate_hz, 0) << " req/s ("
+            << (supervisor.envelope_active() ? "robustness envelope active"
+                                             : "pass-through")
+            << ")...\n";
+  const runtime::serve::ServeReport report =
+      supervisor.run(*placement, runtime::serve::ladder_view(ladder), trace);
+
+  util::TextTable table({"metric", "value"},
+                        {util::Align::kLeft, util::Align::kRight});
+  table.set_title("serving report (" + policy_name + " ladder)");
+  table.add_row({"offered / admitted / shed",
+                 std::to_string(report.offered) + " / " +
+                     std::to_string(report.admitted) + " / " +
+                     std::to_string(report.shed + report.shed_no_device)});
+  table.add_row({"accuracy", util::fmt_pct(report.deployment.accuracy, 2)});
+  table.add_row({"p50 / p95 / p99 latency",
+                 util::fmt_fixed(report.p50_latency_s * 1e3, 2) + " / " +
+                     util::fmt_fixed(report.p95_latency_s * 1e3, 2) + " / " +
+                     util::fmt_fixed(report.p99_latency_s * 1e3, 2) + " ms"});
+  table.add_row({"deadline miss rate", util::fmt_pct(report.miss_rate, 2)});
+  table.add_row({"watchdog fallbacks", std::to_string(report.watchdog_fallbacks)});
+  table.add_row({"failovers / devices lost",
+                 std::to_string(report.failovers) + " / " +
+                     std::to_string(report.devices_lost)});
+  table.add_row({"degraded entries", std::to_string(report.degraded_entries)});
+  table.add_row({"final mode", runtime::serve::serve_mode_name(report.final_mode)});
+  table.add_row({"makespan", util::fmt_fixed(report.makespan_s, 3) + " s"});
+  table.add_row({"energy gain vs static",
+                 util::fmt_pct(report.deployment.energy_gain, 1)});
+  table.print(std::cout);
+
+  if (const auto out = args.get("out")) {
+    core::save_json(*out, report.to_json());
+    std::cout << "serve report -> " << *out << "\n";
+  }
+  return 0;
+}
+
 int cmd_sensitivity(const Args& args) {
   const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
   const std::string result_path =
@@ -401,6 +549,13 @@ void print_usage() {
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
                "    (--baseline aN | --result F [--index I])\n"
+               "  serve --device D             replay a traffic trace through a design\n"
+               "    (--baseline aN | --result F [--index I])\n"
+               "         [--requests N] [--rate HZ] [--queue CAP]\n"
+               "         [--deadline-ms T] [--watchdog FACTOR]\n"
+               "         [--degraded on|off] [--thermal on|off]\n"
+               "         [--faults CFG] [--failover D2 [--failover-faults CFG]]\n"
+               "         [--out F]            save the full serve report JSON\n"
                "  portable                     cross-device joint search\n";
 }
 
@@ -430,6 +585,7 @@ int main(int argc, char** argv) {
     if (command == "show") return cmd_show(args);
     if (command == "deploy") return cmd_deploy(args);
     if (command == "sensitivity") return cmd_sensitivity(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "portable") return cmd_portable(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
