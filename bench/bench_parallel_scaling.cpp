@@ -181,8 +181,7 @@ int main() {
   doc["warm_start"] = util::Json(std::move(warm_obj));
 
   const std::string path = bench::out_dir() + "/parallel_scaling.json";
-  std::ofstream out(path);
-  out << util::Json(std::move(doc)).dump(2) << "\n";
+  bench::write_result_json(path, util::Json(std::move(doc)));
   std::cout << "\nwrote " << path << "\n";
 
   return all_identical ? 0 : 1;

@@ -210,8 +210,7 @@ int main() {
             << "\n";
 
   const std::string path = bench::out_dir() + "/serving.json";
-  std::ofstream out(path);
-  out << util::Json(std::move(doc)).dump(2) << "\n";
+  bench::write_result_json(path, util::Json(std::move(doc)));
   std::cout << "wrote " << path << "\n";
   return ok ? 0 : 1;
 }

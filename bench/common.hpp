@@ -12,8 +12,22 @@
 #include <string>
 
 #include "core/hadas_engine.hpp"
+#include "util/durable/durable_file.hpp"
+#include "util/json.hpp"
 
 namespace hadas::bench {
+
+/// Durable-envelope format tag of bench result JSON files.
+inline constexpr const char* kBenchFormatTag = "hadas-bench-v1";
+
+/// Write a bench result document crash-safely (write-to-temp + fsync +
+/// atomic rename via util::durable::DurableFile): a bench killed mid-write
+/// leaves the previous result intact, never a torn JSON file.
+inline void write_result_json(const std::string& path,
+                              const hadas::util::Json& doc) {
+  hadas::util::durable::DurableFile::write(path, kBenchFormatTag,
+                                           doc.dump(2) + "\n");
+}
 
 inline bool paper_budget() {
   const char* env = std::getenv("HADAS_PAPER_BUDGET");

@@ -1,12 +1,14 @@
 #include "core/hadas_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "util/failpoint.hpp"
 
 namespace hadas::core {
 
@@ -185,33 +187,50 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
   std::vector<supernet::Genome> population;
   std::size_t start_gen = 0;
 
-  // --- Resume: if a checkpoint file exists for this config, restore the
-  // exact mid-search state (population, outcomes, RNG) and skip the
-  // completed generations. The fingerprint guards against resuming a
-  // checkpoint from a different problem; outer_generations is deliberately
-  // excluded so a finished search can be extended. ---
+  // --- Resume: if a checkpoint chain exists for this config, restore the
+  // exact mid-search state (population, outcomes, RNG) from the newest
+  // valid snapshot and skip the completed generations. Corrupt snapshots
+  // are skipped (with a warning) in favour of older ones; only a fully
+  // corrupt chain raises CheckpointCorruptError. The fingerprint guards
+  // against resuming a checkpoint from a different problem;
+  // outer_generations is deliberately excluded so a finished search can be
+  // extended. ---
   const std::string fingerprint = config_.checkpoint_path.empty()
                                       ? std::string()
                                       : checkpoint_fingerprint(space_, config_);
+  const std::size_t keep = std::max<std::size_t>(1, config_.checkpoint_keep);
+  auto warn = [&](const std::string& message) {
+    if (config_.checkpoint_warn) {
+      config_.checkpoint_warn(message);
+    } else {
+      std::fprintf(stderr, "[hadas] %s\n", message.c_str());
+    }
+  };
   bool resumed = false;
-  if (!config_.checkpoint_path.empty() &&
-      std::ifstream(config_.checkpoint_path).good()) {
-    SearchCheckpoint ck = load_checkpoint(config_.checkpoint_path);
-    if (ck.fingerprint != fingerprint)
-      throw std::invalid_argument(
-          "HadasEngine: checkpoint '" + config_.checkpoint_path +
-          "' was written by a different search configuration; refusing to "
-          "resume (delete the file to start fresh)");
-    rng = hadas::util::Rng::from_state(ck.rng);
-    result.backbones = std::move(ck.backbones);
-    result.outer_evaluations = ck.outer_evaluations;
-    result.inner_evaluations = ck.inner_evaluations;
-    for (std::size_t i = 0; i < result.backbones.size(); ++i)
-      seen.emplace(supernet::encode(space_, result.backbones[i].config), i);
-    population = std::move(ck.population);
-    start_gen = ck.next_generation;
-    result.resumed_from_generation = start_gen;
-    resumed = true;
+  if (!config_.checkpoint_path.empty()) {
+    const hadas::util::durable::CheckpointChain chain(config_.checkpoint_path,
+                                                      keep);
+    if (auto loaded = load_checkpoint_chain(chain, warn)) {
+      SearchCheckpoint ck = std::move(loaded->checkpoint);
+      if (ck.fingerprint != fingerprint)
+        throw std::invalid_argument(
+            "HadasEngine: checkpoint '" + loaded->file +
+            "' was written by a different search configuration; refusing to "
+            "resume (delete the file to start fresh)");
+      rng = hadas::util::Rng::from_state(ck.rng);
+      result.backbones = std::move(ck.backbones);
+      result.outer_evaluations = ck.outer_evaluations;
+      result.inner_evaluations = ck.inner_evaluations;
+      for (std::size_t i = 0; i < result.backbones.size(); ++i)
+        seen.emplace(supernet::encode(space_, result.backbones[i].config), i);
+      population = std::move(ck.population);
+      start_gen = ck.next_generation;
+      result.resumed_from_generation = start_gen;
+      result.resumed_from_file = loaded->file;
+      result.corrupt_checkpoints_skipped = loaded->skipped;
+      resumed = true;
+      hadas::util::failpoint("engine.resume");
+    }
   }
 
   if (!resumed) {
@@ -355,11 +374,14 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     }
     population = std::move(next);
 
-    // --- Checkpoint at the generation boundary (atomic write-then-rename,
-    // so a kill mid-write can never corrupt an existing checkpoint). ---
+    // --- Checkpoint at the generation boundary, through the durable chain
+    // (rotate last-K, write-to-temp + fsync + atomic rename), so a kill at
+    // any instruction leaves at least one valid snapshot on disk. ---
+    hadas::util::failpoint("engine.generation.end");
     const std::size_t every = std::max<std::size_t>(1, config_.checkpoint_every);
     if (!config_.checkpoint_path.empty() &&
         ((gen + 1) % every == 0 || gen + 1 == config_.outer_generations)) {
+      hadas::util::failpoint("engine.checkpoint.begin");
       SearchCheckpoint ck;
       ck.fingerprint = fingerprint;
       ck.next_generation = gen + 1;
@@ -368,7 +390,10 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       ck.backbones = result.backbones;
       ck.outer_evaluations = result.outer_evaluations;
       ck.inner_evaluations = result.inner_evaluations;
-      save_checkpoint(config_.checkpoint_path, ck);
+      save_checkpoint_chain(
+          hadas::util::durable::CheckpointChain(config_.checkpoint_path, keep),
+          ck);
+      hadas::util::failpoint("engine.checkpoint.end");
     }
   }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,13 +46,22 @@ struct HadasConfig {
   /// bit-identically. Activated by non-zero fault rates in robust.faults or
   /// by robust.engage; see DESIGN.md "Fault tolerance".
   hw::RobustConfig robust;
-  /// When non-empty, run() writes a resumable checkpoint to this path after
-  /// every `checkpoint_every` completed outer generations (atomic
-  /// write-then-rename), and on startup resumes from the file if it exists
-  /// and matches this config's fingerprint. A resumed search reproduces the
+  /// When non-empty, run() writes a resumable checkpoint chain rooted at
+  /// this path after every `checkpoint_every` completed outer generations.
+  /// Each write is durable (write-to-temp + fsync + atomic rename, with a
+  /// versioned header and CRC-64 footer) and the last `checkpoint_keep`
+  /// snapshots are rotated as <path>, <path>.1, ... On startup run()
+  /// resumes from the newest snapshot that passes validation and matches
+  /// this config's fingerprint, skipping corrupt snapshots with a warning
+  /// through `checkpoint_warn`. A resumed search reproduces the
   /// uninterrupted run's final result bit-identically.
   std::string checkpoint_path;
   std::size_t checkpoint_every = 1;
+  /// Rotated checkpoint snapshots retained (clamped to >= 1).
+  std::size_t checkpoint_keep = 3;
+  /// Sink for checkpoint-recovery warnings (corrupt snapshot skipped during
+  /// resume). Empty = stderr.
+  std::function<void(const std::string&)> checkpoint_warn;
   /// Parallel-execution knobs: per-generation static evaluations and the
   /// per-generation IOE runs are dispatched over `exec.threads` workers
   /// (0 = auto, 1 = serial fallback; HADAS_THREADS overrides). The result
@@ -93,6 +103,10 @@ struct HadasResult {
   hw::HealthReport device_health;
   /// Generation the run resumed from (0 = started fresh).
   std::size_t resumed_from_generation = 0;
+  /// Chain slot the run resumed from (empty = started fresh).
+  std::string resumed_from_file;
+  /// Corrupt newer snapshots skipped before finding a valid one.
+  std::size_t corrupt_checkpoints_skipped = 0;
 };
 
 /// Mid-search snapshot: everything run() needs to continue from the start of

@@ -6,6 +6,7 @@
 
 #include "core/nsga2.hpp"
 #include "dynn/dynamic_eval.hpp"
+#include "util/failpoint.hpp"
 
 namespace hadas::core {
 
@@ -130,6 +131,7 @@ void MultiDeviceEngine::probe_devices() {
 
 MultiDeviceResult MultiDeviceEngine::run() {
   probe_devices();
+  hadas::util::failpoint("multidevice.probe");
   std::vector<std::size_t> alive;
   for (std::size_t i = 0; i < devices_.size(); ++i)
     if (device_alive(i)) alive.push_back(i);
@@ -289,6 +291,7 @@ MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& aliv
       }
     }
     population = std::move(next);
+    hadas::util::failpoint("multidevice.generation.end");
   }
 
   // Elite backbones: crowding-ordered first front of everything evaluated.

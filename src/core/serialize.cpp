@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -7,6 +8,10 @@
 namespace hadas::core {
 
 using hadas::util::Json;
+using hadas::util::durable::CheckpointChain;
+using hadas::util::durable::CheckpointCorruptError;
+using hadas::util::durable::CorruptStage;
+using hadas::util::durable::DurableFile;
 
 Json to_json(const supernet::BackboneConfig& config) {
   Json json;
@@ -288,17 +293,120 @@ SearchCheckpoint checkpoint_from_json(const Json& json) {
   return checkpoint;
 }
 
+namespace {
+
+/// Invariant helper: reject with a kInvariant error (file filled in later).
+[[noreturn]] void invariant_fail(const std::string& detail) {
+  throw CheckpointCorruptError("", 0, CorruptStage::kInvariant, detail);
+}
+
+void require_finite(double v, const std::string& what) {
+  if (!std::isfinite(v)) invariant_fail(what + " is not finite");
+}
+
+void validate_inner_solution(const InnerSolution& solution,
+                             const std::string& where) {
+  if (solution.objectives.empty())
+    invariant_fail(where + " has no objectives");
+  for (double v : solution.objectives)
+    require_finite(v, where + " objective");
+  require_finite(solution.metrics.score_eq5, where + " score_eq5");
+  require_finite(solution.metrics.oracle_accuracy, where + " oracle_accuracy");
+  require_finite(solution.metrics.energy_gain, where + " energy_gain");
+  require_finite(solution.metrics.latency_gain, where + " latency_gain");
+}
+
+}  // namespace
+
+void validate_checkpoint(const SearchCheckpoint& checkpoint) {
+  if (checkpoint.fingerprint.empty())
+    invariant_fail("checkpoint has an empty fingerprint");
+  if (checkpoint.population.empty())
+    invariant_fail("checkpoint has an empty population");
+  const std::size_t genome_size = checkpoint.population.front().size();
+  if (genome_size == 0) invariant_fail("checkpoint has an empty genome");
+  for (const supernet::Genome& genome : checkpoint.population)
+    if (genome.size() != genome_size)
+      invariant_fail("checkpoint population has mixed genome lengths (" +
+                     std::to_string(genome.size()) + " vs " +
+                     std::to_string(genome_size) + ")");
+  require_finite(checkpoint.rng.cached_normal, "rng cached_normal");
+  for (std::size_t b = 0; b < checkpoint.backbones.size(); ++b) {
+    const BackboneOutcome& outcome = checkpoint.backbones[b];
+    const std::string where = "backbone[" + std::to_string(b) + "]";
+    require_finite(outcome.static_eval.accuracy, where + " accuracy");
+    require_finite(outcome.static_eval.latency_s, where + " latency_s");
+    require_finite(outcome.static_eval.energy_j, where + " energy_j");
+    require_finite(outcome.inner_hv, where + " inner_hv");
+    for (const InnerSolution& sol : outcome.inner_pareto)
+      validate_inner_solution(sol, where + " pareto solution");
+    for (const InnerSolution& sol : outcome.inner_history)
+      validate_inner_solution(sol, where + " history solution");
+  }
+}
+
+namespace {
+
+/// Parse + validate one checkpoint payload (raw JSON text). Throws
+/// CheckpointCorruptError (stage kParse or kInvariant) with no file name.
+SearchCheckpoint checkpoint_from_payload(const std::string& payload) {
+  SearchCheckpoint checkpoint;
+  try {
+    checkpoint = checkpoint_from_json(Json::parse(payload));
+  } catch (const std::exception& e) {
+    throw CheckpointCorruptError("", 0, CorruptStage::kParse, e.what());
+  }
+  validate_checkpoint(checkpoint);
+  return checkpoint;
+}
+
+}  // namespace
+
 void save_checkpoint(const std::string& path,
                      const SearchCheckpoint& checkpoint) {
-  const std::string tmp = path + ".tmp";
-  save_json(tmp, checkpoint_to_json(checkpoint));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw std::runtime_error("save_checkpoint: cannot rename " + tmp + " to " +
-                             path);
+  DurableFile::write(path, kCheckpointFormatTag,
+                     checkpoint_to_json(checkpoint).dump(2) + "\n");
 }
 
 SearchCheckpoint load_checkpoint(const std::string& path) {
-  return checkpoint_from_json(load_json(path));
+  std::string payload;
+  try {
+    payload = DurableFile::read(path, kCheckpointFormatTag);
+  } catch (const CheckpointCorruptError& e) {
+    // No envelope at all: a legacy (pre-durable) raw-JSON checkpoint.
+    if (e.stage() != CorruptStage::kHeader || e.byte_offset() != 0) throw;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+      throw std::runtime_error("load_checkpoint: cannot open " + path);
+    payload.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  }
+  try {
+    return checkpoint_from_payload(payload);
+  } catch (const CheckpointCorruptError& e) {
+    throw CheckpointCorruptError(path, e.byte_offset(), e.stage(), e.detail());
+  }
+}
+
+void save_checkpoint_chain(const CheckpointChain& chain,
+                           const SearchCheckpoint& checkpoint) {
+  chain.save(kCheckpointFormatTag,
+             checkpoint_to_json(checkpoint).dump(2) + "\n");
+}
+
+std::optional<LoadedCheckpoint> load_checkpoint_chain(
+    const CheckpointChain& chain,
+    const std::function<void(const std::string& warning)>& warn) {
+  std::optional<SearchCheckpoint> parsed;
+  const auto loaded = chain.load_newest_valid(
+      kCheckpointFormatTag,
+      [&parsed](const std::string& payload) {
+        parsed.reset();
+        parsed = checkpoint_from_payload(payload);
+      },
+      warn);
+  if (!loaded) return std::nullopt;
+  return LoadedCheckpoint{std::move(*parsed), loaded->file, loaded->skipped};
 }
 
 void save_json(const std::string& path, const Json& json) {

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hadas::exec {
+
+/// Exit code of a chaos-induced crash (std::_Exit — no unwinding, no
+/// flushing: the closest in-process stand-in for SIGKILL). Test drivers use
+/// it to tell "chaos fired" from real failures.
+constexpr int kChaosCrashExitCode = 86;
+
+/// What a chaos rule does when it fires.
+enum class ChaosAction {
+  kCrash,    ///< std::_Exit(kChaosCrashExitCode) at the failpoint
+  kTear,     ///< (file sites) truncate the just-written file, then crash
+  kBitFlip,  ///< (file sites) flip one bit in the file, keep running
+  kDelay,    ///< count the hit, do nothing (chaos-overhead / determinism runs)
+};
+
+/// One scheduled fault: fire `action` at the `hit`-th hit of failpoint
+/// `site` (1-based; hit == 0 means every hit). `param` is the tear fraction
+/// (0..1, how much of the file to keep) or the bit index to flip; < 0 means
+/// "derive deterministically via Rng::fork from (seed, site, hit)".
+struct ChaosRule {
+  ChaosAction action = ChaosAction::kDelay;
+  std::string site;
+  std::uint64_t hit = 1;
+  double param = -1.0;
+};
+
+struct ChaosConfig {
+  std::vector<ChaosRule> rules;
+  /// Master seed of derived corruption choices (bit positions, tear
+  /// fractions). All derivations go through Rng::fork keyed on (seed,
+  /// site-hash, hit index), so a chaos run is bit-identical across thread
+  /// counts and scheduling orders.
+  std::uint64_t seed = 0xC4A05;
+};
+
+/// Parse a chaos spec: semicolon-separated rules of the form
+///   <action>:<site>[:<hit>[:<param>]]
+/// with action in {crash, tear, bitflip, delay}, hit a 1-based ordinal or
+/// '*' (every hit), e.g.
+///   "crash:engine.checkpoint.begin:1;bitflip:durable.save.postrename:2".
+/// Unknown actions/sites throw std::invalid_argument.
+ChaosConfig parse_chaos_spec(const std::string& spec);
+
+/// Inventory of every failpoint compiled into the library, so test drivers
+/// can enumerate the kill matrix. Sites are registered here (one central
+/// list) and referenced by string literal at the marked code paths.
+const std::vector<std::string>& chaos_sites();
+
+/// True if `site` is in the inventory.
+bool is_chaos_site(const std::string& site);
+
+/// Deterministic failure-injection engine behind util::failpoint. Inactive
+/// (no rules) by default — the handlers are not even installed, so library
+/// code pays one relaxed atomic load per failpoint and behaves
+/// bit-identically to a build without chaos.
+///
+/// Thread safety: hit counters are mutex-guarded; sites inside parallel
+/// regions have scheduling-dependent *global* hit interleavings, but each
+/// site's own counter and every derived corruption choice are functions of
+/// (seed, site, per-site ordinal) only, never of thread timing.
+class ChaosEngine {
+ public:
+  static ChaosEngine& instance();
+
+  /// Install the failpoint handlers and arm the given schedule.
+  void configure(ChaosConfig config);
+
+  /// Disarm: clear rules and counters and uninstall the handlers.
+  void reset();
+
+  bool active() const;
+
+  /// Hits observed at `site` so far.
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t total_hits() const;
+
+  /// Parse HADAS_CHAOS from the environment and configure; no-op when the
+  /// variable is unset or empty. Call once from main() in CLI/test drivers
+  /// (a static library cannot self-register reliably).
+  static void install_from_env();
+
+ private:
+  ChaosEngine() = default;
+
+  static void hook_hit(const char* site);
+  static void hook_file(const char* site, const char* path);
+  void on_hit(const char* site);
+  void on_file(const char* site, const char* path);
+
+  mutable std::mutex mutex_;
+  ChaosConfig config_;
+  bool armed_ = false;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace hadas::exec

@@ -93,6 +93,19 @@ class FaultInjector {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Serializable state (serving-journal snapshot/restore): the dropout
+  /// clock is the injector's only mutable state — keyed fault draws are
+  /// pure functions of (seed, key, attempt).
+  struct State {
+    std::uint64_t attempts = 0;
+    bool dropped_out = false;
+  };
+  State snapshot() const { return {attempts(), dropped_out()}; }
+  void restore(const State& state) {
+    attempts_.store(state.attempts, std::memory_order_relaxed);
+    dropped_.store(state.dropped_out, std::memory_order_relaxed);
+  }
+
  private:
   FaultConfig config_;
   mutable std::atomic<std::uint64_t> attempts_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace hadas::hw {
@@ -87,6 +88,19 @@ HealthReport DeviceHealth::report() const {
   return report_;
 }
 
+DeviceHealth::State DeviceHealth::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  return {report_, consecutive_failures_, half_open_successes_, open_until_s_};
+}
+
+void DeviceHealth::restore(const State& state) {
+  std::scoped_lock lock(mutex_);
+  report_ = state.report;
+  consecutive_failures_ = state.consecutive_failures;
+  half_open_successes_ = state.half_open_successes;
+  open_until_s_ = state.open_until_s;
+}
+
 namespace {
 
 /// Median of a sorted-in-place vector. With all-equal inputs this returns
@@ -156,6 +170,7 @@ HwMeasurement RobustEvaluator::measure_network(const supernet::NetworkCost& net,
 HwMeasurement RobustEvaluator::measure(
     std::uint64_t key, const std::function<HwMeasurement()>& clean) const {
   if (!active()) return clean();
+  hadas::util::failpoint("robust.measure");
   if (!health_.admit())
     throw DeviceUnavailableError(
         "device '" + eval_.device().name + "': circuit breaker " +
@@ -195,6 +210,7 @@ HwMeasurement RobustEvaluator::measure(
       }
       if (ok) break;
       if (a + 1 < attempts) {
+        hadas::util::failpoint("robust.retry");
         health_.count_retry();
         health_.advance_clock(backoff, /*is_backoff=*/true);
         backoff = std::min(backoff * retry.backoff_multiplier,

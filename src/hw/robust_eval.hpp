@@ -88,6 +88,18 @@ class DeviceHealth {
   BreakerState state() const;
   HealthReport report() const;
 
+  /// Full serializable state, for the serving layer's journal. Capturing
+  /// and restoring this mid-run reproduces the remaining breaker behaviour
+  /// exactly.
+  struct State {
+    HealthReport report;
+    std::size_t consecutive_failures = 0;
+    std::size_t half_open_successes = 0;
+    double open_until_s = 0.0;
+  };
+  State snapshot() const;
+  void restore(const State& state);
+
  private:
   void bump(std::uint64_t HealthReport::* counter);
   void open_locked();  // requires mutex_ held

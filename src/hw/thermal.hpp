@@ -47,6 +47,21 @@ class ThermalModel {
   /// Back to ambient, not throttled.
   void reset();
 
+  /// Full serializable state (serving-journal snapshot/restore).
+  struct State {
+    double temperature_c = 0.0;
+    bool throttled = false;
+    std::size_t throttle_events = 0;
+  };
+  State snapshot() const {
+    return {temperature_c_, throttled_, throttle_events_};
+  }
+  void restore(const State& state) {
+    temperature_c_ = state.temperature_c;
+    throttled_ = state.throttled;
+    throttle_events_ = state.throttle_events;
+  }
+
  private:
   ThermalConfig config_;
   double temperature_c_;

@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -36,7 +37,16 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
   TrainResult result;
   result.epochs.reserve(config_.epochs);
 
-  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  // NaN guard: last-good-epoch snapshot of everything a rolled-back epoch
+  // must not have perturbed — parameters + momentum, the shuffle stream and
+  // the permutation it acts on.
+  MlpClassifier good_head = head;
+  hadas::util::Rng good_rng = rng;
+  std::vector<std::size_t> good_order = order;
+  bool rolled_back = false;
+  bool nan_injected = false;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs;) {
     double lr = config_.lr;
     if (config_.cosine_lr && config_.epochs > 1) {
       const double t = static_cast<double>(epoch) /
@@ -48,6 +58,8 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
 
     EpochStats stats;
     std::size_t batches = 0;
+    std::size_t bad_batch = 0;
+    bool bad_epoch = false;
     for (std::size_t begin = 0; begin < train.size();
          begin += config_.batch_size) {
       const std::size_t end = std::min(begin + config_.batch_size, train.size());
@@ -58,7 +70,6 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
       const Matrix logits = head.forward_cached(x);
       LossResult nll = nll_loss(logits, y);
       double combined = nll.loss;
-      stats.nll_loss += nll.loss;
 
       if (use_kd) {
         const Matrix teacher = gather_rows(train.teacher_logits, order, begin, end);
@@ -68,10 +79,37 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
         nll.dlogits.axpy(static_cast<float>(config_.kd_weight), kd.dlogits);
       }
 
+      if (epoch == config_.inject_nan_epoch && batches == 0 &&
+          (config_.inject_nan_repeat || !nan_injected)) {
+        nan_injected = true;
+        combined = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(combined)) {
+        bad_epoch = true;
+        bad_batch = batches;
+        break;  // before backward/sgd_step: the parameters stay untouched
+      }
+
+      stats.nll_loss += nll.loss;
       stats.train_loss += combined;
       head.backward(nll.dlogits);
       head.sgd_step(lr, config_.momentum, config_.weight_decay);
       ++batches;
+    }
+    if (bad_epoch) {
+      if (rolled_back)
+        throw std::runtime_error(
+            "Trainer: non-finite loss at epoch " + std::to_string(epoch) +
+            ", batch " + std::to_string(bad_batch) +
+            " recurred after rolling back to the last good epoch — "
+            "training has diverged");
+      rolled_back = true;
+      ++result.nan_rollbacks;
+      head = good_head;
+      rng = good_rng;
+      order = good_order;
+      head.zero_grad();
+      continue;  // retry the same epoch from the restored state
     }
     if (batches > 0) {
       stats.train_loss /= static_cast<double>(batches);
@@ -80,6 +118,10 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
     }
     stats.val_accuracy = evaluate(head, val);
     result.epochs.push_back(stats);
+    good_head = head;
+    good_rng = rng;
+    good_order = order;
+    ++epoch;
   }
   result.final_val_accuracy =
       result.epochs.empty() ? evaluate(head, val) : result.epochs.back().val_accuracy;

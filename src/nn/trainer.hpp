@@ -20,6 +20,11 @@ struct TrainConfig {
   double kd_weight = 1.0;     ///< weight of the L_KD term (0 disables KD)
   double kd_temperature = 4.0;
   std::uint64_t shuffle_seed = 1;
+  /// Test hook for the NaN guard: when < epochs, the first batch of that
+  /// epoch reports a non-finite combined loss — once by default, or on every
+  /// attempt (so rollback cannot recover) when inject_nan_repeat is set.
+  std::size_t inject_nan_epoch = static_cast<std::size_t>(-1);
+  bool inject_nan_repeat = false;
 };
 
 /// Per-epoch record of the training trajectory.
@@ -34,6 +39,8 @@ struct EpochStats {
 struct TrainResult {
   std::vector<EpochStats> epochs;
   double final_val_accuracy = 0.0;
+  /// Epochs restarted by the NaN guard (0 in a healthy run).
+  std::size_t nan_rollbacks = 0;
 };
 
 /// In-memory classification dataset: one feature row per sample, with hard
@@ -58,6 +65,14 @@ class Trainer {
   /// Train `head` on `train`, reporting validation accuracy on `val` after
   /// every epoch. KD is used only when teacher logits are present and
   /// kd_weight > 0.
+  ///
+  /// NaN guard: the combined loss of every batch is checked before the
+  /// gradients touch the parameters. On the first non-finite loss the epoch
+  /// is abandoned, the head (parameters, momentum) and the shuffle stream
+  /// are rolled back to the end of the last good epoch, and the epoch is
+  /// retried once; a second non-finite loss anywhere in the run aborts with
+  /// a std::runtime_error naming the epoch and batch, so a diverged head
+  /// can never silently poison downstream accuracy numbers.
   TrainResult fit(MlpClassifier& head, const FeatureDataset& train,
                   const FeatureDataset& val) const;
 

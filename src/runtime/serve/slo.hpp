@@ -89,6 +89,19 @@ class SloTracker {
   /// already carry the shed counters).
   void finalize(ServeReport& report) const;
 
+  /// Serializable state (serving-journal snapshot/restore).
+  struct State {
+    std::vector<double> latencies;
+    double wait_sum_s = 0.0;
+    std::size_t misses = 0;
+  };
+  State snapshot() const { return {latencies_, wait_sum_s, misses_}; }
+  void restore(State state) {
+    latencies_ = std::move(state.latencies);
+    wait_sum_s = state.wait_sum_s;
+    misses_ = state.misses;
+  }
+
  private:
   std::vector<double> latencies_;
   double wait_sum_s = 0.0;

@@ -1,8 +1,14 @@
 #include "runtime/serve/supervisor.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <deque>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/failpoint.hpp"
 
 namespace hadas::runtime::serve {
 
@@ -38,6 +44,65 @@ struct LaneState {
     }
   }
 };
+
+/// Canonical fingerprint of a serve run for journal validation. Covers
+/// everything that changes the request-by-request behaviour — placement,
+/// ladder depth, the full trace contents, every robustness knob and every
+/// lane's DVFS point and fault model — but NOT execution or journal knobs
+/// (thread count, snapshot cadence), which may differ between the
+/// interrupted and the resuming process.
+std::string journal_fingerprint(const std::vector<std::size_t>& exits,
+                                std::size_t ladder_size,
+                                const std::vector<ServeRequest>& trace,
+                                const ServeConfig& config,
+                                const std::vector<ServeLane>& lanes) {
+  // Fold the trace contents into one FNV-1a hash (bit-exact on arrivals).
+  std::uint64_t trace_hash = 0xcbf29ce484222325ULL;
+  auto mix = [&trace_hash](std::uint64_t v) {
+    for (int b = 0; b < 64; b += 8) {
+      trace_hash ^= (v >> b) & 0xFF;
+      trace_hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const ServeRequest& request : trace) {
+    std::uint64_t arrival_bits = 0;
+    std::memcpy(&arrival_bits, &request.arrival_s, sizeof(arrival_bits));
+    mix(request.id);
+    mix(arrival_bits);
+    mix(request.sample);
+  }
+
+  std::ostringstream out;
+  out.precision(17);
+  out << "hadas-serve-journal-v1|exits:";
+  for (std::size_t e : exits) out << e << ',';
+  out << "|ladder:" << ladder_size << "|trace:" << trace.size() << '/'
+      << trace_hash;
+  out << "|admission:" << config.admission.queue_capacity;
+  out << "|slo:" << config.slo.deadline_s;
+  out << "|watchdog:" << config.watchdog.overrun_factor;
+  const DegradedConfig& d = config.degraded;
+  out << "|degraded:" << d.enabled << ',' << d.enter_rate << ','
+      << d.critical_rate << ',' << d.exit_rate << ',' << d.ema_alpha << ','
+      << d.min_dwell << ',' << d.dvfs_steps;
+  out << "|breaker:" << config.breaker.failure_threshold << ','
+      << config.breaker.cooldown_s << ',' << config.breaker.half_open_successes;
+  out << "|thermal:" << config.thermal_enabled << ','
+      << config.thermal.ambient_c << ',' << config.thermal.throttle_temp_c
+      << ',' << config.thermal.resume_temp_c << ','
+      << config.thermal.thermal_resistance_c_per_w << ','
+      << config.thermal.time_constant_s << ','
+      << config.thermal.throttled_core_idx;
+  out << "|lanes:";
+  for (const ServeLane& lane : lanes) {
+    const hw::FaultConfig& f = lane.faults;
+    out << lane.requested.core_idx << '/' << lane.requested.emc_idx << '/'
+        << f.transient_failure_rate << '/' << f.noise_sigma << '/'
+        << f.thermal_drift << '/' << f.dropout_after_n << '/' << f.nan_rate
+        << '/' << f.seed << ';';
+  }
+  return out.str();
+}
 
 /// What serving one request on one lane produced.
 struct ServeOutcome {
@@ -143,6 +208,113 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
 
   const DegradedConfig& degraded = config_.degraded;
 
+  // --- Journal: resume from the newest valid snapshot, if one exists. ---
+  const ServeJournalConfig& journal = config_.journal;
+  const bool journaling = !journal.path.empty();
+  std::optional<hadas::util::durable::CheckpointChain> chain;
+  std::string journal_fp;
+  std::size_t start_index = 0;
+  if (journaling) {
+    chain.emplace(journal.path, std::max<std::size_t>(1, journal.keep));
+    journal_fp =
+        journal_fingerprint(exits, ladder.size(), trace, config_, lanes_);
+    auto jwarn = [&](const std::string& message) {
+      if (journal.warn) {
+        journal.warn(message);
+      } else {
+        std::fprintf(stderr, "[hadas] %s\n", message.c_str());
+      }
+    };
+    if (auto loaded = load_journal(*chain, jwarn)) {
+      const ServeJournalSnapshot& snap = loaded->snapshot;
+      if (snap.fingerprint != journal_fp)
+        throw std::invalid_argument(
+            "ServeSupervisor: journal '" + loaded->file +
+            "' was written by a different serve run; refusing to resume "
+            "(delete the file to start fresh)");
+      if (snap.lanes.size() != lanes.size())
+        throw std::invalid_argument(
+            "ServeSupervisor: journal lane count mismatch");
+      report.offered = snap.offered;
+      report.admitted = snap.admitted;
+      report.shed = snap.shed;
+      report.shed_no_device = snap.shed_no_device;
+      report.max_queue_depth = snap.max_queue_depth;
+      report.watchdog_fallbacks = snap.watchdog_fallbacks;
+      report.transient_faults = snap.transient_faults;
+      report.nan_faults = snap.nan_faults;
+      report.overruns = snap.overruns;
+      report.failovers = snap.failovers;
+      report.devices_lost = snap.devices_lost;
+      report.degraded_entries = snap.degraded_entries;
+      report.critical_entries = snap.critical_entries;
+      report.requests_degraded = snap.requests_degraded;
+      report.makespan_s = snap.makespan_s;
+      report.deployment.samples = snap.deployment_samples;
+      report.deployment.exit_histogram = snap.exit_histogram;
+      correct = snap.correct;
+      energy_sum = snap.energy_sum_j;
+      latency_sum = snap.latency_sum_s;
+      slo.restore(snap.slo);
+      mode = static_cast<ServeMode>(snap.mode);
+      incident_ema = snap.incident_ema;
+      dwell = snap.dwell;
+      outstanding.assign(snap.outstanding.begin(), snap.outstanding.end());
+      busy_until_s = snap.busy_until_s;
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        const LaneSnapshot& lane_snap = snap.lanes[l];
+        lanes[l]->alive = lane_snap.alive;
+        lanes[l]->served = lane_snap.served;
+        lanes[l]->clock_s = lane_snap.clock_s;
+        lanes[l]->last_event_s = lane_snap.last_event_s;
+        lanes[l]->peak_temperature_c = lane_snap.peak_temperature_c;
+        lanes[l]->health.restore(lane_snap.health);
+        lanes[l]->thermal.restore(lane_snap.thermal);
+        lanes[l]->injector.restore(lane_snap.injector);
+      }
+      start_index = snap.next_index;
+    }
+  }
+
+  // Snapshot all run-loop state at the boundary before trace entry `next`.
+  auto make_snapshot = [&](std::size_t next) {
+    ServeJournalSnapshot snap;
+    snap.fingerprint = journal_fp;
+    snap.next_index = next;
+    snap.offered = report.offered;
+    snap.admitted = report.admitted;
+    snap.shed = report.shed;
+    snap.shed_no_device = report.shed_no_device;
+    snap.max_queue_depth = report.max_queue_depth;
+    snap.watchdog_fallbacks = report.watchdog_fallbacks;
+    snap.transient_faults = report.transient_faults;
+    snap.nan_faults = report.nan_faults;
+    snap.overruns = report.overruns;
+    snap.failovers = report.failovers;
+    snap.devices_lost = report.devices_lost;
+    snap.degraded_entries = report.degraded_entries;
+    snap.critical_entries = report.critical_entries;
+    snap.requests_degraded = report.requests_degraded;
+    snap.makespan_s = report.makespan_s;
+    snap.deployment_samples = report.deployment.samples;
+    snap.exit_histogram = report.deployment.exit_histogram;
+    snap.correct = correct;
+    snap.energy_sum_j = energy_sum;
+    snap.latency_sum_s = latency_sum;
+    snap.slo = slo.snapshot();
+    snap.mode = static_cast<int>(mode);
+    snap.incident_ema = incident_ema;
+    snap.dwell = dwell;
+    snap.outstanding.assign(outstanding.begin(), outstanding.end());
+    snap.busy_until_s = busy_until_s;
+    for (const auto& lane : lanes)
+      snap.lanes.push_back({lane->alive, lane->served, lane->clock_s,
+                            lane->last_event_s, lane->peak_temperature_c,
+                            lane->health.snapshot(), lane->thermal.snapshot(),
+                            lane->injector.snapshot()});
+    return snap;
+  };
+
   // Serve one request on one lane at mode `level`. Throws
   // hw::DeviceUnavailableError when the lane's device drops out.
   auto serve_one = [&](LaneState& lane, const ServeRequest& request,
@@ -220,7 +392,20 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     return outcome;
   };
 
-  for (std::size_t i = 0; i < trace.size(); ++i) {
+  for (std::size_t i = start_index; i < trace.size(); ++i) {
+    // Journal at the request boundary (skip the boundary we just resumed
+    // from — its snapshot is the one on disk).
+    if (journaling && i > start_index &&
+        i % std::max<std::size_t>(1, journal.every) == 0) {
+      hadas::util::failpoint("serve.journal.begin");
+      save_journal(*chain, make_snapshot(i));
+      hadas::util::failpoint("serve.journal.end");
+    }
+    if (journal.stop_after_requests > 0 && i == journal.stop_after_requests)
+      throw ServeInterruptedError(
+          "ServeSupervisor: stopped before trace entry " + std::to_string(i) +
+          " (stop_after_requests test hook)");
+    hadas::util::failpoint("serve.request");
     const ServeRequest& request = trace[i];
     ++report.offered;
 

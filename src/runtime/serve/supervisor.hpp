@@ -14,6 +14,7 @@
 #include "runtime/controller.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/governor.hpp"
+#include "runtime/serve/journal.hpp"
 #include "runtime/serve/slo.hpp"
 #include "runtime/serve/traffic.hpp"
 
@@ -87,6 +88,10 @@ struct ServeConfig {
   /// Thread pool for the cascade-decision precompute. Results are
   /// bit-identical at any thread count.
   exec::ExecConfig exec;
+  /// Periodic durable state snapshot + resume; see ServeJournalConfig. A
+  /// serve run killed at any instruction and restarted with the same
+  /// configuration emits a byte-identical ServeReport.
+  ServeJournalConfig journal;
 };
 
 /// Deterministic, simulated-clock serving supervisor over the deployment

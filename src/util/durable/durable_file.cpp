@@ -1,0 +1,254 @@
+#include "util/durable/durable_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.hpp"
+
+namespace hadas::util::durable {
+
+namespace {
+
+constexpr const char* kMagic = "%HADAS-DURABLE";
+constexpr const char* kFooterMagic = "%HADAS-CRC64";
+constexpr std::uint32_t kVersion = 1;
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+/// CRC-64/XZ table, built lazily (reflected ECMA-182 polynomial).
+const std::uint64_t* crc64_table() {
+  static const auto table = [] {
+    static std::uint64_t t[256];
+    const std::uint64_t poly = 0xC96C5795D7870F42ULL;  // reflected ECMA-182
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void write_all(int fd, const std::string& path, const char* data,
+               std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("DurableFile: write to " + path + " failed: " +
+                               std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) {
+    if (directory) return;  // best-effort: some filesystems refuse dir opens
+    throw std::runtime_error("DurableFile: cannot reopen " + path +
+                             " for fsync");
+  }
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const char* corrupt_stage_name(CorruptStage stage) {
+  switch (stage) {
+    case CorruptStage::kHeader: return "header";
+    case CorruptStage::kTruncation: return "truncation";
+    case CorruptStage::kChecksum: return "checksum";
+    case CorruptStage::kParse: return "parse";
+    case CorruptStage::kInvariant: return "invariant";
+  }
+  return "?";
+}
+
+CheckpointCorruptError::CheckpointCorruptError(std::string file,
+                                               std::size_t byte_offset,
+                                               CorruptStage stage,
+                                               const std::string& detail)
+    : std::runtime_error("corrupt state file '" + file + "' at byte " +
+                         std::to_string(byte_offset) + " (" +
+                         corrupt_stage_name(stage) +
+                         " validation failed): " + detail),
+      file_(std::move(file)),
+      byte_offset_(byte_offset),
+      stage_(stage),
+      detail_(detail) {}
+
+std::uint64_t crc64(const std::string& bytes) {
+  const std::uint64_t* table = crc64_table();
+  std::uint64_t crc = ~0ULL;
+  for (unsigned char c : bytes)
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xFF];
+  return ~crc;
+}
+
+void DurableFile::write(const std::string& path, const std::string& format_tag,
+                        const std::string& payload) {
+  if (format_tag.empty() ||
+      format_tag.find_first_of(" \n\t") != std::string::npos)
+    throw std::invalid_argument("DurableFile: bad format tag '" + format_tag +
+                                "'");
+  std::ostringstream envelope;
+  envelope << kMagic << " v" << kVersion << ' ' << format_tag << ' '
+           << payload.size() << '\n'
+           << payload << '\n'
+           << kFooterMagic << ' ' << hex16(crc64(payload)) << '\n';
+  const std::string bytes = envelope.str();
+
+  failpoint("durable.save.begin");
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("DurableFile: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  write_all(fd, tmp, bytes.data(), bytes.size());
+  failpoint("durable.save.tmp");  // tmp written, not yet synced or renamed
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("DurableFile: fsync of " + tmp + " failed");
+  }
+  ::close(fd);
+  failpoint("durable.save.prerename");  // previous file still fully intact
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("DurableFile: cannot rename " + tmp + " to " +
+                             path);
+  fsync_path(parent_dir(path), /*directory=*/true);
+  // File site: chaos may tear or bit-flip the fully-written file here to
+  // simulate storage-level corruption that the next read must detect.
+  failpoint_file("durable.save.postrename", path.c_str());
+}
+
+std::string DurableFile::read(const std::string& path,
+                              const std::string& format_tag) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("DurableFile: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  const std::string magic = std::string(kMagic) + " v";
+  if (bytes.rfind(magic, 0) != 0)
+    throw CheckpointCorruptError(path, 0, CorruptStage::kHeader,
+                                 "missing durable-file magic (legacy or "
+                                 "foreign file?)");
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string::npos)
+    throw CheckpointCorruptError(path, bytes.size(), CorruptStage::kHeader,
+                                 "unterminated header line");
+  std::istringstream header(
+      bytes.substr(magic.size(), header_end - magic.size()));
+  std::uint32_t version = 0;
+  std::string tag;
+  std::size_t declared = 0;
+  if (!(header >> version >> tag >> declared))
+    throw CheckpointCorruptError(path, magic.size(), CorruptStage::kHeader,
+                                 "malformed header fields");
+  if (version != kVersion)
+    throw CheckpointCorruptError(path, magic.size(), CorruptStage::kHeader,
+                                 "unsupported version v" +
+                                     std::to_string(version));
+  if (tag != format_tag)
+    throw CheckpointCorruptError(
+        path, magic.size(), CorruptStage::kHeader,
+        "format tag '" + tag + "' (expected '" + format_tag + "')");
+
+  const std::size_t payload_begin = header_end + 1;
+  // payload + "\n%HADAS-CRC64 " + 16 hex + "\n"
+  const std::size_t footer_len = 1 + std::strlen(kFooterMagic) + 1 + 16 + 1;
+  if (bytes.size() < payload_begin + declared + footer_len)
+    throw CheckpointCorruptError(
+        path, bytes.size(), CorruptStage::kTruncation,
+        "file holds " + std::to_string(bytes.size()) + " bytes but header " +
+            "declares a " + std::to_string(declared) + "-byte payload " +
+            "(expected >= " +
+            std::to_string(payload_begin + declared + footer_len) + ")");
+  const std::string payload = bytes.substr(payload_begin, declared);
+
+  const std::string footer = bytes.substr(payload_begin + declared);
+  const std::string expected_prefix = "\n" + std::string(kFooterMagic) + " ";
+  if (footer.rfind(expected_prefix, 0) != 0)
+    throw CheckpointCorruptError(path, payload_begin + declared,
+                                 CorruptStage::kTruncation,
+                                 "footer line missing or malformed");
+  const std::string declared_crc =
+      footer.substr(expected_prefix.size(), 16);
+  const std::string actual_crc = hex16(crc64(payload));
+  if (declared_crc != actual_crc)
+    throw CheckpointCorruptError(
+        path, payload_begin, CorruptStage::kChecksum,
+        "payload CRC64 " + actual_crc + " != declared " + declared_crc);
+  return payload;
+}
+
+FileInfo DurableFile::inspect(const std::string& path) {
+  FileInfo info;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return info;
+  info.exists = true;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  info.file_bytes = bytes.size();
+
+  const std::string magic = std::string(kMagic) + " v";
+  if (bytes.rfind(magic, 0) != 0) {
+    info.legacy = true;
+    return info;
+  }
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string::npos) return info;
+  std::istringstream header(
+      bytes.substr(magic.size(), header_end - magic.size()));
+  std::uint32_t version = 0;
+  std::string tag;
+  std::size_t declared = 0;
+  if (!(header >> version >> tag >> declared)) return info;
+  info.version = version;
+  info.format_tag = tag;
+  info.declared_bytes = declared;
+  info.header_ok = version == kVersion;
+
+  const std::size_t payload_begin = header_end + 1;
+  const std::size_t footer_len = 1 + std::strlen(kFooterMagic) + 1 + 16 + 1;
+  info.length_ok = bytes.size() >= payload_begin + declared + footer_len;
+  if (!info.length_ok) return info;
+  const std::string payload = bytes.substr(payload_begin, declared);
+  info.crc_actual = hex16(crc64(payload));
+  const std::string footer = bytes.substr(payload_begin + declared);
+  const std::string expected_prefix = "\n" + std::string(kFooterMagic) + " ";
+  if (footer.rfind(expected_prefix, 0) == 0)
+    info.crc_declared = footer.substr(expected_prefix.size(), 16);
+  info.checksum_ok = !info.crc_declared.empty() &&
+                     info.crc_declared == info.crc_actual;
+  return info;
+}
+
+}  // namespace hadas::util::durable

@@ -1,0 +1,15 @@
+#include "util/failpoint.hpp"
+
+namespace hadas::util {
+
+namespace detail {
+std::atomic<void (*)(const char*)> failpoint_hit{nullptr};
+std::atomic<void (*)(const char*, const char*)> failpoint_file{nullptr};
+}  // namespace detail
+
+void set_failpoint_hooks(FailpointHooks hooks) {
+  detail::failpoint_hit.store(hooks.hit, std::memory_order_relaxed);
+  detail::failpoint_file.store(hooks.file, std::memory_order_relaxed);
+}
+
+}  // namespace hadas::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+
+namespace hadas::util {
+
+/// Process-wide failpoint indirection. Library code marks interesting I/O /
+/// state-transition sites with failpoint("site.name"); by default that is a
+/// single relaxed atomic load and a branch (no registered handler), so the
+/// clean path stays bit-identical and effectively free. The chaos engine
+/// (src/exec/chaos) installs handlers that can crash the process, corrupt a
+/// just-written file, or count hits at a site — see DESIGN.md "Crash safety
+/// and chaos testing" for the site inventory.
+///
+/// The indirection lives in util (not exec) so that util/durable can carry
+/// failpoints without a util -> exec dependency cycle.
+struct FailpointHooks {
+  /// Called at every plain failpoint. May not return (crash schedules).
+  void (*hit)(const char* site) = nullptr;
+  /// Called at file failpoints, after `path` has been durably written. The
+  /// handler may corrupt or truncate the file (torn-write simulation) and
+  /// may not return.
+  void (*file)(const char* site, const char* path) = nullptr;
+};
+
+/// Install (or clear, with default-constructed hooks) the global handlers.
+void set_failpoint_hooks(FailpointHooks hooks);
+
+namespace detail {
+extern std::atomic<void (*)(const char*)> failpoint_hit;
+extern std::atomic<void (*)(const char*, const char*)> failpoint_file;
+}  // namespace detail
+
+/// Mark a failpoint. No-op unless a handler is installed.
+inline void failpoint(const char* site) {
+  if (auto* fn = detail::failpoint_hit.load(std::memory_order_relaxed))
+    fn(site);
+}
+
+/// Mark a file failpoint (the file at `path` exists and is fully written).
+inline void failpoint_file(const char* site, const char* path) {
+  if (auto* fn = detail::failpoint_file.load(std::memory_order_relaxed))
+    fn(site, path);
+}
+
+}  // namespace hadas::util

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace hadas::util {
@@ -383,14 +385,17 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
       fail("bad number");
     const std::string token = text_.substr(start, pos_ - start);
-    try {
-      std::size_t consumed = 0;
-      const double value = std::stod(token, &consumed);
-      if (consumed != token.size()) fail("bad number");
-      return Json(value);
-    } catch (const std::exception&) {
+    // strtod, not std::stod: stod throws out_of_range on ERANGE, which
+    // strtod also sets for *underflow* — and denormals (which %.17g emits
+    // and checkpoints must round-trip bit-exactly) are legitimate. Only
+    // genuine overflow to ±HUGE_VAL is a malformed number.
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL))
       fail("bad number");
-    }
+    return Json(value);
   }
 
   const std::string& text_;

@@ -44,6 +44,16 @@ std::vector<std::string> split(const std::string& s, char delim) {
   return out;
 }
 
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          std::equal(prefix.begin(), prefix.end(), s.begin());

@@ -20,6 +20,9 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep);
 /// Split on a single-character delimiter (no empty-token elision).
 std::vector<std::string> split(const std::string& s, char delim);
 
+/// Copy with leading and trailing ASCII whitespace removed.
+std::string trim(const std::string& s);
+
 /// True if `s` starts with `prefix`.
 bool starts_with(const std::string& s, const std::string& prefix);
 

@@ -6,9 +6,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "core/serialize.hpp"
 #include "test_helpers.hpp"
+#include "util/durable/checkpoint_chain.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -190,6 +193,117 @@ TEST(Checkpoint, CorruptCheckpointFailsCleanly) {
   core::HadasEngine engine(space(), hw::Target::kTx2PascalGpu, config);
   EXPECT_THROW((void)engine.run(), std::exception);
   std::remove(path.c_str());
+}
+
+void remove_chain(const std::string& path, std::size_t keep) {
+  const util::durable::CheckpointChain chain(path, keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    std::remove(chain.slot_path(i).c_str());
+}
+
+TEST(Checkpoint, CorruptNewestSlotFallsBackDownTheChainWithAWarning) {
+  const std::string path = "/tmp/hadas_ckpt_chainfall.json";
+  remove_chain(path, 3);
+
+  // Reference: 3 generations straight through.
+  core::HadasEngine reference(space(), hw::Target::kTx2PascalGpu,
+                              small_config());
+  const core::HadasResult uninterrupted = reference.run();
+
+  // Checkpointed run leaves a 3-deep chain (generations 3, 2, 1).
+  core::HadasConfig config = small_config();
+  config.checkpoint_path = path;
+  core::HadasEngine writer(space(), hw::Target::kTx2PascalGpu, config);
+  (void)writer.run();
+
+  // Flip one bit in the newest slot: resume must skip it (checksum), warn,
+  // and restart from the generation-2 snapshot — still reproducing the
+  // uninterrupted result bit for bit.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+
+  std::vector<std::string> warnings;
+  core::HadasConfig resume_config = small_config();
+  resume_config.checkpoint_path = path;
+  resume_config.checkpoint_warn = [&warnings](const std::string& w) {
+    warnings.push_back(w);
+  };
+  core::HadasEngine resumed_engine(space(), hw::Target::kTx2PascalGpu,
+                                   resume_config);
+  const core::HadasResult resumed = resumed_engine.run();
+
+  EXPECT_EQ(resumed.corrupt_checkpoints_skipped, 1u);
+  EXPECT_EQ(resumed.resumed_from_file, path + ".1");
+  EXPECT_EQ(resumed.resumed_from_generation, 2u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("checksum"), std::string::npos) << warnings[0];
+  expect_identical(uninterrupted, resumed);
+  remove_chain(path, 3);
+}
+
+TEST(Checkpoint, FullyCorruptChainThrowsStructuredErrorNotAParseBacktrace) {
+  const std::string path = "/tmp/hadas_ckpt_allcorrupt.json";
+  remove_chain(path, 3);
+  core::HadasConfig config = small_config();
+  config.outer_generations = 2;
+  config.checkpoint_path = path;
+  core::HadasEngine writer(space(), hw::Target::kTx2PascalGpu, config);
+  (void)writer.run();
+
+  // Destroy every slot on disk.
+  const util::durable::CheckpointChain chain(path, 3);
+  for (const std::string& slot : chain.existing()) {
+    std::ofstream out(slot, std::ios::trunc);
+    out << "}}} not a checkpoint at all";
+  }
+
+  core::HadasEngine reader(space(), hw::Target::kTx2PascalGpu, config);
+  try {
+    (void)reader.run();
+    FAIL() << "fully corrupt chain not rejected";
+  } catch (const util::durable::CheckpointCorruptError& e) {
+    // Structured: names the newest slot and the failing stage.
+    EXPECT_EQ(e.file(), path);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  remove_chain(path, 3);
+}
+
+TEST(Checkpoint, InvariantValidationRejectsSemanticallyBrokenCheckpoints) {
+  core::SearchCheckpoint ck;
+  ck.fingerprint = "fp";
+  EXPECT_THROW(core::validate_checkpoint(ck),
+               util::durable::CheckpointCorruptError);  // empty population
+
+  ck.population = {{0, 1, 2}, {1, 2, 3}};
+  EXPECT_NO_THROW(core::validate_checkpoint(ck));
+
+  core::SearchCheckpoint ragged = ck;
+  ragged.population.push_back({1, 2});
+  EXPECT_THROW(core::validate_checkpoint(ragged),
+               util::durable::CheckpointCorruptError);
+
+  core::SearchCheckpoint anonymous = ck;
+  anonymous.fingerprint.clear();
+  EXPECT_THROW(core::validate_checkpoint(anonymous),
+               util::durable::CheckpointCorruptError);
+
+  core::SearchCheckpoint nan_rng = ck;
+  nan_rng.rng.has_cached_normal = true;
+  nan_rng.rng.cached_normal = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(core::validate_checkpoint(nan_rng),
+               util::durable::CheckpointCorruptError);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include "core/serialize.hpp"
 #include "supernet/baselines.hpp"
@@ -102,6 +104,74 @@ TEST(Serialize, FullSearchResultRoundTripsThroughDisk) {
 
 TEST(Serialize, LoadJsonThrowsOnMissingFile) {
   EXPECT_THROW(core::load_json("/nonexistent/path.json"), std::runtime_error);
+}
+
+// --- Double round-trip guarantees the checkpoint format leans on ----------
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double through_json_text(double v) {
+  const Json parsed = Json::parse(Json(v).dump());
+  return parsed.as_number();
+}
+
+TEST(Serialize, ExtremeDoublesRoundTripBitExactly) {
+  const double cases[] = {
+      0.0,
+      -0.0,  // the sign of zero must survive (%.0f prints "-0")
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::min(),          // smallest normal
+      std::numeric_limits<double>::denorm_min(),   // smallest denormal
+      -std::numeric_limits<double>::denorm_min(),
+      4.9406564584124654e-324,
+      std::numeric_limits<double>::max(),          // largest finite
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      1.0 + std::numeric_limits<double>::epsilon(),
+      0.1,        // classic non-representable decimal
+      1.0 / 3.0,
+      6.02214076e23,
+      1e15,       // boundary of the integer-format fast path
+      1e15 - 1.0,
+      -1e15,
+      8.98846567431158e307,  // 2^1023
+  };
+  for (const double v : cases)
+    EXPECT_EQ(bits_of(through_json_text(v)), bits_of(v))
+        << "double " << v << " did not survive the JSON text round trip";
+}
+
+TEST(Serialize, NonFiniteDoublesAreRejectedAtDumpTime) {
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+               std::logic_error);
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()).dump(),
+               std::logic_error);
+  EXPECT_THROW((void)Json(-std::numeric_limits<double>::infinity()).dump(),
+               std::logic_error);
+}
+
+TEST(Serialize, RandomDoublesRoundTripBitExactlyPropertyLoop) {
+  // 1000 doubles drawn from random bit patterns: every finite one must
+  // round-trip through JSON text with an identical bit pattern. Random bit
+  // patterns cover denormals and extreme exponents far better than uniform
+  // draws do.
+  util::Rng rng(0xD0B1E5);
+  std::size_t tested = 0;
+  while (tested < 1000) {
+    const std::uint64_t pattern = rng.next_u64();
+    double v = 0.0;
+    std::memcpy(&v, &pattern, sizeof(v));
+    if (!std::isfinite(v)) continue;
+    ++tested;
+    ASSERT_EQ(bits_of(through_json_text(v)), pattern)
+        << "bit pattern " << std::hex << pattern << " (value " << v
+        << ") did not survive";
+  }
 }
 
 }  // namespace

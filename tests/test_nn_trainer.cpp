@@ -109,6 +109,75 @@ TEST(Trainer, EvaluateMatchesAccuracyDefinition) {
   EXPECT_EQ(Trainer::evaluate(head, FeatureDataset{}), 0.0);
 }
 
+TEST(Trainer, NanGuardRollsBackOnceAndReproducesTheCleanRun) {
+  const auto train = make_task(300, 4, 6, 2.0, 20);
+  const auto val = make_task(150, 4, 6, 2.0, 21);
+
+  TrainConfig clean;
+  clean.epochs = 5;
+  hadas::util::Rng rng_a(22);
+  MlpClassifier head_a(6, 0, 4, rng_a);
+  const TrainResult reference = Trainer(clean).fit(head_a, train, val);
+  EXPECT_EQ(reference.nan_rollbacks, 0u);
+
+  // Inject one non-finite loss in the middle of training: the guard must
+  // abandon the epoch, restore the last good state and retry — and because
+  // the retry replays the identical shuffle from the identical parameters,
+  // the final trajectory matches the clean run exactly, epoch for epoch.
+  TrainConfig poisoned = clean;
+  poisoned.inject_nan_epoch = 2;
+  hadas::util::Rng rng_b(22);
+  MlpClassifier head_b(6, 0, 4, rng_b);
+  const TrainResult recovered = Trainer(poisoned).fit(head_b, train, val);
+  EXPECT_EQ(recovered.nan_rollbacks, 1u);
+  ASSERT_EQ(recovered.epochs.size(), reference.epochs.size());
+  for (std::size_t e = 0; e < reference.epochs.size(); ++e) {
+    EXPECT_EQ(recovered.epochs[e].train_loss, reference.epochs[e].train_loss);
+    EXPECT_EQ(recovered.epochs[e].val_accuracy,
+              reference.epochs[e].val_accuracy);
+  }
+  EXPECT_EQ(recovered.final_val_accuracy, reference.final_val_accuracy);
+}
+
+TEST(Trainer, NanGuardAbortsWithAClearErrorWhenDivergenceRecurs) {
+  const auto train = make_task(200, 3, 5, 2.0, 23);
+  const auto val = make_task(100, 3, 5, 2.0, 24);
+  TrainConfig config;
+  config.epochs = 4;
+  config.inject_nan_epoch = 1;
+  config.inject_nan_repeat = true;  // the retry hits the NaN again
+  hadas::util::Rng rng(25);
+  MlpClassifier head(5, 0, 3, rng);
+  try {
+    (void)Trainer(config).fit(head, train, val);
+    FAIL() << "recurring non-finite loss not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite loss"), std::string::npos) << what;
+    EXPECT_NE(what.find("epoch 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("diverged"), std::string::npos) << what;
+  }
+}
+
+TEST(Trainer, NanGuardInFirstEpochRollsBackToTheInitialHead) {
+  const auto train = make_task(200, 3, 5, 2.0, 26);
+  const auto val = make_task(100, 3, 5, 2.0, 27);
+
+  TrainConfig clean;
+  clean.epochs = 3;
+  hadas::util::Rng rng_a(28);
+  MlpClassifier head_a(5, 0, 3, rng_a);
+  const TrainResult reference = Trainer(clean).fit(head_a, train, val);
+
+  TrainConfig poisoned = clean;
+  poisoned.inject_nan_epoch = 0;  // before any good epoch exists
+  hadas::util::Rng rng_b(28);
+  MlpClassifier head_b(5, 0, 3, rng_b);
+  const TrainResult recovered = Trainer(poisoned).fit(head_b, train, val);
+  EXPECT_EQ(recovered.nan_rollbacks, 1u);
+  EXPECT_EQ(recovered.final_val_accuracy, reference.final_val_accuracy);
+}
+
 class TrainerEpochSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(TrainerEpochSweep, MoreEpochsNeverHurtMuch) {

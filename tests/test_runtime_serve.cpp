@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "data/sample_stream.hpp"
@@ -320,6 +322,142 @@ TEST(Serve, ReportJsonHasTheContractedShape) {
   EXPECT_EQ(json.at("admission").at("offered").as_index(), 20u);
   EXPECT_EQ(json.at("robustness").at("final_mode").as_string(), "normal");
   EXPECT_EQ(json.at("lanes").size(), 1u);
+}
+
+// --- Serve journal: kill-and-resume byte identity -------------------------
+
+ServeConfig journaled_config(const std::string& path) {
+  ServeConfig config;
+  config.watchdog.overrun_factor = 3.0;
+  config.degraded.enabled = true;
+  config.slo.deadline_s = 0.020;
+  config.admission.queue_capacity = 64;
+  config.journal.path = path;
+  config.journal.every = 50;
+  config.journal.keep = 3;
+  return config;
+}
+
+std::vector<ServeRequest> journal_trace() {
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = 500;
+  traffic.arrival_rate_hz = 400.0;
+  traffic.seed = 31;
+  return runtime::serve::poisson_trace(fx().stream, traffic);
+}
+
+void remove_journal(const std::string& path) {
+  const util::durable::CheckpointChain chain(path, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    std::remove(chain.slot_path(i).c_str());
+}
+
+TEST(Serve, JournalingItselfDoesNotPerturbTheReport) {
+  const std::string path = "/tmp/hadas_serve_journal_noop.json";
+  remove_journal(path);
+  const auto trace = journal_trace();
+  const auto lane = fx().faulty_lane(0.05, 0xFEED);
+
+  ServeConfig plain = journaled_config("");
+  const ServeReport reference =
+      ServeSupervisor(fx().bank, {lane}, plain)
+          .run(fx().placement, {&fx().policy}, trace);
+
+  const ServeReport journaled =
+      ServeSupervisor(fx().bank, {lane}, journaled_config(path))
+          .run(fx().placement, {&fx().policy}, trace);
+  EXPECT_EQ(fingerprint(reference), fingerprint(journaled));
+  remove_journal(path);
+}
+
+TEST(Serve, KilledRunResumesFromJournalWithByteIdenticalReport) {
+  const std::string path = "/tmp/hadas_serve_journal_kill.json";
+  remove_journal(path);
+  const auto trace = journal_trace();
+  const auto lane = fx().faulty_lane(0.05, 0xFEED);
+
+  const ServeReport reference =
+      ServeSupervisor(fx().bank, {lane}, journaled_config(""))
+          .run(fx().placement, {&fx().policy}, trace);
+
+  // "Kill" the run mid-trace, at a point that is NOT a snapshot boundary —
+  // resume must re-serve the tail since the last snapshot.
+  ServeConfig killed = journaled_config(path);
+  killed.journal.stop_after_requests = 307;
+  EXPECT_THROW(ServeSupervisor(fx().bank, {lane}, killed)
+                   .run(fx().placement, {&fx().policy}, trace),
+               runtime::serve::ServeInterruptedError);
+
+  const ServeReport resumed =
+      ServeSupervisor(fx().bank, {lane}, journaled_config(path))
+          .run(fx().placement, {&fx().policy}, trace);
+  EXPECT_EQ(fingerprint(reference), fingerprint(resumed));
+  remove_journal(path);
+}
+
+TEST(Serve, CorruptNewestJournalSlotFallsBackWithAWarning) {
+  const std::string path = "/tmp/hadas_serve_journal_corrupt.json";
+  remove_journal(path);
+  const auto trace = journal_trace();
+  const auto lane = fx().faulty_lane(0.05, 0xFEED);
+
+  const ServeReport reference =
+      ServeSupervisor(fx().bank, {lane}, journaled_config(""))
+          .run(fx().placement, {&fx().policy}, trace);
+
+  ServeConfig killed = journaled_config(path);
+  killed.journal.stop_after_requests = 307;
+  EXPECT_THROW(ServeSupervisor(fx().bank, {lane}, killed)
+                   .run(fx().placement, {&fx().policy}, trace),
+               runtime::serve::ServeInterruptedError);
+
+  // Flip a bit in the newest snapshot: resume must skip it (checksum), warn,
+  // and recover from the previous one — same final report regardless.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x08);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+
+  std::vector<std::string> warnings;
+  ServeConfig recover = journaled_config(path);
+  recover.journal.warn = [&warnings](const std::string& w) {
+    warnings.push_back(w);
+  };
+  const ServeReport resumed =
+      ServeSupervisor(fx().bank, {lane}, recover)
+          .run(fx().placement, {&fx().policy}, trace);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(fingerprint(reference), fingerprint(resumed));
+  remove_journal(path);
+}
+
+TEST(Serve, JournalFromADifferentConfigurationIsRefused) {
+  const std::string path = "/tmp/hadas_serve_journal_mismatch.json";
+  remove_journal(path);
+  const auto trace = journal_trace();
+  const auto lane = fx().faulty_lane(0.05, 0xFEED);
+
+  ServeConfig killed = journaled_config(path);
+  killed.journal.stop_after_requests = 307;
+  EXPECT_THROW(ServeSupervisor(fx().bank, {lane}, killed)
+                   .run(fx().placement, {&fx().policy}, trace),
+               runtime::serve::ServeInterruptedError);
+
+  // A changed deadline changes the serving semantics: the stale journal
+  // must be refused, not silently resumed.
+  ServeConfig other = journaled_config(path);
+  other.slo.deadline_s = 0.050;
+  EXPECT_THROW(ServeSupervisor(fx().bank, {lane}, other)
+                   .run(fx().placement, {&fx().policy}, trace),
+               std::invalid_argument);
+  remove_journal(path);
 }
 
 TEST(Serve, TrafficTraceIsDeterministicAndOrdered) {

@@ -23,9 +23,11 @@
 #include "core/sensitivity.hpp"
 #include "core/serialize.hpp"
 #include "data/sample_stream.hpp"
+#include "exec/chaos.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/serve/supervisor.hpp"
 #include "supernet/baselines.hpp"
+#include "util/durable/durable_file.hpp"
 #include "util/strutil.hpp"
 #include "util/table.hpp"
 
@@ -61,8 +63,9 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"search",
        {"device", "out", "pop", "gens", "ioe-per-gen", "ioe-pop", "ioe-gens",
         "seed", "train-size", "epochs", "max-latency-ms", "space", "resume",
-        "checkpoint", "checkpoint-every", "faults"}},
+        "checkpoint", "checkpoint-every", "checkpoint-keep", "faults"}},
       {"show", {}},
+      {"verify-checkpoint", {}},
       {"deploy",
        {"device", "result", "index", "policy", "threshold", "train-size",
         "epochs", "space", "stream-seed"}},
@@ -71,7 +74,8 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
        {"device", "result", "index", "baseline", "policy", "threshold",
         "requests", "rate", "queue", "deadline-ms", "watchdog", "degraded",
         "faults", "failover", "failover-faults", "thermal", "train-size",
-        "epochs", "space", "stream-seed", "trace-seed", "out"}},
+        "epochs", "space", "stream-seed", "trace-seed", "out", "journal",
+        "journal-every", "journal-keep"}},
       {"portable",
        {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
         "epochs", "seed", "space"}},
@@ -182,16 +186,27 @@ int cmd_search(const Args& args) {
   config.max_latency_s = args.get_or("max-latency-ms", 0.0) * 1e-3;
   config.checkpoint_path = args.get_or("checkpoint", std::string());
   config.checkpoint_every = args.get_or("checkpoint-every", std::size_t{1});
+  config.checkpoint_keep = args.get_or("checkpoint-keep", std::size_t{3});
   if (const auto faults = args.get("faults"))
     config.robust.faults = hw::parse_fault_config(*faults);
 
   const supernet::SearchSpace space = parse_space(args);
   core::WarmStart warm;
   if (const auto resume = args.get("resume")) {
-    const auto solutions = core::final_pareto_from_json(core::load_json(*resume));
-    warm = core::warm_start_from_solutions(space, solutions);
-    std::cout << "warm-starting from " << *resume << " (" << warm.known.size()
-              << " known backbones)\n";
+    if (*resume == "auto") {
+      // Resume from the checkpoint chain (the engine does this whenever
+      // --checkpoint is set); "auto" just asserts that intent instead of
+      // naming a warm-start result file.
+      if (config.checkpoint_path.empty())
+        throw std::invalid_argument(
+            "--resume auto needs --checkpoint F (the chain to resume from)");
+    } else {
+      const auto solutions =
+          core::final_pareto_from_json(core::load_json(*resume));
+      warm = core::warm_start_from_solutions(space, solutions);
+      std::cout << "warm-starting from " << *resume << " ("
+                << warm.known.size() << " known backbones)\n";
+    }
   }
 
   std::cout << "searching on " << hw::target_name(target) << " ("
@@ -201,6 +216,14 @@ int cmd_search(const Args& args) {
   core::HadasEngine engine(space, target, config);
   const core::HadasResult result = engine.run(warm);
 
+  if (!result.resumed_from_file.empty()) {
+    std::cout << "resumed from " << result.resumed_from_file
+              << " (generation " << result.resumed_from_generation << ")";
+    if (result.corrupt_checkpoints_skipped > 0)
+      std::cout << ", skipped " << result.corrupt_checkpoints_skipped
+                << " corrupt snapshot(s)";
+    std::cout << "\n";
+  }
   core::save_json(out_path, core::result_to_json(result, target));
   if (engine.static_evaluator().robust().active()) {
     const hw::HealthReport& h = result.device_health;
@@ -247,6 +270,60 @@ int cmd_show(const Args& args) {
   }
   table.print(std::cout);
   return 0;
+}
+
+int cmd_verify_checkpoint(const Args& args) {
+  if (args.positional().empty())
+    throw std::invalid_argument("usage: hadas verify-checkpoint <file>");
+  const std::string path = args.positional().front();
+  const auto info = util::durable::DurableFile::inspect(path);
+  if (!info.exists) {
+    std::cerr << path << ": no such file\n";
+    return 1;
+  }
+
+  util::TextTable table({"field", "value"},
+                        {util::Align::kLeft, util::Align::kLeft});
+  table.set_title("durable envelope of " + path);
+  if (info.legacy) {
+    table.add_row({"envelope", "none (legacy pre-durable payload)"});
+  } else {
+    table.add_row({"header", info.header_ok ? "ok" : "MALFORMED"});
+    table.add_row({"version", std::to_string(info.version)});
+    table.add_row({"format tag", info.format_tag});
+    table.add_row({"payload bytes declared / file size",
+                   std::to_string(info.declared_bytes) + " / " +
+                       std::to_string(info.file_bytes) +
+                       (info.length_ok ? "" : "  (TRUNCATED)")});
+    table.add_row({"CRC-64 declared", info.crc_declared});
+    table.add_row({"CRC-64 actual",
+                   info.crc_actual + (info.checksum_ok ? "" : "  (MISMATCH)")});
+    table.add_row({"envelope", info.valid() ? "valid" : "CORRUPT"});
+  }
+
+  // Envelope aside, run the full load path (parse + invariant validation)
+  // and report the checkpoint's identity.
+  try {
+    const core::SearchCheckpoint checkpoint = core::load_checkpoint(path);
+    table.add_row({"payload", "valid checkpoint"});
+    table.add_row({"fingerprint", checkpoint.fingerprint});
+    table.add_row({"next generation", std::to_string(checkpoint.next_generation)});
+    table.add_row({"population", std::to_string(checkpoint.population.size())});
+    table.add_row({"backbones", std::to_string(checkpoint.backbones.size())});
+    table.add_row({"outer / inner evaluations",
+                   std::to_string(checkpoint.outer_evaluations) + " / " +
+                       std::to_string(checkpoint.inner_evaluations)});
+    table.print(std::cout);
+    return 0;
+  } catch (const util::durable::CheckpointCorruptError& e) {
+    table.add_row({"payload", std::string("CORRUPT (") +
+                                  util::durable::corrupt_stage_name(e.stage()) +
+                                  " at byte " +
+                                  std::to_string(e.byte_offset()) + ")"});
+    table.print(std::cout);
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 int cmd_deploy(const Args& args) {
@@ -401,6 +478,9 @@ int cmd_serve(const Args& args) {
   serve_config.watchdog.overrun_factor = args.get_or("watchdog", 0.0);
   serve_config.degraded.enabled = args.get_or("degraded", std::string("off")) == "on";
   serve_config.thermal_enabled = args.get_or("thermal", std::string("off")) == "on";
+  serve_config.journal.path = args.get_or("journal", std::string());
+  serve_config.journal.every = args.get_or("journal-every", std::size_t{64});
+  serve_config.journal.keep = args.get_or("journal-keep", std::size_t{3});
 
   const data::SampleStream stream(engine.task(), 2000,
                                   args.get_or("stream-seed", std::size_t{5}));
@@ -539,13 +619,17 @@ void print_usage() {
                "  devices                      list hardware targets\n"
                "  baselines --device D         evaluate a0..a6 on a device\n"
                "  search --device D --out F    run a bi-level search\n"
-               "         [--resume F]          warm-start from a saved result\n"
+               "         [--resume F|auto]     warm-start from a saved result,\n"
+               "                               or 'auto' = continue from the\n"
+               "                               --checkpoint chain\n"
                "         [--space attentive|ofa] [--max-latency-ms T]\n"
                "         [--checkpoint F]      save/resume generation snapshots\n"
-               "         [--checkpoint-every N]\n"
+               "         [--checkpoint-every N] [--checkpoint-keep K]\n"
                "         [--faults CFG]        inject faults, e.g.\n"
                "                               rate=0.05,noise=0.01,nan=0.01\n"
                "  show F                       print a saved result\n"
+               "  verify-checkpoint F          inspect a durable state file\n"
+               "                               (header, checksum, fingerprint)\n"
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
                "    (--baseline aN | --result F [--index I])\n"
@@ -555,6 +639,8 @@ void print_usage() {
                "         [--deadline-ms T] [--watchdog FACTOR]\n"
                "         [--degraded on|off] [--thermal on|off]\n"
                "         [--faults CFG] [--failover D2 [--failover-faults CFG]]\n"
+               "         [--journal F]        periodic durable snapshot + resume\n"
+               "         [--journal-every N] [--journal-keep K]\n"
                "         [--out F]            save the full serve report JSON\n"
                "  portable                     cross-device joint search\n";
 }
@@ -568,6 +654,9 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    // Deterministic fault-injection schedule for crash-recovery testing;
+    // no-op unless HADAS_CHAOS is set (see src/exec/chaos.hpp).
+    exec::ChaosEngine::install_from_env();
     if (command == "help" || command == "--help") {
       print_usage();
       return 0;
@@ -583,6 +672,7 @@ int main(int argc, char** argv) {
     if (command == "baselines") return cmd_baselines(args);
     if (command == "search") return cmd_search(args);
     if (command == "show") return cmd_show(args);
+    if (command == "verify-checkpoint") return cmd_verify_checkpoint(args);
     if (command == "deploy") return cmd_deploy(args);
     if (command == "sensitivity") return cmd_sensitivity(args);
     if (command == "serve") return cmd_serve(args);
