@@ -1,6 +1,7 @@
 #include "core/hadas_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -8,11 +9,42 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace hadas::core {
 
 namespace {
+
+/// Search-loop instruments, resolved once (registry lookups take a mutex).
+/// Strictly observe-only: nothing here feeds back into the search, so the
+/// front is bit-identical with observability on or off.
+struct SearchMetrics {
+  obs::Counter& generations =
+      obs::MetricsRegistry::global().counter("search.generations_total");
+  obs::Counter& static_evals =
+      obs::MetricsRegistry::global().counter("search.static_evals_total");
+  obs::Counter& ioe_runs =
+      obs::MetricsRegistry::global().counter("search.ioe_runs_total");
+  obs::Counter& resumes =
+      obs::MetricsRegistry::global().counter("search.resumes_total");
+  obs::Gauge& front_size =
+      obs::MetricsRegistry::global().gauge("search.static_front_size");
+  obs::Gauge& pareto_size =
+      obs::MetricsRegistry::global().gauge("search.final_pareto_size");
+  obs::Gauge& backbones =
+      obs::MetricsRegistry::global().gauge("search.backbones_explored");
+  obs::Histogram& generation_seconds =
+      obs::MetricsRegistry::global().histogram("search.generation_seconds",
+                                               obs::default_time_bounds());
+};
+
+SearchMetrics& search_metrics() {
+  static SearchMetrics metrics;
+  return metrics;
+}
+
 /// Hypervolume of an inner Pareto set in the reported (energy_gain,
 /// oracle_accuracy) plane, reference (0, 0).
 double inner_hypervolume(const std::vector<InnerSolution>& pareto) {
@@ -229,6 +261,7 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       result.resumed_from_file = loaded->file;
       result.corrupt_checkpoints_skipped = loaded->skipped;
       resumed = true;
+      search_metrics().resumes.inc();
       hadas::util::failpoint("engine.resume");
     }
   }
@@ -254,6 +287,12 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
   }
 
   for (std::size_t gen = start_gen; gen < config_.outer_generations; ++gen) {
+    const obs::TraceSpan gen_span("generation", "search");
+    // Generation wall time is read only while observability is enabled, so
+    // the metrics-off hot path stays clock-free.
+    const auto gen_t0 = obs::enabled() ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
+    search_metrics().generations.inc();
     // --- S evaluation of the generation (eq. 3), fanned out over the
     // dispatcher. Indices are assigned serially in first-occurrence order
     // (so result.backbones matches the serial path exactly); only the pure
@@ -277,13 +316,17 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       indices[p] = index;
       fresh.emplace_back(index, genome);
     }
-    const std::vector<StaticEval> evals =
-        dispatcher_.map(fresh.size(), [&](std::size_t k) {
-          const auto& [index, genome] = fresh[k];
-          return static_cache_.get_or_compute(supernet::genome_hash(genome), [&] {
-            return static_eval_.evaluate(result.backbones[index].config);
-          });
+    search_metrics().static_evals.inc(fresh.size());
+    std::vector<StaticEval> evals;
+    {
+      const obs::TraceSpan span("static_evals", "search");
+      evals = dispatcher_.map(fresh.size(), [&](std::size_t k) {
+        const auto& [index, genome] = fresh[k];
+        return static_cache_.get_or_compute(supernet::genome_hash(genome), [&] {
+          return static_eval_.evaluate(result.backbones[index].config);
         });
+      });
+    }
     for (std::size_t k = 0; k < fresh.size(); ++k)
       result.backbones[fresh[k].first].static_eval = evals[k];
 
@@ -323,9 +366,14 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
         continue;  // duplicate genome in the population
       launch.push_back(idx);
     }
-    std::vector<IoeResult> ioes = dispatcher_.map(
-        launch.size(),
-        [&](std::size_t k) { return run_ioe(result.backbones[launch[k]].config); });
+    search_metrics().ioe_runs.inc(launch.size());
+    std::vector<IoeResult> ioes;
+    {
+      const obs::TraceSpan span("ioe_dispatch", "search");
+      ioes = dispatcher_.map(launch.size(), [&](std::size_t k) {
+        return run_ioe(result.backbones[launch[k]].config);
+      });
+    }
     for (std::size_t k = 0; k < launch.size(); ++k) {
       BackboneOutcome& outcome = result.backbones[launch[k]];
       IoeResult& ioe = ioes[k];
@@ -381,6 +429,7 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     const std::size_t every = std::max<std::size_t>(1, config_.checkpoint_every);
     if (!config_.checkpoint_path.empty() &&
         ((gen + 1) % every == 0 || gen + 1 == config_.outer_generations)) {
+      const obs::TraceSpan span("checkpoint", "durable");
       hadas::util::failpoint("engine.checkpoint.begin");
       SearchCheckpoint ck;
       ck.fingerprint = fingerprint;
@@ -395,6 +444,11 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
           ck);
       hadas::util::failpoint("engine.checkpoint.end");
     }
+    if (obs::enabled())
+      search_metrics().generation_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        gen_t0)
+              .count());
   }
 
   // --- Static Pareto front over every evaluated backbone (feasible ones
@@ -424,8 +478,49 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       result.final_pareto.push_back(pool[payload]);
   }
 
+  SearchMetrics& metrics = search_metrics();
+  metrics.front_size.set(static_cast<double>(result.static_front.size()));
+  metrics.pareto_size.set(static_cast<double>(result.final_pareto.size()));
+  metrics.backbones.set(static_cast<double>(result.backbones.size()));
+
   result.device_health = static_eval_.robust().report();
   return result;
+}
+
+void export_search_metrics(const HadasEngine& engine,
+                           const HadasResult& result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  auto cache = [&](const char* prefix, const exec::CacheStats& stats) {
+    const std::string base = std::string("exec.cache.") + prefix;
+    registry.gauge(base + ".hits").set(static_cast<double>(stats.hits));
+    registry.gauge(base + ".misses").set(static_cast<double>(stats.misses));
+    registry.gauge(base + ".evictions")
+        .set(static_cast<double>(stats.evictions));
+    registry.gauge(base + ".size").set(static_cast<double>(stats.size));
+    registry.gauge(base + ".hit_rate").set(stats.hit_rate());
+  };
+  cache("static", engine.static_cache_stats());
+  cache("cost", engine.cost_cache_stats());
+
+  const hw::HealthReport& health = result.device_health;
+  registry.gauge("hw.health.breaker_state")
+      .set(static_cast<double>(static_cast<int>(health.state)));
+  registry.gauge("hw.health.measurements")
+      .set(static_cast<double>(health.measurements));
+  registry.gauge("hw.health.attempts")
+      .set(static_cast<double>(health.attempts));
+  registry.gauge("hw.health.retries").set(static_cast<double>(health.retries));
+  registry.gauge("hw.health.transient_failures")
+      .set(static_cast<double>(health.transient_failures));
+  registry.gauge("hw.health.quarantined")
+      .set(static_cast<double>(health.quarantined));
+  registry.gauge("hw.health.outliers_rejected")
+      .set(static_cast<double>(health.outliers_rejected));
+  registry.gauge("hw.health.failed_measurements")
+      .set(static_cast<double>(health.failed_measurements));
+  registry.gauge("hw.health.breaker_trips")
+      .set(static_cast<double>(health.breaker_trips));
+  registry.gauge("hw.health.backoff_s").set(health.backoff_s);
 }
 
 }  // namespace hadas::core

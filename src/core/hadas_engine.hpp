@@ -149,6 +149,16 @@ struct WarmStart {
 WarmStart warm_start_from_solutions(const supernet::SearchSpace& space,
                                     const std::vector<FinalSolution>& solutions);
 
+class HadasEngine;
+
+/// Export an engine's post-run statistics into the global metrics registry
+/// as gauges: S(b) / cost-model memo counters ("exec.cache.*") and the
+/// robust-measurement health report ("hw.health.*"). Called by the CLI
+/// before writing a --metrics-out snapshot; pure observation, no effect on
+/// engine state or results.
+void export_search_metrics(const HadasEngine& engine,
+                           const HadasResult& result);
+
 /// The bi-level HADAS engine (Fig. 3): an outer NSGA-II loop over B with
 /// early selection, per-elite inner engines over (X, F), combined ranking,
 /// and evolutionary variation — plus the exit-bank training that the inner

@@ -76,7 +76,7 @@ ChaosConfig parse_chaos_spec(const std::string& spec) {
     if (trimmed.empty()) continue;
     const std::vector<std::string> parts = util::split(trimmed, ':');
     if (parts.size() == 2 && parts[0] == "seed") {
-      config.seed = std::stoull(parts[1]);
+      config.seed = util::parse_uint("chaos seed", parts[1]);
       continue;
     }
     if (parts.size() < 2 || parts.size() > 4)
@@ -90,8 +90,13 @@ ChaosConfig parse_chaos_spec(const std::string& spec) {
       throw std::invalid_argument("chaos: unknown failpoint site '" +
                                   rule.site + "'");
     if (parts.size() >= 3)
-      rule.hit = parts[2] == "*" ? 0 : std::stoull(parts[2]);
-    if (parts.size() >= 4) rule.param = std::stod(parts[3]);
+      rule.hit = parts[2] == "*"
+                     ? 0
+                     : util::parse_uint("chaos rule '" + trimmed + "' hit",
+                                        parts[2]);
+    if (parts.size() >= 4)
+      rule.param =
+          util::parse_double("chaos rule '" + trimmed + "' param", parts[3]);
     config.rules.push_back(std::move(rule));
   }
   return config;

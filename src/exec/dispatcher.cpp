@@ -29,7 +29,7 @@ ParallelDispatcher::ParallelDispatcher(const ExecConfig& config)
 void ParallelDispatcher::for_each(
     std::size_t n, const std::function<void(std::size_t)>& body) const {
   if (pool_ == nullptr || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    run_serial_instrumented(n, body);
     return;
   }
   pool_->parallel_for(n, body);

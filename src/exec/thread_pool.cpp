@@ -3,13 +3,64 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace hadas::exec {
 
 namespace {
 /// Set while a thread runs a worker_loop, so nested waits can tell whether
 /// they may steal queue work from the pool they belong to.
 thread_local const ThreadPool* current_pool = nullptr;
+
+/// Pool-wide instruments, resolved once (registry lookups take a mutex).
+struct PoolMetrics {
+  obs::Counter& tasks =
+      obs::MetricsRegistry::global().counter("exec.tasks_total");
+  obs::Gauge& queue_peak =
+      obs::MetricsRegistry::global().gauge("exec.queue_depth_peak");
+  obs::Histogram& task_seconds = obs::MetricsRegistry::global().histogram(
+      "exec.task_seconds", obs::default_time_bounds());
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+/// Run one queued task, counting it and (only while obs is enabled, to keep
+/// the metrics-off path clock-free) timing it. Strictly observe-only: the
+/// task's behavior and exception propagation are unchanged.
+void run_task_instrumented(const std::function<void()>& task) {
+  PoolMetrics& metrics = pool_metrics();
+  metrics.tasks.inc();
+  if (!obs::enabled()) {
+    task();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  task();
+  metrics.task_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+}
 }  // namespace
+
+void run_serial_instrumented(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  PoolMetrics& metrics = pool_metrics();
+  for (std::size_t i = 0; i < n; ++i) {
+    metrics.tasks.inc();
+    if (!obs::enabled()) {
+      body(i);
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    body(i);
+    metrics.task_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads <= 1) return;  // inline mode: no workers, no queue consumers
@@ -33,14 +84,17 @@ bool ThreadPool::on_worker_thread() const { return current_pool == this; }
 
 void ThreadPool::post(std::function<void()> task) {
   if (workers_.empty()) {
-    task();  // serial fallback: run inline
+    run_task_instrumented(task);  // serial fallback: run inline
     return;
   }
+  std::size_t depth = 0;
   {
     std::scoped_lock lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  pool_metrics().queue_peak.track_max(static_cast<double>(depth));
   cv_.notify_one();
 }
 
@@ -52,7 +106,7 @@ bool ThreadPool::run_pending_task() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  run_task_instrumented(task);
   return true;
 }
 
@@ -67,7 +121,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task_instrumented(task);
   }
   current_pool = nullptr;
 }
@@ -76,7 +130,7 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    run_serial_instrumented(n, body);
     return;
   }
 

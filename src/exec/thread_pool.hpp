@@ -27,6 +27,14 @@ namespace hadas::exec {
 ///
 /// A pool constructed with 0 or 1 threads runs everything inline on the
 /// calling thread — the serial fallback used for debugging.
+/// Run `body(i)` for i in [0, n) on the calling thread, feeding the same
+/// "exec.tasks_total" / "exec.task_seconds" instruments the pool's workers
+/// do. The serial dispatch paths use this so the task counter means "tasks
+/// executed" regardless of thread count (the per-task clock is read only
+/// while obs::enabled(), like everywhere else).
+void run_serial_instrumented(std::size_t n,
+                             const std::function<void(std::size_t)>& body);
+
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);

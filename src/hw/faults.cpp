@@ -26,43 +26,20 @@ util::Rng site_stream(std::uint64_t seed, std::uint64_t key) {
 
 namespace {
 
-[[noreturn]] void bad_fault_value(const std::string& key,
-                                  const std::string& value,
-                                  const std::string& expected) {
-  throw std::invalid_argument("parse_fault_config: bad value '" + value +
-                              "' for key '" + key + "' (" + expected + ")");
-}
-
-/// Strict double parse: the whole token must be consumed ("0.5x" is an
-/// error, not 0.5), and the result must lie in [lo, hi]. Errors name the
-/// offending key and value.
+/// Strict range-checked double parse via the shared util parser: the whole
+/// token must be consumed ("0.5x" is an error, not 0.5), and the result must
+/// lie in [lo, hi]. Errors name the offending key and value.
 double parse_fault_rate(const std::string& key, const std::string& value,
                         double lo, double hi, const std::string& expected) {
-  double parsed = 0.0;
-  std::size_t consumed = 0;
-  try {
-    parsed = std::stod(value, &consumed);
-  } catch (const std::exception&) {
-    bad_fault_value(key, value, expected);
-  }
-  if (consumed != value.size()) bad_fault_value(key, value, expected);
-  if (!std::isfinite(parsed) || parsed < lo || parsed > hi)
-    bad_fault_value(key, value, expected);
-  return parsed;
+  return util::parse_double_in("fault-config key '" + key + "'", value, lo, hi,
+                               expected);
 }
 
 /// Strict unsigned parse: digits only, so "-1" and "3x" are errors instead
 /// of a wrapped-around huge count (stoul happily parses negatives).
 std::uint64_t parse_fault_count(const std::string& key,
                                 const std::string& value) {
-  if (value.empty() ||
-      value.find_first_not_of("0123456789") != std::string::npos)
-    bad_fault_value(key, value, "expected a non-negative integer");
-  try {
-    return std::stoull(value);
-  } catch (const std::exception&) {
-    bad_fault_value(key, value, "expected a non-negative integer");
-  }
+  return util::parse_uint("fault-config key '" + key + "'", value);
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace hadas::obs {
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceSink::enable() {
+  std::scoped_lock lock(mutex_);
+  origin_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+double TraceSink::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void TraceSink::complete(const char* name, const char* cat, double ts_us,
+                         double dur_us, std::uint32_t tid) {
+  if (!enabled()) return;
+  std::scoped_lock lock(mutex_);
+  events_.push_back(TraceEvent{name, cat, ts_us, dur_us, tid});
+}
+
+std::size_t TraceSink::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+util::Json TraceSink::to_json() const {
+  std::vector<TraceEvent> events;
+  {
+    std::scoped_lock lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.name < b.name;
+                   });
+  util::Json::Array array;
+  array.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    util::Json entry;
+    entry["name"] = event.name;
+    entry["cat"] = event.cat;
+    entry["ph"] = "X";
+    entry["ts"] = event.ts_us;
+    entry["dur"] = event.dur_us;
+    entry["pid"] = 1;
+    entry["tid"] = static_cast<std::size_t>(event.tid);
+    array.push_back(std::move(entry));
+  }
+  util::Json json;
+  json["traceEvents"] = util::Json(std::move(array));
+  json["displayTimeUnit"] = "ms";
+  return json;
+}
+
+void TraceSink::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceSink: cannot open " + path);
+  out << to_json().dump(2) << "\n";
+  if (!out)
+    throw std::runtime_error("TraceSink: write to " + path + " failed");
+}
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat) {
+  if (!obs::enabled() || !TraceSink::global().enabled()) return;
+  active_ = true;
+  start_us_ = TraceSink::global().now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceSink& sink = TraceSink::global();
+  const double end_us = sink.now_us();
+  sink.complete(name_, cat_, start_us_, end_us - start_us_, trace_thread_id());
+}
+
+}  // namespace hadas::obs

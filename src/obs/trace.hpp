@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hadas::obs {
+
+/// One Chrome trace_event "complete" (ph "X") event. Timestamps are
+/// microseconds; `tid` is a small integer track — a thread ordinal for
+/// wall-clock spans, a lane index for simulated-clock serving spans.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Append-only event buffer serializing to the Chrome trace_event JSON
+/// format (load the file at chrome://tracing or ui.perfetto.dev).
+///
+/// Two time bases feed one sink: search profiling records wall-clock spans
+/// via TraceSpan (steady clock, origin = first enable() call), while the
+/// serving supervisor records its *simulated* clock directly via complete()
+/// — serving spans are therefore bit-identical run to run.
+///
+/// record paths check `enabled()` with one relaxed atomic load and return
+/// immediately when tracing is off, so permanent instrumentation sites cost
+/// nothing in normal runs.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Enabling (re)starts the wall-clock origin; disabling keeps the buffer.
+  void enable();
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Record a complete event with explicit timestamps (simulated clocks).
+  void complete(const char* name, const char* cat, double ts_us, double dur_us,
+                std::uint32_t tid);
+
+  /// Record an instant marker (zero-duration complete event).
+  void instant(const char* name, const char* cat, double ts_us,
+               std::uint32_t tid) {
+    complete(name, cat, ts_us, 0.0, tid);
+  }
+
+  /// Microseconds since the wall-clock origin (the last enable() call).
+  double now_us() const;
+
+  std::size_t size() const;
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Events are sorted by
+  /// (ts, -dur, tid, name) so the output is stable regardless of the order
+  /// concurrent recorders appended in.
+  util::Json to_json() const;
+
+  /// Pretty-printed to_json() at `path`.
+  void save(const std::string& path) const;
+
+  /// The process-wide sink used by every built-in instrumentation site.
+  static TraceSink& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_{};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII wall-clock span against the global sink: records a complete event
+/// from construction to destruction on the calling thread's track. A no-op
+/// (no clock read) unless both obs::enabled() and the global sink are on.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  bool active_ = false;
+  double start_us_ = 0.0;
+};
+
+/// Small per-thread ordinal used as the trace track id for wall spans.
+std::uint32_t trace_thread_id();
+
+}  // namespace hadas::obs

@@ -66,6 +66,8 @@ util::Json ServeReport::to_json() const {
   slo["p50_latency_s"] = p50_latency_s;
   slo["p95_latency_s"] = p95_latency_s;
   slo["p99_latency_s"] = p99_latency_s;
+  slo["percentile_sample_count"] = completed;
+  slo["percentiles_low_confidence"] = percentiles_low_confidence();
   slo["shed_rate"] = shed_rate;
   slo["miss_rate"] = miss_rate;
 

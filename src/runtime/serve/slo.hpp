@@ -45,6 +45,11 @@ struct ServeReport {
   double avg_queue_wait_s = 0.0;    ///< admission -> service start, mean
 
   // --- SLO ---
+  /// Completed requests below which tail percentiles are flagged as
+  /// low-confidence: with n < 100 samples the interpolated p99 is just the
+  /// max (or near-max) sample, not a tail estimate.
+  static constexpr std::size_t kPercentileConfidenceMin = 100;
+
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;  ///< end-to-end latency over the budget
   double p50_latency_s = 0.0;       ///< end-to-end (queue + service)
@@ -52,6 +57,13 @@ struct ServeReport {
   double p99_latency_s = 0.0;
   double shed_rate = 0.0;           ///< (shed + shed_no_device) / offered
   double miss_rate = 0.0;           ///< deadline_misses / completed
+
+  /// True when the percentiles above rest on fewer than
+  /// kPercentileConfidenceMin completed requests. Text output should say so
+  /// instead of printing p99 bare; to_json() carries the flag.
+  bool percentiles_low_confidence() const {
+    return completed < kPercentileConfidenceMin;
+  }
 
   // --- robustness events ---
   std::size_t watchdog_fallbacks = 0;  ///< served from the earliest exit

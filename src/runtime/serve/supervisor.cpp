@@ -8,11 +8,50 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace hadas::runtime::serve {
 
 namespace {
+
+/// Serving instruments, resolved once. Strictly observe-only: counters are
+/// bumped next to the ServeReport counters they mirror, trace events carry
+/// the *simulated* clock (so they are bit-identical run to run), and nothing
+/// recorded here feeds back into an admission or degrade decision.
+struct ServeMetrics {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Counter& offered = r.counter("serve.offered_total");
+  obs::Counter& admitted = r.counter("serve.admitted_total");
+  obs::Counter& shed = r.counter("serve.shed_total");
+  obs::Counter& shed_no_device = r.counter("serve.shed_no_device_total");
+  obs::Counter& watchdog_fallbacks =
+      r.counter("serve.watchdog_fallbacks_total");
+  obs::Counter& transient_faults = r.counter("serve.transient_faults_total");
+  obs::Counter& nan_faults = r.counter("serve.nan_faults_total");
+  obs::Counter& overruns = r.counter("serve.overruns_total");
+  obs::Counter& failovers = r.counter("serve.failovers_total");
+  obs::Counter& devices_lost = r.counter("serve.devices_lost_total");
+  obs::Counter& degraded_entries = r.counter("serve.degraded_entries_total");
+  obs::Counter& critical_entries = r.counter("serve.critical_entries_total");
+  obs::Counter& journal_saves = r.counter("serve.journal_saves_total");
+  obs::Histogram& latency = r.histogram("serve.request_latency_seconds",
+                                        obs::default_time_bounds());
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+/// Record one served request as a complete trace event on the simulated
+/// clock; `tid` is the serving lane, so failovers show up as track changes.
+void trace_request(double start_s, double latency_s, std::size_t lane) {
+  obs::TraceSink::global().complete("request", "serve", start_s * 1e6,
+                                    latency_s * 1e6,
+                                    static_cast<std::uint32_t>(lane));
+}
 
 /// Mutable per-lane runtime state. Heap-held: DeviceHealth owns a mutex and
 /// is not movable.
@@ -399,6 +438,7 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
         i % std::max<std::size_t>(1, journal.every) == 0) {
       hadas::util::failpoint("serve.journal.begin");
       save_journal(*chain, make_snapshot(i));
+      serve_metrics().journal_saves.inc();
       hadas::util::failpoint("serve.journal.end");
     }
     if (journal.stop_after_requests > 0 && i == journal.stop_after_requests)
@@ -408,6 +448,7 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     hadas::util::failpoint("serve.request");
     const ServeRequest& request = trace[i];
     ++report.offered;
+    serve_metrics().offered.inc();
 
     // Admission: drain completions, then check the bound.
     while (!outstanding.empty() && outstanding.front() <= request.arrival_s)
@@ -415,6 +456,9 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     if (config_.admission.queue_capacity > 0 &&
         outstanding.size() >= config_.admission.queue_capacity) {
       ++report.shed;
+      serve_metrics().shed.inc();
+      obs::TraceSink::global().instant("shed", "serve",
+                                       request.arrival_s * 1e6, 0);
       continue;
     }
 
@@ -436,6 +480,7 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
         throw hw::DeviceUnavailableError(
             "ServeSupervisor: every serving lane's device has dropped out");
       ++report.shed_no_device;  // breakers open; shed rather than block
+      serve_metrics().shed_no_device.inc();
       continue;
     }
 
@@ -457,6 +502,7 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
         lanes[selected]->alive = false;
         lanes[selected]->health.record_dropout();
         ++report.devices_lost;
+        serve_metrics().devices_lost.inc();
         std::size_t next = lanes.size();
         for (std::size_t l = 0; l < lanes.size(); ++l)
           if (lanes[l]->alive && lanes[l]->health.admit()) {
@@ -474,14 +520,17 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
         }
         selected = next;
         ++report.failovers;
+        serve_metrics().failovers.inc();
       }
     }
     if (!served) {
       ++report.shed_no_device;
+      serve_metrics().shed_no_device.inc();
       continue;
     }
 
     ++report.admitted;
+    serve_metrics().admitted.inc();
     report.max_queue_depth =
         std::max(report.max_queue_depth, outstanding.size() + 1);
     const double completion_s = start_s + outcome.latency_s;
@@ -493,6 +542,8 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     const bool missed = config_.slo.deadline_s > 0.0 &&
                         end_to_end_s > config_.slo.deadline_s;
     slo.record(end_to_end_s, start_s - request.arrival_s, missed);
+    serve_metrics().latency.observe(end_to_end_s);
+    trace_request(start_s, outcome.latency_s, selected);
 
     // Deployment accounting — the exact arithmetic of DeploymentSimulator.
     energy_sum += outcome.energy_j;
@@ -510,10 +561,22 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     ++report.deployment.samples;
     policy.on_sample_complete(outcome.exited);
 
-    if (outcome.fallback) ++report.watchdog_fallbacks;
-    if (outcome.transient) ++report.transient_faults;
-    if (outcome.nan) ++report.nan_faults;
-    if (outcome.overrun) ++report.overruns;
+    if (outcome.fallback) {
+      ++report.watchdog_fallbacks;
+      serve_metrics().watchdog_fallbacks.inc();
+    }
+    if (outcome.transient) {
+      ++report.transient_faults;
+      serve_metrics().transient_faults.inc();
+    }
+    if (outcome.nan) {
+      ++report.nan_faults;
+      serve_metrics().nan_faults.inc();
+    }
+    if (outcome.overrun) {
+      ++report.overruns;
+      serve_metrics().overruns.inc();
+    }
     if (mode != ServeMode::kNormal) ++report.requests_degraded;
 
     // Degraded-mode controller with hysteresis.
@@ -526,11 +589,17 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
         mode = ServeMode::kDegraded;
         dwell = 0;
         ++report.degraded_entries;
+        serve_metrics().degraded_entries.inc();
+        obs::TraceSink::global().instant("degraded_enter", "serve",
+                                         completion_s * 1e6, 0);
       } else if (mode == ServeMode::kDegraded &&
                  incident_ema > degraded.critical_rate) {
         mode = ServeMode::kCritical;
         dwell = 0;
         ++report.critical_entries;
+        serve_metrics().critical_entries.inc();
+        obs::TraceSink::global().instant("critical_enter", "serve",
+                                         completion_s * 1e6, 0);
       } else if (mode != ServeMode::kNormal &&
                  incident_ema < degraded.exit_rate &&
                  dwell >= degraded.min_dwell) {
@@ -558,6 +627,32 @@ ServeReport ServeSupervisor::run(const dynn::ExitPlacement& placement,
     lane_report.final_temperature_c = lanes[l]->thermal.temperature_c();
     lane_report.throttle_events = lanes[l]->thermal.throttle_events();
     report.throttle_events += lane_report.throttle_events;
+  }
+
+  // Post-run SLO / health gauges for --metrics-out snapshots. Values are a
+  // pure function of the (deterministic) report.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("serve.completed").set(static_cast<double>(report.completed));
+    registry.gauge("serve.p50_latency_s").set(report.p50_latency_s);
+    registry.gauge("serve.p95_latency_s").set(report.p95_latency_s);
+    registry.gauge("serve.p99_latency_s").set(report.p99_latency_s);
+    registry.gauge("serve.miss_rate").set(report.miss_rate);
+    registry.gauge("serve.shed_rate").set(report.shed_rate);
+    registry.gauge("serve.avg_queue_wait_s").set(report.avg_queue_wait_s);
+    registry.gauge("serve.max_queue_depth")
+        .set(static_cast<double>(report.max_queue_depth));
+    registry.gauge("serve.final_mode")
+        .set(static_cast<double>(static_cast<int>(report.final_mode)));
+    std::uint64_t breaker_trips = 0;
+    std::size_t lanes_alive = 0;
+    for (const LaneReport& lane : report.lanes) {
+      breaker_trips += lane.health.breaker_trips;
+      if (lane.alive) ++lanes_alive;
+    }
+    registry.gauge("serve.breaker_trips")
+        .set(static_cast<double>(breaker_trips));
+    registry.gauge("serve.lanes_alive").set(static_cast<double>(lanes_alive));
   }
   return report;
 }

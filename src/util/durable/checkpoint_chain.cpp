@@ -56,6 +56,7 @@ void CheckpointChain::save(const std::string& format_tag,
     }
   }
   DurableFile::write(base_, format_tag, payload);
+  count_durable(&DurableStats::chain_saves);
 }
 
 std::optional<CheckpointChain::Loaded> CheckpointChain::load_newest_valid(
@@ -82,6 +83,7 @@ std::optional<CheckpointChain::Loaded> CheckpointChain::load_newest_valid(
         payload = read_raw(path);
       }
       if (validate) validate(payload);
+      count_durable(&DurableStats::chain_fallbacks, skipped);
       return Loaded{std::move(payload), path, skipped};
     } catch (const CheckpointCorruptError& e) {
       // A payload validator does not know the file name; fill it in.

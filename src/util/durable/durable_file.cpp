@@ -7,11 +7,36 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "util/failpoint.hpp"
 
 namespace hadas::util::durable {
+
+namespace {
+
+/// Mutex-guarded process-wide stats: durable operations are disk-bound and
+/// rare, so a lock is simpler than per-field atomics and just as cheap here.
+std::mutex g_stats_mutex;
+DurableStats g_stats;
+
+}  // namespace
+
+DurableStats durable_stats() {
+  std::scoped_lock lock(g_stats_mutex);
+  return g_stats;
+}
+
+void reset_durable_stats() {
+  std::scoped_lock lock(g_stats_mutex);
+  g_stats = DurableStats{};
+}
+
+void count_durable(std::uint64_t DurableStats::* counter, std::uint64_t n) {
+  std::scoped_lock lock(g_stats_mutex);
+  g_stats.*counter += n;
+}
 
 namespace {
 
@@ -142,6 +167,8 @@ void DurableFile::write(const std::string& path, const std::string& format_tag,
     throw std::runtime_error("DurableFile: cannot rename " + tmp + " to " +
                              path);
   fsync_path(parent_dir(path), /*directory=*/true);
+  count_durable(&DurableStats::writes);
+  count_durable(&DurableStats::bytes_written, bytes.size());
   // File site: chaos may tear or bit-flip the fully-written file here to
   // simulate storage-level corruption that the next read must detect.
   failpoint_file("durable.save.postrename", path.c_str());
@@ -149,6 +176,18 @@ void DurableFile::write(const std::string& path, const std::string& format_tag,
 
 std::string DurableFile::read(const std::string& path,
                               const std::string& format_tag) {
+  try {
+    std::string payload = read_validated(path, format_tag);
+    count_durable(&DurableStats::reads);
+    return payload;
+  } catch (const CheckpointCorruptError&) {
+    count_durable(&DurableStats::read_failures);
+    throw;
+  }
+}
+
+std::string DurableFile::read_validated(const std::string& path,
+                                        const std::string& format_tag) {
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw std::runtime_error("DurableFile: cannot open " + path);

@@ -61,6 +61,28 @@ struct FileInfo {
 /// CRC-64/XZ (ECMA-182 polynomial, reflected) of a byte string.
 std::uint64_t crc64(const std::string& bytes);
 
+/// Process-wide counters of the durable layer's disk traffic and recovery
+/// activity. Kept here as plain atomics (the EvalCache-stats pattern) so the
+/// bottom util layer stays free of an observability dependency; src/obs
+/// exports a snapshot into the metrics registry at dump time.
+struct DurableStats {
+  std::uint64_t writes = 0;           ///< successful DurableFile::write calls
+  std::uint64_t bytes_written = 0;    ///< envelope bytes across those writes
+  std::uint64_t reads = 0;            ///< successful DurableFile::read calls
+  std::uint64_t read_failures = 0;    ///< reads rejected as corrupt
+  std::uint64_t chain_saves = 0;      ///< CheckpointChain::save calls
+  std::uint64_t chain_fallbacks = 0;  ///< chain slots skipped as invalid
+};
+
+/// Snapshot of the counters above.
+DurableStats durable_stats();
+
+/// Zero the counters (tests / benchmark isolation).
+void reset_durable_stats();
+
+/// Internal: bump one DurableStats counter by `n`.
+void count_durable(std::uint64_t DurableStats::* counter, std::uint64_t n = 1);
+
 /// Crash-safe single-file persistence. The on-disk format is a text
 /// envelope around an opaque payload:
 ///
@@ -83,12 +105,18 @@ class DurableFile {
                     const std::string& payload);
 
   /// Validate and return the payload. Throws CheckpointCorruptError.
+  /// Successful and corrupt reads bump the DurableStats counters.
   static std::string read(const std::string& path,
                           const std::string& format_tag);
 
   /// Envelope inspection; never throws on corrupt content (only on I/O
   /// errors opening an existing file).
   static FileInfo inspect(const std::string& path);
+
+ private:
+  /// read() without the stats accounting.
+  static std::string read_validated(const std::string& path,
+                                    const std::string& format_tag);
 };
 
 }  // namespace hadas::util::durable

@@ -4,9 +4,67 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace hadas::util {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what, const std::string& value,
+                         const std::string& expected) {
+  throw std::invalid_argument("invalid value '" + value + "' for " + what +
+                              " (" + expected + ")");
+}
+
+}  // namespace
+
+std::uint64_t parse_uint(const std::string& what, const std::string& value) {
+  const char* expected = "expected a non-negative integer";
+  if (value.empty()) reject(what, value, expected);
+  for (char c : value)
+    if (c < '0' || c > '9') reject(what, value, expected);
+  std::uint64_t out = 0;
+  for (char c : value) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      reject(what, value, "value too large for a 64-bit integer");
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+std::size_t parse_size(const std::string& what, const std::string& value) {
+  const std::uint64_t v = parse_uint(what, value);
+  if (v > std::numeric_limits<std::size_t>::max())
+    reject(what, value, "value too large for this platform's size_t");
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double(const std::string& what, const std::string& value) {
+  const char* expected = "expected a finite number";
+  if (value.empty() ||
+      std::isspace(static_cast<unsigned char>(value.front())))
+    reject(what, value, expected);
+  double out = 0.0;
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    reject(what, value, expected);
+  }
+  if (consumed != value.size()) reject(what, value, expected);
+  if (!std::isfinite(out)) reject(what, value, expected);
+  return out;
+}
+
+double parse_double_in(const std::string& what, const std::string& value,
+                       double lo, double hi, const std::string& expected) {
+  const double out = parse_double(what, value);
+  if (out < lo || out > hi) reject(what, value, expected);
+  return out;
+}
 
 std::string fmt_fixed(double v, int precision) {
   char buf[64];

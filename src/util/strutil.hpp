@@ -1,9 +1,33 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace hadas::util {
+
+/// Strict full-string numeric parsers. Unlike raw std::stoul/std::stod they
+/// reject trailing garbage ("8x"), negative values for unsigned targets
+/// ("-1" would otherwise wrap to SIZE_MAX), leading whitespace or signs, and
+/// non-finite doubles — and every rejection is a std::invalid_argument that
+/// names the offending flag/key (`what`, e.g. "--threads") and the value, so
+/// a typo'd CLI knob fails loudly instead of silently corrupting a budget.
+
+/// Digits-only unsigned parse of the whole string. Throws on empty input,
+/// any non-digit character (including signs), and overflow past 2^64-1.
+std::uint64_t parse_uint(const std::string& what, const std::string& value);
+
+/// parse_uint narrowed to std::size_t (identical on LP64).
+std::size_t parse_size(const std::string& what, const std::string& value);
+
+/// Finite-double parse consuming the whole string. Rejects empty input,
+/// leading whitespace, trailing garbage ("0.5x"), and inf/nan.
+double parse_double(const std::string& what, const std::string& value);
+
+/// parse_double constrained to [lo, hi]; `expected` describes the legal
+/// range in the error message (e.g. "expected a probability in [0, 1]").
+double parse_double_in(const std::string& what, const std::string& value,
+                       double lo, double hi, const std::string& expected);
 
 /// Fixed-precision decimal formatting, e.g. fmt_fixed(3.14159, 2) == "3.14".
 std::string fmt_fixed(double v, int precision);

@@ -1,0 +1,189 @@
+// The observability primitives: counters / gauges / histograms, the named
+// registry with its JSON and Prometheus renderings, and the trace sink.
+// These tests use local instruments and a scratch sink state so they do not
+// disturb the global registry other tests may touch.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using hadas::obs::Counter;
+using hadas::obs::Gauge;
+using hadas::obs::Histogram;
+using hadas::obs::MetricsRegistry;
+using hadas::obs::TraceSink;
+using hadas::obs::TraceSpan;
+
+TEST(ObsCounter, CountsAcrossThreads) {
+  Counter counter;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.inc();
+    });
+  for (std::thread& worker : workers) worker.join();
+  counter.inc(5);
+  EXPECT_EQ(counter.value(), 4005u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddAndTrackMax) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_EQ(gauge.value(), 1.5);
+  gauge.track_max(0.5);  // lower: no change
+  EXPECT_EQ(gauge.value(), 1.5);
+  gauge.track_max(9.0);
+  EXPECT_EQ(gauge.value(), 9.0);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketsSumAndOverflow) {
+  Histogram histogram({0.001, 0.01, 0.1});
+  histogram.observe(0.0005);  // bucket 0
+  histogram.observe(0.001);   // bucket 0 (inclusive upper bound)
+  histogram.observe(0.05);    // bucket 2
+  histogram.observe(3.0);     // overflow
+  const std::vector<std::uint64_t> counts = histogram.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_NEAR(histogram.sum(), 3.0515, 1e-12);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+}
+
+TEST(ObsRegistry, NamedInstrumentsAreStableSingletons) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.events_total");
+  Counter& b = registry.counter("x.events_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  // First registration fixes histogram bounds; later bounds are ignored.
+  Histogram& h1 = registry.histogram("x.seconds", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("x.seconds", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(ObsRegistry, JsonSnapshotShape) {
+  MetricsRegistry registry;
+  registry.counter("a.total").inc(7);
+  registry.gauge("b.level").set(1.25);
+  registry.histogram("c.seconds", {0.5, 1.0}).observe(0.75);
+
+  const hadas::util::Json snapshot = registry.to_json();
+  EXPECT_EQ(snapshot.at("counters").at("a.total").as_index(), 7u);
+  EXPECT_EQ(snapshot.at("gauges").at("b.level").as_number(), 1.25);
+  const auto& hist = snapshot.at("histograms").at("c.seconds");
+  EXPECT_EQ(hist.at("count").as_index(), 1u);
+  EXPECT_EQ(hist.at("sum").as_number(), 0.75);
+  // counts has one overflow slot past the bounds.
+  EXPECT_EQ(hist.at("bounds").as_array().size() + 1,
+            hist.at("counts").as_array().size());
+}
+
+TEST(ObsRegistry, PrometheusRenderingSanitizesAndCumulates) {
+  MetricsRegistry registry;
+  registry.counter("exec.tasks_total").inc(4);
+  registry.gauge("serve.p99_latency_s").set(0.031);
+  Histogram& h = registry.histogram("search.generation_seconds", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const std::string text = registry.to_prometheus();
+  // Dots map to underscores; counters/gauges carry TYPE lines and values.
+  EXPECT_NE(text.find("# TYPE exec_tasks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("exec_tasks_total 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_p99_latency_s gauge"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("search_generation_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("search_generation_seconds_count 3"), std::string::npos);
+
+  // A snapshot re-rendered from JSON matches the live rendering.
+  EXPECT_EQ(MetricsRegistry::prometheus_from_json(registry.to_json()), text);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("r.total");
+  counter.inc(9);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&registry.counter("r.total"), &counter);
+}
+
+TEST(ObsTrace, SinkRecordsOnlyWhileEnabledAndSortsOutput) {
+  TraceSink& sink = TraceSink::global();
+  const bool was_enabled = sink.enabled();
+  sink.clear();
+
+  sink.complete("ignored", "test", 0.0, 1.0, 0);  // disabled: dropped
+  EXPECT_EQ(sink.size(), 0u);
+
+  sink.enable();
+  sink.complete("late", "test", 20.0, 5.0, 1);
+  sink.complete("early", "test", 10.0, 5.0, 0);
+  sink.instant("marker", "test", 15.0, 2);
+  EXPECT_EQ(sink.size(), 3u);
+
+  const hadas::util::Json json = sink.to_json();
+  const auto& events = json.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by timestamp regardless of append order.
+  EXPECT_EQ(events[0].at("name").as_string(), "early");
+  EXPECT_EQ(events[1].at("name").as_string(), "marker");
+  EXPECT_EQ(events[2].at("name").as_string(), "late");
+  EXPECT_EQ(events[2].at("ph").as_string(), "X");
+  EXPECT_EQ(events[2].at("dur").as_number(), 5.0);
+
+  sink.disable();
+  sink.clear();
+  if (was_enabled) sink.enable();
+}
+
+TEST(ObsTrace, SpanIsInertUnlessBothSwitchesAreOn) {
+  TraceSink& sink = TraceSink::global();
+  const bool obs_was_on = hadas::obs::enabled();
+  const bool sink_was_on = sink.enabled();
+  sink.disable();
+  sink.clear();
+
+  hadas::obs::set_enabled(false);
+  { TraceSpan span("off.off", "test"); }
+  hadas::obs::set_enabled(true);
+  { TraceSpan span("on.sink-off", "test"); }
+  EXPECT_EQ(sink.size(), 0u);
+
+  sink.enable();
+  { TraceSpan span("on.on", "test"); }
+  EXPECT_EQ(sink.size(), 1u);
+
+  sink.disable();
+  sink.clear();
+  hadas::obs::set_enabled(obs_was_on);
+  if (sink_was_on) sink.enable();
+}
+
+}  // namespace

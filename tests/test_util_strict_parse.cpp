@@ -1,0 +1,130 @@
+// Strict CLI numeric parsing (util::parse_uint / parse_size / parse_double /
+// parse_double_in). The raw std::stoul/std::stod calls they replaced accepted
+// trailing garbage ("8x" -> 8), silently wrapped "-1" to SIZE_MAX, and threw
+// errors that never named the offending flag. Every rejection here must be a
+// std::invalid_argument whose message carries both the flag and the value.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/strutil.hpp"
+
+namespace {
+
+using hadas::util::parse_double;
+using hadas::util::parse_double_in;
+using hadas::util::parse_size;
+using hadas::util::parse_uint;
+
+/// The invalid_argument thrown for (what, value) must mention both, so a
+/// typo'd knob fails loudly and points at itself.
+template <typename Fn>
+void expect_rejects_naming(Fn fn, const std::string& what,
+                           const std::string& value) {
+  try {
+    fn();
+    FAIL() << what << "=" << value << " was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(what), std::string::npos)
+        << "error does not name the flag: " << message;
+    EXPECT_NE(message.find("'" + value + "'"), std::string::npos)
+        << "error does not quote the value: " << message;
+  }
+}
+
+TEST(StrictParse, UintAcceptsPlainDigits) {
+  EXPECT_EQ(parse_uint("--threads", "0"), 0u);
+  EXPECT_EQ(parse_uint("--threads", "8"), 8u);
+  EXPECT_EQ(parse_uint("--pop", "007"), 7u);  // leading zeros are just digits
+  EXPECT_EQ(parse_uint("--seed", "18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(StrictParse, UintRejectsTrailingGarbage) {
+  // The legacy stoul path parsed "8x" as 8 and dropped the "x" on the floor.
+  expect_rejects_naming([] { parse_uint("--threads", "8x"); }, "--threads",
+                        "8x");
+  expect_rejects_naming([] { parse_uint("--threads", "8 "); }, "--threads",
+                        "8 ");
+  expect_rejects_naming([] { parse_uint("--gens", "1e3"); }, "--gens", "1e3");
+}
+
+TEST(StrictParse, UintRejectsNegativeInsteadOfWrapping) {
+  // stoul("-1") silently wraps to 2^64-1; a budget knob must never do that.
+  expect_rejects_naming([] { parse_uint("--checkpoint-every", "-1"); },
+                        "--checkpoint-every", "-1");
+  expect_rejects_naming([] { parse_uint("--pop", "+3"); }, "--pop", "+3");
+}
+
+TEST(StrictParse, UintRejectsEmptyAndWhitespace) {
+  expect_rejects_naming([] { parse_uint("--seed", ""); }, "--seed", "");
+  expect_rejects_naming([] { parse_uint("--seed", " 4"); }, "--seed", " 4");
+}
+
+TEST(StrictParse, UintRejectsOverflow) {
+  // One past 2^64-1 and a clearly absurd digit string.
+  expect_rejects_naming([] { parse_uint("--seed", "18446744073709551616"); },
+                        "--seed", "18446744073709551616");
+  expect_rejects_naming([] { parse_uint("--seed", "99999999999999999999999"); },
+                        "--seed", "99999999999999999999999");
+}
+
+TEST(StrictParse, SizeMatchesUintOnThisPlatform) {
+  EXPECT_EQ(parse_size("--requests", "1000"), 1000u);
+  expect_rejects_naming([] { parse_size("--requests", "-1"); }, "--requests",
+                        "-1");
+  expect_rejects_naming([] { parse_size("--requests", "12q"); }, "--requests",
+                        "12q");
+}
+
+TEST(StrictParse, DoubleAcceptsUsualForms) {
+  EXPECT_DOUBLE_EQ(parse_double("--rate", "100"), 100.0);
+  EXPECT_DOUBLE_EQ(parse_double("--threshold", "0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_double("--deadline-ms", "2.5e1"), 25.0);
+  EXPECT_DOUBLE_EQ(parse_double("--watchdog", "-3.25"), -3.25);
+}
+
+TEST(StrictParse, DoubleRejectsGarbageWhitespaceAndEmpty) {
+  expect_rejects_naming([] { parse_double("--rate", "0.5x"); }, "--rate",
+                        "0.5x");
+  expect_rejects_naming([] { parse_double("--rate", ""); }, "--rate", "");
+  expect_rejects_naming([] { parse_double("--rate", " 1.0"); }, "--rate",
+                        " 1.0");
+  expect_rejects_naming([] { parse_double("--rate", "fast"); }, "--rate",
+                        "fast");
+}
+
+TEST(StrictParse, DoubleRejectsNonFinite) {
+  expect_rejects_naming([] { parse_double("--rate", "inf"); }, "--rate", "inf");
+  expect_rejects_naming([] { parse_double("--rate", "nan"); }, "--rate", "nan");
+  expect_rejects_naming([] { parse_double("--rate", "1e999"); }, "--rate",
+                        "1e999");
+}
+
+TEST(StrictParse, DoubleInEnforcesRangeWithCustomExpectation) {
+  EXPECT_DOUBLE_EQ(
+      parse_double_in("fault-config key 'rate'", "0.05", 0.0, 1.0,
+                      "expected a probability in [0, 1]"),
+      0.05);
+  try {
+    parse_double_in("fault-config key 'rate'", "2.0", 0.0, 1.0,
+                    "expected a probability in [0, 1]");
+    FAIL() << "out-of-range value was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("fault-config key 'rate'"), std::string::npos);
+    EXPECT_NE(message.find("probability in [0, 1]"), std::string::npos);
+  }
+  expect_rejects_naming(
+      [] {
+        parse_double_in("--noise", "0.1oops", 0.0, 1.0, "expected [0, 1]");
+      },
+      "--noise", "0.1oops");
+}
+
+}  // namespace

@@ -24,6 +24,8 @@
 #include "core/serialize.hpp"
 #include "data/sample_stream.hpp"
 #include "exec/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/serve/supervisor.hpp"
 #include "supernet/baselines.hpp"
@@ -63,9 +65,11 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"search",
        {"device", "out", "pop", "gens", "ioe-per-gen", "ioe-pop", "ioe-gens",
         "seed", "train-size", "epochs", "max-latency-ms", "space", "resume",
-        "checkpoint", "checkpoint-every", "checkpoint-keep", "faults"}},
+        "checkpoint", "checkpoint-every", "checkpoint-keep", "faults",
+        "threads", "metrics-out", "trace-out"}},
       {"show", {}},
       {"verify-checkpoint", {}},
+      {"metrics-dump", {"format"}},
       {"deploy",
        {"device", "result", "index", "policy", "threshold", "train-size",
         "epochs", "space", "stream-seed"}},
@@ -75,7 +79,8 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
         "requests", "rate", "queue", "deadline-ms", "watchdog", "degraded",
         "faults", "failover", "failover-faults", "thermal", "train-size",
         "epochs", "space", "stream-seed", "trace-seed", "out", "journal",
-        "journal-every", "journal-keep"}},
+        "journal-every", "journal-keep", "threads", "metrics-out",
+        "trace-out"}},
       {"portable",
        {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
         "epochs", "seed", "space"}},
@@ -115,11 +120,11 @@ class Args {
   }
   std::size_t get_or(const std::string& key, std::size_t fallback) const {
     const auto v = get(key);
-    return v ? static_cast<std::size_t>(std::stoul(*v)) : fallback;
+    return v ? util::parse_size("--" + key, *v) : fallback;
   }
   double get_or(const std::string& key, double fallback) const {
     const auto v = get(key);
-    return v ? std::stod(*v) : fallback;
+    return v ? util::parse_double("--" + key, *v) : fallback;
   }
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -127,6 +132,37 @@ class Args {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Observability file sinks requested on the command line. Requesting
+/// either output turns the obs master switch on (and the trace sink for
+/// --trace-out); the search / serve results themselves are unaffected —
+/// instrumentation is strictly observe-only.
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+ObsOutputs obs_setup(const Args& args) {
+  ObsOutputs out;
+  out.metrics_path = args.get_or("metrics-out", std::string());
+  out.trace_path = args.get_or("trace-out", std::string());
+  if (!out.metrics_path.empty() || !out.trace_path.empty())
+    obs::set_enabled(true);
+  if (!out.trace_path.empty()) obs::TraceSink::global().enable();
+  return out;
+}
+
+void obs_write(const ObsOutputs& out) {
+  if (!out.metrics_path.empty()) {
+    obs::write_metrics_file(out.metrics_path);
+    std::cout << "metrics -> " << out.metrics_path << "\n";
+  }
+  if (!out.trace_path.empty()) {
+    obs::TraceSink::global().save(out.trace_path);
+    std::cout << "trace (" << obs::TraceSink::global().size() << " events) -> "
+              << out.trace_path << "\n";
+  }
+}
 
 supernet::SearchSpace parse_space(const Args& args) {
   const std::string name = args.get_or("space", std::string("attentive"));
@@ -187,8 +223,10 @@ int cmd_search(const Args& args) {
   config.checkpoint_path = args.get_or("checkpoint", std::string());
   config.checkpoint_every = args.get_or("checkpoint-every", std::size_t{1});
   config.checkpoint_keep = args.get_or("checkpoint-keep", std::size_t{3});
+  config.exec.threads = args.get_or("threads", config.exec.threads);
   if (const auto faults = args.get("faults"))
     config.robust.faults = hw::parse_fault_config(*faults);
+  const ObsOutputs obs_out = obs_setup(args);
 
   const supernet::SearchSpace space = parse_space(args);
   core::WarmStart warm;
@@ -237,6 +275,8 @@ int cmd_search(const Args& args) {
             << result.inner_evaluations << " inner evaluations\n"
             << "final Pareto set: " << result.final_pareto.size()
             << " designs -> " << out_path << "\n";
+  core::export_search_metrics(engine, result);
+  obs_write(obs_out);
   return 0;
 }
 
@@ -481,6 +521,8 @@ int cmd_serve(const Args& args) {
   serve_config.journal.path = args.get_or("journal", std::string());
   serve_config.journal.every = args.get_or("journal-every", std::size_t{64});
   serve_config.journal.keep = args.get_or("journal-keep", std::size_t{3});
+  serve_config.exec.threads = args.get_or("threads", serve_config.exec.threads);
+  const ObsOutputs obs_out = obs_setup(args);
 
   const data::SampleStream stream(engine.task(), 2000,
                                   args.get_or("stream-seed", std::size_t{5}));
@@ -507,10 +549,14 @@ int cmd_serve(const Args& args) {
                      std::to_string(report.admitted) + " / " +
                      std::to_string(report.shed + report.shed_no_device)});
   table.add_row({"accuracy", util::fmt_pct(report.deployment.accuracy, 2)});
-  table.add_row({"p50 / p95 / p99 latency",
-                 util::fmt_fixed(report.p50_latency_s * 1e3, 2) + " / " +
-                     util::fmt_fixed(report.p95_latency_s * 1e3, 2) + " / " +
-                     util::fmt_fixed(report.p99_latency_s * 1e3, 2) + " ms"});
+  std::string percentile_cell =
+      util::fmt_fixed(report.p50_latency_s * 1e3, 2) + " / " +
+      util::fmt_fixed(report.p95_latency_s * 1e3, 2) + " / " +
+      util::fmt_fixed(report.p99_latency_s * 1e3, 2) + " ms";
+  if (report.percentiles_low_confidence())
+    percentile_cell += " (low confidence, n=" + std::to_string(report.completed) +
+                       " < " + std::to_string(runtime::serve::ServeReport::kPercentileConfidenceMin) + ")";
+  table.add_row({"p50 / p95 / p99 latency", percentile_cell});
   table.add_row({"deadline miss rate", util::fmt_pct(report.miss_rate, 2)});
   table.add_row({"watchdog fallbacks", std::to_string(report.watchdog_fallbacks)});
   table.add_row({"failovers / devices lost",
@@ -527,6 +573,7 @@ int cmd_serve(const Args& args) {
     core::save_json(*out, report.to_json());
     std::cout << "serve report -> " << *out << "\n";
   }
+  obs_write(obs_out);
   return 0;
 }
 
@@ -613,6 +660,41 @@ int cmd_portable(const Args& args) {
   return 0;
 }
 
+int cmd_metrics_dump(const Args& args) {
+  if (args.positional().empty())
+    throw std::invalid_argument(
+        "usage: hadas metrics-dump <metrics.json> [--format table|prom]");
+  const std::string path = args.positional().front();
+  const util::Json snapshot = core::load_json(path);
+  const std::string format = args.get_or("format", std::string("table"));
+
+  if (format == "prom") {
+    std::cout << obs::MetricsRegistry::prometheus_from_json(snapshot);
+    return 0;
+  }
+  if (format != "table")
+    throw std::invalid_argument("unknown --format '" + format +
+                                "' (expected table or prom)");
+
+  util::TextTable table({"metric", "kind", "value"},
+                        {util::Align::kLeft, util::Align::kLeft,
+                         util::Align::kRight});
+  table.set_title("metrics snapshot: " + path);
+  if (snapshot.contains("counters"))
+    for (const auto& [name, value] : snapshot.at("counters").as_object())
+      table.add_row({name, "counter", std::to_string(value.as_index())});
+  if (snapshot.contains("gauges"))
+    for (const auto& [name, value] : snapshot.at("gauges").as_object())
+      table.add_row({name, "gauge", util::fmt_fixed(value.as_number(), 4)});
+  if (snapshot.contains("histograms"))
+    for (const auto& [name, hist] : snapshot.at("histograms").as_object())
+      table.add_row({name, "histogram",
+                     std::to_string(hist.at("count").as_index()) + " obs, sum " +
+                         util::fmt_fixed(hist.at("sum").as_number(), 4)});
+  table.print(std::cout);
+  return 0;
+}
+
 void print_usage() {
   std::cout << "usage: hadas <command> [options]\n\n"
                "commands:\n"
@@ -627,6 +709,9 @@ void print_usage() {
                "         [--checkpoint-every N] [--checkpoint-keep K]\n"
                "         [--faults CFG]        inject faults, e.g.\n"
                "                               rate=0.05,noise=0.01,nan=0.01\n"
+               "         [--threads N]         worker threads (0 = auto)\n"
+               "         [--metrics-out F]     write a metrics snapshot JSON\n"
+               "         [--trace-out F]       write a Chrome trace_event JSON\n"
                "  show F                       print a saved result\n"
                "  verify-checkpoint F          inspect a durable state file\n"
                "                               (header, checksum, fingerprint)\n"
@@ -641,7 +726,10 @@ void print_usage() {
                "         [--faults CFG] [--failover D2 [--failover-faults CFG]]\n"
                "         [--journal F]        periodic durable snapshot + resume\n"
                "         [--journal-every N] [--journal-keep K]\n"
+               "         [--threads N] [--metrics-out F] [--trace-out F]\n"
                "         [--out F]            save the full serve report JSON\n"
+               "  metrics-dump F               print a --metrics-out snapshot\n"
+               "         [--format table|prom] table (default) or Prometheus text\n"
                "  portable                     cross-device joint search\n";
 }
 
@@ -676,6 +764,7 @@ int main(int argc, char** argv) {
     if (command == "deploy") return cmd_deploy(args);
     if (command == "sensitivity") return cmd_sensitivity(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "metrics-dump") return cmd_metrics_dump(args);
     if (command == "portable") return cmd_portable(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
