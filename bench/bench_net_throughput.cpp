@@ -1,0 +1,167 @@
+// Throughput / resume-latency bench for the networked serving layer
+// (src/net). Drives hadasd + client over the in-process loopback fake
+// network with a scripted ServeService (no bank training, so the numbers
+// isolate the wire protocol): a clean run measures request upload + report
+// download throughput; a seeded-flaky run with S severed connections
+// measures what resumption costs — extra protocol steps (the simulated
+// clock: one step = one cooperative daemon+client round) and replayed
+// bytes — and byte-compares the resumed report against the clean one.
+//
+// Results land crash-safely in <out>/net_throughput.json (durable
+// envelope, same as every bench). Exit status reflects the byte-identity
+// check: a resumed report differing from the clean one is a protocol bug,
+// not noise.
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "net/client.hpp"
+#include "net/fake_socket.hpp"
+#include "net/server.hpp"
+#include "runtime/serve/bridge.hpp"
+#include "util/json.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas {
+namespace {
+
+/// Deterministic service: digests the trace into a report padded to a
+/// realistic size so the download side of the protocol is exercised.
+class ScriptedService : public runtime::serve::ServeService {
+ public:
+  std::size_t sample_count() const override { return 512; }
+  const std::string& fingerprint() const override { return fingerprint_; }
+  std::string run_trace(const std::vector<runtime::serve::RemoteRequest>&
+                            requests) const override {
+    std::uint64_t id_sum = 0;
+    for (const auto& request : requests) id_sum += request.id;
+    const std::string digest = "{\"requests\": " +
+                               std::to_string(requests.size()) +
+                               ", \"id_sum\": " + std::to_string(id_sum) +
+                               "}\n";
+    std::string report;
+    while (report.size() < 128 * 1024) report += digest;
+    return report;
+  }
+
+ private:
+  std::string fingerprint_ = "bench-net-throughput-v1";
+};
+
+struct RunStats {
+  std::size_t steps = 0;
+  double wall_s = 0.0;
+  std::size_t reconnects = 0;
+  std::uint64_t bytes_replayed = 0;
+  std::string report;
+};
+
+RunStats run_session(const std::string& dir, std::size_t requests,
+                     std::size_t severs) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto network = std::make_shared<net::FakeNetwork>();
+  net::FakeSocketHandler handler(network);
+  ScriptedService service;
+
+  net::DaemonConfig daemon_config;
+  daemon_config.listen = {"bench", 1};
+  daemon_config.state_dir = dir;
+  net::ServeDaemon daemon(handler, service, daemon_config);
+  daemon.start();
+
+  net::ClientConfig client_config;
+  client_config.connect = {"bench", 1};
+  client_config.session_id = "bench";
+  client_config.state_path = dir + "/client.json";
+  client_config.traffic.requests = requests;
+  client_config.traffic.arrival_rate_hz = 500.0;
+  client_config.traffic.seed = 0xBE9C4;
+
+  net::FlakyConfig flaky;
+  flaky.severs = severs;
+  flaky.seed = 0xF1A6;
+  flaky.min_bytes = 2000;
+  flaky.max_bytes = 60000;
+  net::FlakySocketHandler chaos(handler, flaky);
+  net::ServeClient client(
+      severs > 0 ? static_cast<net::SocketHandler&>(chaos)
+                 : static_cast<net::SocketHandler&>(handler),
+      client_config);
+
+  RunStats stats;
+  const std::uint64_t replayed_before =
+      net::net_metrics().bytes_replayed.value();
+  const auto start = std::chrono::steady_clock::now();
+  while (!client.done()) {
+    client.step();
+    daemon.step();
+    ++stats.steps;
+  }
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stats.reconnects = client.reconnects();
+  stats.bytes_replayed =
+      net::net_metrics().bytes_replayed.value() - replayed_before;
+  stats.report = client.report();
+  std::filesystem::remove_all(dir);
+  return stats;
+}
+
+}  // namespace
+}  // namespace hadas
+
+int main() {
+  using namespace hadas;
+  const std::size_t requests = bench::paper_budget() ? 200000 : 20000;
+  const std::size_t severs = 8;
+  const std::string dir = bench::out_dir();
+
+  std::cout << "clean loopback session (" << requests << " requests)...\n";
+  const RunStats clean = run_session(dir + "/net_bench_clean", requests, 0);
+  std::cout << "flaky loopback session (" << severs << " severs)...\n";
+  const RunStats chaos =
+      run_session(dir + "/net_bench_flaky", requests, severs);
+
+  const double req_per_s =
+      clean.wall_s > 0.0 ? static_cast<double>(requests) / clean.wall_s : 0.0;
+  const double resume_steps =
+      chaos.reconnects > 0
+          ? static_cast<double>(chaos.steps - clean.steps) / chaos.reconnects
+          : 0.0;
+  const bool identical = clean.report == chaos.report;
+
+  std::cout << "clean:  " << clean.steps << " steps, "
+            << util::fmt_fixed(clean.wall_s * 1e3, 1) << " ms wall, "
+            << util::fmt_si(req_per_s) << " req/s\n"
+            << "flaky:  " << chaos.steps << " steps, "
+            << chaos.reconnects << " reconnects, "
+            << chaos.bytes_replayed << " bytes replayed\n"
+            << "resume: " << util::fmt_fixed(resume_steps, 1)
+            << " extra steps per sever (simulated clock)\n"
+            << "report: " << (identical ? "byte-identical" : "DIFFERS")
+            << " after chaos\n";
+
+  util::Json::Object doc;
+  doc["bench"] = util::Json(std::string("net_throughput"));
+  doc["requests"] = util::Json(requests);
+  doc["clean_steps"] = util::Json(clean.steps);
+  doc["clean_wall_s"] = util::Json(clean.wall_s);
+  doc["requests_per_s"] = util::Json(req_per_s);
+  doc["severs"] = util::Json(severs);
+  doc["flaky_steps"] = util::Json(chaos.steps);
+  doc["flaky_reconnects"] = util::Json(chaos.reconnects);
+  doc["flaky_bytes_replayed"] = util::Json(chaos.bytes_replayed);
+  doc["resume_steps_per_sever"] = util::Json(resume_steps);
+  doc["report_byte_identical"] = util::Json(identical);
+  const std::string out = dir + "/net_throughput.json";
+  bench::write_result_json(out, util::Json(std::move(doc)));
+  std::cout << "results -> " << out << "\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/session.hpp"
+#include "net/socket.hpp"
+#include "runtime/serve/traffic.hpp"
+
+namespace hadas::net {
+
+/// hadas client configuration. The client generates the same deterministic
+/// Poisson trace `hadas serve` would build locally (same TrafficConfig ->
+/// same arrivals, request i carries sample position i) and streams it to a
+/// hadasd daemon, so the returned ServeReport is byte-identical to an
+/// in-process run.
+struct ClientConfig {
+  util::HostPort connect;
+  /// Session identity ([A-Za-z0-9._-]{1,64}); reconnects under the same id
+  /// resume rather than restart.
+  std::string session_id;
+  /// Journal path for this client's durable session state.
+  std::string state_path;
+  runtime::serve::TrafficConfig traffic;
+  /// Requests per kRequestBatch app frame.
+  std::size_t batch = 64;
+  /// Consecutive failed connect() attempts before run() gives up.
+  std::size_t max_connect_attempts = 200;
+  /// wait() between reconnect attempts in run().
+  int reconnect_backoff_ms = 20;
+};
+
+/// The resumable client endpoint: connects (and reconnects, forever
+/// picking up where the durable journal says it left off), streams the
+/// request trace, and accumulates the report. Kill the process at any
+/// instruction and a new ServeClient with the same config resumes with
+/// zero request loss and zero duplicated bytes.
+///
+/// Like the daemon it is non-blocking: step() performs one round, run()
+/// loops until done() with handler.wait() in between.
+class ServeClient {
+ public:
+  ServeClient(SocketHandler& handler, ClientConfig config);
+
+  /// One non-blocking round (connect attempt, pump, frame processing).
+  /// Returns true when anything moved. Throws ConnectError only out of
+  /// run() (step() counts failed attempts silently).
+  bool step();
+
+  /// step() until done(). Throws ConnectError after max_connect_attempts
+  /// consecutive failures.
+  void run();
+
+  bool done() const { return done_; }
+  /// The complete ServeReport JSON text (valid once done()).
+  const std::string& report() const { return report_; }
+  /// The server's config fingerprint (valid after the first handshake).
+  const std::string& server_fingerprint() const { return fingerprint_; }
+  std::size_t reconnects() const { return reconnects_; }
+  std::size_t connect_failures() const { return connect_failures_; }
+
+ private:
+  void save();
+  void restore();
+  bool try_connect();
+  void handle_welcome(const Frame& frame);
+  /// Consume app frames (report chunks) from the inbox; saves + acks when
+  /// anything was consumed.
+  bool advance();
+  /// Queue the whole request trace + kFinish into the backed writer.
+  void generate_requests();
+
+  SocketHandler& handler_;
+  ClientConfig config_;
+  std::vector<double> arrivals_;  ///< precomputed Poisson arrival times
+
+  Transport transport_;
+  BackedWriter writer_;
+  BackedReader reader_;
+  bool handshaken_ = false;
+  bool connected_once_ = false;
+
+  // Durable app state (journaled alongside the stream offsets).
+  bool requests_queued_ = false;
+  bool report_complete_ = false;
+  bool bye_sent_ = false;
+  std::string report_;
+  std::string fingerprint_;
+  std::uint64_t sample_count_ = 0;
+
+  bool done_ = false;
+  std::size_t reconnects_ = 0;
+  std::size_t connect_failures_ = 0;
+};
+
+}  // namespace hadas::net

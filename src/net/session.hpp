@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/backed_stream.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace hadas::net {
+
+/// Durable-envelope format tag of net session journals.
+inline constexpr const char* kSessionFormatTag = "hadas-net-session-v1";
+
+/// Protocol version carried in HELLO; a mismatch refuses the handshake.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// WELCOME read_seq sentinel: "this session already completed and was
+/// garbage-collected". The client only ever learns this after it durably
+/// stored the report (BYE is sent strictly after that), so it can finish
+/// immediately.
+inline constexpr std::uint64_t kSessionCompleted = ~std::uint64_t{0};
+
+/// Everything one endpoint of a resumable session must persist to survive a
+/// kill with zero byte loss:
+///
+///   - the write side's acked offset + retained unacked bytes (hex in the
+///     JSON payload — they are arbitrary binary),
+///   - the read side's durably-consumed offset,
+///   - the server's config fingerprint (a resumed client refuses a server
+///     whose serving configuration changed under it),
+///   - an endpoint-specific `app` document (the client keeps its request
+///     cursor and accumulated report bytes; the server keeps the received
+///     request records and whether the report was generated).
+///
+/// The invariant that makes resume loss-free: an endpoint sends ACK(n) only
+/// after a successful save() with read_seq == n, so every acknowledged byte
+/// is on disk at one side or the other at all times.
+struct SessionState {
+  std::string session_id;
+  std::string fingerprint;
+  std::uint64_t write_acked = 0;
+  std::string write_unacked;
+  std::uint64_t read_seq = 0;
+  util::Json app;
+};
+
+util::Json session_state_to_json(const SessionState& state);
+SessionState session_state_from_json(const util::Json& json);
+
+/// Durably (temp + fsync + rename) persist `state` at `path`. Counts the
+/// journal traffic in the net metrics.
+void save_session_state(const std::string& path, const SessionState& state);
+
+/// Load a previously saved state; nullopt when `path` does not exist.
+/// Throws util::durable::CheckpointCorruptError on a corrupt journal.
+std::optional<SessionState> load_session_state(const std::string& path);
+
+/// True for session ids safe to embed in a file name ([A-Za-z0-9._-]{1,64},
+/// not starting with a dot).
+bool valid_session_id(const std::string& id);
+
+/// Net-layer instruments, resolved once against the global MetricsRegistry
+/// (so `hadas metrics-dump` and the Prometheus exposition pick them up with
+/// no extra wiring). Counters are always live; strictly observe-only.
+struct NetMetrics {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Counter& connections_accepted =
+      r.counter("net.connections_accepted_total");
+  obs::Counter& connections_dropped =
+      r.counter("net.connections_dropped_total");
+  obs::Counter& sessions_created = r.counter("net.sessions_created_total");
+  obs::Counter& sessions_resumed = r.counter("net.sessions_resumed_total");
+  obs::Counter& sessions_completed = r.counter("net.sessions_completed_total");
+  obs::Counter& client_reconnects = r.counter("net.client_reconnects_total");
+  obs::Counter& journal_saves = r.counter("net.journal_saves_total");
+  obs::Counter& bytes_journaled = r.counter("net.bytes_journaled_total");
+  obs::Counter& bytes_replayed = r.counter("net.bytes_replayed_total");
+  obs::Counter& frames_sent = r.counter("net.frames_sent_total");
+  obs::Counter& frames_received = r.counter("net.frames_received_total");
+  obs::Counter& requests_streamed = r.counter("net.requests_streamed_total");
+  obs::Counter& reports_sent = r.counter("net.reports_sent_total");
+  /// Bytes a sender had to replay after one reconnect handshake.
+  obs::Histogram& replay_bytes =
+      r.histogram("net.replay_bytes", {0, 64, 256, 1024, 4096, 16384, 65536,
+                                       262144, 1048576});
+};
+
+NetMetrics& net_metrics();
+
+}  // namespace hadas::net

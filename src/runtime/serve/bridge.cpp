@@ -1,0 +1,28 @@
+#include "runtime/serve/bridge.hpp"
+
+#include <stdexcept>
+
+namespace hadas::runtime::serve {
+
+std::string SupervisorBridge::run_trace(
+    const std::vector<RemoteRequest>& requests) const {
+  std::vector<ServeRequest> trace;
+  trace.reserve(requests.size());
+  double last_arrival = 0.0;
+  for (const RemoteRequest& remote : requests) {
+    if (remote.arrival_s < last_arrival)
+      throw std::invalid_argument(
+          "SupervisorBridge: request arrivals must be non-decreasing");
+    last_arrival = remote.arrival_s;
+    ServeRequest request;
+    request.id = static_cast<std::size_t>(remote.id);
+    request.arrival_s = remote.arrival_s;
+    request.sample = stream_.indices()[static_cast<std::size_t>(
+        remote.sample_pos % stream_.size())];
+    trace.push_back(request);
+  }
+  const ServeReport report = supervisor_.run(placement_, ladder_, trace);
+  return report.to_json().dump(2) + "\n";
+}
+
+}  // namespace hadas::runtime::serve

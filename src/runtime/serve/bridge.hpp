@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/serve/supervisor.hpp"
+
+namespace hadas::runtime::serve {
+
+/// A request as it crosses the wire: the client knows trace positions, not
+/// sample indices — `sample_pos` is mapped through the server's sample
+/// stream (`indices()[pos % size]`), which is exactly what poisson_trace
+/// does locally, so a networked trace and an in-process trace resolve to
+/// identical ServeRequests.
+struct RemoteRequest {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;
+  std::uint64_t sample_pos = 0;
+};
+
+/// What the net layer needs from a serving stack — deliberately tiny so
+/// src/net never sees supervisor internals and tests can substitute a
+/// scripted fake. One service instance is shared by every client session of
+/// a daemon; run_trace is const and stateless across calls.
+class ServeService {
+ public:
+  virtual ~ServeService() = default;
+
+  /// Size of the test-split sample stream (the modulus for sample_pos).
+  virtual std::size_t sample_count() const = 0;
+
+  /// Canonical fingerprint of the serving configuration. Sent in WELCOME;
+  /// a resuming client refuses a server whose fingerprint changed, because
+  /// its half-accumulated report would silently mix two configurations.
+  virtual const std::string& fingerprint() const = 0;
+
+  /// Run the full trace through the supervisor and return the ServeReport
+  /// rendered exactly as `hadas serve` writes it (pretty JSON + newline),
+  /// so a byte compare against an uninterrupted local run is meaningful.
+  virtual std::string run_trace(
+      const std::vector<RemoteRequest>& requests) const = 0;
+};
+
+/// The production ServeService: maps RemoteRequests onto the sample stream
+/// and hands them to a ServeSupervisor. All referenced objects must outlive
+/// the bridge.
+class SupervisorBridge : public ServeService {
+ public:
+  SupervisorBridge(const ServeSupervisor& supervisor,
+                   const dynn::ExitPlacement& placement,
+                   std::vector<const ExitPolicy*> ladder,
+                   const data::SampleStream& stream, std::string fingerprint)
+      : supervisor_(supervisor),
+        placement_(placement),
+        ladder_(std::move(ladder)),
+        stream_(stream),
+        fingerprint_(std::move(fingerprint)) {}
+
+  std::size_t sample_count() const override { return stream_.size(); }
+  const std::string& fingerprint() const override { return fingerprint_; }
+  std::string run_trace(
+      const std::vector<RemoteRequest>& requests) const override;
+
+ private:
+  const ServeSupervisor& supervisor_;
+  const dynn::ExitPlacement& placement_;
+  std::vector<const ExitPolicy*> ladder_;
+  const data::SampleStream& stream_;
+  std::string fingerprint_;
+};
+
+}  // namespace hadas::runtime::serve

@@ -66,6 +66,55 @@ double parse_double_in(const std::string& what, const std::string& value,
   return out;
 }
 
+HostPort parse_hostport(const std::string& what, const std::string& value) {
+  const char* expected = "expected host:port with port in [1, 65535]";
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size())
+    reject(what, value, expected);
+  const std::string host = value.substr(0, colon);
+  const std::string port_str = value.substr(colon + 1);
+  for (char c : host) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ':')
+      reject(what, value, expected);
+  }
+  std::uint64_t port = 0;
+  try {
+    port = parse_uint(what, port_str);
+  } catch (const std::invalid_argument&) {
+    reject(what, value, expected);
+  }
+  if (port == 0 || port > 65535) reject(what, value, expected);
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+std::string to_hex(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+std::string from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("from_hex: odd-length input");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument(std::string("from_hex: non-hex character '") +
+                                c + "'");
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  return out;
+}
+
 std::string fmt_fixed(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

@@ -29,6 +29,26 @@ double parse_double(const std::string& what, const std::string& value);
 double parse_double_in(const std::string& what, const std::string& value,
                        double lo, double hi, const std::string& expected);
 
+/// A validated network endpoint ("host:port").
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Strict full-string "host:port" parse for --listen / --connect style
+/// flags. Rejects (naming `what`, like the numeric parsers above): a missing
+/// colon, an empty host (":80"), an empty or non-numeric port ("host:",
+/// "host:80x"), port 0 and ports above 65535, whitespace anywhere, and
+/// hosts containing further colons (no IPv6 literals — use a hostname).
+HostPort parse_hostport(const std::string& what, const std::string& value);
+
+/// Lower-case hex encoding of arbitrary bytes ("ab\x00" -> "616200").
+std::string to_hex(const std::string& bytes);
+
+/// Inverse of to_hex. Throws std::invalid_argument on odd length or
+/// non-hex characters.
+std::string from_hex(const std::string& hex);
+
 /// Fixed-precision decimal formatting, e.g. fmt_fixed(3.14159, 2) == "3.14".
 std::string fmt_fixed(double v, int precision);
 

@@ -1,0 +1,167 @@
+// Frame codec: seeded random round-trips with exact byte equality under
+// arbitrary chunking, truncation vs. corruption (CRC footer), and the
+// maximum-frame-size guard on both encode and decode.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hadas;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameError;
+using net::FrameType;
+
+FrameType random_type(util::Rng& rng) {
+  static const FrameType kTypes[] = {
+      FrameType::kHello,        FrameType::kWelcome,   FrameType::kData,
+      FrameType::kAck,          FrameType::kRequestBatch,
+      FrameType::kFinish,       FrameType::kReportChunk,
+      FrameType::kReportEnd,    FrameType::kBye};
+  return kTypes[rng.uniform_index(sizeof(kTypes) / sizeof(kTypes[0]))];
+}
+
+std::string random_payload(util::Rng& rng, std::size_t max_len) {
+  std::string payload(rng.uniform_index(max_len + 1), '\0');
+  for (char& c : payload) c = static_cast<char>(rng.uniform_index(256));
+  return payload;
+}
+
+TEST(NetFrame, ThousandRandomFramesRoundTripByteExactly) {
+  util::Rng rng(0xF4A3E);
+  std::vector<Frame> sent;
+  std::string wire;
+  for (int i = 0; i < 1000; ++i) {
+    Frame frame;
+    frame.type = random_type(rng);
+    frame.payload = random_payload(rng, 300);
+    wire += net::encode_frame(frame.type, frame.payload);
+    sent.push_back(std::move(frame));
+  }
+
+  // Feed the whole stream in random-sized chunks — the decoder must not
+  // care how the transport fragmented it.
+  FrameDecoder decoder;
+  std::vector<Frame> received;
+  std::size_t at = 0;
+  while (at < wire.size()) {
+    const std::size_t n =
+        std::min(wire.size() - at, rng.uniform_index(97) + 1);
+    decoder.feed(wire.data() + at, n);
+    at += n;
+    while (auto frame = decoder.next()) received.push_back(std::move(*frame));
+  }
+
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].type, sent[i].type) << "frame " << i;
+    EXPECT_EQ(received[i].payload, sent[i].payload) << "frame " << i;
+  }
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(NetFrame, TruncationIsIncompleteNotCorrupt) {
+  const std::string wire = net::encode_frame(FrameType::kData, "hello world");
+  // Every proper prefix must decode to "no frame yet" without throwing:
+  // a cut cable mid-frame is normal and the replay path fills in the rest.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), cut);
+    EXPECT_FALSE(decoder.next().has_value()) << "prefix of " << cut;
+    EXPECT_EQ(decoder.pending(), cut);
+  }
+  // The full frame then completes from the buffered prefix.
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "hello world");
+}
+
+TEST(NetFrame, EveryPossibleBitflipIsDetected) {
+  const std::string clean =
+      net::encode_frame(FrameType::kRequestBatch, "payload-under-test");
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {  // every byte, sampled bits
+      std::string corrupt = clean;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FrameDecoder decoder;
+      decoder.feed(corrupt);
+      // A flip lands in the magic, the type/length (CRC-covered), the
+      // payload (CRC-covered) or the CRC itself. All must throw — except
+      // a length-field flip that *grows* the declared length, which makes
+      // the frame incomplete first (nullopt) and fails CRC once the rest
+      // arrives; emulate that by appending padding.
+      try {
+        auto frame = decoder.next();
+        if (!frame.has_value()) {
+          decoder.feed(std::string(net::kMaxFramePayload + 16, 'x'));
+          frame = decoder.next();
+        }
+        ASSERT_FALSE(frame.has_value())
+            << "byte " << byte << " bit " << bit << " went undetected";
+      } catch (const FrameError&) {
+        // detected — good
+      }
+    }
+  }
+}
+
+TEST(NetFrame, OversizedPayloadRejectedOnEncode) {
+  const std::string big(net::kMaxFramePayload + 1, 'a');
+  EXPECT_THROW(net::encode_frame(FrameType::kData, big),
+               std::invalid_argument);
+  // Exactly at the cap is fine.
+  const std::string max(net::kMaxFramePayload, 'a');
+  EXPECT_NO_THROW(net::encode_frame(FrameType::kData, max));
+}
+
+TEST(NetFrame, OversizedDeclaredLengthRejectedOnDecode) {
+  // Hand-craft a header whose declared length exceeds the cap: the decoder
+  // must throw from the header alone, before buffering gigabytes.
+  std::string wire = "HNF1";
+  wire.push_back(static_cast<char>(FrameType::kData));
+  net::put_u32(wire, static_cast<std::uint32_t>(net::kMaxFramePayload + 1));
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(NetFrame, BadMagicRejected) {
+  FrameDecoder decoder;
+  decoder.feed(std::string("XXXX") +
+               net::encode_frame(FrameType::kData, "x").substr(4));
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(NetFrame, PeekFrameMatchesDecoderAndReportsSize) {
+  const std::string a = net::encode_frame(FrameType::kHello, "alpha");
+  const std::string b = net::encode_frame(FrameType::kBye, "");
+  const std::string wire = a + b;
+  auto peeked = net::peek_frame(wire);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->frame.type, FrameType::kHello);
+  EXPECT_EQ(peeked->frame.payload, "alpha");
+  EXPECT_EQ(peeked->encoded_size, a.size());
+  auto rest = net::peek_frame(wire.substr(peeked->encoded_size));
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->frame.type, FrameType::kBye);
+  EXPECT_EQ(rest->encoded_size, b.size());
+}
+
+TEST(NetFrame, IntegerHelpersRoundTrip) {
+  std::string buf;
+  net::put_u32(buf, 0xDEADBEEFu);
+  net::put_u64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(net::get_u32(buf, 0), 0xDEADBEEFu);
+  EXPECT_EQ(net::get_u64(buf, 4), 0x0123456789ABCDEFull);
+  EXPECT_THROW(net::get_u64(buf, 8), FrameError);  // short read
+}
+
+}  // namespace

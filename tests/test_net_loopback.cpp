@@ -1,0 +1,290 @@
+// The in-process loopback transport and the daemon/client session protocol
+// over it: fake-pipe socket semantics, happy-path serving with a scripted
+// ServeService, multi-client multiplexing, the flaky wrapper's seeded sever
+// schedule, net metrics registration, and a two-thread run()/run() exercise
+// (the TSan target for this subsystem).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/fake_socket.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace hadas;
+using net::ClientConfig;
+using net::DaemonConfig;
+using net::FakeNetwork;
+using net::FakeSocketHandler;
+using net::FlakyConfig;
+using net::FlakySocketHandler;
+using net::ServeClient;
+using net::ServeDaemon;
+
+/// Deterministic stand-in for the supervisor bridge: echoes a digest of the
+/// received trace, padded well past one report chunk so the report spans
+/// multiple app frames and DATA frames.
+class FakeService : public runtime::serve::ServeService {
+ public:
+  std::size_t sample_count() const override { return 40; }
+  const std::string& fingerprint() const override { return fingerprint_; }
+  std::string run_trace(
+      const std::vector<runtime::serve::RemoteRequest>& requests)
+      const override {
+    std::uint64_t id_sum = 0, pos_sum = 0;
+    double last_arrival = 0.0;
+    for (const auto& r : requests) {
+      id_sum += r.id;
+      pos_sum += r.sample_pos;
+      last_arrival = r.arrival_s;
+    }
+    std::string digest = "{\n  \"requests\": " +
+                         std::to_string(requests.size()) +
+                         ",\n  \"id_sum\": " + std::to_string(id_sum) +
+                         ",\n  \"pos_sum\": " + std::to_string(pos_sum) +
+                         ",\n  \"last_arrival\": " +
+                         std::to_string(last_arrival) + "\n}\n";
+    std::string padded;
+    while (padded.size() < 90 * 1024) padded += digest;
+    return padded;
+  }
+
+ private:
+  std::string fingerprint_ = "fake-service-fp-1";
+};
+
+struct Loopback {
+  explicit Loopback(const std::string& name) {
+    dir = "/tmp/hadas_net_loop_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~Loopback() { std::filesystem::remove_all(dir); }
+
+  ClientConfig client_config(const std::string& session,
+                             std::size_t requests = 200) const {
+    ClientConfig config;
+    config.connect = {"daemon", 9000};
+    config.session_id = session;
+    config.state_path = dir + "/client-" + session + ".json";
+    config.traffic.requests = requests;
+    config.traffic.arrival_rate_hz = 150.0;
+    config.traffic.seed = 0x5E21;
+    return config;
+  }
+
+  DaemonConfig daemon_config(std::size_t once = 0) const {
+    DaemonConfig config;
+    config.listen = {"daemon", 9000};
+    config.state_dir = dir;
+    config.once = once;
+    return config;
+  }
+
+  std::shared_ptr<FakeNetwork> network = std::make_shared<FakeNetwork>();
+  FakeSocketHandler handler{network};
+  FakeService service;
+  std::string dir;
+};
+
+/// What the client's deterministic trace should produce: rebuild the same
+/// requests (arrival process mirrors poisson_trace, sample position = index)
+/// and run them through the service directly.
+std::string expected_report(const runtime::serve::ServeService& service,
+                            const ClientConfig& config) {
+  util::Rng rng(config.traffic.seed);
+  std::vector<runtime::serve::RemoteRequest> requests;
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < config.traffic.requests; ++i) {
+    if (config.traffic.arrival_rate_hz > 0.0)
+      arrival += -std::log(1.0 - rng.uniform()) / config.traffic.arrival_rate_hz;
+    requests.push_back({i, arrival, i});
+  }
+  return service.run_trace(requests);
+}
+
+/// Cooperative pump until the client finishes (or the step budget runs out).
+bool drive(ServeDaemon& daemon, ServeClient& client, int max_steps = 20000) {
+  for (int i = 0; i < max_steps && !client.done(); ++i) {
+    client.step();
+    daemon.step();
+  }
+  return client.done();
+}
+
+TEST(NetLoopback, FakePipeDeliversBytesAndBackpressures) {
+  auto network = std::make_shared<FakeNetwork>();
+  FakeSocketHandler handler(network);
+  EXPECT_THROW(handler.connect({"nobody", 1}), net::ConnectError);
+
+  const int listener = handler.listen({"srv", 1});
+  EXPECT_EQ(handler.accept(listener), nullptr);  // nothing pending
+
+  auto client_end = handler.connect({"srv", 1});
+  auto server_end = handler.accept(listener);
+  ASSERT_NE(server_end, nullptr);
+
+  // Deliver a small message.
+  EXPECT_EQ(client_end->write("ping", 4), 4u);
+  char buf[16];
+  EXPECT_EQ(server_end->read(buf, sizeof(buf)), 4u);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  EXPECT_EQ(server_end->read(buf, sizeof(buf)), 0u);  // would block
+
+  // Backpressure: the pipe accepts at most kPipeCapacity unread bytes.
+  const std::string big(FakeNetwork::kPipeCapacity + 500, 'x');
+  const std::size_t accepted = client_end->write(big.data(), big.size());
+  EXPECT_EQ(accepted, FakeNetwork::kPipeCapacity);
+  EXPECT_EQ(client_end->write("y", 1), 0u);  // full: would block
+
+  // Peer close: buffered bytes still drain, then reads throw.
+  client_end->close();
+  std::size_t drained = 0;
+  for (;;) {
+    try {
+      const std::size_t got = server_end->read(buf, sizeof(buf));
+      ASSERT_GT(got, 0u);
+      drained += got;
+    } catch (const net::SocketClosedError&) {
+      break;
+    }
+  }
+  EXPECT_EQ(drained, FakeNetwork::kPipeCapacity);
+  EXPECT_THROW(server_end->write("z", 1), net::SocketClosedError);
+  handler.close_listener(listener);
+}
+
+TEST(NetLoopback, HappyPathServesOneSession) {
+  Loopback loop("happy");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+  ServeClient client(loop.handler, loop.client_config("alice"));
+
+  ASSERT_TRUE(drive(daemon, client));
+  EXPECT_EQ(client.report(),
+            expected_report(loop.service, loop.client_config("x")));
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(daemon.sessions_completed(), 1u);
+  EXPECT_EQ(daemon.active_sessions(), 0u);  // BYE garbage-collected it
+  EXPECT_EQ(client.server_fingerprint(), loop.service.fingerprint());
+  // Both journals were deleted on completion.
+  EXPECT_FALSE(std::filesystem::exists(loop.dir + "/client-alice.json"));
+  EXPECT_FALSE(std::filesystem::exists(loop.dir + "/session-alice.json"));
+}
+
+TEST(NetLoopback, ManyClientsMultiplexOnOneDaemon) {
+  Loopback loop("multi");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+
+  std::vector<std::unique_ptr<ServeClient>> clients;
+  for (int i = 0; i < 5; ++i)
+    clients.push_back(std::make_unique<ServeClient>(
+        loop.handler,
+        loop.client_config("client-" + std::to_string(i), 100 + 13 * i)));
+
+  bool all_done = false;
+  for (int step = 0; step < 40000 && !all_done; ++step) {
+    all_done = true;
+    for (auto& client : clients) {
+      client->step();
+      all_done &= client->done();
+    }
+    daemon.step();
+  }
+  ASSERT_TRUE(all_done);
+  EXPECT_EQ(daemon.sessions_completed(), 5u);
+  // Different traces produce different reports; equal configs equal ones.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(clients[i]->report(),
+              expected_report(loop.service,
+                              loop.client_config("x", 100 + 13 * i)))
+        << "client " << i;
+}
+
+TEST(NetLoopback, FlakySeverScheduleIsSeededAndSurvivable) {
+  Loopback loop("flaky");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+
+  FlakyConfig flaky;
+  flaky.seed = 0xC4A05;
+  flaky.severs = 3;
+  flaky.min_bytes = 200;
+  flaky.max_bytes = 3000;
+  FlakySocketHandler chaos(loop.handler, flaky);
+  ServeClient client(chaos, loop.client_config("flaky-client"));
+
+  ASSERT_TRUE(drive(daemon, client, 60000));
+  EXPECT_EQ(chaos.severed(), 3u);
+  EXPECT_EQ(client.reconnects(), 3u);
+  EXPECT_EQ(client.report(),
+            expected_report(loop.service, loop.client_config("x")));
+  EXPECT_EQ(daemon.sessions_completed(), 1u);
+}
+
+TEST(NetLoopback, NetMetricsAreRegisteredGlobally) {
+  Loopback loop("metrics");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+  ServeClient client(loop.handler, loop.client_config("metered"));
+  ASSERT_TRUE(drive(daemon, client));
+
+  const net::NetMetrics& metrics = net::net_metrics();
+  EXPECT_GE(metrics.connections_accepted.value(), 1u);
+  EXPECT_GE(metrics.sessions_created.value(), 1u);
+  EXPECT_GE(metrics.sessions_completed.value(), 1u);
+  EXPECT_GE(metrics.frames_sent.value(), 4u);
+  EXPECT_GE(metrics.frames_received.value(), 4u);
+  EXPECT_GE(metrics.requests_streamed.value(), 200u);
+  EXPECT_GE(metrics.journal_saves.value(), 2u);
+  EXPECT_GE(metrics.bytes_journaled.value(), 100u);
+  EXPECT_GE(metrics.reports_sent.value(), 1u);
+
+  // The instruments live in the global registry, so metrics-dump and the
+  // Prometheus exposition pick them up with zero extra wiring.
+  const util::Json snapshot = obs::MetricsRegistry::global().to_json();
+  const auto& counters = snapshot.at("counters").as_object();
+  for (const char* name :
+       {"net.connections_accepted_total", "net.connections_dropped_total",
+        "net.sessions_created_total", "net.sessions_resumed_total",
+        "net.sessions_completed_total", "net.client_reconnects_total",
+        "net.journal_saves_total", "net.bytes_journaled_total",
+        "net.bytes_replayed_total", "net.frames_sent_total",
+        "net.frames_received_total", "net.requests_streamed_total",
+        "net.reports_sent_total"}) {
+    EXPECT_EQ(counters.count(name), 1u) << name;
+  }
+  EXPECT_EQ(snapshot.at("histograms").as_object().count("net.replay_bytes"),
+            1u);
+  const std::string prom = obs::MetricsRegistry::global().to_prometheus();
+  EXPECT_NE(prom.find("net_connections_accepted_total"), std::string::npos);
+}
+
+TEST(NetThreadedLoopback, DaemonAndClientRunOnSeparateThreads) {
+  Loopback loop("threaded");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config(1));
+  ServeClient client(loop.handler, loop.client_config("threaded", 120));
+
+  std::thread daemon_thread([&] { daemon.run(); });  // exits via once=1
+  client.run();
+  daemon_thread.join();
+
+  EXPECT_TRUE(client.done());
+  EXPECT_EQ(daemon.sessions_completed(), 1u);
+  EXPECT_EQ(client.report(),
+            expected_report(loop.service, loop.client_config("x", 120)));
+}
+
+}  // namespace

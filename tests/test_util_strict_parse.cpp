@@ -127,4 +127,48 @@ TEST(StrictParse, DoubleInEnforcesRangeWithCustomExpectation) {
       "--noise", "0.1oops");
 }
 
+TEST(StrictParse, HostPortAcceptsFullForm) {
+  const auto hp = hadas::util::parse_hostport("--listen", "127.0.0.1:8080");
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 8080);
+
+  const auto named = hadas::util::parse_hostport("--connect", "hadasd.local:1");
+  EXPECT_EQ(named.host, "hadasd.local");
+  EXPECT_EQ(named.port, 1);
+  EXPECT_EQ(hadas::util::parse_hostport("--listen", "h:65535").port, 65535);
+}
+
+TEST(StrictParse, HostPortRejectsMalformedEndpoints) {
+  const auto reject = [](const std::string& value) {
+    expect_rejects_naming(
+        [&] { hadas::util::parse_hostport("--listen", value); }, "--listen",
+        value);
+  };
+  reject("");            // nothing at all
+  reject("justahost");   // no colon
+  reject(":80");         // empty host
+  reject("host:");       // empty port
+  reject("host:0");      // port 0 is not bindable-by-name
+  reject("host:65536");  // above the u16 range
+  reject("host:80x");    // trailing garbage in the port
+  reject("host:8 0");    // whitespace inside the port
+  reject(" host:80");    // leading whitespace
+  reject("host :80");    // whitespace inside the host
+  reject("a:b:80");      // a second colon (no IPv6 literals)
+  reject("host:-1");     // signs are not digits
+}
+
+TEST(StrictParse, HostPortErrorsNameTheOffendingFlag) {
+  // Each --listen/--connect style flag routes through parse_hostport with
+  // its own name, so the message pinpoints which endpoint flag is broken.
+  try {
+    hadas::util::parse_hostport("--connect", ":9");
+    FAIL() << "':9' was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--connect"), std::string::npos) << message;
+    EXPECT_NE(message.find("host:port"), std::string::npos) << message;
+  }
+}
+
 }  // namespace

@@ -8,11 +8,13 @@
 //   hadas show      result.json
 //   hadas deploy    --device tx2-gpu --result result.json [--index I]
 //                   [--policy entropy|confidence|oracle] [--threshold T]
+//   hadas client    --connect host:port --session ID [--out report.json]
 //
 // Every command is deterministic given its arguments.
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -24,36 +26,28 @@
 #include "core/serialize.hpp"
 #include "data/sample_stream.hpp"
 #include "exec/chaos.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/serve/supervisor.hpp"
+#include "serve_setup.hpp"
 #include "supernet/baselines.hpp"
 #include "util/durable/durable_file.hpp"
 #include "util/strutil.hpp"
 #include "util/table.hpp"
 
 using namespace hadas;
+using tools::Args;
+using tools::ObsOutputs;
+using tools::device_map;
+using tools::obs_setup;
+using tools::obs_write;
+using tools::parse_device;
+using tools::parse_space;
 
 namespace {
-
-const std::map<std::string, hw::Target>& device_map() {
-  static const std::map<std::string, hw::Target> map = {
-      {"agx-gpu", hw::Target::kAgxVoltaGpu},
-      {"agx-cpu", hw::Target::kCarmelCpu},
-      {"tx2-gpu", hw::Target::kTx2PascalGpu},
-      {"tx2-cpu", hw::Target::kDenverCpu},
-  };
-  return map;
-}
-
-hw::Target parse_device(const std::string& name) {
-  const auto it = device_map().find(name);
-  if (it == device_map().end())
-    throw std::invalid_argument("unknown device '" + name +
-                                "' (try: hadas devices)");
-  return it->second;
-}
 
 /// The flags each subcommand accepts. Parsing validates against this, so a
 /// typo'd --flag fails loudly instead of being silently ignored (and, e.g.,
@@ -84,92 +78,11 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"portable",
        {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
         "epochs", "seed", "space"}},
+      {"client",
+       {"connect", "session", "state", "out", "requests", "rate",
+        "trace-seed", "batch", "retries", "backoff-ms"}},
   };
   return map;
-}
-
-/// Minimal flag parser: --key value pairs after the subcommand, checked
-/// against the subcommand's allowed flag set.
-class Args {
- public:
-  Args(int argc, char** argv, int start, const std::string& command,
-       const std::set<std::string>& allowed) {
-    for (int i = start; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        positional_.push_back(key);
-        continue;
-      }
-      key = key.substr(2);
-      if (!allowed.count(key))
-        throw std::invalid_argument("unknown option --" + key +
-                                    " for 'hadas " + command +
-                                    "' (see: hadas help)");
-      if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + key);
-      values_[key] = argv[++i];
-    }
-  }
-
-  std::optional<std::string> get(const std::string& key) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
-  }
-  std::string get_or(const std::string& key, const std::string& fallback) const {
-    return get(key).value_or(fallback);
-  }
-  std::size_t get_or(const std::string& key, std::size_t fallback) const {
-    const auto v = get(key);
-    return v ? util::parse_size("--" + key, *v) : fallback;
-  }
-  double get_or(const std::string& key, double fallback) const {
-    const auto v = get(key);
-    return v ? util::parse_double("--" + key, *v) : fallback;
-  }
-  const std::vector<std::string>& positional() const { return positional_; }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
-
-/// Observability file sinks requested on the command line. Requesting
-/// either output turns the obs master switch on (and the trace sink for
-/// --trace-out); the search / serve results themselves are unaffected —
-/// instrumentation is strictly observe-only.
-struct ObsOutputs {
-  std::string metrics_path;
-  std::string trace_path;
-};
-
-ObsOutputs obs_setup(const Args& args) {
-  ObsOutputs out;
-  out.metrics_path = args.get_or("metrics-out", std::string());
-  out.trace_path = args.get_or("trace-out", std::string());
-  if (!out.metrics_path.empty() || !out.trace_path.empty())
-    obs::set_enabled(true);
-  if (!out.trace_path.empty()) obs::TraceSink::global().enable();
-  return out;
-}
-
-void obs_write(const ObsOutputs& out) {
-  if (!out.metrics_path.empty()) {
-    obs::write_metrics_file(out.metrics_path);
-    std::cout << "metrics -> " << out.metrics_path << "\n";
-  }
-  if (!out.trace_path.empty()) {
-    obs::TraceSink::global().save(out.trace_path);
-    std::cout << "trace (" << obs::TraceSink::global().size() << " events) -> "
-              << out.trace_path << "\n";
-  }
-}
-
-supernet::SearchSpace parse_space(const Args& args) {
-  const std::string name = args.get_or("space", std::string("attentive"));
-  if (name == "attentive") return supernet::SearchSpace::attentive_nas();
-  if (name == "ofa") return supernet::SearchSpace::once_for_all();
-  throw std::invalid_argument("unknown --space '" + name +
-                              "' (attentive | ofa)");
 }
 
 int cmd_devices() {
@@ -427,123 +340,27 @@ int cmd_deploy(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
-  const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
-  const std::string policy_name = args.get_or("policy", std::string("entropy"));
-
-  // The design to serve: a saved search result (--result/--index) or a named
-  // baseline backbone with a canonical two-exit placement (--baseline).
-  supernet::BackboneConfig backbone;
-  std::optional<dynn::ExitPlacement> placement;
-  std::optional<hw::DvfsSetting> setting;
-  if (const auto baseline_name = args.get("baseline")) {
-    bool found = false;
-    for (const auto& baseline : supernet::attentive_nas_baselines())
-      if (baseline.name == *baseline_name) {
-        backbone = baseline.config;
-        found = true;
-      }
-    if (!found)
-      throw std::invalid_argument("unknown --baseline '" + *baseline_name + "'");
-  } else {
-    const std::string result_path =
-        args.get_or("result", std::string("hadas_result.json"));
-    const std::size_t index = args.get_or("index", std::size_t{0});
-    const auto solutions =
-        core::final_pareto_from_json(core::load_json(result_path));
-    if (index >= solutions.size())
-      throw std::invalid_argument("--index out of range (have " +
-                                  std::to_string(solutions.size()) +
-                                  " designs)");
-    backbone = solutions[index].backbone;
-    placement = solutions[index].placement;
-    setting = solutions[index].setting;
-  }
-
-  core::HadasConfig config;
-  config.data.train_size = args.get_or("train-size", std::size_t{1500});
-  config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
-  const supernet::SearchSpace space = parse_space(args);
-  core::HadasEngine engine(space, target, config);
-
-  std::cout << "training exit bank for the served design...\n";
-  const auto& bank = engine.exit_bank(backbone);
-  const auto& costs = engine.cost_table(backbone);
-  if (!placement) {
-    // Canonical placement for baselines: exits at ~1/3 and ~2/3 depth.
-    const std::size_t layers = bank.total_layers();
-    const std::size_t early =
-        std::max(dynn::ExitPlacement::kFirstEligible, layers / 3);
-    const std::size_t late = std::max(early + 1, 2 * layers / 3);
-    placement.emplace(layers, std::vector<std::size_t>{early, late});
-  }
-  if (!setting) setting = hw::default_setting(costs.evaluator().device());
-
-  // Policy ladder: level 0 serves normal mode; entropy ladders shift the
-  // threshold up per degraded level (cheaper exits).
-  const double threshold = args.get_or("threshold", 0.5);
-  std::vector<std::unique_ptr<runtime::ExitPolicy>> ladder;
-  if (policy_name == "oracle") {
-    ladder.push_back(std::make_unique<runtime::OraclePolicy>());
-  } else if (policy_name == "confidence") {
-    ladder.push_back(std::make_unique<runtime::ConfidencePolicy>(threshold));
-  } else if (policy_name == "entropy") {
-    ladder = runtime::serve::entropy_ladder(threshold, 0.15, 3);
-  } else {
-    throw std::invalid_argument("unknown --policy '" + policy_name + "'");
-  }
-
-  // Serving lanes: the target device, plus an optional failover replica.
-  std::vector<runtime::serve::ServeLane> lanes;
-  runtime::serve::ServeLane primary{&costs, *setting, hw::FaultConfig{}};
-  if (const auto faults = args.get("faults"))
-    primary.faults = hw::parse_fault_config(*faults);
-  lanes.push_back(primary);
-
-  std::optional<hw::HardwareEvaluator> failover_eval;
-  std::optional<dynn::MultiExitCostTable> failover_costs;
-  if (const auto failover = args.get("failover")) {
-    failover_eval.emplace(hw::make_device(parse_device(*failover)));
-    failover_costs.emplace(costs.network(), *failover_eval);
-    runtime::serve::ServeLane replica{
-        &*failover_costs, hw::default_setting(failover_eval->device()),
-        hw::FaultConfig{}};
-    if (const auto faults = args.get("failover-faults"))
-      replica.faults = hw::parse_fault_config(*faults);
-    lanes.push_back(replica);
-  }
-
-  runtime::serve::ServeConfig serve_config;
-  serve_config.admission.queue_capacity = args.get_or("queue", std::size_t{0});
-  serve_config.slo.deadline_s = args.get_or("deadline-ms", 0.0) * 1e-3;
-  serve_config.watchdog.overrun_factor = args.get_or("watchdog", 0.0);
-  serve_config.degraded.enabled = args.get_or("degraded", std::string("off")) == "on";
-  serve_config.thermal_enabled = args.get_or("thermal", std::string("off")) == "on";
-  serve_config.journal.path = args.get_or("journal", std::string());
-  serve_config.journal.every = args.get_or("journal-every", std::size_t{64});
-  serve_config.journal.keep = args.get_or("journal-keep", std::size_t{3});
-  serve_config.exec.threads = args.get_or("threads", serve_config.exec.threads);
   const ObsOutputs obs_out = obs_setup(args);
+  const tools::ServeStack stack(args);
 
-  const data::SampleStream stream(engine.task(), 2000,
-                                  args.get_or("stream-seed", std::size_t{5}));
   runtime::serve::TrafficConfig traffic;
   traffic.requests = args.get_or("requests", std::size_t{1000});
   traffic.arrival_rate_hz = args.get_or("rate", 100.0);
   traffic.seed = args.get_or("trace-seed", std::size_t{0x5E21});
-  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+  const auto trace = runtime::serve::poisson_trace(*stack.stream, traffic);
 
-  const runtime::serve::ServeSupervisor supervisor(bank, lanes, serve_config);
   std::cout << "replaying " << trace.size() << " requests at "
             << util::fmt_fixed(traffic.arrival_rate_hz, 0) << " req/s ("
-            << (supervisor.envelope_active() ? "robustness envelope active"
-                                             : "pass-through")
+            << (stack.supervisor->envelope_active()
+                    ? "robustness envelope active"
+                    : "pass-through")
             << ")...\n";
   const runtime::serve::ServeReport report =
-      supervisor.run(*placement, runtime::serve::ladder_view(ladder), trace);
+      stack.supervisor->run(*stack.placement, stack.ladder_view(), trace);
 
   util::TextTable table({"metric", "value"},
                         {util::Align::kLeft, util::Align::kRight});
-  table.set_title("serving report (" + policy_name + " ladder)");
+  table.set_title("serving report (" + stack.policy_name + " ladder)");
   table.add_row({"offered / admitted / shed",
                  std::to_string(report.offered) + " / " +
                      std::to_string(report.admitted) + " / " +
@@ -695,6 +512,46 @@ int cmd_metrics_dump(const Args& args) {
   return 0;
 }
 
+int cmd_client(const Args& args) {
+  net::ClientConfig config;
+  config.connect = args.get_hostport("connect");
+  config.session_id = args.get_or("session", std::string("default"));
+  config.state_path = args.get_or(
+      "state", "hadas_client_" + config.session_id + ".json");
+  config.traffic.requests = args.get_or("requests", std::size_t{1000});
+  config.traffic.arrival_rate_hz = args.get_or("rate", 100.0);
+  config.traffic.seed = args.get_or("trace-seed", std::size_t{0x5E21});
+  config.batch = args.get_or("batch", config.batch);
+  config.max_connect_attempts =
+      args.get_or("retries", config.max_connect_attempts);
+  config.reconnect_backoff_ms = static_cast<int>(args.get_or(
+      "backoff-ms", std::size_t(config.reconnect_backoff_ms)));
+
+  net::TcpSocketHandler handler;
+  net::ServeClient client(handler, config);
+  std::cout << "session '" << config.session_id << "' -> "
+            << config.connect.host << ":" << config.connect.port
+            << " (" << config.traffic.requests << " requests at "
+            << util::fmt_fixed(config.traffic.arrival_rate_hz, 0)
+            << " req/s)\n";
+  client.run();
+  std::cout << "done (" << client.reconnects() << " reconnects); server "
+            << client.server_fingerprint() << "\n";
+
+  // The report arrives pre-rendered (pretty JSON + newline); write the raw
+  // bytes so the file byte-compares against `hadas serve --out`.
+  if (const auto out = args.get("out")) {
+    std::ofstream file(*out, std::ios::binary);
+    if (!file)
+      throw std::runtime_error("cannot open --out file '" + *out + "'");
+    file << client.report();
+    std::cout << "serve report -> " << *out << "\n";
+  } else {
+    std::cout << client.report();
+  }
+  return 0;
+}
+
 void print_usage() {
   std::cout << "usage: hadas <command> [options]\n\n"
                "commands:\n"
@@ -730,7 +587,13 @@ void print_usage() {
                "         [--out F]            save the full serve report JSON\n"
                "  metrics-dump F               print a --metrics-out snapshot\n"
                "         [--format table|prom] table (default) or Prometheus text\n"
-               "  portable                     cross-device joint search\n";
+               "  portable                     cross-device joint search\n"
+               "  client --connect HOST:PORT   stream a trace to a hadasd daemon\n"
+               "         [--session ID]        resumable session identity\n"
+               "         [--state F]           durable client journal path\n"
+               "         [--requests N] [--rate HZ] [--trace-seed S]\n"
+               "         [--retries N] [--backoff-ms T]\n"
+               "         [--out F]             save the returned serve report\n";
 }
 
 }  // namespace
@@ -755,7 +618,7 @@ int main(int argc, char** argv) {
       print_usage();
       return 2;
     }
-    const Args args(argc, argv, 2, command, flags->second);
+    const Args args(argc, argv, 2, "hadas " + command, flags->second);
     if (command == "devices") return cmd_devices();
     if (command == "baselines") return cmd_baselines(args);
     if (command == "search") return cmd_search(args);
@@ -766,6 +629,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "metrics-dump") return cmd_metrics_dump(args);
     if (command == "portable") return cmd_portable(args);
+    if (command == "client") return cmd_client(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,191 @@
+// hadasd — the networked serving daemon.
+//
+//   hadasd --listen host:port [--state-dir DIR] [--once N] [stack flags]
+//   hadasd --loopback [--requests N] [--rate HZ] [--out F] [stack flags]
+//
+// The daemon builds the same serve stack `hadas serve` would (same flags,
+// same deterministic report) and serves it to any number of concurrent
+// `hadas client` sessions over the resumable wire protocol: clients can be
+// killed, reconnected or severed mid-frame and still receive a report
+// byte-identical to an uninterrupted local run.
+//
+// --loopback runs a daemon and one client in-process over the deterministic
+// fake network (no TCP, optionally with --flaky N seeded severs) — the
+// quickest way to see the protocol end to end, and what CI drives.
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "exec/chaos.hpp"
+#include "net/client.hpp"
+#include "net/fake_socket.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "runtime/serve/bridge.hpp"
+#include "serve_setup.hpp"
+
+using namespace hadas;
+using tools::Args;
+
+namespace {
+
+net::ServeDaemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+const std::set<std::string>& daemon_flags() {
+  static std::set<std::string> flags = [] {
+    std::set<std::string> set = tools::serve_stack_flags();
+    for (const char* extra :
+         {"listen", "state-dir", "once", "loopback", "flaky", "flaky-seed",
+          "requests", "rate", "trace-seed", "session", "out", "metrics-out",
+          "trace-out"})
+      set.insert(extra);
+    return set;
+  }();
+  return flags;
+}
+
+void print_usage() {
+  std::cout
+      << "usage: hadasd (--listen HOST:PORT | --loopback on) [options]\n\n"
+         "  --listen HOST:PORT     accept hadas client sessions over TCP\n"
+         "  --state-dir DIR        session journal directory (default .)\n"
+         "  --once N               exit after N completed sessions\n"
+         "  --loopback on          serve one in-process client over the\n"
+         "                         deterministic fake network instead of TCP\n"
+         "    [--requests N] [--rate HZ] [--trace-seed S] [--session ID]\n"
+         "    [--flaky N] [--flaky-seed S]  sever the first N connections\n"
+         "    [--out F]            save the loopback client's report\n"
+         "  serve stack flags (as for `hadas serve`):\n"
+         "    --device D, --baseline aN | --result F [--index I],\n"
+         "    --policy P, --threshold T, --queue CAP, --deadline-ms T,\n"
+         "    --watchdog FACTOR, --degraded on|off, --thermal on|off,\n"
+         "    --faults CFG, --failover D2, --train-size N, --epochs N,\n"
+         "    --space S, --stream-seed S, --threads N\n"
+         "  --metrics-out F, --trace-out F\n";
+}
+
+int run_loopback(const Args& args, const tools::ServeStack& stack,
+                 const runtime::serve::SupervisorBridge& bridge,
+                 const std::string& state_dir) {
+  auto network = std::make_shared<net::FakeNetwork>();
+  net::FakeSocketHandler handler(network);
+
+  net::DaemonConfig daemon_config;
+  daemon_config.listen = {"loopback", 1};
+  daemon_config.state_dir = state_dir;
+  daemon_config.once = 1;
+  net::ServeDaemon daemon(handler, bridge, daemon_config);
+  daemon.start();
+
+  net::ClientConfig client_config;
+  client_config.connect = {"loopback", 1};
+  client_config.session_id = args.get_or("session", std::string("loopback"));
+  client_config.state_path =
+      state_dir + "/client-" + client_config.session_id + ".json";
+  client_config.traffic.requests = args.get_or("requests", std::size_t{1000});
+  client_config.traffic.arrival_rate_hz = args.get_or("rate", 100.0);
+  client_config.traffic.seed = args.get_or("trace-seed", std::size_t{0x5E21});
+
+  net::FlakyConfig flaky;
+  flaky.severs = args.get_or("flaky", std::size_t{0});
+  flaky.seed = args.get_or("flaky-seed", std::size_t{0x5EFEED});
+  net::FlakySocketHandler chaos(handler, flaky);
+  net::ServeClient client(flaky.severs > 0
+                              ? static_cast<net::SocketHandler&>(chaos)
+                              : static_cast<net::SocketHandler&>(handler),
+                          client_config);
+
+  std::cout << "loopback session '" << client_config.session_id << "': "
+            << client_config.traffic.requests << " requests"
+            << (flaky.severs > 0
+                    ? " with " + std::to_string(flaky.severs) + " severs"
+                    : "")
+            << "...\n";
+  // Deterministic cooperative interleaving — the same schedule every run.
+  while (!client.done()) {
+    client.step();
+    daemon.step();
+  }
+  std::cout << "session complete (" << client.reconnects()
+            << " reconnects, " << chaos.severed() << " severs)\n";
+
+  if (const auto out = args.get("out")) {
+    std::ofstream file(*out, std::ios::binary);
+    if (!file)
+      throw std::runtime_error("cannot open --out file '" + *out + "'");
+    file << client.report();
+    std::cout << "serve report -> " << *out << "\n";
+  }
+  (void)stack;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    exec::ChaosEngine::install_from_env();
+    if (argc >= 2 && (std::string(argv[1]) == "help" ||
+                      std::string(argv[1]) == "--help")) {
+      print_usage();
+      return 0;
+    }
+    const Args args(argc, argv, 1, "hadasd", daemon_flags());
+    const bool loopback =
+        args.get_or("loopback", std::string("off")) != "off";
+    if (!loopback && !args.get("listen")) {
+      print_usage();
+      return 2;
+    }
+
+    // Validate the endpoint before the (expensive) stack build, so a
+    // malformed --listen fails in milliseconds with an error naming it.
+    std::optional<util::HostPort> listen;
+    if (!loopback) listen = args.get_hostport("listen");
+
+    const std::string state_dir = args.get_or("state-dir", std::string("."));
+    std::filesystem::create_directories(state_dir);
+
+    const tools::ObsOutputs obs_out = tools::obs_setup(args);
+    const tools::ServeStack stack(args);
+    const runtime::serve::SupervisorBridge bridge(
+        *stack.supervisor, *stack.placement, stack.ladder_view(),
+        *stack.stream, stack.fingerprint);
+
+    int rc = 0;
+    if (loopback) {
+      rc = run_loopback(args, stack, bridge, state_dir);
+    } else {
+      net::DaemonConfig daemon_config;
+      daemon_config.listen = *listen;
+      daemon_config.state_dir = state_dir;
+      daemon_config.once = args.get_or("once", std::size_t{0});
+      net::TcpSocketHandler handler;
+      net::ServeDaemon daemon(handler, bridge, daemon_config);
+      daemon.start();
+      g_daemon = &daemon;
+      std::signal(SIGINT, handle_signal);
+      std::signal(SIGTERM, handle_signal);
+      std::cout << "hadasd listening on " << listen->host << ":"
+                << listen->port << " (state in " << state_dir << ")\n"
+                << "serving " << stack.fingerprint << "\n";
+      daemon.run();
+      g_daemon = nullptr;
+      std::cout << "hadasd: " << daemon.sessions_completed()
+                << " sessions completed\n";
+    }
+    tools::obs_write(obs_out);
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,303 @@
+// Shared CLI plumbing for the hadas front ends (`hadas`, `hadasd`): flag
+// parsing, device/space lookup, observability sinks, and the serve stack —
+// engine + trained exit bank + cost tables + policy ladder + lanes +
+// supervisor — built from one flag set so `hadas serve`, `hadasd` and a
+// remote `hadas client` all describe the same deterministic run and their
+// reports byte-compare.
+
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/hadas_engine.hpp"
+#include "core/serialize.hpp"
+#include "data/sample_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/serve/supervisor.hpp"
+#include "supernet/baselines.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas::tools {
+
+inline const std::map<std::string, hw::Target>& device_map() {
+  static const std::map<std::string, hw::Target> map = {
+      {"agx-gpu", hw::Target::kAgxVoltaGpu},
+      {"agx-cpu", hw::Target::kCarmelCpu},
+      {"tx2-gpu", hw::Target::kTx2PascalGpu},
+      {"tx2-cpu", hw::Target::kDenverCpu},
+  };
+  return map;
+}
+
+inline hw::Target parse_device(const std::string& name) {
+  const auto it = device_map().find(name);
+  if (it == device_map().end())
+    throw std::invalid_argument("unknown device '" + name +
+                                "' (try: hadas devices)");
+  return it->second;
+}
+
+/// Minimal flag parser: --key value pairs after the subcommand, checked
+/// against the subcommand's allowed flag set so a typo'd --flag fails
+/// loudly instead of being silently ignored.
+class Args {
+ public:
+  Args(int argc, char** argv, int start, const std::string& command,
+       const std::set<std::string>& allowed) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        positional_.push_back(key);
+        continue;
+      }
+      key = key.substr(2);
+      if (!allowed.count(key))
+        throw std::invalid_argument("unknown option --" + key + " for '" +
+                                    command + "' (see: help)");
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  std::size_t get_or(const std::string& key, std::size_t fallback) const {
+    const auto v = get(key);
+    return v ? util::parse_size("--" + key, *v) : fallback;
+  }
+  double get_or(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? util::parse_double("--" + key, *v) : fallback;
+  }
+  /// Strict host:port flag (e.g. --listen, --connect); rejection messages
+  /// name the flag.
+  util::HostPort get_hostport(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required --" + key);
+    return util::parse_hostport("--" + key, *v);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Observability file sinks requested on the command line. Requesting
+/// either output turns the obs master switch on (and the trace sink for
+/// --trace-out); results themselves are unaffected — instrumentation is
+/// strictly observe-only.
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+inline ObsOutputs obs_setup(const Args& args) {
+  ObsOutputs out;
+  out.metrics_path = args.get_or("metrics-out", std::string());
+  out.trace_path = args.get_or("trace-out", std::string());
+  if (!out.metrics_path.empty() || !out.trace_path.empty())
+    obs::set_enabled(true);
+  if (!out.trace_path.empty()) obs::TraceSink::global().enable();
+  return out;
+}
+
+inline void obs_write(const ObsOutputs& out) {
+  if (!out.metrics_path.empty()) {
+    obs::write_metrics_file(out.metrics_path);
+    std::cout << "metrics -> " << out.metrics_path << "\n";
+  }
+  if (!out.trace_path.empty()) {
+    obs::TraceSink::global().save(out.trace_path);
+    std::cout << "trace (" << obs::TraceSink::global().size() << " events) -> "
+              << out.trace_path << "\n";
+  }
+}
+
+inline supernet::SearchSpace parse_space(const Args& args) {
+  const std::string name = args.get_or("space", std::string("attentive"));
+  if (name == "attentive") return supernet::SearchSpace::attentive_nas();
+  if (name == "ofa") return supernet::SearchSpace::once_for_all();
+  throw std::invalid_argument("unknown --space '" + name +
+                              "' (attentive | ofa)");
+}
+
+/// The flags ServeStack consumes — shared verbatim by `hadas serve` and
+/// `hadasd` so both ends of the wire can be launched with the same set.
+inline const std::set<std::string>& serve_stack_flags() {
+  static const std::set<std::string> flags = {
+      "device",   "result",          "index",    "baseline", "policy",
+      "threshold", "queue",          "deadline-ms", "watchdog", "degraded",
+      "faults",   "failover",        "failover-faults", "thermal",
+      "train-size", "epochs",        "space",    "stream-seed", "threads"};
+  return flags;
+}
+
+/// Everything a serving front end needs, built once from CLI flags: the
+/// engine (which trains the exit bank), cost tables, placement + DVFS
+/// setting, the policy ladder, serving lanes (with optional failover
+/// replica), the sample stream, and the supervisor itself. The fingerprint
+/// canonically describes the resolved stack; hadasd sends it in WELCOME so
+/// a resuming client refuses a daemon whose configuration changed.
+class ServeStack {
+ public:
+  explicit ServeStack(const Args& args) {
+    target = parse_device(args.get_or("device", "tx2-gpu"));
+    policy_name = args.get_or("policy", std::string("entropy"));
+
+    // The design to serve: a saved search result (--result/--index) or a
+    // named baseline backbone with a canonical two-exit placement.
+    if (const auto baseline_name = args.get("baseline")) {
+      bool found = false;
+      for (const auto& baseline : supernet::attentive_nas_baselines())
+        if (baseline.name == *baseline_name) {
+          backbone = baseline.config;
+          found = true;
+        }
+      if (!found)
+        throw std::invalid_argument("unknown --baseline '" + *baseline_name +
+                                    "'");
+    } else {
+      const std::string result_path =
+          args.get_or("result", std::string("hadas_result.json"));
+      const std::size_t index = args.get_or("index", std::size_t{0});
+      const auto solutions =
+          core::final_pareto_from_json(core::load_json(result_path));
+      if (index >= solutions.size())
+        throw std::invalid_argument("--index out of range (have " +
+                                    std::to_string(solutions.size()) +
+                                    " designs)");
+      backbone = solutions[index].backbone;
+      placement = solutions[index].placement;
+      setting = solutions[index].setting;
+    }
+
+    core::HadasConfig config;
+    config.data.train_size = args.get_or("train-size", std::size_t{1500});
+    config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
+    const supernet::SearchSpace space = parse_space(args);
+    engine = std::make_unique<core::HadasEngine>(space, target, config);
+
+    std::cout << "training exit bank for the served design...\n";
+    bank = &engine->exit_bank(backbone);
+    costs = &engine->cost_table(backbone);
+    if (!placement) {
+      // Canonical placement for baselines: exits at ~1/3 and ~2/3 depth.
+      const std::size_t layers = bank->total_layers();
+      const std::size_t early =
+          std::max(dynn::ExitPlacement::kFirstEligible, layers / 3);
+      const std::size_t late = std::max(early + 1, 2 * layers / 3);
+      placement.emplace(layers, std::vector<std::size_t>{early, late});
+    }
+    if (!setting) setting = hw::default_setting(costs->evaluator().device());
+
+    // Policy ladder: level 0 serves normal mode; entropy ladders shift the
+    // threshold up per degraded level (cheaper exits).
+    threshold = args.get_or("threshold", 0.5);
+    if (policy_name == "oracle") {
+      ladder.push_back(std::make_unique<runtime::OraclePolicy>());
+    } else if (policy_name == "confidence") {
+      ladder.push_back(std::make_unique<runtime::ConfidencePolicy>(threshold));
+    } else if (policy_name == "entropy") {
+      ladder = runtime::serve::entropy_ladder(threshold, 0.15, 3);
+    } else {
+      throw std::invalid_argument("unknown --policy '" + policy_name + "'");
+    }
+
+    // Serving lanes: the target device, plus an optional failover replica.
+    runtime::serve::ServeLane primary{costs, *setting, hw::FaultConfig{}};
+    if (const auto faults = args.get("faults"))
+      primary.faults = hw::parse_fault_config(*faults);
+    lanes.push_back(primary);
+    if (const auto failover = args.get("failover")) {
+      failover_eval.emplace(hw::make_device(parse_device(*failover)));
+      failover_costs.emplace(costs->network(), *failover_eval);
+      runtime::serve::ServeLane replica{
+          &*failover_costs, hw::default_setting(failover_eval->device()),
+          hw::FaultConfig{}};
+      if (const auto faults = args.get("failover-faults"))
+        replica.faults = hw::parse_fault_config(*faults);
+      lanes.push_back(replica);
+    }
+
+    serve_config.admission.queue_capacity =
+        args.get_or("queue", std::size_t{0});
+    serve_config.slo.deadline_s = args.get_or("deadline-ms", 0.0) * 1e-3;
+    serve_config.watchdog.overrun_factor = args.get_or("watchdog", 0.0);
+    serve_config.degraded.enabled =
+        args.get_or("degraded", std::string("off")) == "on";
+    serve_config.thermal_enabled =
+        args.get_or("thermal", std::string("off")) == "on";
+    serve_config.journal.path = args.get_or("journal", std::string());
+    serve_config.journal.every = args.get_or("journal-every", std::size_t{64});
+    serve_config.journal.keep = args.get_or("journal-keep", std::size_t{3});
+    serve_config.exec.threads =
+        args.get_or("threads", serve_config.exec.threads);
+
+    stream = std::make_unique<data::SampleStream>(
+        engine->task(), 2000, args.get_or("stream-seed", std::size_t{5}));
+    supervisor = std::make_unique<runtime::serve::ServeSupervisor>(
+        *bank, lanes, serve_config);
+
+    // Canonical description of the resolved stack. Every knob that changes
+    // the report is included, so equal fingerprints imply byte-equal runs.
+    std::string exits;
+    for (const std::size_t layer : placement->positions())
+      exits += std::to_string(layer) + ".";
+    fingerprint =
+        "hadas-serve|dev=" + hw::target_name(target) +
+        "|bb=" + backbone.describe() + "|exits=" + exits +
+        "|dvfs=" + std::to_string(setting->core_idx) + ":" +
+        std::to_string(setting->emc_idx) + "|policy=" + policy_name + ":" +
+        util::fmt_fixed(threshold, 6) +
+        "|queue=" + std::to_string(serve_config.admission.queue_capacity) +
+        "|deadline=" + util::fmt_fixed(serve_config.slo.deadline_s, 6) +
+        "|watchdog=" + util::fmt_fixed(serve_config.watchdog.overrun_factor, 3) +
+        "|degraded=" + (serve_config.degraded.enabled ? "on" : "off") +
+        "|thermal=" + (serve_config.thermal_enabled ? "on" : "off") +
+        "|faults=" + args.get_or("faults", std::string()) +
+        "|failover=" + args.get_or("failover", std::string()) + ":" +
+        args.get_or("failover-faults", std::string()) +
+        "|stream=" + std::to_string(stream->size()) + ":" +
+        std::to_string(args.get_or("stream-seed", std::size_t{5})) +
+        "|threads=" + std::to_string(serve_config.exec.threads);
+  }
+
+  std::vector<const runtime::ExitPolicy*> ladder_view() const {
+    return runtime::serve::ladder_view(ladder);
+  }
+
+  hw::Target target{};
+  std::string policy_name;
+  double threshold = 0.5;
+  supernet::BackboneConfig backbone;
+  std::unique_ptr<core::HadasEngine> engine;
+  const dynn::ExitBank* bank = nullptr;
+  const dynn::MultiExitCostTable* costs = nullptr;
+  std::optional<dynn::ExitPlacement> placement;
+  std::optional<hw::DvfsSetting> setting;
+  std::vector<std::unique_ptr<runtime::ExitPolicy>> ladder;
+  std::optional<hw::HardwareEvaluator> failover_eval;
+  std::optional<dynn::MultiExitCostTable> failover_costs;
+  std::vector<runtime::serve::ServeLane> lanes;
+  runtime::serve::ServeConfig serve_config;
+  std::unique_ptr<data::SampleStream> stream;
+  std::unique_ptr<runtime::serve::ServeSupervisor> supervisor;
+  std::string fingerprint;
+};
+
+}  // namespace hadas::tools
