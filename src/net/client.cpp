@@ -25,6 +25,11 @@ ServeClient::ServeClient(SocketHandler& handler, ClientConfig config)
   if (!valid_session_id(config_.session_id))
     throw std::invalid_argument("ServeClient: invalid session id '" +
                                 config_.session_id + "'");
+  if (config_.batch > kMaxRequestBatch)
+    throw std::invalid_argument(
+        "ServeClient: batch of " + std::to_string(config_.batch) +
+        " requests cannot fit one frame (max " +
+        std::to_string(kMaxRequestBatch) + ")");
   if (std::filesystem::exists(config_.state_path)) {
     restore();
   } else {
@@ -165,6 +170,7 @@ void ServeClient::handle_welcome(const Frame& frame) {
   reader_.clear_inbox();
   transport_.set_flush_cursor(server_read_seq);
   handshaken_ = true;
+  handshake_failures_ = 0;
   if (first) save();  // journal the fingerprint we committed to
 }
 
@@ -200,6 +206,12 @@ bool ServeClient::advance() {
 
 bool ServeClient::step() {
   if (done_) return false;
+  if (handshake_failures_ >= config_.max_handshake_failures)
+    throw ProtocolError(
+        "ServeClient: server at " + config_.connect.host + ":" +
+        std::to_string(config_.connect.port) + " dropped " +
+        std::to_string(handshake_failures_) +
+        " consecutive connections before completing a handshake");
   if (!transport_.attached()) {
     if (!try_connect()) return false;
   }
@@ -212,7 +224,10 @@ bool ServeClient::step() {
     std::optional<Frame> frame;
     while ((frame = transport_.next())) {
       progress = true;
-      if (!handshaken_) {
+      if (frame->type == FrameType::kRefuse) {
+        throw ProtocolError("ServeClient: server refused session '" +
+                            config_.session_id + "': " + frame->payload);
+      } else if (!handshaken_) {
         if (frame->type != FrameType::kWelcome)
           throw ProtocolError(
               std::string("ServeClient: expected welcome, got '") +
@@ -237,6 +252,10 @@ bool ServeClient::step() {
     transport_.drop();  // corrupt transport bytes: reconnect and replay
     return true;
   }
+  // A connection that died without reaching WELCOME: a silently-rejecting
+  // (or pre-kRefuse) server would otherwise look like endless clean
+  // reconnects — count it so step() can give up loudly.
+  if (!alive && !handshaken_) ++handshake_failures_;
   if (bye_sent_ && writer_.acked() == writer_.write_seq()) {
     // The server durably consumed everything including BYE.
     done_ = true;

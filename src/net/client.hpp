@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "net/connection.hpp"
 #include "net/session.hpp"
@@ -10,6 +9,10 @@
 #include "runtime/serve/traffic.hpp"
 
 namespace hadas::net {
+
+/// Largest request batch whose kRequestBatch frame (4-byte count + 24 bytes
+/// per request) still fits kMaxFramePayload.
+inline constexpr std::size_t kMaxRequestBatch = (kMaxFramePayload - 4) / 24;
 
 /// hadas client configuration. The client generates the same deterministic
 /// Poisson trace `hadas serve` would build locally (same TrafficConfig ->
@@ -24,10 +27,14 @@ struct ClientConfig {
   /// Journal path for this client's durable session state.
   std::string state_path;
   runtime::serve::TrafficConfig traffic;
-  /// Requests per kRequestBatch app frame.
+  /// Requests per kRequestBatch app frame (at most kMaxRequestBatch).
   std::size_t batch = 64;
   /// Consecutive failed connect() attempts before run() gives up.
   std::size_t max_connect_attempts = 200;
+  /// Consecutive connections that die before completing a handshake before
+  /// step() gives up — a server that drops our HELLO without a kRefuse
+  /// would otherwise reconnect-loop forever with no diagnostic.
+  std::size_t max_handshake_failures = 50;
   /// wait() between reconnect attempts in run().
   int reconnect_backoff_ms = 20;
 };
@@ -46,7 +53,9 @@ class ServeClient {
 
   /// One non-blocking round (connect attempt, pump, frame processing).
   /// Returns true when anything moved. Throws ConnectError only out of
-  /// run() (step() counts failed attempts silently).
+  /// run() (step() counts failed attempts silently); throws ProtocolError
+  /// on a server kRefuse or after max_handshake_failures consecutive
+  /// connections died before completing a handshake.
   bool step();
 
   /// step() until done(). Throws ConnectError after max_connect_attempts
@@ -60,6 +69,7 @@ class ServeClient {
   const std::string& server_fingerprint() const { return fingerprint_; }
   std::size_t reconnects() const { return reconnects_; }
   std::size_t connect_failures() const { return connect_failures_; }
+  std::size_t handshake_failures() const { return handshake_failures_; }
 
  private:
   void save();
@@ -74,7 +84,6 @@ class ServeClient {
 
   SocketHandler& handler_;
   ClientConfig config_;
-  std::vector<double> arrivals_;  ///< precomputed Poisson arrival times
 
   Transport transport_;
   BackedWriter writer_;
@@ -93,6 +102,7 @@ class ServeClient {
   bool done_ = false;
   std::size_t reconnects_ = 0;
   std::size_t connect_failures_ = 0;
+  std::size_t handshake_failures_ = 0;
 };
 
 }  // namespace hadas::net

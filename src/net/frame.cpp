@@ -18,6 +18,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kWelcome: return "welcome";
     case FrameType::kData: return "data";
     case FrameType::kAck: return "ack";
+    case FrameType::kRefuse: return "refuse";
     case FrameType::kRequestBatch: return "request_batch";
     case FrameType::kFinish: return "finish";
     case FrameType::kReportChunk: return "report_chunk";

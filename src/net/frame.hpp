@@ -17,6 +17,7 @@ enum class FrameType : std::uint8_t {
   kWelcome = 2,  ///< server -> client: durable read_seq, sample count, fingerprint
   kData = 3,     ///< either way: u64 stream offset + chunk bytes
   kAck = 4,      ///< either way: u64 durably-consumed stream offset
+  kRefuse = 5,   ///< server -> client: handshake rejected, reason text
   // --- application (inside the resumable stream) ---
   kRequestBatch = 16,  ///< client -> server: count + (id, arrival bits, pos) records
   kFinish = 17,        ///< client -> server: request stream complete, run the trace

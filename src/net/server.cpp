@@ -120,23 +120,44 @@ ServeDaemon::Session* ServeDaemon::find_session(const std::string& id) {
   return &sessions_.emplace(id, std::move(session)).first->second;
 }
 
+bool ServeDaemon::refuse(Conn& conn, const std::string& reason) {
+  Frame frame;
+  frame.type = FrameType::kRefuse;
+  frame.payload = reason;
+  conn.transport.send_frame(frame);
+  conn.closing = true;  // drain the refusal, then drop
+  net_metrics().handshakes_refused.inc();
+  return true;
+}
+
 bool ServeDaemon::handle_hello(Conn& conn, const Frame& frame) {
   obs::TraceSpan span("net.handshake", "net");
-  if (frame.payload.size() < 4 + 8) return false;
+  if (frame.payload.size() < 4 + 8)
+    return refuse(conn, "malformed hello frame");
   const std::uint32_t version = get_u32(frame.payload, 0);
-  if (version != kProtocolVersion) return false;
+  if (version != kProtocolVersion)
+    return refuse(conn, "protocol version " + std::to_string(version) +
+                            " not supported (server speaks " +
+                            std::to_string(kProtocolVersion) + ")");
   const std::uint64_t client_read_seq = get_u64(frame.payload, 4);
   const std::string id = frame.payload.substr(12);
-  if (!valid_session_id(id)) return false;
+  if (!valid_session_id(id)) return refuse(conn, "invalid session id");
 
-  // A newer connection for a session steals it from a stale one. Entries
-  // already moved into step()'s keep-list this pass are null — skip them.
+  // A newer connection for a session steals it from a stale one (a client
+  // that rebooted while its old socket is still half-open). Slots nulled by
+  // step()'s reaping this pass are skipped; dropping the stale transport
+  // here makes its next pump fail, so step() reaps it.
   for (const std::unique_ptr<Conn>& other : connections_) {
     if (other != nullptr && other.get() != &conn && other->session_id == id)
       other->transport.drop();
   }
 
-  Session* session = find_session(id);
+  Session* session = nullptr;
+  try {
+    session = find_session(id);
+  } catch (const ProtocolError& error) {
+    return refuse(conn, error.what());
+  }
   if (session == nullptr && client_read_seq > 0) {
     // The client durably consumed report bytes, so this session existed and
     // was garbage-collected at BYE: it is complete. Tell the client so.
@@ -157,7 +178,13 @@ bool ServeDaemon::handle_hello(Conn& conn, const Frame& frame) {
   }
   if (client_read_seq < session->writer.acked() ||
       client_read_seq > session->writer.write_seq())
-    return false;  // the client's durable state went backwards — unservable
+    // The client's durable state went backwards (journal lost?) — unservable.
+    return refuse(conn, "durable read_seq " + std::to_string(client_read_seq) +
+                            " is outside session '" + id +
+                            "' replay window [" +
+                            std::to_string(session->writer.acked()) + ", " +
+                            std::to_string(session->writer.write_seq()) +
+                            "] — client journal lost or regressed");
 
   // The client's durable read_seq doubles as an ack: everything below it is
   // safely on its disk.
@@ -262,22 +289,28 @@ bool ServeDaemon::step() {
     net_metrics().connections_accepted.inc();
     progress = true;
   }
-  std::vector<std::unique_ptr<Conn>> keep;
-  keep.reserve(connections_.size());
+  // Dead slots are nulled in place (never reordered) so handle_hello's
+  // session-steal scan sees every still-live connection during the pass;
+  // the vector is compacted once at the end.
   for (std::size_t i = 0; i < connections_.size(); ++i) {
     Conn& conn = *connections_[i];
-    Session* session =
-        conn.session_id.empty() ? nullptr : find_session(conn.session_id);
-    const BackedWriter& writer =
-        session != nullptr ? session->writer : empty_writer();
-    bool alive = conn.transport.pump(writer);
-    // Even when the pump observed the peer closing, frames it delivered
-    // first (the client's final ack, a trailing data burst) are still in
-    // the decoder: process and journal them so nothing needs a replay.
+    bool alive = true;
+    // Everything in here can surface a protocol violation — find_session
+    // on a mismatched journal, a malformed frame, and both pumps (a stale
+    // connection whose flush cursor fell behind writer.acked() after a
+    // session steal makes pump's writer.from() throw). All of them are
+    // fatal to this connection only, never to the daemon.
     try {
+      Session* session =
+          conn.session_id.empty() ? nullptr : find_session(conn.session_id);
+      alive = conn.transport.pump(session != nullptr ? session->writer
+                                                     : empty_writer());
+      // Even when the pump observed the peer closing, frames it delivered
+      // first (the client's final ack, a trailing data burst) are still in
+      // the decoder: process and journal them so nothing needs a replay.
       bool ok = true;
       std::optional<Frame> frame;
-      while (ok && (frame = conn.transport.next())) {
+      while (ok && !conn.closing && (frame = conn.transport.next())) {
         progress = true;
         if (!conn.handshaken) {
           ok = frame->type == FrameType::kHello && handle_hello(conn, *frame);
@@ -298,35 +331,34 @@ bool ServeDaemon::step() {
         if (session == nullptr && !conn.session_id.empty())
           session = find_session(conn.session_id);
       }
-      if (ok && session != nullptr && conn.handshaken)
+      if (ok && session != nullptr && conn.handshaken && !conn.closing)
         progress |= advance_session(conn);
       if (!ok) alive = false;
+      // Flush acks / report data / refusals cut above.
+      if (alive) {
+        session =
+            conn.session_id.empty() ? nullptr : find_session(conn.session_id);
+        alive = conn.transport.pump(session != nullptr ? session->writer
+                                                       : empty_writer());
+      }
     } catch (const ProtocolError&) {
       alive = false;
     } catch (const FrameError&) {
       alive = false;
     }
-    // Flush acks / report data cut above.
-    if (alive) {
-      session =
-          conn.session_id.empty() ? nullptr : find_session(conn.session_id);
-      alive = conn.transport.pump(session != nullptr ? session->writer
-                                                     : empty_writer());
-    }
     if (!alive) {
       conn.transport.drop();
       net_metrics().connections_dropped.inc();
+      connections_[i] = nullptr;  // dies; session state stays for a resume
       progress = true;
-      continue;  // connection dies; session state stays for a resume
-    }
-    if (conn.closing && conn.transport.outbox_size() == 0) {
+    } else if (conn.closing && conn.transport.outbox_size() == 0) {
       conn.transport.drop();
+      connections_[i] = nullptr;
       progress = true;
-      continue;
     }
-    keep.push_back(std::move(connections_[i]));
   }
-  connections_ = std::move(keep);
+  std::erase_if(connections_,
+                [](const std::unique_ptr<Conn>& c) { return c == nullptr; });
   return progress;
 }
 

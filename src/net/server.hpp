@@ -86,6 +86,10 @@ class ServeDaemon {
   /// the id is unknown everywhere (fresh or already completed).
   Session* find_session(const std::string& id);
   bool handle_hello(Conn& conn, const Frame& frame);
+  /// Queue a kRefuse with `reason` and mark the connection closing (the
+  /// refusal drains, then the socket drops). Returns true: a refusal is a
+  /// handled handshake, not a protocol violation by us.
+  bool refuse(Conn& conn, const std::string& reason);
   /// Apply complete app frames from the session's inbox; journals and acks
   /// when anything was consumed. Returns true on progress.
   bool advance_session(Conn& conn);

@@ -73,6 +73,7 @@ struct NetMetrics {
   obs::Counter& sessions_created = r.counter("net.sessions_created_total");
   obs::Counter& sessions_resumed = r.counter("net.sessions_resumed_total");
   obs::Counter& sessions_completed = r.counter("net.sessions_completed_total");
+  obs::Counter& handshakes_refused = r.counter("net.handshakes_refused_total");
   obs::Counter& client_reconnects = r.counter("net.client_reconnects_total");
   obs::Counter& journal_saves = r.counter("net.journal_saves_total");
   obs::Counter& bytes_journaled = r.counter("net.bytes_journaled_total");

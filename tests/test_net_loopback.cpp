@@ -14,7 +14,9 @@
 
 #include "net/client.hpp"
 #include "net/fake_socket.hpp"
+#include "net/frame.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -232,6 +234,139 @@ TEST(NetLoopback, FlakySeverScheduleIsSeededAndSurvivable) {
   EXPECT_EQ(client.report(),
             expected_report(loop.service, loop.client_config("x")));
   EXPECT_EQ(daemon.sessions_completed(), 1u);
+}
+
+/// Raw HELLO bytes as a real client would send them.
+std::string hello_bytes(const std::string& id, std::uint64_t read_seq) {
+  std::string payload;
+  net::put_u32(payload, net::kProtocolVersion);
+  net::put_u64(payload, read_seq);
+  payload += id;
+  return net::encode_frame(net::FrameType::kHello, payload);
+}
+
+// A client that reboots while its old socket is still half-open reconnects
+// under the same session id. The daemon must hand the session to the new
+// connection and drop the stale one — leaving it attached used to let its
+// flush cursor fall behind writer.acked(), and the resulting ProtocolError
+// out of pump() killed the whole daemon.
+TEST(NetLoopback, NewerConnectionStealsSessionFromStaleOne) {
+  Loopback loop("steal");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+
+  auto stale = loop.handler.connect({"daemon", 9000});
+  const std::string hello = hello_bytes("dup", 0);
+  ASSERT_EQ(stale->write(hello.data(), hello.size()), hello.size());
+  daemon.step();  // accept + handshake the soon-to-be-stale connection
+  EXPECT_EQ(daemon.active_connections(), 1u);
+  EXPECT_EQ(daemon.active_sessions(), 1u);
+
+  auto fresh = loop.handler.connect({"daemon", 9000});
+  ASSERT_EQ(fresh->write(hello.data(), hello.size()), hello.size());
+  daemon.step();  // handshake the fresh connection: steals the session
+  daemon.step();  // reap the stolen (now socket-less) connection
+  EXPECT_EQ(daemon.active_connections(), 1u);
+  EXPECT_EQ(daemon.active_sessions(), 1u);
+
+  // The stale end was closed server-side: its buffered WELCOME drains,
+  // then reads throw.
+  char buf[1024];
+  bool closed = false;
+  try {
+    for (int i = 0; i < 100 && !closed; ++i) (void)stale->read(buf, sizeof(buf));
+  } catch (const net::SocketClosedError&) {
+    closed = true;
+  }
+  EXPECT_TRUE(closed);
+
+  // The fresh connection owns the session and got a WELCOME.
+  net::FrameDecoder decoder;
+  std::optional<net::Frame> frame;
+  for (int i = 0; i < 100 && !frame; ++i) {
+    const std::size_t got = fresh->read(buf, sizeof(buf));
+    if (got > 0) decoder.feed(buf, got);
+    frame = decoder.next();
+    daemon.step();
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, net::FrameType::kWelcome);
+}
+
+// A client whose durable journal was lost mid-session reconnects with
+// read_seq 0, below the server's acked offset. The server must answer with
+// a kRefuse naming the problem (and survive), and the client must fail
+// loudly instead of silently reconnect-looping forever.
+TEST(NetLoopback, LostClientJournalIsRefusedLoudly) {
+  Loopback loop("refuse");
+  ServeDaemon daemon(loop.handler, loop.service, loop.daemon_config());
+  daemon.start();
+  auto client = std::make_unique<ServeClient>(loop.handler,
+                                              loop.client_config("lost"));
+  // Drive until the client durably consumed (and acked) report bytes.
+  for (int i = 0; i < 20000 && client->report().empty(); ++i) {
+    client->step();
+    daemon.step();
+  }
+  ASSERT_FALSE(client->report().empty());
+  ASSERT_FALSE(client->done());
+  client.reset();  // kill -9; the in-flight ack still drains
+  daemon.step();
+  std::filesystem::remove(loop.dir + "/client-lost.json");  // journal lost
+
+  ServeClient amnesiac(loop.handler, loop.client_config("lost"));
+  try {
+    for (int i = 0; i < 20000 && !amnesiac.done(); ++i) {
+      amnesiac.step();
+      daemon.step();
+    }
+    FAIL() << "a regressed read_seq must be refused, not served";
+  } catch (const net::ProtocolError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("refused"), std::string::npos) << what;
+    EXPECT_NE(what.find("journal lost"), std::string::npos) << what;
+  }
+  // Connection-fatal, daemon-survivable: the session is still resumable.
+  EXPECT_NO_THROW(daemon.step());
+  EXPECT_EQ(daemon.active_sessions(), 1u);
+}
+
+// A server that accepts and hangs up without ever completing a handshake
+// (no WELCOME, no kRefuse — e.g. a pre-refusal build) must not look like an
+// endless stream of clean reconnects.
+TEST(NetLoopback, SilentHandshakeDropsGiveUpLoudly) {
+  Loopback loop("silent");
+  const int listener = loop.handler.listen({"daemon", 9000});
+  ClientConfig config = loop.client_config("quiet");
+  config.max_handshake_failures = 5;
+  ServeClient client(loop.handler, config);
+  std::size_t dropped = 0;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10000 && !client.done(); ++i) {
+          client.step();
+          while (auto socket = loop.handler.accept(listener)) {
+            socket->close();
+            ++dropped;
+          }
+        }
+      },
+      net::ProtocolError);
+  EXPECT_GE(dropped, 5u);
+  EXPECT_GE(client.handshake_failures(), 5u);
+  loop.handler.close_listener(listener);
+}
+
+// One kRequestBatch frame must fit the wire's payload cap; a batch that
+// cannot is rejected up front with a message naming the limit, not deep in
+// generate_requests() with an opaque encode_frame error.
+TEST(NetLoopback, OversizedBatchIsRejectedAtConstruction) {
+  Loopback loop("batch");
+  ClientConfig config = loop.client_config("batchy");
+  config.batch = net::kMaxRequestBatch + 1;
+  EXPECT_THROW(ServeClient(loop.handler, config), std::invalid_argument);
+  config.batch = net::kMaxRequestBatch;  // the boundary itself fits
+  EXPECT_NO_THROW(ServeClient(loop.handler, config));
 }
 
 TEST(NetLoopback, NetMetricsAreRegisteredGlobally) {

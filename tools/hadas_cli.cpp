@@ -522,6 +522,11 @@ int cmd_client(const Args& args) {
   config.traffic.arrival_rate_hz = args.get_or("rate", 100.0);
   config.traffic.seed = args.get_or("trace-seed", std::size_t{0x5E21});
   config.batch = args.get_or("batch", config.batch);
+  if (config.batch == 0 || config.batch > net::kMaxRequestBatch)
+    throw std::invalid_argument(
+        "invalid value '" + std::to_string(config.batch) +
+        "' for --batch (a request batch must fit one wire frame: 1.." +
+        std::to_string(net::kMaxRequestBatch) + ")");
   config.max_connect_attempts =
       args.get_or("retries", config.max_connect_attempts);
   config.reconnect_backoff_ms = static_cast<int>(args.get_or(
