@@ -79,7 +79,36 @@ std::string checkpoint_fingerprint(const supernet::SearchSpace& space,
       << c.robust.faults.dropout_after_n << '/' << c.robust.faults.seed
       << "|robust:" << c.robust.samples << '/' << c.robust.mad_threshold << '/'
       << c.robust.retry.max_attempts << '/' << c.robust.engage;
+  // Appended only when non-empty so fingerprints of pre-existing checkpoints
+  // (written before the salt field existed) still validate.
+  if (!c.fingerprint_salt.empty()) out << "|salt:" << c.fingerprint_salt;
   return out.str();
+}
+
+Objectives constrained_objectives(const StaticEval& eval, double max_latency_s) {
+  if (max_latency_s <= 0.0 || eval.latency_s <= max_latency_s)
+    return eval.objectives();
+  const double violation = eval.latency_s - max_latency_s;
+  return {-1e6 - violation, -1e6 - violation, -1e6 - violation};
+}
+
+std::vector<FinalSolution> final_pareto_of(
+    const std::vector<BackboneOutcome>& backbones) {
+  ParetoArchive archive;
+  std::vector<FinalSolution> pool;
+  for (const auto& outcome : backbones) {
+    for (const auto& sol : outcome.inner_pareto) {
+      FinalSolution fs{outcome.config, sol.placement, sol.setting,
+                       outcome.static_eval, sol.metrics};
+      pool.push_back(std::move(fs));
+      archive.insert({sol.metrics.energy_gain, sol.metrics.oracle_accuracy},
+                     pool.size() - 1);
+    }
+  }
+  std::vector<FinalSolution> front;
+  front.reserve(archive.size());
+  for (std::size_t payload : archive.payloads()) front.push_back(pool[payload]);
+  return front;
 }
 
 HadasEngine::HadasEngine(const supernet::SearchSpace& space, hw::Target target,
@@ -203,10 +232,7 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
   // infeasible one and less-violating infeasible points win among
   // themselves.
   auto constrained = [&](const StaticEval& eval) -> Objectives {
-    if (config_.max_latency_s <= 0.0 || eval.latency_s <= config_.max_latency_s)
-      return eval.objectives();
-    const double violation = eval.latency_s - config_.max_latency_s;
-    return {-1e6 - violation, -1e6 - violation, -1e6 - violation};
+    return constrained_objectives(eval, config_.max_latency_s);
   };
   const auto cardinalities = space_.gene_cardinalities();
   const double mutation_prob =
@@ -286,7 +312,49 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
       population.push_back(supernet::random_genome(space_, rng));
   }
 
+  // --- Immigrant splice (island migration): only when the run resumes at
+  // exactly the generation the immigrants were selected for. A mid-round
+  // resume (crash after the boundary checkpoint) skips the splice because
+  // the resumed population already absorbed these genomes — re-applying
+  // would diverge from the uninterrupted run. ---
+  if (resumed && !warm.immigrants.empty() &&
+      start_gen == warm.immigrants_at_generation && population.size() > 1) {
+    const std::size_t count =
+        std::min(warm.immigrants.size(), population.size() - 1);
+    for (std::size_t i = 0; i < count; ++i)
+      population[population.size() - count + i] = warm.immigrants[i];
+  }
+
+  // Durable boundary snapshot for generation `next_gen` (everything run()
+  // needs to continue from its start). Shared by the periodic checkpoint and
+  // the cooperative-cancel path.
+  auto save_checkpoint = [&](std::size_t next_gen) {
+    const obs::TraceSpan span("checkpoint", "durable");
+    hadas::util::failpoint("engine.checkpoint.begin");
+    SearchCheckpoint ck;
+    ck.fingerprint = fingerprint;
+    ck.next_generation = next_gen;
+    ck.rng = rng.state();
+    ck.population = population;
+    ck.backbones = result.backbones;
+    ck.outer_evaluations = result.outer_evaluations;
+    ck.inner_evaluations = result.inner_evaluations;
+    save_checkpoint_chain(
+        hadas::util::durable::CheckpointChain(config_.checkpoint_path, keep),
+        ck);
+    hadas::util::failpoint("engine.checkpoint.end");
+  };
+
   for (std::size_t gen = start_gen; gen < config_.outer_generations; ++gen) {
+    // Cooperative cancellation, checked only at the generation boundary
+    // where the in-memory state is exactly a checkpoint: persist it and
+    // stop, so the caller can exit 0 and a later run resumes bit-identically.
+    if (config_.cancel && config_.cancel->load(std::memory_order_relaxed)) {
+      if (!config_.checkpoint_path.empty() && gen > start_gen)
+        save_checkpoint(gen);
+      result.interrupted = true;
+      break;
+    }
     const obs::TraceSpan gen_span("generation", "search");
     // Generation wall time is read only while observability is enabled, so
     // the metrics-off hot path stays clock-free.
@@ -428,22 +496,9 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     hadas::util::failpoint("engine.generation.end");
     const std::size_t every = std::max<std::size_t>(1, config_.checkpoint_every);
     if (!config_.checkpoint_path.empty() &&
-        ((gen + 1) % every == 0 || gen + 1 == config_.outer_generations)) {
-      const obs::TraceSpan span("checkpoint", "durable");
-      hadas::util::failpoint("engine.checkpoint.begin");
-      SearchCheckpoint ck;
-      ck.fingerprint = fingerprint;
-      ck.next_generation = gen + 1;
-      ck.rng = rng.state();
-      ck.population = population;
-      ck.backbones = result.backbones;
-      ck.outer_evaluations = result.outer_evaluations;
-      ck.inner_evaluations = result.inner_evaluations;
-      save_checkpoint_chain(
-          hadas::util::durable::CheckpointChain(config_.checkpoint_path, keep),
-          ck);
-      hadas::util::failpoint("engine.checkpoint.end");
-    }
+        ((gen + 1) % every == 0 || gen + 1 == config_.outer_generations))
+      save_checkpoint(gen + 1);
+    if (config_.on_generation) config_.on_generation(gen + 1);
     if (obs::enabled())
       search_metrics().generation_seconds.observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -462,21 +517,7 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
   }
 
   // --- Final (b*, x*, f*) Pareto set in (energy_gain, oracle_accuracy). ---
-  {
-    ParetoArchive archive;
-    std::vector<FinalSolution> pool;
-    for (const auto& outcome : result.backbones) {
-      for (const auto& sol : outcome.inner_pareto) {
-        FinalSolution fs{outcome.config, sol.placement, sol.setting,
-                         outcome.static_eval, sol.metrics};
-        pool.push_back(std::move(fs));
-        archive.insert({sol.metrics.energy_gain, sol.metrics.oracle_accuracy},
-                       pool.size() - 1);
-      }
-    }
-    for (std::size_t payload : archive.payloads())
-      result.final_pareto.push_back(pool[payload]);
-  }
+  result.final_pareto = final_pareto_of(result.backbones);
 
   SearchMetrics& metrics = search_metrics();
   metrics.front_size.set(static_cast<double>(result.static_front.size()));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -68,6 +69,21 @@ struct HadasConfig {
   /// is bit-identical at any thread count — see DESIGN.md "Parallel
   /// execution" for the determinism contract.
   exec::ExecConfig exec;
+  /// Extra material mixed into the checkpoint fingerprint (appended only
+  /// when non-empty, so existing checkpoints keep validating). The dist
+  /// layer salts each island ("island:<i>/<K>") so one island can never
+  /// resume from another island's chain even when their budgets coincide.
+  std::string fingerprint_salt;
+  /// Cooperative cancellation: when set and it becomes true, run() stops at
+  /// the next generation boundary, writes a checkpoint (if checkpointing is
+  /// on) and returns with HadasResult::interrupted set. The state written is
+  /// exactly the boundary state, so a later resume reproduces the
+  /// uninterrupted run bit-identically. Used for graceful SIGINT/SIGTERM.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Observe-only hook invoked after every completed outer generation with
+  /// the number of generations finished so far. Must not mutate search
+  /// state; the dist worker uses it to refresh its heartbeat file.
+  std::function<void(std::size_t)> on_generation;
 };
 
 /// A fully specified dynamic design: the paper's (b*, x*, f*) triple with
@@ -107,6 +123,10 @@ struct HadasResult {
   std::string resumed_from_file;
   /// Corrupt newer snapshots skipped before finding a valid one.
   std::size_t corrupt_checkpoints_skipped = 0;
+  /// True when run() stopped early at a generation boundary because
+  /// HadasConfig::cancel fired. The partial result is valid as far as it
+  /// goes; rerunning with the same checkpoint chain continues the search.
+  bool interrupted = false;
 };
 
 /// Mid-search snapshot: everything run() needs to continue from the start of
@@ -134,6 +154,19 @@ struct SearchCheckpoint {
 std::string checkpoint_fingerprint(const supernet::SearchSpace& space,
                                    const HadasConfig& config);
 
+/// Constrained-domination objectives (Deb's rule) used by the outer ranking:
+/// feasible evaluations keep their real objective vector; latency-infeasible
+/// ones collapse to a uniformly-worse vector ordered by violation.
+/// max_latency_s <= 0 disables the constraint.
+Objectives constrained_objectives(const StaticEval& eval, double max_latency_s);
+
+/// The final (b*, x*, f*) Pareto set in (energy_gain, oracle_accuracy) over
+/// every inner solution of `backbones` — the pure function run() finishes
+/// with. Exposed so the dist layer can regenerate an island's final result
+/// from its last checkpoint byte-identically after a crash.
+std::vector<FinalSolution> final_pareto_of(
+    const std::vector<BackboneOutcome>& backbones);
+
 /// Seed material for continuing a search: genomes to inject into the first
 /// generation plus backbones whose evaluations are already known (their
 /// static evals are reused verbatim; backbones with ioe_ran keep their inner
@@ -141,6 +174,14 @@ std::string checkpoint_fingerprint(const supernet::SearchSpace& space,
 struct WarmStart {
   std::vector<supernet::Genome> population;
   std::vector<BackboneOutcome> known;
+  /// Migrant genomes to splice into the population tail — but ONLY when the
+  /// run resumes from a checkpoint whose next_generation equals
+  /// `immigrants_at_generation`. The guard makes island migration replayable:
+  /// a worker that crashes mid-round and resumes from a later (mid-round)
+  /// checkpoint must not re-apply immigrants the population already absorbed.
+  /// At least one native genome is always kept.
+  std::vector<supernet::Genome> immigrants;
+  std::size_t immigrants_at_generation = 0;
 };
 
 /// Build a warm start from a previously saved final Pareto set (e.g. loaded

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/island.hpp"
+#include "util/json.hpp"
+
+namespace hadas::dist {
+
+/// Supervision knobs of the island coordinator. The defaults suit a real
+/// search; tests shrink the timeouts to exercise the watchdog quickly.
+struct DistOptions {
+  /// Run islands as `hadas worker` subprocesses (the production topology).
+  /// false = evolve every island in-process, sequentially round-major —
+  /// the reference mode the chaos tests byte-compare against.
+  bool spawn = true;
+  /// A worker whose heartbeat counter does not advance for this long is
+  /// declared hung and SIGKILLed (then handled like any other crash).
+  std::size_t heartbeat_ms = 30000;
+  std::size_t poll_ms = 30;          ///< supervision loop period
+  std::size_t backoff_ms = 100;      ///< first restart delay (doubles)
+  std::size_t backoff_max_ms = 2000; ///< restart delay ceiling
+  /// Consecutive worker failures that trip an island's circuit breaker.
+  /// A tripped island is quarantined: no more subprocess attempts; the
+  /// coordinator finishes it inline after the healthy islands are done.
+  std::size_t island_failure_threshold = 3;
+  /// Worker-side wait budget for inbound migrants (exit 3 past it).
+  std::size_t worker_wait_timeout_ms = 120000;
+  /// Chaos schedules (HADAS_CHAOS) are forwarded to first spawns and
+  /// stripped from respawns so an every-hit crash rule cannot crash-loop
+  /// every incarnation. true keeps forwarding them — the breaker test uses
+  /// this to force a crash loop and the quarantine path.
+  bool chaos_respawn_keep = false;
+  /// Worker executable; empty = this binary (/proc/self/exe).
+  std::string worker_binary;
+  const std::atomic<bool>* cancel = nullptr;  ///< SIGINT/SIGTERM flag
+  /// Supervision diagnostics sink; nullptr = stderr.
+  std::function<void(const std::string&)> log;
+};
+
+/// What a distributed run did, beyond the merged result itself. The same
+/// numbers are published as dist.* metrics through the global registry.
+struct DistReport {
+  util::Json merged;  ///< merge_islands() output (unset when interrupted)
+  std::size_t islands = 0;
+  std::size_t workers_spawned = 0;    ///< first spawns + respawns
+  std::size_t workers_restarted = 0;  ///< respawns after a failure
+  std::size_t workers_quarantined = 0;
+  std::size_t heartbeat_misses = 0;   ///< hang detections (SIGKILLs)
+  std::size_t migrants_exchanged = 0; ///< genomes in valid migrant files
+  bool interrupted = false;           ///< cancel fired; workdir resumable
+};
+
+/// Island-model coordinator: partitions the outer population into
+/// spec.islands islands, supervises one worker subprocess per island
+/// (heartbeat watchdog, restart with exponential backoff, per-island
+/// circuit breaker with inline salvage), and merges the island fronts into
+/// one Pareto set. Every decision is derived from the workdir's durable
+/// state, so a killed coordinator is rerun with the same arguments and
+/// converges to the same merged front.
+class DistCoordinator {
+ public:
+  DistCoordinator(DistSpec spec, std::string workdir, DistOptions options = {});
+
+  DistReport run();
+
+ private:
+  bool run_islands_inline(const std::vector<std::size_t>& islands,
+                          bool failpoints_on);
+  void say(const std::string& message) const;
+
+  DistSpec spec_;
+  std::string workdir_;
+  DistOptions options_;
+};
+
+}  // namespace hadas::dist

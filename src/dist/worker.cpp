@@ -1,0 +1,180 @@
+#include "dist/worker.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/serialize.hpp"
+#include "util/durable/checkpoint_chain.hpp"
+#include "util/failpoint.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas::dist {
+
+namespace {
+
+bool cancelled(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+/// Test hook: HADAS_DIST_HANG="<island>:<round>" freezes the worker
+/// (without heartbeats) before running that round, so the coordinator's
+/// hang watchdog can be exercised deterministically. Like HADAS_CHAOS it is
+/// stripped from the environment on respawn.
+bool should_hang(std::size_t island, std::size_t round) {
+  const char* spec = std::getenv("HADAS_DIST_HANG");
+  if (spec == nullptr || *spec == '\0') return false;
+  const auto parts = util::split(spec, ':');
+  if (parts.size() != 2) return false;
+  try {
+    return util::parse_size("HADAS_DIST_HANG island", parts[0]) == island &&
+           util::parse_size("HADAS_DIST_HANG round", parts[1]) == round;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+IslandProgress inspect_island(const DistSpec& spec, const std::string& workdir,
+                              std::size_t island) {
+  IslandProgress progress;
+  if (island_final_valid(final_path(workdir, island))) {
+    progress.final_written = true;
+    progress.next_round = round_count(spec);
+    return progress;
+  }
+  const hadas::util::durable::CheckpointChain chain(
+      chain_path(workdir, island),
+      std::max<std::size_t>(1, spec.checkpoint_keep));
+  const auto loaded = core::load_checkpoint_chain(chain);
+  if (!loaded) return progress;  // nothing yet: start at round 0
+  const std::size_t next_gen = loaded->checkpoint.next_generation;
+  // A boundary checkpoint maps to the round starting there; a mid-round one
+  // (graceful-shutdown save) maps to the round it interrupted.
+  progress.next_round = next_gen >= spec.outer_generations
+                            ? round_count(spec)
+                            : next_gen / spec.migration_every;
+  return progress;
+}
+
+bool inbound_ready(const supernet::SearchSpace& space, const DistSpec& spec,
+                   const std::string& workdir, std::size_t island,
+                   std::size_t round, bool failpoints_on) {
+  if (round == 0 || spec.islands <= 1) return true;
+  return ensure_migrants_file(space, spec, workdir,
+                              inbound_neighbor(spec, island), round - 1,
+                              failpoints_on);
+}
+
+bool run_island_round(const DistSpec& spec, const std::string& workdir,
+                      std::size_t island, std::size_t round,
+                      bool failpoints_on, const std::atomic<bool>* cancel,
+                      const std::function<void(std::size_t)>& on_generation) {
+  if (failpoints_on) hadas::util::failpoint("dist.worker.round.begin");
+  const supernet::SearchSpace space = spec_space(spec);
+  core::HadasConfig config = island_config(spec, workdir, island);
+  config.outer_generations = round_end_generation(spec, round);
+  config.cancel = cancel;
+  config.on_generation = on_generation;
+
+  core::WarmStart warm;
+  if (round > 0 && spec.islands > 1) {
+    // A crash between the boundary checkpoint and the migrant write lost
+    // our previous outbound file; regenerate it before evolving on (it is a
+    // pure function of the boundary checkpoint, so the bytes match what the
+    // crashed process would have written).
+    if (!ensure_migrants_file(space, spec, workdir, island, round - 1,
+                              failpoints_on))
+      throw std::runtime_error(
+          "dist: island " + std::to_string(island) + " lost both round " +
+          std::to_string(round - 1) +
+          " boundary checkpoint and its migrant file");
+    if (failpoints_on) hadas::util::failpoint("dist.migrate.read");
+    const MigrantSet inbound = load_migrants_file(
+        migrants_path(workdir, inbound_neighbor(spec, island), round - 1));
+    warm.immigrants = inbound.genomes;
+    warm.immigrants_at_generation = round * spec.migration_every;
+  }
+
+  core::HadasEngine engine(space, spec_target(spec), config);
+  const core::HadasResult result = engine.run(warm);
+  if (result.interrupted) return false;
+  if (failpoints_on) hadas::util::failpoint("dist.worker.round.end");
+
+  if (round + 1 == round_count(spec)) {
+    write_island_final(spec, workdir, island, failpoints_on);
+  } else if (spec.islands > 1) {
+    ensure_migrants_file(space, spec, workdir, island, round, failpoints_on);
+  }
+  return true;
+}
+
+void touch_heartbeat(const std::string& path, std::uint64_t counter) {
+  hadas::util::failpoint("dist.heartbeat");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << counter << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+std::optional<std::uint64_t> read_heartbeat(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t counter = 0;
+  if (!(in >> counter)) return std::nullopt;
+  return counter;
+}
+
+int run_worker(const DistSpec& spec, const std::string& workdir,
+               std::size_t island, const WorkerOptions& options) {
+  hadas::util::failpoint("dist.worker.start");
+  const supernet::SearchSpace space = spec_space(spec);
+  const std::string hb = heartbeat_path(workdir, island);
+  // Continue the previous incarnation's counter so the coordinator sees
+  // strictly advancing beats across restarts.
+  std::uint64_t beat = read_heartbeat(hb).value_or(0);
+  touch_heartbeat(hb, ++beat);
+  const auto poll =
+      std::chrono::milliseconds(std::max<std::size_t>(1, options.poll_ms));
+
+  while (true) {
+    if (cancelled(options.cancel)) return kWorkerExitInterrupted;
+    const IslandProgress progress = inspect_island(spec, workdir, island);
+    if (progress.final_written) return kWorkerExitDone;
+    if (progress.next_round >= round_count(spec)) {
+      // The last round is checkpointed but the crash ate the result file.
+      write_island_final(spec, workdir, island);
+      continue;
+    }
+
+    // Wait — heartbeating — until the inbound migrants of this round exist.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options.wait_timeout_ms);
+    while (!inbound_ready(space, spec, workdir, island, progress.next_round)) {
+      if (cancelled(options.cancel)) return kWorkerExitInterrupted;
+      if (std::chrono::steady_clock::now() > deadline)
+        return kWorkerExitWaitTimeout;
+      touch_heartbeat(hb, ++beat);
+      std::this_thread::sleep_for(poll);
+    }
+
+    if (should_hang(island, progress.next_round)) {
+      // Simulated hang: alive but silent. SIGKILL (the watchdog) ends it.
+      while (!cancelled(options.cancel))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return kWorkerExitInterrupted;
+    }
+
+    if (!run_island_round(
+            spec, workdir, island, progress.next_round, /*failpoints_on=*/true,
+            options.cancel, [&](std::size_t) { touch_heartbeat(hb, ++beat); }))
+      return kWorkerExitInterrupted;
+  }
+}
+
+}  // namespace hadas::dist

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "dist/island.hpp"
+
+namespace hadas::dist {
+
+/// What the island's durable state says about where to continue. Derived
+/// entirely from on-disk inspection, so a respawned worker (or the salvage
+/// path in the coordinator) needs no memory of the crashed process.
+struct IslandProgress {
+  bool final_written = false;  ///< valid island result file exists
+  std::size_t next_round = 0;  ///< first round not yet checkpointed past
+};
+
+IslandProgress inspect_island(const DistSpec& spec, const std::string& workdir,
+                              std::size_t island);
+
+/// True when the inbound migrant file island `island` needs before `round`
+/// is readable. Attempts a cross-process repair first: a missing/corrupt
+/// file is regenerated from the *sender's* checkpoint chain when it already
+/// holds the boundary (migrant sets are pure functions of checkpoints).
+bool inbound_ready(const supernet::SearchSpace& space, const DistSpec& spec,
+                   const std::string& workdir, std::size_t island,
+                   std::size_t round, bool failpoints_on = true);
+
+/// Run one island round: regenerate the previous round's outbound migrants
+/// if a crash lost them, apply the inbound migrant set (rounds > 0), extend
+/// the engine to the round's end generation (resuming from the chain), then
+/// emit this round's migrants — or, after the last round, the island result
+/// file. `failpoints_on` gates the dist.* failpoints so the coordinator's
+/// salvage path cannot be killed by a worker-targeted chaos schedule.
+/// Returns false when `cancel` interrupted the round (state checkpointed).
+bool run_island_round(const DistSpec& spec, const std::string& workdir,
+                      std::size_t island, std::size_t round,
+                      bool failpoints_on,
+                      const std::atomic<bool>* cancel = nullptr,
+                      const std::function<void(std::size_t)>& on_generation = {});
+
+/// Worker main loop (the `hadas worker` subcommand): refresh the heartbeat
+/// file, inspect progress, wait for inbound migrants, run rounds until the
+/// island result is durably written. Returns a kWorkerExit* code.
+struct WorkerOptions {
+  std::size_t poll_ms = 25;             ///< inbound-migrant poll interval
+  std::size_t wait_timeout_ms = 120000; ///< give up waiting (exit 3)
+  const std::atomic<bool>* cancel = nullptr;  ///< SIGINT/SIGTERM flag
+};
+
+int run_worker(const DistSpec& spec, const std::string& workdir,
+               std::size_t island, const WorkerOptions& options = {});
+
+/// Atomically (tmp + rename) publish a monotonic heartbeat counter; the
+/// coordinator declares the worker hung when the counter stops advancing.
+void touch_heartbeat(const std::string& path, std::uint64_t counter);
+
+/// The counter currently published at `path`, or nullopt when absent or
+/// unreadable.
+std::optional<std::uint64_t> read_heartbeat(const std::string& path);
+
+}  // namespace hadas::dist

@@ -60,6 +60,17 @@ const std::vector<std::string>& chaos_sites() {
       "serve.request",
       "serve.journal.begin",
       "serve.journal.end",
+      // dist — island coordinator, workers and migration files
+      "dist.spawn",              // coordinator: before forking a worker
+      "dist.worker.start",       // worker process entry
+      "dist.worker.round.begin", // before an island round's engine segment
+      "dist.worker.round.end",   // after the segment, before migrant write
+      "dist.migrate.write",      // file site: migrant envelope in place
+      "dist.migrate.read",       // before consuming an inbound migrant file
+      "dist.worker.final",       // file site: island result in place
+      "dist.heartbeat",          // worker heartbeat refresh
+      "dist.merge",              // coordinator: before merging island fronts
+      "dist.salvage",            // coordinator: island quarantined, going inline
   };
   return sites;
 }

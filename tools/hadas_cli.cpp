@@ -13,6 +13,9 @@
 // Every command is deterministic given its arguments.
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,9 +28,13 @@
 #include "core/sensitivity.hpp"
 #include "core/serialize.hpp"
 #include "data/sample_stream.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "exec/chaos.hpp"
 #include "net/client.hpp"
+#include "net/session.hpp"
 #include "net/socket.hpp"
+#include "runtime/serve/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/deployment.hpp"
@@ -49,6 +56,21 @@ using tools::parse_space;
 
 namespace {
 
+/// Cooperative-shutdown flag set by SIGINT/SIGTERM. Long-running commands
+/// (search, worker, the dist coordinator) poll it at checkpoint boundaries,
+/// persist their state and exit 0 — so an orchestrator's TERM is a clean
+/// "pause", resumable with the same command line.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_cancel_signal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void install_cancel_handlers() {
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+}
+
 /// The flags each subcommand accepts. Parsing validates against this, so a
 /// typo'd --flag fails loudly instead of being silently ignored (and, e.g.,
 /// silently running a search with default budgets).
@@ -60,7 +82,10 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
        {"device", "out", "pop", "gens", "ioe-per-gen", "ioe-pop", "ioe-gens",
         "seed", "train-size", "epochs", "max-latency-ms", "space", "resume",
         "checkpoint", "checkpoint-every", "checkpoint-keep", "faults",
-        "threads", "metrics-out", "trace-out"}},
+        "threads", "metrics-out", "trace-out", "dist", "dist-workdir",
+        "dist-mode", "migrate-every", "migrants", "heartbeat-ms",
+        "island-retries"}},
+      {"worker", {"spec", "island", "poll-ms", "wait-timeout-ms"}},
       {"show", {}},
       {"verify-checkpoint", {}},
       {"metrics-dump", {"format"}},
@@ -119,7 +144,121 @@ int cmd_baselines(const Args& args) {
   return 0;
 }
 
+/// `hadas search --dist K`: island-model distributed search. The outer
+/// population is partitioned into K islands evolved by `hadas worker`
+/// subprocesses, with ring migration every --migrate-every generations; the
+/// coordinator supervises (heartbeats, restarts, per-island circuit
+/// breaker) and merges the island fronts.
+int run_dist_search(const Args& args, std::size_t islands) {
+  if (args.get("checkpoint") || args.get("checkpoint-every"))
+    throw std::invalid_argument(
+        "--checkpoint/--checkpoint-every cannot be combined with --dist: the "
+        "--dist-workdir owns every island's checkpoint chain");
+  if (const auto resume = args.get("resume"); resume && *resume != "auto")
+    throw std::invalid_argument(
+        "--dist resumes from its workdir; only '--resume auto' is accepted");
+
+  dist::DistSpec spec;
+  spec.device = args.get_or("device", std::string("tx2-gpu"));
+  spec.space = args.get_or("space", std::string("attentive"));
+  spec.outer_population = args.get_or("pop", spec.outer_population);
+  spec.outer_generations = args.get_or("gens", spec.outer_generations);
+  spec.ioe_backbones_per_generation =
+      args.get_or("ioe-per-gen", spec.ioe_backbones_per_generation);
+  spec.ioe_population = args.get_or("ioe-pop", spec.ioe_population);
+  spec.ioe_generations = args.get_or("ioe-gens", spec.ioe_generations);
+  spec.seed = args.get_or("seed", std::size_t{2023});
+  spec.train_size = args.get_or("train-size", spec.train_size);
+  spec.epochs = args.get_or("epochs", spec.epochs);
+  spec.max_latency_s = args.get_or("max-latency-ms", 0.0) * 1e-3;
+  spec.faults = args.get_or("faults", std::string());
+  spec.checkpoint_keep = args.get_or("checkpoint-keep", spec.checkpoint_keep);
+  spec.threads = args.get_or("threads", spec.threads);
+  spec.islands = islands;
+  spec.migration_every = args.get_or("migrate-every", spec.migration_every);
+  spec.migrants = args.get_or("migrants", spec.migrants);
+
+  const std::string workdir =
+      args.get_or("dist-workdir", std::string("hadas_dist"));
+  const std::string out_path =
+      args.get_or("out", std::string("hadas_result.json"));
+  const ObsOutputs obs_out = obs_setup(args);
+
+  dist::DistOptions options;
+  const std::string mode = args.get_or("dist-mode", std::string("spawn"));
+  if (mode == "inline")
+    options.spawn = false;
+  else if (mode != "spawn")
+    throw std::invalid_argument("unknown --dist-mode '" + mode +
+                                "' (expected spawn or inline)");
+  options.heartbeat_ms = args.get_or("heartbeat-ms", options.heartbeat_ms);
+  options.island_failure_threshold =
+      args.get_or("island-retries", options.island_failure_threshold);
+  // Workers give up waiting for missing inbound migrants a bit after the
+  // coordinator would declare them hung, never before.
+  options.worker_wait_timeout_ms =
+      std::max(options.worker_wait_timeout_ms, 4 * options.heartbeat_ms);
+  if (const char* keep = std::getenv("HADAS_CHAOS_RESPAWN_KEEP"))
+    options.chaos_respawn_keep = *keep != '\0';
+  options.cancel = &g_cancel;
+  install_cancel_handlers();
+
+  std::cout << "distributed search: " << spec.islands << " island(s) x "
+            << spec.outer_generations << " generations, migration every "
+            << spec.migration_every << " (" << mode << " mode) in " << workdir
+            << "\n";
+  dist::DistCoordinator coordinator(spec, workdir, options);
+  const dist::DistReport report = coordinator.run();
+  std::cout << "workers: " << report.workers_spawned << " spawned, "
+            << report.workers_restarted << " restarted, "
+            << report.workers_quarantined << " quarantined, "
+            << report.heartbeat_misses << " heartbeat miss(es); "
+            << report.migrants_exchanged << " migrants exchanged\n";
+  if (report.interrupted) {
+    std::cout << "interrupted: island state checkpointed in " << workdir
+              << "; rerun the same command to continue\n";
+    obs_write(obs_out);
+    return 0;
+  }
+  core::save_json(out_path, report.merged);
+  std::cout << "merged Pareto set: "
+            << report.merged.at("final_pareto").as_array().size()
+            << " designs -> " << out_path << "\n";
+  obs_write(obs_out);
+  return 0;
+}
+
+/// `hadas worker`: one island of a distributed search, spawned by the
+/// coordinator (or by hand, against the same workdir spec).
+int cmd_worker(const Args& args) {
+  const auto spec_file = args.get("spec");
+  const auto island_arg = args.get("island");
+  if (!spec_file || !island_arg)
+    throw std::invalid_argument(
+        "usage: hadas worker --spec <workdir>/dist_spec.json --island I");
+  const dist::DistSpec spec = dist::load_spec(*spec_file);
+  const std::size_t island = util::parse_size("--island", *island_arg);
+  if (island >= spec.islands)
+    throw std::invalid_argument("--island " + std::to_string(island) +
+                                " out of range (spec has " +
+                                std::to_string(spec.islands) + " islands)");
+  const std::size_t slash = spec_file->find_last_of('/');
+  const std::string workdir =
+      slash == std::string::npos ? "." : spec_file->substr(0, slash);
+
+  dist::WorkerOptions options;
+  options.poll_ms = args.get_or("poll-ms", options.poll_ms);
+  options.wait_timeout_ms =
+      args.get_or("wait-timeout-ms", options.wait_timeout_ms);
+  options.cancel = &g_cancel;
+  install_cancel_handlers();
+  return dist::run_worker(spec, workdir, island, options);
+}
+
 int cmd_search(const Args& args) {
+  if (const std::size_t islands = args.get_or("dist", std::size_t{0});
+      islands > 0)
+    return run_dist_search(args, islands);
   const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
   const std::string out_path = args.get_or("out", std::string("hadas_result.json"));
 
@@ -139,6 +278,8 @@ int cmd_search(const Args& args) {
   config.exec.threads = args.get_or("threads", config.exec.threads);
   if (const auto faults = args.get("faults"))
     config.robust.faults = hw::parse_fault_config(*faults);
+  config.cancel = &g_cancel;
+  install_cancel_handlers();
   const ObsOutputs obs_out = obs_setup(args);
 
   const supernet::SearchSpace space = parse_space(args);
@@ -174,6 +315,15 @@ int cmd_search(const Args& args) {
       std::cout << ", skipped " << result.corrupt_checkpoints_skipped
                 << " corrupt snapshot(s)";
     std::cout << "\n";
+  }
+  if (result.interrupted) {
+    std::cout << "interrupted at generation boundary";
+    if (!config.checkpoint_path.empty())
+      std::cout << "; checkpoint saved — rerun with --resume auto to continue";
+    std::cout << "\n";
+    core::export_search_metrics(engine, result);
+    obs_write(obs_out);
+    return 0;
   }
   core::save_json(out_path, core::result_to_json(result, target));
   if (engine.static_evaluator().robust().active()) {
@@ -255,17 +405,78 @@ int cmd_verify_checkpoint(const Args& args) {
   }
 
   // Envelope aside, run the full load path (parse + invariant validation)
-  // and report the checkpoint's identity.
+  // of whatever the format tag says this file is — search checkpoints,
+  // dist-layer artifacts, net session journals and serve journals all
+  // triage through the same command — and report the payload's identity.
   try {
-    const core::SearchCheckpoint checkpoint = core::load_checkpoint(path);
-    table.add_row({"payload", "valid checkpoint"});
-    table.add_row({"fingerprint", checkpoint.fingerprint});
-    table.add_row({"next generation", std::to_string(checkpoint.next_generation)});
-    table.add_row({"population", std::to_string(checkpoint.population.size())});
-    table.add_row({"backbones", std::to_string(checkpoint.backbones.size())});
-    table.add_row({"outer / inner evaluations",
-                   std::to_string(checkpoint.outer_evaluations) + " / " +
-                       std::to_string(checkpoint.inner_evaluations)});
+    const std::string tag = info.format_tag;
+    if (info.legacy || tag == core::kCheckpointFormatTag) {
+      const core::SearchCheckpoint checkpoint = core::load_checkpoint(path);
+      table.add_row({"payload", "valid checkpoint"});
+      table.add_row({"fingerprint", checkpoint.fingerprint});
+      table.add_row({"next generation", std::to_string(checkpoint.next_generation)});
+      table.add_row({"population", std::to_string(checkpoint.population.size())});
+      table.add_row({"backbones", std::to_string(checkpoint.backbones.size())});
+      table.add_row({"outer / inner evaluations",
+                     std::to_string(checkpoint.outer_evaluations) + " / " +
+                         std::to_string(checkpoint.inner_evaluations)});
+    } else if (tag == dist::kDistSpecFormatTag) {
+      const dist::DistSpec spec = dist::load_spec(path);
+      table.add_row({"payload", "valid dist spec"});
+      table.add_row({"device / space", spec.device + " / " + spec.space});
+      table.add_row({"population x generations",
+                     std::to_string(spec.outer_population) + " x " +
+                         std::to_string(spec.outer_generations)});
+      table.add_row({"islands", std::to_string(spec.islands)});
+      table.add_row({"migration every / migrants",
+                     std::to_string(spec.migration_every) + " / " +
+                         std::to_string(spec.migrants)});
+    } else if (tag == dist::kMigrantsFormatTag) {
+      const dist::MigrantSet migrants = dist::load_migrants_file(path);
+      table.add_row({"payload", "valid migrant set"});
+      table.add_row({"island", std::to_string(migrants.island)});
+      table.add_row({"round", std::to_string(migrants.round)});
+      table.add_row({"genomes", std::to_string(migrants.genomes.size())});
+    } else if (tag == dist::kIslandResultFormatTag) {
+      const util::Json result = dist::load_island_result(path);
+      table.add_row({"payload", "valid island result"});
+      table.add_row({"island",
+                     std::to_string(result.at("island").as_index())});
+      table.add_row({"next generation",
+                     std::to_string(result.at("next_generation").as_index())});
+      table.add_row({"Pareto designs",
+                     std::to_string(result.at("final_pareto").as_array().size())});
+    } else if (tag == net::kSessionFormatTag) {
+      const auto session = net::load_session_state(path);
+      table.add_row({"payload", "valid net session journal"});
+      table.add_row({"session id", session->session_id});
+      table.add_row({"server fingerprint", session->fingerprint});
+      table.add_row({"write acked / unacked bytes",
+                     std::to_string(session->write_acked) + " / " +
+                         std::to_string(session->write_unacked.size())});
+      table.add_row({"read sequence", std::to_string(session->read_seq)});
+    } else if (tag == runtime::serve::kServeJournalFormatTag) {
+      const std::string payload =
+          util::durable::DurableFile::read(path, tag);
+      runtime::serve::ServeJournalSnapshot snapshot;
+      try {
+        snapshot = runtime::serve::journal_snapshot_from_json(
+            util::Json::parse(payload));
+      } catch (const util::durable::CheckpointCorruptError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw util::durable::CheckpointCorruptError(
+            path, 0, util::durable::CorruptStage::kParse, e.what());
+      }
+      table.add_row({"payload", "valid serve journal"});
+      table.add_row({"fingerprint", snapshot.fingerprint});
+      table.add_row({"next request index", std::to_string(snapshot.next_index)});
+      table.add_row({"lanes", std::to_string(snapshot.lanes.size())});
+    } else {
+      table.add_row({"payload", "unknown format tag (envelope " +
+                                    std::string(info.valid() ? "valid" : "CORRUPT") +
+                                    ", payload not triaged)"});
+    }
     table.print(std::cout);
     return 0;
   } catch (const util::durable::CheckpointCorruptError& e) {
@@ -574,9 +785,20 @@ void print_usage() {
                "         [--threads N]         worker threads (0 = auto)\n"
                "         [--metrics-out F]     write a metrics snapshot JSON\n"
                "         [--trace-out F]       write a Chrome trace_event JSON\n"
+               "         [--dist K]            island-model distributed search\n"
+               "         [--dist-workdir DIR]  durable state of the dist run\n"
+               "         [--dist-mode spawn|inline] worker subprocesses (default)\n"
+               "                               or in-process reference mode\n"
+               "         [--migrate-every N] [--migrants M]\n"
+               "         [--heartbeat-ms T]    worker hang deadline\n"
+               "         [--island-retries N]  failures before quarantine\n"
+               "  worker --spec F --island I   one island of a --dist search\n"
+               "                               (spawned by the coordinator)\n"
                "  show F                       print a saved result\n"
-               "  verify-checkpoint F          inspect a durable state file\n"
-               "                               (header, checksum, fingerprint)\n"
+               "  verify-checkpoint F          inspect a durable state file:\n"
+               "                               search checkpoint, dist spec,\n"
+               "                               migrant set, island result, net\n"
+               "                               session or serve journal\n"
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
                "    (--baseline aN | --result F [--index I])\n"
@@ -627,6 +849,7 @@ int main(int argc, char** argv) {
     if (command == "devices") return cmd_devices();
     if (command == "baselines") return cmd_baselines(args);
     if (command == "search") return cmd_search(args);
+    if (command == "worker") return cmd_worker(args);
     if (command == "show") return cmd_show(args);
     if (command == "verify-checkpoint") return cmd_verify_checkpoint(args);
     if (command == "deploy") return cmd_deploy(args);

@@ -174,9 +174,11 @@ int main(int argc, char** argv) {
       g_daemon = &daemon;
       std::signal(SIGINT, handle_signal);
       std::signal(SIGTERM, handle_signal);
+      // Flushed immediately: the banner is a readiness signal supervisors
+      // and tests wait on, and stdout is fully buffered when redirected.
       std::cout << "hadasd listening on " << listen->host << ":"
                 << listen->port << " (state in " << state_dir << ")\n"
-                << "serving " << stack.fingerprint << "\n";
+                << "serving " << stack.fingerprint << std::endl;
       daemon.run();
       g_daemon = nullptr;
       std::cout << "hadasd: " << daemon.sessions_completed()
