@@ -1,0 +1,146 @@
+// Multi-host transport bench: the same K=2 island search run (a) inline
+// (no network at all — the byte-identity reference) and (b) over the
+// dist-net stack, coordinator and both NetWorkers cooperatively stepped
+// across the deterministic in-process FakeNetwork. The delta between the
+// two wall times is the full cost of the resumable session layer: framing,
+// chunking, CRC, session journals, save-before-ack journaling and the
+// migrant push/upload round trips.
+//
+// Exit code 1 if the net-mode merged front is not byte-identical to the
+// inline reference — the bench doubles as a correctness gate in CI.
+//
+// Deterministic: fixed seed, fixed topology, single-threaded stepping.
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/net_transport.hpp"
+#include "dist/worker.hpp"
+#include "net/fake_socket.hpp"
+
+namespace hadas {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+dist::DistSpec bench_spec() {
+  dist::DistSpec spec;
+  spec.device = "tx2-gpu";
+  spec.space = "attentive";
+  spec.outer_population = bench::paper_budget() ? 16 : 8;
+  spec.outer_generations = bench::paper_budget() ? 8 : 4;
+  spec.ioe_backbones_per_generation = 1;
+  spec.ioe_population = 8;
+  spec.ioe_generations = bench::paper_budget() ? 8 : 4;
+  spec.seed = 20230417;
+  spec.train_size = bench::paper_budget() ? 600 : 200;
+  spec.epochs = 2;
+  spec.islands = 2;
+  spec.migration_every = 2;
+  spec.migrants = 2;
+  return spec;
+}
+
+}  // namespace
+}  // namespace hadas
+
+int main() {
+  using namespace hadas;
+  const std::string out = bench::out_dir();
+  const dist::DistSpec spec = bench_spec();
+  util::Json doc;
+
+  std::cout << "== dist-net transport overhead (K=2) ==\n";
+
+  // (a) Inline reference: no transport at all.
+  const std::string inline_dir = out + "/dist_net_inline";
+  std::filesystem::remove_all(inline_dir);
+  dist::DistOptions inline_options;
+  inline_options.spawn = false;
+  auto start = std::chrono::steady_clock::now();
+  const dist::DistReport inline_report =
+      dist::DistCoordinator(spec, inline_dir, inline_options).run();
+  const double inline_wall = seconds_since(start);
+  const std::string reference = inline_report.merged.dump(2);
+  std::cout << "  inline:   " << inline_wall << " s, front "
+            << inline_report.merged.at("final_pareto").size() << "\n";
+
+  // (b) The same search over the dist-net stack on the fake loopback.
+  const std::string net_dir = out + "/dist_net_loopback";
+  std::filesystem::remove_all(net_dir);
+  auto network = std::make_shared<net::FakeNetwork>();
+  net::FakeSocketHandler handler(network);
+  dist::DistOptions net_options;
+  net_options.listen = util::HostPort{"coord", 7600};
+  net_options.socket_handler = &handler;
+  net_options.heartbeat_ms = 60000;
+  net_options.poll_ms = 1;
+  net_options.log = [](const std::string&) {};
+  dist::DistReport net_report;
+  dist::NetTransport coordinator(spec, net_dir + "/coord", net_options,
+                                 [](const std::string&) {});
+  coordinator.start();
+  std::vector<std::unique_ptr<dist::NetWorker>> workers;
+  for (std::size_t island = 0; island < spec.islands; ++island) {
+    dist::NetWorkerConfig config;
+    config.connect = *net_options.listen;
+    config.island = island;
+    config.state_dir = net_dir + "/worker" + std::to_string(island);
+    config.beat_every_ms = 0;
+    workers.push_back(std::make_unique<dist::NetWorker>(&handler, config));
+  }
+  start = std::chrono::steady_clock::now();
+  bool complete = false;
+  for (std::size_t tick = 0; tick < 1000000 && !complete; ++tick) {
+    coordinator.step(net_report);
+    complete = coordinator.finished();
+    for (auto& worker : workers) {
+      if (!worker->done()) worker->step();
+      complete = complete && worker->done();
+    }
+  }
+  const double net_wall = seconds_since(start);
+  const std::string merged =
+      dist::merge_islands(spec, net_dir + "/coord").dump(2);
+  std::cout << "  dist-net: " << net_wall << " s (overhead "
+            << (net_wall - inline_wall) << " s, "
+            << (inline_wall > 0 ? 100.0 * (net_wall - inline_wall) / inline_wall
+                                : 0.0)
+            << "%)\n";
+
+  // dist.net.* counters accumulated by the run.
+  const auto& metrics = dist::dist_net_metrics();
+  std::cout << "  migrant sets: " << metrics.migrant_sets_sent.value()
+            << " uploaded, " << metrics.migrant_sets_received.value()
+            << " received, " << metrics.migrant_sets_replayed.value()
+            << " replayed\n"
+            << "  sessions: " << metrics.sessions_resumed.value()
+            << " resumed, " << metrics.reconnects.value() << " reconnects, "
+            << metrics.refusals.value() << " refusals, "
+            << metrics.quarantines.value() << " quarantines\n";
+
+  doc["inline_wall_s"] = util::Json(inline_wall);
+  doc["net_wall_s"] = util::Json(net_wall);
+  doc["migrant_sets_sent"] =
+      util::Json(static_cast<std::size_t>(metrics.migrant_sets_sent.value()));
+  doc["byte_identical"] = util::Json(complete && merged == reference);
+  bench::write_result_json(out + "/dist_net.json", doc);
+
+  if (!complete || merged != reference) {
+    std::cerr << "FAIL: dist-net merged front diverged from the inline "
+                 "reference\n";
+    return 1;
+  }
+  std::cout << "  byte-identity: net-mode merged front == inline reference\n";
+  return 0;
+}

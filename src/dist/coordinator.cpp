@@ -1,30 +1,20 @@
 #include "dist/coordinator.hpp"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <cstring>
-#include <deque>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
-#include <thread>
 
+#include "dist/fork_transport.hpp"
+#include "dist/metrics.hpp"
+#include "dist/net_transport.hpp"
+#include "dist/transport.hpp"
 #include "dist/worker.hpp"
-#include "hw/robust_eval.hpp"
-#include "util/durable/durable_file.hpp"
 #include "obs/metrics.hpp"
+#include "util/durable/durable_file.hpp"
 #include "util/failpoint.hpp"
-#include "util/strutil.hpp"
-
-extern char** environ;
 
 namespace hadas::dist {
 
@@ -32,15 +22,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct DistMetrics {
-  obs::Counter& spawned;
-  obs::Counter& restarted;
-  obs::Counter& quarantined;
-  obs::Counter& heartbeat_misses;
-  obs::Counter& migrants;
-  obs::Gauge& islands;
-  obs::Histogram& merge_seconds;
-};
+}  // namespace
 
 DistMetrics& dist_metrics() {
   auto& reg = obs::MetricsRegistry::global();
@@ -55,47 +37,6 @@ DistMetrics& dist_metrics() {
   };
   return metrics;
 }
-
-/// One supervised worker slot.
-struct IslandState {
-  pid_t pid = -1;  ///< -1 when not running
-  bool done = false;
-  bool quarantined = false;
-  std::size_t restarts = 0;
-  Clock::time_point next_start = Clock::time_point::min();
-  std::uint64_t last_beat = 0;
-  Clock::time_point last_beat_change = Clock::time_point::min();
-  hw::DeviceHealth breaker;
-
-  explicit IslandState(const hw::BreakerConfig& config) : breaker(config) {}
-};
-
-std::string describe_exit(int status) {
-  if (WIFEXITED(status))
-    return "exit code " + std::to_string(WEXITSTATUS(status));
-  if (WIFSIGNALED(status))
-    return "signal " + std::to_string(WTERMSIG(status));
-  return "status " + std::to_string(status);
-}
-
-/// The child environment: HADAS_DIST_HANG never survives a respawn (it is a
-/// one-shot hang injection), and HADAS_CHAOS only does in keep mode — a
-/// plain crash schedule gets exactly one incarnation to fire, so recovery
-/// runs clean, while keep mode deliberately produces a crash loop for the
-/// circuit-breaker path.
-std::vector<std::string> child_environment(bool respawn, bool chaos_keep) {
-  std::vector<std::string> env;
-  for (char** e = environ; *e != nullptr; ++e) {
-    const std::string entry(*e);
-    if (respawn && util::starts_with(entry, "HADAS_DIST_HANG=")) continue;
-    if (respawn && !chaos_keep && util::starts_with(entry, "HADAS_CHAOS="))
-      continue;
-    env.push_back(entry);
-  }
-  return env;
-}
-
-}  // namespace
 
 DistCoordinator::DistCoordinator(DistSpec spec, std::string workdir,
                                  DistOptions options)
@@ -185,7 +126,6 @@ DistReport DistCoordinator::run() {
            options_.cancel->load(std::memory_order_relaxed);
   };
 
-  std::vector<std::size_t> leftover;  // quarantined islands to salvage
   if (!options_.spawn) {
     std::vector<std::size_t> all(spec_.islands);
     std::iota(all.begin(), all.end(), std::size_t{0});
@@ -194,205 +134,26 @@ DistReport DistCoordinator::run() {
       return report;
     }
   } else {
-    hw::BreakerConfig breaker_config;
-    breaker_config.failure_threshold =
-        std::max<std::size_t>(1, options_.island_failure_threshold);
-    // deque: IslandState holds a DeviceHealth (mutex, non-movable), so the
-    // container must construct elements in place and never relocate them.
-    std::deque<IslandState> states;
-    for (std::size_t i = 0; i < spec_.islands; ++i)
-      states.emplace_back(breaker_config);
-    const std::string binary =
-        options_.worker_binary.empty() ? "/proc/self/exe"
-                                       : options_.worker_binary;
-    const auto backoff_after = [&](std::size_t restarts) {
-      std::size_t delay = std::max<std::size_t>(1, options_.backoff_ms);
-      for (std::size_t i = 0; i + 1 < restarts && delay < options_.backoff_max_ms;
-           ++i)
-        delay *= 2;
-      return std::chrono::milliseconds(
-          std::min(delay, std::max<std::size_t>(1, options_.backoff_max_ms)));
-    };
-
-    const auto spawn = [&](std::size_t island) {
-      IslandState& state = states[island];
-      hadas::util::failpoint("dist.spawn");
-      const bool respawn = state.restarts > 0;
-      const std::vector<std::string> env =
-          child_environment(respawn, options_.chaos_respawn_keep);
-      const std::string spec_arg = spec_file;
-      const std::string island_arg = std::to_string(island);
-      const std::string log_file = log_path(workdir_, island);
-      const pid_t pid = fork();
-      if (pid < 0)
-        throw std::runtime_error(std::string("dist: fork failed: ") +
-                                 std::strerror(errno));
-      if (pid == 0) {
-        // Child: worker stdout/stderr append to the island's log file.
-        const int fd =
-            ::open(log_file.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-        if (fd >= 0) {
-          ::dup2(fd, STDOUT_FILENO);
-          ::dup2(fd, STDERR_FILENO);
-          if (fd > STDERR_FILENO) ::close(fd);
-        }
-        std::vector<char*> argv;
-        std::vector<std::string> args = {binary,     "worker",  "--spec",
-                                         spec_arg,   "--island", island_arg,
-                                         "--wait-timeout-ms",
-                                         std::to_string(
-                                             options_.worker_wait_timeout_ms)};
-        argv.reserve(args.size() + 1);
-        for (std::string& a : args) argv.push_back(a.data());
-        argv.push_back(nullptr);
-        std::vector<char*> envp;
-        envp.reserve(env.size() + 1);
-        for (const std::string& e : env)
-          envp.push_back(const_cast<char*>(e.c_str()));
-        envp.push_back(nullptr);
-        ::execve(binary.c_str(), argv.data(), envp.data());
-        std::fprintf(stderr, "dist: exec %s failed: %s\n", binary.c_str(),
-                     std::strerror(errno));
-        ::_exit(127);
-      }
-      state.pid = pid;
-      state.last_beat = read_heartbeat(heartbeat_path(workdir_, island))
-                            .value_or(0);
-      state.last_beat_change = Clock::now();
-      ++report.workers_spawned;
-      metrics.spawned.inc();
-      if (respawn) {
-        ++report.workers_restarted;
-        metrics.restarted.inc();
-      }
-    };
-
-    const auto on_failure = [&](std::size_t island, const std::string& why) {
-      IslandState& state = states[island];
-      state.pid = -1;
-      state.breaker.record_failure();
-      // The breaker runs on DeviceHealth's simulated clock, which the
-      // coordinator never advances — so kOpen is permanent here: a tripped
-      // island stays quarantined for the rest of the run.
-      if (state.breaker.state() == hw::BreakerState::kOpen) {
-        state.quarantined = true;
-        ++report.workers_quarantined;
-        metrics.quarantined.inc();
-        hadas::util::failpoint("dist.salvage");
-        say("dist: WARNING island " + std::to_string(island) +
-            " quarantined after " +
-            std::to_string(breaker_config.failure_threshold) +
-            " consecutive worker failures (" + why +
-            "); it will be finished inline by the coordinator");
-        return;
-      }
-      ++state.restarts;
-      state.next_start = Clock::now() + backoff_after(state.restarts);
-      say("dist: island " + std::to_string(island) + " worker failed (" +
-          why + "), restart " + std::to_string(state.restarts) +
-          " after backoff");
-    };
-
-    const auto kill_all = [&](int signal) {
-      for (IslandState& state : states)
-        if (state.pid > 0) ::kill(state.pid, signal);
-    };
-
-    try {
-      while (true) {
-        if (cancelled()) {
-          // Graceful stop: SIGTERM lets workers checkpoint and exit 75;
-          // stragglers are SIGKILLed (their round replays on resume).
-          kill_all(SIGTERM);
-          const auto deadline = Clock::now() + std::chrono::seconds(10);
-          while (Clock::now() < deadline) {
-            bool any = false;
-            for (IslandState& state : states) {
-              if (state.pid <= 0) continue;
-              int status = 0;
-              if (::waitpid(state.pid, &status, WNOHANG) == state.pid)
-                state.pid = -1;
-              else
-                any = true;
-            }
-            if (!any) break;
-            std::this_thread::sleep_for(std::chrono::milliseconds(20));
-          }
-          kill_all(SIGKILL);
-          for (IslandState& state : states) {
-            if (state.pid <= 0) continue;
-            int status = 0;
-            ::waitpid(state.pid, &status, 0);
-            state.pid = -1;
-          }
-          report.interrupted = true;
-          return report;
-        }
-
-        bool all_settled = true;
-        const auto now = Clock::now();
-        for (std::size_t island = 0; island < states.size(); ++island) {
-          IslandState& state = states[island];
-          if (state.done || state.quarantined) continue;
-          all_settled = false;
-          if (state.pid < 0) {
-            if (now >= state.next_start) spawn(island);
-            continue;
-          }
-
-          int status = 0;
-          const pid_t reaped = ::waitpid(state.pid, &status, WNOHANG);
-          if (reaped == state.pid) {
-            if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitDone) {
-              state.pid = -1;
-              state.done = true;
-              state.breaker.record_success();
-            } else {
-              on_failure(island, describe_exit(status));
-            }
-            continue;
-          }
-
-          // Hang watchdog: a live process whose heartbeat counter has not
-          // advanced within the deadline is killed and handled as a crash.
-          const auto beat =
-              read_heartbeat(heartbeat_path(workdir_, island)).value_or(0);
-          if (beat != state.last_beat) {
-            state.last_beat = beat;
-            state.last_beat_change = now;
-          } else if (now - state.last_beat_change >
-                     std::chrono::milliseconds(
-                         std::max<std::size_t>(1, options_.heartbeat_ms))) {
-            ++report.heartbeat_misses;
-            metrics.heartbeat_misses.inc();
-            ::kill(state.pid, SIGKILL);
-            ::waitpid(state.pid, &status, 0);
-            on_failure(island, "heartbeat stalled");
-          }
-        }
-        if (all_settled) break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            std::max<std::size_t>(1, options_.poll_ms)));
-      }
-    } catch (...) {
-      kill_all(SIGKILL);
-      for (IslandState& state : states) {
-        if (state.pid <= 0) continue;
-        int status = 0;
-        ::waitpid(state.pid, &status, 0);
-      }
-      throw;
+    const auto log = [this](const std::string& message) { say(message); };
+    std::unique_ptr<DistTransport> transport;
+    if (options_.listen.has_value())
+      transport =
+          std::make_unique<NetTransport>(spec_, workdir_, options_, log);
+    else
+      transport =
+          std::make_unique<ForkTransport>(spec_, workdir_, options_, log);
+    SuperviseOutcome outcome = transport->supervise(report);
+    if (outcome.interrupted) {
+      report.interrupted = true;
+      return report;
     }
-
-    for (std::size_t island = 0; island < states.size(); ++island)
-      if (states[island].quarantined) leftover.push_back(island);
-    if (!leftover.empty()) {
-      say("dist: salvaging " + std::to_string(leftover.size()) +
+    if (!outcome.salvage.empty()) {
+      say("dist: salvaging " + std::to_string(outcome.salvage.size()) +
           " quarantined island(s) inline — the merged front is still exact, "
           "but this run had no worker-level parallelism for them");
       // Salvage runs with dist failpoints suppressed: the chaos schedule
       // that broke the workers must not also kill the last-resort recovery.
-      if (!run_islands_inline(leftover, /*failpoints_on=*/false)) {
+      if (!run_islands_inline(outcome.salvage, /*failpoints_on=*/false)) {
         report.interrupted = true;
         return report;
       }

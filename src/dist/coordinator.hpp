@@ -3,11 +3,17 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dist/island.hpp"
 #include "util/json.hpp"
+#include "util/strutil.hpp"
+
+namespace hadas::net {
+class SocketHandler;
+}
 
 namespace hadas::dist {
 
@@ -37,6 +43,14 @@ struct DistOptions {
   bool chaos_respawn_keep = false;
   /// Worker executable; empty = this binary (/proc/self/exe).
   std::string worker_binary;
+  /// Multi-host mode (`hadas search --dist K --listen host:port`): instead
+  /// of forking local workers, accept `hadas worker --connect` sessions on
+  /// this endpoint and exchange migrants over the resumable net layer.
+  /// Ignored when spawn is false (inline reference mode).
+  std::optional<util::HostPort> listen;
+  /// Socket stack for net mode; nullptr = real TCP. Tests inject the
+  /// deterministic FakeSocketHandler (or a FlakySocketHandler around it).
+  net::SocketHandler* socket_handler = nullptr;
   const std::atomic<bool>* cancel = nullptr;  ///< SIGINT/SIGTERM flag
   /// Supervision diagnostics sink; nullptr = stderr.
   std::function<void(const std::string&)> log;

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dist/coordinator.hpp"
+#include "dist/transport.hpp"
+
+namespace hadas::dist {
+
+/// The single-host transport: one supervised `hadas worker` subprocess per
+/// island, all sharing the coordinator's workdir. Migrants travel as the
+/// durable files the workers write directly into that directory; the
+/// heartbeat watchdog reads the per-island heartbeat files; a crashed
+/// worker is respawned with exponential backoff until its circuit breaker
+/// trips, which quarantines the island for the coordinator's inline
+/// salvage. This is PR 7's spawn loop, unchanged in behavior, behind the
+/// DistTransport seam.
+class ForkTransport : public DistTransport {
+ public:
+  ForkTransport(DistSpec spec, std::string workdir, const DistOptions& options,
+                std::function<void(const std::string&)> say);
+
+  const char* name() const override { return "fork"; }
+
+  SuperviseOutcome supervise(DistReport& report) override;
+
+ private:
+  DistSpec spec_;
+  std::string workdir_;
+  const DistOptions& options_;
+  std::function<void(const std::string&)> say_;
+};
+
+}  // namespace hadas::dist

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hadas::dist {
+
+struct DistReport;
+
+/// What a transport's supervision pass left for the coordinator to do.
+struct SuperviseOutcome {
+  /// cancel fired mid-run; the workdir is checkpointed and resumable.
+  bool interrupted = false;
+  /// Quarantined islands the coordinator must finish inline before the
+  /// merge. The fork transport defers all salvage here (its workers are
+  /// local, so deferring cannot deadlock anyone); the net transport salvages
+  /// incrementally inside its own event loop — a remote ring successor
+  /// blocks on the quarantined island's migrants, so waiting until the end
+  /// would wedge the healthy islands — and returns this empty.
+  std::vector<std::size_t> salvage;
+};
+
+/// How the coordinator gets every island's durable artifacts (checkpoint
+/// rounds, migrant files, island results) produced in its workdir. The
+/// contract is purely file-level: after a successful supervise() + salvage,
+/// each island's final result file in the coordinator workdir is valid and
+/// byte-identical to an inline run, so merge_islands() needs no knowledge
+/// of which transport ran. Implementations: ForkTransport (local `hadas
+/// worker` subprocesses sharing the workdir — the default) and NetTransport
+/// (remote workers dialing in over the resumable net layer).
+class DistTransport {
+ public:
+  virtual ~DistTransport() = default;
+
+  /// "fork" | "net" (diagnostics and the run report).
+  virtual const char* name() const = 0;
+
+  /// Drive every island to a durably-written final result (or quarantine),
+  /// honoring the options' cancel flag. Restartable: a killed coordinator
+  /// reruns supervise() and converges from the workdir's durable state.
+  virtual SuperviseOutcome supervise(DistReport& report) = 0;
+};
+
+}  // namespace hadas::dist

@@ -1,11 +1,19 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "dist/island.hpp"
+#include "dist/net_transport.hpp"
+#include "net/connection.hpp"
+#include "net/socket.hpp"
+#include "util/strutil.hpp"
 
 namespace hadas::dist {
 
@@ -52,6 +60,95 @@ struct WorkerOptions {
 
 int run_worker(const DistSpec& spec, const std::string& workdir,
                std::size_t island, const WorkerOptions& options = {});
+
+/// `hadas worker --connect host:port --island I --state-dir DIR`.
+struct NetWorkerConfig {
+  util::HostPort connect;
+  std::size_t island = 0;
+  std::string state_dir;  ///< local checkpoints, artifacts, session journal
+  std::size_t wait_timeout_ms = 600000;  ///< no progress at all -> exit 3
+  std::size_t max_connect_attempts = 600;
+  std::size_t max_handshake_failures = 50;
+  /// Duplicate-ack heartbeat interval inside a round (0 = every generation).
+  std::size_t beat_every_ms = 1000;
+  std::size_t reconnect_backoff_ms = 20;
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// The remote end of one island: dials the coordinator, learns the DistSpec
+/// from the WELCOME, and runs its island's rounds against a *local* state
+/// directory — checkpoints, outbound migrants and the island result are
+/// produced exactly as a shared-workdir worker would produce them, then
+/// uploaded through the resumable stream (the coordinator persists them
+/// verbatim, so the merged front is byte-identical). Inbound migrants
+/// arrive as pushed kDistMigrants blobs and are written into the state
+/// directory, where run_island_round finds them. The session journal in the
+/// state directory makes every step resumable: a killed worker reconnects
+/// with its durable read_seq, the stream replays, and no artifact is lost
+/// or duplicated. A worker that already holds the spec keeps computing
+/// rounds while partitioned — only migrant exchange stalls.
+class NetWorker {
+ public:
+  /// `handler` selects the socket fabric (nullptr = real TCP sockets).
+  NetWorker(net::SocketHandler* handler, NetWorkerConfig config);
+
+  /// One cooperative pass: poll the network, then advance local island
+  /// work. Returns true when anything progressed. Throws
+  /// net::ProtocolError when the coordinator refused the session or the
+  /// durable state of the two ends disagrees.
+  bool step();
+
+  bool done() const { return done_; }
+  std::size_t reconnects() const { return reconnects_; }
+  bool spec_received() const { return spec_.has_value(); }
+
+  /// Blocking loop; returns a kWorkerExit* code. Throws net::ConnectError
+  /// after max_connect_attempts consecutive failed dials and
+  /// net::ProtocolError on unrecoverable protocol disagreement.
+  int run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  net::SocketHandler& handler();
+  bool cancelled() const;
+  void save();
+  void restore();
+  void adopt_spec(const std::string& spec_json);
+  bool try_connect();
+  void handle_welcome(const net::Frame& frame);
+  bool advance();
+  bool work_step();
+  void beat();
+  void complete();
+
+  NetWorkerConfig config_;
+  std::unique_ptr<net::SocketHandler> owned_handler_;
+  net::SocketHandler* handler_ = nullptr;
+  std::string state_path_;
+  net::Transport transport_;
+  net::BackedWriter writer_;
+  net::BackedReader reader_;
+  std::string fingerprint_;
+  std::optional<DistSpec> spec_;
+  std::optional<supernet::SearchSpace> space_;
+  std::set<std::size_t> sent_;  ///< outbound migrant rounds already queued
+  bool final_sent_ = false;
+  std::string partial_;  ///< inbound chunk-run accumulator
+  std::string partial_key_;
+  bool handshaken_ = false;
+  bool connected_once_ = false;
+  bool done_ = false;
+  std::size_t connect_failures_ = 0;
+  std::size_t handshake_failures_ = 0;
+  std::size_t reconnects_ = 0;
+  Clock::time_point last_beat_{};
+};
+
+/// Convenience wrapper: construct a NetWorker over real TCP (or `handler`
+/// when given) and run() it. net::ConnectError / net::ProtocolError
+/// propagate to the caller (the CLI prints them and exits nonzero).
+int run_net_worker(net::SocketHandler* handler, const NetWorkerConfig& config);
 
 /// Atomically (tmp + rename) publish a monotonic heartbeat counter; the
 /// coordinator declares the worker hung when the counter stops advancing.

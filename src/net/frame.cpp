@@ -24,6 +24,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kReportChunk: return "report_chunk";
     case FrameType::kReportEnd: return "report_end";
     case FrameType::kBye: return "bye";
+    case FrameType::kDistMigrants: return "dist_migrants";
+    case FrameType::kDistFinal: return "dist_final";
   }
   return "unknown";
 }

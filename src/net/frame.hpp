@@ -24,6 +24,9 @@ enum class FrameType : std::uint8_t {
   kReportChunk = 18,   ///< server -> client: a slice of the ServeReport JSON
   kReportEnd = 19,     ///< server -> client: report complete
   kBye = 20,           ///< client -> server: report durably stored, GC the session
+  // --- application, distributed search (src/dist over the same stream) ---
+  kDistMigrants = 32,  ///< either way: u64 island + u64 round + migrant file payload
+  kDistFinal = 33,     ///< worker -> coordinator: u64 island + island result payload
 };
 
 /// "hello" | "welcome" | ... | "bye" | "unknown".

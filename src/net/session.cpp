@@ -40,17 +40,19 @@ SessionState session_state_from_json(const util::Json& json) {
   return state;
 }
 
-void save_session_state(const std::string& path, const SessionState& state) {
+void save_session_state(const std::string& path, const SessionState& state,
+                        const char* format_tag) {
   const std::string payload = session_state_to_json(state).dump(2) + "\n";
-  util::durable::DurableFile::write(path, kSessionFormatTag, payload);
+  util::durable::DurableFile::write(path, format_tag, payload);
   net_metrics().journal_saves.inc();
   net_metrics().bytes_journaled.inc(payload.size());
 }
 
-std::optional<SessionState> load_session_state(const std::string& path) {
+std::optional<SessionState> load_session_state(const std::string& path,
+                                               const char* format_tag) {
   if (!std::filesystem::exists(path)) return std::nullopt;
   const std::string payload =
-      util::durable::DurableFile::read(path, kSessionFormatTag);
+      util::durable::DurableFile::read(path, format_tag);
   return session_state_from_json(util::Json::parse(payload));
 }
 

@@ -50,12 +50,16 @@ util::Json session_state_to_json(const SessionState& state);
 SessionState session_state_from_json(const util::Json& json);
 
 /// Durably (temp + fsync + rename) persist `state` at `path`. Counts the
-/// journal traffic in the net metrics.
-void save_session_state(const std::string& path, const SessionState& state);
+/// journal traffic in the net metrics. `format_tag` names the journal's
+/// durable-envelope type — serve sessions use kSessionFormatTag, dist-net
+/// sessions their own tag — so `hadas verify-checkpoint` can triage them.
+void save_session_state(const std::string& path, const SessionState& state,
+                        const char* format_tag = kSessionFormatTag);
 
 /// Load a previously saved state; nullopt when `path` does not exist.
 /// Throws util::durable::CheckpointCorruptError on a corrupt journal.
-std::optional<SessionState> load_session_state(const std::string& path);
+std::optional<SessionState> load_session_state(
+    const std::string& path, const char* format_tag = kSessionFormatTag);
 
 /// True for session ids safe to embed in a file name ([A-Za-z0-9._-]{1,64},
 /// not starting with a dot).

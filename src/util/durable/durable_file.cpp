@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -172,6 +173,20 @@ void DurableFile::write(const std::string& path, const std::string& format_tag,
   // File site: chaos may tear or bit-flip the fully-written file here to
   // simulate storage-level corruption that the next read must detect.
   failpoint_file("durable.save.postrename", path.c_str());
+}
+
+bool DurableFile::write_idempotent(const std::string& path,
+                                   const std::string& format_tag,
+                                   const std::string& payload) {
+  if (std::filesystem::exists(path)) {
+    try {
+      if (read_validated(path, format_tag) == payload) return false;
+    } catch (const CheckpointCorruptError&) {
+      // Torn or divergent: fall through to the atomic replace.
+    }
+  }
+  write(path, format_tag, payload);
+  return true;
 }
 
 std::string DurableFile::read(const std::string& path,

@@ -109,6 +109,16 @@ class DurableFile {
   static std::string read(const std::string& path,
                           const std::string& format_tag);
 
+  /// write(), unless `path` already holds a valid envelope with this exact
+  /// tag and payload — then the disk is left untouched. Returns true when a
+  /// write happened. This is what makes replayed deliveries (a resumed
+  /// stream re-presenting an already-applied record) free and tear-proof: a
+  /// replay of identical bytes never rewrites a file another process may be
+  /// reading, while a torn or divergent file is atomically replaced.
+  static bool write_idempotent(const std::string& path,
+                               const std::string& format_tag,
+                               const std::string& payload);
+
   /// Envelope inspection; never throws on corrupt content (only on I/O
   /// errors opening an existing file).
   static FileInfo inspect(const std::string& path);

@@ -1,0 +1,224 @@
+// Real-TCP two-process driver for the multi-host island search: a
+// coordinator (`hadas search --dist 2 --listen 127.0.0.1:P`) and two
+// `hadas worker --connect` processes on localhost. One worker is SIGKILLed
+// mid-run and respawned from its state directory; while it is down its
+// session journal is triaged with `hadas verify-checkpoint`. The merged
+// front must be byte-identical to the uninterrupted inline reference — the
+// same bytes the deterministic loopback suite (DistNet gtests) asserts, so
+// real sockets and the fake network are checked against one another.
+//
+// Usage: hadas_dist_net_tcp <path-to-hadas-cli>
+//
+// Exit code 0 = every scenario converged bit-identically.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string g_cli;
+std::string g_dir;
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::cout << "  ok: " << what << "\n";
+  } else {
+    std::cerr << "  FAIL: " << what << "\n";
+    ++g_failures;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void sleep_ms(std::size_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+pid_t spawn(const std::string& args, const std::string& log) {
+  std::vector<std::string> tokens{g_cli};
+  std::istringstream stream(args);
+  for (std::string token; stream >> token;) tokens.push_back(token);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(tokens.size() + 1);
+  for (std::string& token : tokens) argv.push_back(token.data());
+  argv.push_back(nullptr);
+  ::execv(g_cli.c_str(), argv.data());
+  ::_exit(127);
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+int run_to_completion(const std::string& args, const std::string& log) {
+  return wait_exit(spawn(args, log));
+}
+
+bool wait_for_file(const std::string& path, std::size_t timeout_ms) {
+  for (std::size_t waited = 0; waited < timeout_ms; waited += 20) {
+    if (file_exists(path)) return true;
+    sleep_ms(20);
+  }
+  return file_exists(path);
+}
+
+bool wait_for_text(const std::string& log, const std::string& needle,
+                   std::size_t timeout_ms) {
+  for (std::size_t waited = 0; waited < timeout_ms; waited += 50) {
+    if (slurp(log).find(needle) != std::string::npos) return true;
+    sleep_ms(50);
+  }
+  return false;
+}
+
+std::string search_args(const std::string& out, const std::string& workdir) {
+  return "search --device tx2-gpu --pop 8 --gens 4 --ioe-per-gen 1 --ioe-pop 8"
+         " --ioe-gens 4 --train-size 200 --epochs 2 --seed 2023"
+         " --dist 2 --migrate-every 2 --dist-workdir " + workdir +
+         " --out " + out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: hadas_dist_net_tcp <path-to-hadas-cli>\n";
+    return 2;
+  }
+  g_cli = argv[1];
+  const char* tmp = std::getenv("TMPDIR");
+  g_dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/hadas_dist_net_tcp";
+  std::filesystem::remove_all(g_dir);
+  std::filesystem::create_directories(g_dir);
+  const int port = 30000 + static_cast<int>(::getpid() % 20000);
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port);
+
+  // Uninterrupted inline reference.
+  std::cout << "inline reference...\n";
+  const std::string ref_out = g_dir + "/ref_out.json";
+  if (run_to_completion(
+          search_args(ref_out, g_dir + "/ref") + " --dist-mode inline",
+          g_dir + "/ref.log") != 0) {
+    std::cerr << "inline reference failed:\n" << slurp(g_dir + "/ref.log");
+    return 1;
+  }
+  const std::string reference = slurp(ref_out);
+  check(!reference.empty(), "reference is non-empty");
+
+  // Net run over real localhost TCP, with worker 0 SIGKILLed mid-run.
+  std::cout << "net run on " << endpoint << " (worker 0 killed mid-run)...\n";
+  const std::string out = g_dir + "/net_out.json";
+  const std::string coord_log = g_dir + "/coord.log";
+  const pid_t coord = spawn(
+      search_args(out, g_dir + "/net") + " --listen " + endpoint,
+      coord_log);
+  check(wait_for_text(coord_log, "coordinator accepting workers", 60000),
+        "coordinator announced readiness");
+
+  const std::string state0 = g_dir + "/worker0";
+  const std::string state1 = g_dir + "/worker1";
+  const std::string worker_args0 = "worker --connect " + endpoint +
+                                   " --island 0 --state-dir " + state0;
+  const std::string worker_args1 = "worker --connect " + endpoint +
+                                   " --island 1 --state-dir " + state1;
+  pid_t worker0 = spawn(worker_args0, g_dir + "/worker0.log");
+  const pid_t worker1 = spawn(worker_args1, g_dir + "/worker1.log");
+
+  // Kill worker 0 as soon as its resumable session is journaled (i.e. the
+  // handshake landed and real state exists to resume from).
+  const std::string journal0 = state0 + "/session-island-0.json";
+  check(wait_for_file(journal0, 60000), "worker 0 journaled its session");
+  ::kill(worker0, SIGKILL);
+  wait_exit(worker0);
+
+  // Satellite: while the worker is down, verify-checkpoint triages its
+  // dist-net session journal by format tag and prints the stream cursors.
+  {
+    const std::string log = g_dir + "/verify.log";
+    const int code = run_to_completion("verify-checkpoint " + journal0, log);
+    const std::string text = slurp(log);
+    check(code == 0, "verify-checkpoint accepted the session journal");
+    check(text.find("dist-net session journal") != std::string::npos,
+          "verify-checkpoint identified the journal type");
+    check(text.find("island-0") != std::string::npos,
+          "verify-checkpoint printed the session id");
+    check(text.find("read sequence") != std::string::npos,
+          "verify-checkpoint printed the read cursor");
+  }
+
+  // Respawn from the same state directory: the journal + checkpoints must
+  // carry the island to completion with nothing replayed twice.
+  worker0 = spawn(worker_args0, g_dir + "/worker0.log");
+
+  const int coord_code = wait_exit(coord);
+  check(coord_code == 0,
+        "coordinator converged (exit " + std::to_string(coord_code) + "):\n" +
+            slurp(coord_log));
+  check(wait_exit(worker0) == 0, "respawned worker 0 exited cleanly");
+  check(wait_exit(worker1) == 0, "worker 1 exited cleanly");
+  check(file_exists(out) && slurp(out) == reference,
+        "real-TCP merged front is byte-identical to the inline reference");
+  check(slurp(g_dir + "/worker0.log").find("island 0 complete") !=
+            std::string::npos,
+        "worker 0 reported completion");
+
+  // dist.net.* metrics made it into the coordinator's registry output.
+  {
+    const std::string metrics = g_dir + "/metrics.json";
+    const std::string log = g_dir + "/metrics_run.log";
+    const int code = run_to_completion(
+        search_args(g_dir + "/m_out.json", g_dir + "/net") +
+            " --listen " + endpoint + " --metrics-out " + metrics,
+        log);
+    // The workdir is already complete, so this resumed coordinator merges
+    // without needing any worker.
+    check(code == 0, "resumed coordinator run exited cleanly:\n" + slurp(log));
+    const std::string dump_log = g_dir + "/metrics_dump.log";
+    run_to_completion("metrics-dump " + metrics, dump_log);
+    check(slurp(dump_log).find("dist.net.") != std::string::npos,
+          "metrics-dump exposes the dist.net.* family");
+  }
+
+  if (g_failures == 0) {
+    std::cout << "all dist-net TCP scenarios passed\n";
+    return 0;
+  }
+  std::cerr << g_failures << " dist-net TCP scenario(s) FAILED\n";
+  return 1;
+}

@@ -309,6 +309,31 @@ TEST(Chaos, DelayRulesCountHitsAndResetDisarms) {
   EXPECT_EQ(engine.total_hits(), 0u);
 }
 
+TEST(DurableFile, WriteIdempotentSkipsIdenticalReplaysOnly) {
+  const std::string path = temp_path("idempotent");
+  const std::string payload = "migrant set payload";
+
+  // First delivery writes; a byte-identical replay leaves the file alone.
+  EXPECT_TRUE(DurableFile::write_idempotent(path, kTag, payload));
+  const std::string first = slurp(path);
+  EXPECT_FALSE(DurableFile::write_idempotent(path, kTag, payload));
+  EXPECT_EQ(slurp(path), first);
+
+  // A divergent payload is a real write, not a skip.
+  EXPECT_TRUE(DurableFile::write_idempotent(path, kTag, "other payload"));
+  EXPECT_EQ(DurableFile::read(path, kTag), "other payload");
+
+  // Same payload under a different tag is divergent too.
+  EXPECT_TRUE(DurableFile::write_idempotent(path, "hadas-test-v2",
+                                            "other payload"));
+
+  // A torn/corrupt file is atomically replaced instead of trusted.
+  spit(path, "%HADAS-DURABLE v1 " + std::string(kTag) + " 5\ntorn");
+  EXPECT_TRUE(DurableFile::write_idempotent(path, kTag, payload));
+  EXPECT_EQ(DurableFile::read(path, kTag), payload);
+  std::remove(path.c_str());
+}
+
 TEST(Chaos, BitFlipCorruptionIsDeterministicInTheSeed) {
   auto& engine = exec::ChaosEngine::instance();
   const std::string path = temp_path("chaos_flip");

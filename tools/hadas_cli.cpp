@@ -84,8 +84,10 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
         "checkpoint", "checkpoint-every", "checkpoint-keep", "faults",
         "threads", "metrics-out", "trace-out", "dist", "dist-workdir",
         "dist-mode", "migrate-every", "migrants", "heartbeat-ms",
-        "island-retries"}},
-      {"worker", {"spec", "island", "poll-ms", "wait-timeout-ms"}},
+        "island-retries", "listen"}},
+      {"worker",
+       {"spec", "island", "poll-ms", "wait-timeout-ms", "connect",
+        "state-dir"}},
       {"show", {}},
       {"verify-checkpoint", {}},
       {"metrics-dump", {"format"}},
@@ -185,12 +187,26 @@ int run_dist_search(const Args& args, std::size_t islands) {
   const ObsOutputs obs_out = obs_setup(args);
 
   dist::DistOptions options;
-  const std::string mode = args.get_or("dist-mode", std::string("spawn"));
-  if (mode == "inline")
+  // --listen switches the transport to multi-host: workers dial in over TCP
+  // instead of being forked locally. It implies --dist-mode net.
+  const std::string mode = args.get_or(
+      "dist-mode", args.get("listen") ? std::string("net") : std::string("spawn"));
+  if (mode == "inline") {
     options.spawn = false;
-  else if (mode != "spawn")
+  } else if (mode == "net") {
+    if (!args.get("listen"))
+      throw std::invalid_argument(
+          "--dist-mode net needs --listen HOST:PORT (the endpoint remote "
+          "workers dial)");
+    options.listen = args.get_hostport("listen");
+  } else if (mode != "spawn") {
     throw std::invalid_argument("unknown --dist-mode '" + mode +
-                                "' (expected spawn or inline)");
+                                "' (expected spawn, inline or net)");
+  }
+  if (args.get("listen") && mode != "net")
+    throw std::invalid_argument(
+        "--listen only makes sense with --dist-mode net (workers are " + mode +
+        (mode == "inline" ? "d" : "ed") + " locally and need no endpoint)");
   options.heartbeat_ms = args.get_or("heartbeat-ms", options.heartbeat_ms);
   options.island_failure_threshold =
       args.get_or("island-retries", options.island_failure_threshold);
@@ -207,6 +223,11 @@ int run_dist_search(const Args& args, std::size_t islands) {
             << spec.outer_generations << " generations, migration every "
             << spec.migration_every << " (" << mode << " mode) in " << workdir
             << "\n";
+  if (options.listen.has_value())
+    // Flushed readiness banner: two-process drivers wait for this line
+    // before dialing workers in (dials before the bind retry anyway).
+    std::cout << "coordinator accepting workers on " << options.listen->host
+              << ":" << options.listen->port << std::endl;
   dist::DistCoordinator coordinator(spec, workdir, options);
   const dist::DistReport report = coordinator.run();
   std::cout << "workers: " << report.workers_spawned << " spawned, "
@@ -228,9 +249,47 @@ int run_dist_search(const Args& args, std::size_t islands) {
   return 0;
 }
 
-/// `hadas worker`: one island of a distributed search, spawned by the
-/// coordinator (or by hand, against the same workdir spec).
+/// `hadas worker`: one island of a distributed search — spawned by the
+/// coordinator against a shared workdir (--spec), or dialed into a
+/// `hadas search --listen` coordinator from another machine (--connect).
 int cmd_worker(const Args& args) {
+  if (const auto connect = args.get("connect")) {
+    if (args.get("spec"))
+      throw std::invalid_argument(
+          "--spec cannot be combined with --connect: a net worker receives "
+          "the spec in the coordinator's welcome");
+    if (args.get("poll-ms"))
+      throw std::invalid_argument(
+          "--poll-ms cannot be combined with --connect: a net worker is "
+          "driven by the coordinator's stream, not a workdir poll");
+    const auto island_arg = args.get("island");
+    if (!island_arg)
+      throw std::invalid_argument(
+          "usage: hadas worker --connect HOST:PORT --island I "
+          "[--state-dir DIR]");
+    dist::NetWorkerConfig config;
+    config.connect = args.get_hostport("connect");
+    config.island = util::parse_size("--island", *island_arg);
+    config.state_dir = args.get_or(
+        "state-dir", "hadas_worker_island" + std::to_string(config.island));
+    config.wait_timeout_ms =
+        args.get_or("wait-timeout-ms", config.wait_timeout_ms);
+    config.cancel = &g_cancel;
+    install_cancel_handlers();
+    std::cout << "net worker: island " << config.island << " -> "
+              << config.connect.host << ":" << config.connect.port
+              << ", state in " << config.state_dir << std::endl;
+    dist::NetWorker worker(nullptr, config);
+    const int code = worker.run();
+    if (code == dist::kWorkerExitDone)
+      std::cout << "island " << config.island << " complete ("
+                << worker.reconnects() << " reconnect(s))\n";
+    return code;
+  }
+  if (args.get("state-dir"))
+    throw std::invalid_argument(
+        "--state-dir requires --connect (a workdir worker's state lives in "
+        "the shared --spec directory)");
   const auto spec_file = args.get("spec");
   const auto island_arg = args.get("island");
   if (!spec_file || !island_arg)
@@ -455,6 +514,29 @@ int cmd_verify_checkpoint(const Args& args) {
                      std::to_string(session->write_acked) + " / " +
                          std::to_string(session->write_unacked.size())});
       table.add_row({"read sequence", std::to_string(session->read_seq)});
+    } else if (tag == dist::kDistSessionFormatTag) {
+      const auto session =
+          net::load_session_state(path, dist::kDistSessionFormatTag);
+      table.add_row({"payload", "valid dist-net session journal"});
+      table.add_row({"session id", session->session_id});
+      table.add_row({"spec fingerprint", session->fingerprint});
+      table.add_row({"write acked / unacked bytes",
+                     std::to_string(session->write_acked) + " / " +
+                         std::to_string(session->write_unacked.size())});
+      table.add_row({"read sequence", std::to_string(session->read_seq)});
+      // The app document tells the two roles apart: the coordinator journals
+      // which inbound rounds it pushed, a worker which rounds it uploaded.
+      if (session->app.contains("pushed"))
+        table.add_row({"role / migrant rounds pushed",
+                       "coordinator / " +
+                           std::to_string(session->app.at("pushed").size())});
+      if (session->app.contains("sent"))
+        table.add_row({"role / migrant rounds uploaded",
+                       "worker / " +
+                           std::to_string(session->app.at("sent").size())});
+      if (session->app.contains("final_sent"))
+        table.add_row({"island result uploaded",
+                       session->app.at("final_sent").as_bool() ? "yes" : "no"});
     } else if (tag == runtime::serve::kServeJournalFormatTag) {
       const std::string payload =
           util::durable::DurableFile::read(path, tag);
@@ -787,18 +869,24 @@ void print_usage() {
                "         [--trace-out F]       write a Chrome trace_event JSON\n"
                "         [--dist K]            island-model distributed search\n"
                "         [--dist-workdir DIR]  durable state of the dist run\n"
-               "         [--dist-mode spawn|inline] worker subprocesses (default)\n"
-               "                               or in-process reference mode\n"
+               "         [--dist-mode spawn|inline|net] worker subprocesses\n"
+               "                               (default), in-process reference\n"
+               "                               mode, or remote workers\n"
+               "         [--listen HOST:PORT]  accept remote workers (net mode)\n"
                "         [--migrate-every N] [--migrants M]\n"
                "         [--heartbeat-ms T]    worker hang deadline\n"
                "         [--island-retries N]  failures before quarantine\n"
                "  worker --spec F --island I   one island of a --dist search\n"
                "                               (spawned by the coordinator)\n"
+               "  worker --connect HOST:PORT --island I [--state-dir DIR]\n"
+               "                               dial a --listen coordinator from\n"
+               "                               another machine\n"
                "  show F                       print a saved result\n"
                "  verify-checkpoint F          inspect a durable state file:\n"
                "                               search checkpoint, dist spec,\n"
                "                               migrant set, island result, net\n"
-               "                               session or serve journal\n"
+               "                               or dist-net session, or serve\n"
+               "                               journal\n"
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
                "    (--baseline aN | --result F [--index I])\n"
