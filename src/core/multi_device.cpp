@@ -12,6 +12,10 @@ namespace hadas::core {
 
 namespace {
 
+/// Fleet mode: the serviceable group set drifted mid-attempt; run() restarts
+/// the search on the new membership. Internal control flow, never escapes.
+struct FleetMembershipChanged {};
+
 /// Joint (X, F_1 x .. x F_D) problem for one backbone across devices.
 class JointInnerProblem final : public Problem {
  public:
@@ -82,7 +86,30 @@ MultiDeviceEngine::MultiDeviceEngine(const supernet::SearchSpace& space,
       config_(config),
       task_(config.data),
       dispatcher_(config.exec) {
-  targets_ = config_.targets.empty() ? hw::all_targets() : config_.targets;
+  if (config_.fleet) {
+    // Fleet mode: one context per device *group* (hardware target) with at
+    // least one member — static measurements and inner searches are
+    // partitioned by group, and any serviceable member can stand in for the
+    // group's model. The registry owns health; a per-group robust layer
+    // would double-count failures.
+    if (!config_.targets.empty())
+      throw std::invalid_argument(
+          "MultiDeviceEngine: fleet mode derives targets from the registry");
+    if (!config_.robust.empty())
+      throw std::invalid_argument(
+          "MultiDeviceEngine: fleet mode manages device health through the "
+          "registry; per-target robust configs are not supported");
+    for (std::size_t g = 0; g < config_.fleet->group_count(); ++g) {
+      if (config_.fleet->group_size(g) == 0) continue;
+      targets_.push_back(config_.fleet->group_target(g));
+      fleet_groups_.push_back(g);
+    }
+    if (targets_.empty())
+      throw std::invalid_argument(
+          "MultiDeviceEngine: the fleet registry holds no devices");
+  } else {
+    targets_ = config_.targets.empty() ? hw::all_targets() : config_.targets;
+  }
   if (targets_.empty())
     throw std::invalid_argument("MultiDeviceEngine: no targets");
   if (!config_.robust.empty() && config_.robust.size() != targets_.size())
@@ -99,8 +126,57 @@ MultiDeviceEngine::MultiDeviceEngine(const supernet::SearchSpace& space,
 }
 
 bool MultiDeviceEngine::device_alive(std::size_t index) const {
+  if (config_.fleet)
+    return config_.fleet->group_serviceable(fleet_groups_[index]) > 0;
   return devices_[index].static_eval->robust().health().state() !=
          hw::BreakerState::kOpen;
+}
+
+std::vector<std::size_t> MultiDeviceEngine::alive_indices() const {
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (device_alive(i)) alive.push_back(i);
+  return alive;
+}
+
+void MultiDeviceEngine::throw_all_dead() const {
+  std::string message =
+      "MultiDeviceEngine: every configured device is unavailable:";
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const hw::HealthReport report =
+        devices_[i].static_eval->robust().report();
+    message += "\n  " + hw::target_name(targets_[i]) + ": breaker " +
+               hw::breaker_state_name(report.state);
+    if (report.attempts == 0) {
+      message += " (never probed)";
+    } else {
+      message += " (" + std::to_string(report.attempts) + " attempts, " +
+                 std::to_string(report.failed_measurements) + " failed";
+      if (report.dropped_out) message += ", dropped out";
+      message += ")";
+    }
+  }
+  if (config_.fleet) {
+    const auto counts = config_.fleet->tally();
+    message += "\n  fleet: " +
+               std::to_string(config_.fleet->serviceable_count()) + "/" +
+               std::to_string(config_.fleet->size()) + " serviceable";
+    for (const auto& [state, n] : counts)
+      if (n > 0)
+        message += ", " + std::to_string(n) + " " +
+                   hw::fleet::lifecycle_name(state);
+  }
+  throw hw::DeviceUnavailableError(message);
+}
+
+void MultiDeviceEngine::fleet_tick() {
+  for (std::size_t r = 0; r < config_.fleet_rounds_per_generation; ++r) {
+    config_.fleet->advance_round();
+    ++fleet_rounds_total_;
+  }
+  if (!config_.fleet_state_path.empty())
+    config_.fleet->save(config_.fleet_state_path);
+  if (alive_indices() != attempt_alive_) throw FleetMembershipChanged{};
 }
 
 void MultiDeviceEngine::probe_devices() {
@@ -132,15 +208,11 @@ void MultiDeviceEngine::probe_devices() {
 MultiDeviceResult MultiDeviceEngine::run() {
   probe_devices();
   hadas::util::failpoint("multidevice.probe");
-  std::vector<std::size_t> alive;
-  for (std::size_t i = 0; i < devices_.size(); ++i)
-    if (device_alive(i)) alive.push_back(i);
+  std::vector<std::size_t> alive = alive_indices();
+  std::size_t restarts = 0;
 
   for (;;) {
-    if (alive.empty())
-      throw hw::DeviceUnavailableError(
-          "MultiDeviceEngine: every configured device is unavailable "
-          "(all circuit breakers open)");
+    if (alive.empty()) throw_all_dead();
     try {
       MultiDeviceResult result = search(alive);
       for (std::size_t idx : alive)
@@ -148,6 +220,8 @@ MultiDeviceResult MultiDeviceEngine::run() {
       for (std::size_t i = 0; i < devices_.size(); ++i)
         result.health.push_back({targets_[i], device_alive(i),
                                  devices_[i].static_eval->robust().report()});
+      result.fleet_restarts = restarts;
+      result.fleet_rounds = fleet_rounds_total_;
       return result;
     } catch (const hw::DeviceUnavailableError&) {
       // A breaker opened mid-search: drop the dead device(s) and restart
@@ -158,6 +232,15 @@ MultiDeviceResult MultiDeviceEngine::run() {
         if (device_alive(idx)) survivors.push_back(idx);
       if (survivors.size() == alive.size()) throw;
       alive = std::move(survivors);
+      ++restarts;
+    } catch (const FleetMembershipChanged&) {
+      // A whole device group died — or came back — mid-attempt. Abandon the
+      // attempt and restart on the new group set: chaos schedules are
+      // finite, so the attempt that completes runs entirely on the final
+      // membership, making the result byte-identical to a run with that
+      // membership fixed up front, whatever order groups died in.
+      alive = alive_indices();
+      ++restarts;
     }
   }
 }
@@ -209,6 +292,7 @@ FleetDeployment MultiDeviceEngine::fleet_deployment(
 }
 
 MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& alive) {
+  attempt_alive_ = alive;
   hadas::util::Rng rng(config_.seed);
   const auto cardinalities = space_.gene_cardinalities();
   const double mutation_prob = 1.0 / static_cast<double>(cardinalities.size());
@@ -292,6 +376,7 @@ MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& aliv
     }
     population = std::move(next);
     hadas::util::failpoint("multidevice.generation.end");
+    if (config_.fleet) fleet_tick();
   }
 
   // Elite backbones: crowding-ordered first front of everything evaluated.
@@ -381,6 +466,92 @@ MultiDeviceResult MultiDeviceEngine::search(const std::vector<std::size_t>& aliv
   for (std::size_t payload : archive.payloads())
     result.pareto.push_back(pool[payload]);
   return result;
+}
+
+std::vector<std::vector<std::size_t>> per_group_fronts(
+    const MultiDeviceResult& result) {
+  std::vector<std::vector<std::size_t>> fronts;
+  for (std::size_t g = 0; g < result.active_targets.size(); ++g) {
+    std::vector<Objectives> points;
+    for (const MultiDeviceSolution& solution : result.pareto)
+      points.push_back(
+          {solution.per_device[g].energy_gain, solution.oracle_accuracy});
+    std::vector<std::size_t> front = pareto_front(points);
+    std::sort(front.begin(), front.end());
+    fronts.push_back(std::move(front));
+  }
+  return fronts;
+}
+
+util::Json multi_device_result_to_json(const MultiDeviceResult& result) {
+  util::Json json;
+  util::Json::Array targets;
+  for (hw::Target target : result.active_targets)
+    targets.push_back(util::Json(hw::target_name(target)));
+  json["active_targets"] = std::move(targets);
+  json["static_evaluations"] = util::Json(result.static_evaluations);
+  json["inner_evaluations"] = util::Json(result.inner_evaluations);
+
+  util::Json::Array solutions;
+  for (const MultiDeviceSolution& solution : result.pareto) {
+    util::Json entry;
+    entry["backbone"] = solution.backbone.describe();
+    util::Json::Array exits;
+    for (std::size_t layer = 0; layer < solution.placement.total_layers();
+         ++layer)
+      if (solution.placement.has_exit(layer))
+        exits.push_back(util::Json(layer));
+    entry["exits"] = std::move(exits);
+    util::Json::Array settings;
+    for (const hw::DvfsSetting& setting : solution.settings) {
+      util::Json point;
+      point["core_idx"] = util::Json(setting.core_idx);
+      point["emc_idx"] = util::Json(setting.emc_idx);
+      settings.push_back(std::move(point));
+    }
+    entry["settings"] = std::move(settings);
+    util::Json::Array per_device;
+    for (const dynn::DynamicMetrics& metrics : solution.per_device) {
+      util::Json m;
+      m["score_eq5"] = metrics.score_eq5;
+      m["mean_n"] = metrics.mean_n;
+      m["oracle_accuracy"] = metrics.oracle_accuracy;
+      m["energy_per_sample_j"] = metrics.energy_per_sample_j;
+      m["latency_per_sample_s"] = metrics.latency_per_sample_s;
+      m["energy_gain"] = metrics.energy_gain;
+      per_device.push_back(std::move(m));
+    }
+    entry["per_device"] = std::move(per_device);
+    entry["worst_gain"] = solution.worst_gain;
+    entry["mean_gain"] = solution.mean_gain;
+    entry["oracle_accuracy"] = solution.oracle_accuracy;
+    solutions.push_back(std::move(entry));
+  }
+  json["solutions"] = std::move(solutions);
+
+  util::Json::Array fronts;
+  for (const std::vector<std::size_t>& front : per_group_fronts(result)) {
+    util::Json::Array indices;
+    for (std::size_t index : front) indices.push_back(util::Json(index));
+    fronts.push_back(util::Json(std::move(indices)));
+  }
+  json["per_group_fronts"] = std::move(fronts);
+
+  util::Json::Array health;
+  for (const DeviceHealthEntry& entry : result.health) {
+    util::Json device;
+    device["target"] = hw::target_name(entry.target);
+    device["alive"] = entry.alive;
+    device["breaker"] = hw::breaker_state_name(entry.report.state);
+    device["measurements"] =
+        util::Json(static_cast<double>(entry.report.measurements));
+    device["attempts"] = util::Json(static_cast<double>(entry.report.attempts));
+    health.push_back(std::move(device));
+  }
+  json["health"] = std::move(health);
+  json["fleet_restarts"] = util::Json(result.fleet_restarts);
+  json["fleet_rounds"] = util::Json(result.fleet_rounds);
+  return json;
 }
 
 }  // namespace hadas::core

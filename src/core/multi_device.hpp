@@ -9,6 +9,8 @@
 #include "dynn/exit_bank.hpp"
 #include "dynn/multi_exit_cost.hpp"
 #include "exec/dispatcher.hpp"
+#include "hw/fleet/registry.hpp"
+#include "util/json.hpp"
 
 namespace hadas::core {
 
@@ -33,6 +35,22 @@ struct MultiDeviceConfig {
   /// whose circuit breaker opens is dropped from the search instead of
   /// aborting it; see MultiDeviceResult::health.
   std::vector<hw::RobustConfig> robust;
+
+  /// Fleet mode (non-owning; must outlive the engine). Targets are derived
+  /// from the registry's device groups — one measurement context per group
+  /// with at least one member — and `targets`/`robust` must stay empty. The
+  /// registry's chaos schedule advances at every outer generation boundary;
+  /// when the set of groups with a serviceable member changes (a whole group
+  /// dies, or one comes back from zero), the search deterministically
+  /// restarts on the new group set, so the finished result is byte-identical
+  /// to a run whose final membership was fixed up front.
+  hw::fleet::FleetRegistry* fleet = nullptr;
+  /// Chaos rounds advanced per outer generation in fleet mode.
+  std::size_t fleet_rounds_per_generation = 1;
+  /// Durable fleet checkpoint (kFleetFormatTag) written after the rounds of
+  /// each generation boundary, so a killed run resumes with the same
+  /// membership view. Empty = no checkpointing.
+  std::string fleet_state_path;
 };
 
 /// Post-run health record of one configured device.
@@ -64,7 +82,24 @@ struct MultiDeviceResult {
   std::size_t inner_evaluations = 0;
   std::vector<hw::Target> active_targets;
   std::vector<DeviceHealthEntry> health;
+  /// Fleet mode only: searches abandoned because group membership changed,
+  /// and total chaos rounds advanced while this result was computed.
+  std::size_t fleet_restarts = 0;
+  std::size_t fleet_rounds = 0;
 };
+
+/// Per-group Pareto fronts of a finished cross-device result: for each
+/// active target g, the (deterministically ordered) indices into
+/// `result.pareto` that are non-dominated in that group's own
+/// (energy_gain, oracle_accuracy) plane. This is the per-group view the
+/// fleet aggregates — byte-identical regardless of the order other groups
+/// died or recovered, because it is a pure function of the result.
+std::vector<std::vector<std::size_t>> per_group_fronts(
+    const MultiDeviceResult& result);
+
+/// Canonical JSON of a result (solutions, per-device metrics, per-group
+/// fronts, health): the byte-comparison artifact of the fleet CI runs.
+util::Json multi_device_result_to_json(const MultiDeviceResult& result);
 
 /// Everything the serving layer needs to deploy one searched cross-device
 /// solution: the (re-trained, deterministic) exit bank plus one CLEAN cost
@@ -91,6 +126,8 @@ class MultiDeviceEngine {
   MultiDeviceEngine(const supernet::SearchSpace& space, MultiDeviceConfig config);
 
   const std::vector<hw::Target>& targets() const { return targets_; }
+  /// The shared synthetic task (for building serve-time sample streams).
+  const data::SyntheticTask& task() const { return task_; }
 
   /// Cross-device search with graceful degradation: devices whose circuit
   /// breaker opens (probe phase or mid-search) are dropped and the search
@@ -123,13 +160,24 @@ class MultiDeviceEngine {
   /// devices_/targets_). Throws hw::DeviceUnavailableError if a breaker
   /// opens mid-run.
   MultiDeviceResult search(const std::vector<std::size_t>& alive);
+  /// Fleet mode: advance chaos rounds + checkpoint at a generation boundary;
+  /// throws (internally) when the serviceable group set drifted from
+  /// `attempt_alive_`.
+  void fleet_tick();
+  std::vector<std::size_t> alive_indices() const;
+  /// All-dead diagnostic naming every device's breaker/lifecycle state.
+  [[noreturn]] void throw_all_dead() const;
 
   const supernet::SearchSpace& space_;
   MultiDeviceConfig config_;
   std::vector<hw::Target> targets_;
+  /// Fleet mode: registry group id behind each engine device index.
+  std::vector<std::size_t> fleet_groups_;
   std::vector<DeviceContext> devices_;
   data::SyntheticTask task_;
   exec::ParallelDispatcher dispatcher_;
+  std::vector<std::size_t> attempt_alive_;  // alive set of the running attempt
+  std::size_t fleet_rounds_total_ = 0;
 };
 
 }  // namespace hadas::core

@@ -88,6 +88,14 @@ void validate_spec(const DistSpec& spec) {
   if (!spec.faults.empty()) hw::parse_fault_config(spec.faults);
   spec_target(spec);
   spec_space(spec);
+  if (!spec.island_devices.empty()) {
+    if (spec.island_devices.size() != spec.islands)
+      throw std::invalid_argument(
+          "dist: island_devices has " +
+          std::to_string(spec.island_devices.size()) + " entries for " +
+          std::to_string(spec.islands) + " islands");
+    for (std::size_t i = 0; i < spec.islands; ++i) island_target(spec, i);
+  }
 }
 
 Json spec_to_json(const DistSpec& spec) {
@@ -110,6 +118,12 @@ Json spec_to_json(const DistSpec& spec) {
   json["islands"] = Json(spec.islands);
   json["migration_every"] = Json(spec.migration_every);
   json["migrants"] = Json(spec.migrants);
+  if (!spec.island_devices.empty()) {
+    Json::Array devices;
+    for (const std::string& device : spec.island_devices)
+      devices.push_back(Json(device));
+    json["island_devices"] = std::move(devices);
+  }
   return json;
 }
 
@@ -133,6 +147,9 @@ DistSpec spec_from_json(const Json& json) {
   spec.islands = json.at("islands").as_index();
   spec.migration_every = json.at("migration_every").as_index();
   spec.migrants = json.at("migrants").as_index();
+  if (json.contains("island_devices"))
+    for (const Json& device : json.at("island_devices").as_array())
+      spec.island_devices.push_back(device.as_string());
   return spec;
 }
 
@@ -232,12 +249,25 @@ core::HadasConfig island_config(const DistSpec& spec,
   return config;
 }
 
+namespace {
+hw::Target target_from_device_key(const std::string& device) {
+  if (device == "agx-gpu") return hw::Target::kAgxVoltaGpu;
+  if (device == "agx-cpu") return hw::Target::kCarmelCpu;
+  if (device == "tx2-gpu") return hw::Target::kTx2PascalGpu;
+  if (device == "tx2-cpu") return hw::Target::kDenverCpu;
+  throw std::invalid_argument("dist: unknown device '" + device + "'");
+}
+}  // namespace
+
 hw::Target spec_target(const DistSpec& spec) {
-  if (spec.device == "agx-gpu") return hw::Target::kAgxVoltaGpu;
-  if (spec.device == "agx-cpu") return hw::Target::kCarmelCpu;
-  if (spec.device == "tx2-gpu") return hw::Target::kTx2PascalGpu;
-  if (spec.device == "tx2-cpu") return hw::Target::kDenverCpu;
-  throw std::invalid_argument("dist: unknown device '" + spec.device + "'");
+  return target_from_device_key(spec.device);
+}
+
+hw::Target island_target(const DistSpec& spec, std::size_t island) {
+  if (spec.island_devices.empty()) return spec_target(spec);
+  if (island >= spec.island_devices.size())
+    throw std::invalid_argument("dist: island index out of range");
+  return target_from_device_key(spec.island_devices[island]);
 }
 
 supernet::SearchSpace spec_space(const DistSpec& spec) {
@@ -354,7 +384,7 @@ void write_island_final(const DistSpec& spec, const std::string& workdir,
   result.outer_evaluations = loaded->checkpoint.outer_evaluations;
   result.inner_evaluations = loaded->checkpoint.inner_evaluations;
   result.final_pareto = core::final_pareto_of(result.backbones);
-  Json json = core::result_to_json(result, spec_target(spec));
+  Json json = core::result_to_json(result, island_target(spec, island));
   json["island"] = Json(island);
   json["next_generation"] = Json(loaded->checkpoint.next_generation);
   DurableFile::write(path, kIslandResultFormatTag, json.dump(2) + "\n");
@@ -399,7 +429,18 @@ Json merge_islands(const DistSpec& spec, const std::string& workdir) {
         {pool[p].dynamic.energy_gain, pool[p].dynamic.oracle_accuracy}, p);
 
   Json json;
-  json["device"] = Json(hw::target_name(spec_target(spec)));
+  if (spec.island_devices.empty()) {
+    json["device"] = Json(hw::target_name(spec_target(spec)));
+  } else {
+    // Fleet-scoped islands: name every distinct device group, island order.
+    std::string devices;
+    for (std::size_t i = 0; i < spec.islands; ++i) {
+      const std::string name = hw::target_name(island_target(spec, i));
+      if (devices.find(name) == std::string::npos)
+        devices += (devices.empty() ? "" : " + ") + name;
+    }
+    json["device"] = Json(devices);
+  }
   json["islands"] = Json(spec.islands);
   json["migration_every"] = Json(spec.migration_every);
   json["migrants"] = Json(spec.migrants);

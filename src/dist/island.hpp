@@ -49,6 +49,13 @@ struct DistSpec {
   std::size_t islands = 2;
   std::size_t migration_every = 2;
   std::size_t migrants = 2;
+  /// Fleet scoping: per-island device keys — island i searches
+  /// island_devices[i] instead of the spec-wide `device`, so a coordinator
+  /// can pin each island to one fleet device group (`--fleet` on the dist
+  /// CLI). Empty = homogeneous. Non-empty must have exactly `islands`
+  /// entries; serialized only when present, so homogeneous specs round-trip
+  /// byte-identically with pre-fleet coordinators.
+  std::vector<std::string> island_devices;
 };
 
 /// Throws std::invalid_argument when the topology cannot work: zero islands
@@ -104,6 +111,10 @@ core::HadasConfig island_config(const DistSpec& spec,
 /// The spec's target and search space, resolved from their CLI names.
 hw::Target spec_target(const DistSpec& spec);
 supernet::SearchSpace spec_space(const DistSpec& spec);
+
+/// Target island `island` searches: its island_devices entry when the spec
+/// is fleet-scoped, otherwise the spec-wide device.
+hw::Target island_target(const DistSpec& spec, std::size_t island);
 
 /// --- Migrant files. A migrant set is a pure function of the sender's
 /// round-boundary checkpoint (non-dominated sort + crowding order over its

@@ -103,7 +103,7 @@ bool run_island_round(const DistSpec& spec, const std::string& workdir,
     warm.immigrants_at_generation = round * spec.migration_every;
   }
 
-  core::HadasEngine engine(space, spec_target(spec), config);
+  core::HadasEngine engine(space, island_target(spec, island), config);
   const core::HadasResult result = engine.run(warm);
   if (result.interrupted) return false;
   if (failpoints_on) hadas::util::failpoint("dist.worker.round.end");

@@ -56,6 +56,10 @@ const std::vector<std::string>& chaos_sites() {
       // hw/robust_eval
       "robust.measure",
       "robust.retry",
+      // hw/fleet — chaos rounds and the durable registry checkpoint
+      "fleet.advance_round",
+      "fleet.checkpoint.begin",
+      "fleet.checkpoint.end",
       // runtime/serve — supervisor loop and its journal
       "serve.request",
       "serve.journal.begin",

@@ -1,0 +1,79 @@
+#include "hw/fleet/bdf.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hadas::hw::fleet {
+
+namespace {
+
+bool hex_field(const std::string& text, std::size_t begin, std::size_t len,
+               std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < begin + len; ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+    value = value * 16 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+[[noreturn]] void reject(const std::string& what, const std::string& value,
+                         const std::string& why) {
+  throw std::invalid_argument("invalid value '" + value + "' for " + what +
+                              " (" + why + "; expected a BDF like 0000:b3:00.1)");
+}
+
+}  // namespace
+
+std::string Bdf::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04x:%02x:%02x.%x", domain, bus, device,
+                static_cast<unsigned>(function) & 0x7u);
+  return buf;
+}
+
+Bdf parse_bdf(const std::string& what, const std::string& value) {
+  // Exactly "dddd:bb:dd.f": 12 characters, separators at fixed offsets.
+  if (value.size() != 12 || value[4] != ':' || value[7] != ':' ||
+      value[10] != '.')
+    reject(what, value, "malformed address");
+  std::uint64_t domain = 0, bus = 0, device = 0, function = 0;
+  if (!hex_field(value, 0, 4, &domain) || !hex_field(value, 5, 2, &bus) ||
+      !hex_field(value, 8, 2, &device) || !hex_field(value, 11, 1, &function))
+    reject(what, value, "non-hex field");
+  if (device > 0x1f) reject(what, value, "PCI device number above 1f");
+  if (function > 0x7) reject(what, value, "PCI function number above 7");
+  Bdf bdf;
+  bdf.domain = static_cast<std::uint16_t>(domain);
+  bdf.bus = static_cast<std::uint8_t>(bus);
+  bdf.device = static_cast<std::uint8_t>(device);
+  bdf.function = static_cast<std::uint8_t>(function);
+  return bdf;
+}
+
+Bdf bdf_from_ordinal(std::size_t ordinal) {
+  // 32 device slots per bus, buses 01..ff, then the (hex) domain grows:
+  // ordinal 0 -> 0000:01:00.1, 31 -> 0000:01:1f.1, 32 -> 0000:02:00.1, ...
+  Bdf bdf;
+  bdf.function = 1;
+  bdf.device = static_cast<std::uint8_t>(ordinal % 32);
+  const std::size_t bus_ordinal = ordinal / 32;
+  bdf.bus = static_cast<std::uint8_t>(1 + bus_ordinal % 255);
+  bdf.domain = static_cast<std::uint16_t>(bus_ordinal / 255);
+  return bdf;
+}
+
+std::uint64_t bdf_key(const Bdf& bdf) {
+  return (static_cast<std::uint64_t>(bdf.domain) << 24) |
+         (static_cast<std::uint64_t>(bdf.bus) << 16) |
+         (static_cast<std::uint64_t>(bdf.device) << 8) |
+         static_cast<std::uint64_t>(bdf.function);
+}
+
+}  // namespace hadas::hw::fleet

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hadas::hw::fleet {
+
+/// PCIe-style device address: domain:bus:device.function, rendered like
+/// xbutil's user BDFs ("0000:b3:00.1"). Fleet devices are simulated, but the
+/// addressing scheme is the real one so operator tooling (`hadas device
+/// --device <bdf>`) reads like `xbutil examine --device <bdf>`.
+struct Bdf {
+  std::uint16_t domain = 0;
+  std::uint8_t bus = 0;
+  std::uint8_t device = 0;    ///< 5-bit PCI device number (0..31)
+  std::uint8_t function = 0;  ///< 3-bit PCI function number (0..7)
+
+  /// Canonical lower-case rendering, e.g. "0000:b3:00.1".
+  std::string str() const;
+
+  auto operator<=>(const Bdf&) const = default;
+};
+
+/// Strict full-string BDF parse for `--device` style flags. Accepts exactly
+/// the canonical "dddd:bb:dd.f" hex layout and range-checks the PCI device
+/// (<= 0x1f) and function (<= 0x7) fields; every rejection is a
+/// std::invalid_argument naming the offending flag (`what`) and value, in
+/// the style of util::parse_size.
+Bdf parse_bdf(const std::string& what, const std::string& value);
+
+/// Deterministic synthetic address of the `ordinal`-th provisioned device.
+/// Monotonic: a larger ordinal always compares greater, so registry order
+/// (sorted by BDF) equals provisioning order. Function is fixed at 1 — the
+/// "user function" convention of XRT-style tooling.
+Bdf bdf_from_ordinal(std::size_t ordinal);
+
+/// Stable 64-bit key of an address (seed derivation for per-device fault
+/// streams).
+std::uint64_t bdf_key(const Bdf& bdf);
+
+}  // namespace hadas::hw::fleet

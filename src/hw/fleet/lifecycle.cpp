@@ -1,0 +1,55 @@
+#include "hw/fleet/lifecycle.hpp"
+
+#include <stdexcept>
+
+namespace hadas::hw::fleet {
+
+const char* lifecycle_name(Lifecycle state) {
+  switch (state) {
+    case Lifecycle::kProvisioning: return "provisioning";
+    case Lifecycle::kHealthy: return "healthy";
+    case Lifecycle::kDegraded: return "degraded";
+    case Lifecycle::kQuarantined: return "quarantined";
+    case Lifecycle::kDead: return "dead";
+    case Lifecycle::kRecovered: return "recovered";
+  }
+  return "unknown";
+}
+
+Lifecycle lifecycle_from_name(const std::string& name) {
+  if (name == "provisioning") return Lifecycle::kProvisioning;
+  if (name == "healthy") return Lifecycle::kHealthy;
+  if (name == "degraded") return Lifecycle::kDegraded;
+  if (name == "quarantined") return Lifecycle::kQuarantined;
+  if (name == "dead") return Lifecycle::kDead;
+  if (name == "recovered") return Lifecycle::kRecovered;
+  throw std::invalid_argument("unknown lifecycle state '" + name + "'");
+}
+
+bool lifecycle_serviceable(Lifecycle state) {
+  return state == Lifecycle::kHealthy || state == Lifecycle::kDegraded ||
+         state == Lifecycle::kRecovered;
+}
+
+bool lifecycle_transition_allowed(Lifecycle from, Lifecycle to) {
+  if (from == to) return false;
+  if (to == Lifecycle::kDead) return true;  // anything can die
+  switch (from) {
+    case Lifecycle::kProvisioning:
+      return to == Lifecycle::kHealthy;
+    case Lifecycle::kHealthy:
+      return to == Lifecycle::kDegraded || to == Lifecycle::kQuarantined;
+    case Lifecycle::kDegraded:
+      return to == Lifecycle::kHealthy || to == Lifecycle::kQuarantined;
+    case Lifecycle::kQuarantined:
+      return to == Lifecycle::kRecovered;
+    case Lifecycle::kDead:
+      return to == Lifecycle::kRecovered;
+    case Lifecycle::kRecovered:
+      return to == Lifecycle::kHealthy || to == Lifecycle::kDegraded ||
+             to == Lifecycle::kQuarantined;
+  }
+  return false;
+}
+
+}  // namespace hadas::hw::fleet

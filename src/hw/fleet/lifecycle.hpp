@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+namespace hadas::hw::fleet {
+
+/// Per-device lifecycle, driven by the PR-2 DeviceHealth breaker (open ->
+/// quarantined, half-open -> degraded), the fault injector (dropout ->
+/// dead), thermal trips (throttle -> degraded) and operator actions
+/// (`hadas device reset`). The serving and search layers treat
+/// lifecycle_serviceable() states as schedulable.
+///
+///   provisioning --> healthy <--> degraded
+///        |            |  ^           |
+///        |            |  |           v
+///        |            | heal     quarantined --> recovered
+///        |            v              |              |
+///        +---------> dead <----------+              |
+///                     |    (any state can die)      |
+///                     +------------> recovered -----+--> healthy
+enum class Lifecycle {
+  kProvisioning,  ///< registered, not yet brought up
+  kHealthy,       ///< in rotation
+  kDegraded,      ///< serving at reduced trust: thermal trip or half-open breaker
+  kQuarantined,   ///< out of rotation: breaker open
+  kDead,          ///< gone: dropout, chaos kill, or hard failure
+  kRecovered,     ///< back from dead/quarantine, on probation until healed
+};
+
+/// "provisioning" | "healthy" | "degraded" | "quarantined" | "dead" |
+/// "recovered".
+const char* lifecycle_name(Lifecycle state);
+
+/// Inverse of lifecycle_name; throws std::invalid_argument on an unknown
+/// name (checkpoint triage path).
+Lifecycle lifecycle_from_name(const std::string& name);
+
+/// May search/serve schedule work on a device in this state? True for
+/// healthy, degraded and recovered.
+bool lifecycle_serviceable(Lifecycle state);
+
+/// Is `from` -> `to` an edge of the state machine above? Self-transitions
+/// are not edges; every state except dead itself may transition to dead.
+bool lifecycle_transition_allowed(Lifecycle from, Lifecycle to);
+
+}  // namespace hadas::hw::fleet

@@ -1,0 +1,88 @@
+#include "runtime/serve/fleet_failover.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hadas::runtime::serve {
+
+namespace {
+
+void append_group_lanes(FleetServePlan& plan,
+                        const hw::fleet::FleetRegistry& registry,
+                        std::size_t group,
+                        const dynn::MultiExitCostTable* table,
+                        hw::DvfsSetting setting,
+                        const hw::FaultConfig& fault_template) {
+  if (!table) return;
+  for (const hw::fleet::Bdf& bdf : registry.group_members(group)) {
+    if (!hw::fleet::lifecycle_serviceable(registry.examine(bdf).state)) continue;
+    ServeLane lane;
+    lane.costs = table;
+    lane.requested = setting;
+    lane.faults = fault_template;
+    lane.faults.seed ^=
+        hadas::util::SplitMix64(hw::fleet::bdf_key(bdf)).next();
+    plan.lanes.push_back(lane);
+    plan.bdfs.push_back(bdf);
+    plan.groups.push_back(group);
+  }
+}
+
+}  // namespace
+
+FleetServePlan plan_fleet_lanes(
+    const hw::fleet::FleetRegistry& registry, std::size_t primary_group,
+    const std::vector<const dynn::MultiExitCostTable*>& tables,
+    const std::vector<hw::DvfsSetting>& settings,
+    const hw::FaultConfig& fault_template) {
+  const std::size_t groups = registry.group_count();
+  if (primary_group >= groups)
+    throw std::invalid_argument("plan_fleet_lanes: primary group out of range");
+  if (tables.size() != groups || settings.size() != groups)
+    throw std::invalid_argument(
+        "plan_fleet_lanes: tables/settings must have one entry per registry "
+        "group");
+
+  FleetServePlan plan;
+  append_group_lanes(plan, registry, primary_group, tables[primary_group],
+                     settings[primary_group], fault_template);
+  for (std::size_t group = 0; group < groups; ++group) {
+    if (group == primary_group) continue;
+    append_group_lanes(plan, registry, group, tables[group], settings[group],
+                       fault_template);
+  }
+  if (plan.lanes.empty())
+    throw std::invalid_argument(
+        "plan_fleet_lanes: no serviceable device carries a deployed table");
+  return plan;
+}
+
+std::size_t apply_serve_report(hw::fleet::FleetRegistry& registry,
+                               const FleetServePlan& plan,
+                               const ServeReport& report) {
+  if (report.lanes.size() != plan.lanes.size())
+    throw std::invalid_argument(
+        "apply_serve_report: report lane count does not match the plan");
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < report.lanes.size(); ++i) {
+    const LaneReport& lane = report.lanes[i];
+    const hw::fleet::Bdf& bdf = plan.bdfs[i];
+    if (!registry.contains(bdf)) continue;  // hot-removed mid-serve
+    const hw::fleet::Lifecycle before = registry.examine(bdf).state;
+    registry.record_thermal(bdf, lane.final_temperature_c);
+    if (!lane.alive) {
+      if (registry.kill_device(bdf)) ++applied;
+    } else if (lane.breaker == hw::BreakerState::kOpen) {
+      if (registry.quarantine_device(bdf)) ++applied;
+    } else if (lane.breaker == hw::BreakerState::kHalfOpen) {
+      if (registry.degrade_device(bdf)) ++applied;
+    }
+    if (registry.contains(bdf) && registry.examine(bdf).state != before &&
+        lane.alive && lane.breaker == hw::BreakerState::kClosed)
+      ++applied;  // thermal-only transition
+  }
+  return applied;
+}
+
+}  // namespace hadas::runtime::serve

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/fleet/registry.hpp"
+#include "runtime/serve/supervisor.hpp"
+
+namespace hadas::runtime::serve {
+
+/// A registry-wide failover plan: one ServeLane per serviceable fleet
+/// device, in preference order. The supervisor's existing lane-selection
+/// rule ("first alive lane whose breaker admits") then fails over across
+/// the whole fleet instead of a fixed config-time list.
+struct FleetServePlan {
+  std::vector<ServeLane> lanes;
+  /// Parallel to `lanes`: which fleet device backs each lane.
+  std::vector<hw::fleet::Bdf> bdfs;
+  /// Parallel to `lanes`: registry group id of each lane's device.
+  std::vector<std::size_t> groups;
+};
+
+/// Build the fleet failover plan. Preference order: serviceable members of
+/// `primary_group` first (BDF order — same hardware model, no quality
+/// degradation), then the remaining groups in group-id order (cross-model
+/// degradation as a last resort). `tables` and `settings` are indexed by
+/// registry group id (registry.group_count() entries); a group with a null
+/// table has no deployed cost model and contributes no lanes.
+///
+/// Per-lane fault models derive from `fault_template` with the seed xor'd
+/// by a per-device stream (bdf_key through SplitMix64), so every device
+/// fails independently but deterministically.
+///
+/// Throws std::invalid_argument if the plan would be empty or the vectors
+/// are mis-sized.
+FleetServePlan plan_fleet_lanes(
+    const hw::fleet::FleetRegistry& registry, std::size_t primary_group,
+    const std::vector<const dynn::MultiExitCostTable*>& tables,
+    const std::vector<hw::DvfsSetting>& settings,
+    const hw::FaultConfig& fault_template);
+
+/// Fold a finished ServeReport back into the registry's lifecycle state:
+/// a lane that dropped out kills its device, an open breaker quarantines
+/// it, a half-open breaker degrades it, and each lane's final junction
+/// temperature is recorded (tripping or healing the thermal state).
+/// Returns the number of lifecycle transitions applied. The report must
+/// come from a supervisor run over `plan.lanes`.
+std::size_t apply_serve_report(hw::fleet::FleetRegistry& registry,
+                               const FleetServePlan& plan,
+                               const ServeReport& report);
+
+}  // namespace hadas::runtime::serve

@@ -1,0 +1,221 @@
+// Fleet-wide serve failover: the supervisor's lane rotation spans the whole
+// registry (same-group lanes preferred, then other groups in id order), a
+// finished report folds back into device lifecycles, and the whole path is
+// byte-deterministic.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/multi_device.hpp"
+#include "data/sample_stream.hpp"
+#include "runtime/serve/fleet_failover.hpp"
+#include "runtime/serve/traffic.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace hadas;
+using runtime::serve::FleetServePlan;
+
+// One fleet search + deployment shared by every test: 8 devices (two per
+// paper target), no chaos, solution 0 materialized.
+struct FleetServeFixture {
+  FleetServeFixture() {
+    hw::fleet::FleetConfig fleet_config;
+    fleet_config.devices = 8;
+    registry = std::make_unique<hw::fleet::FleetRegistry>(fleet_config);
+
+    core::MultiDeviceConfig config;
+    config.outer_population = 8;
+    config.outer_generations = 2;
+    config.inner_backbones = 1;
+    config.inner_nsga.population = 12;
+    config.inner_nsga.generations = 5;
+    config.data = hadas::test::small_data();
+    config.bank = hadas::test::small_bank();
+    config.seed = 99;
+    config.fleet = registry.get();
+    engine = std::make_unique<core::MultiDeviceEngine>(space, config);
+    result = engine->run();
+    deployment = engine->fleet_deployment(result, 0);
+
+    // Re-key the deployment (indexed by active_targets) to registry group
+    // ids, as the CLI serve path does.
+    tables.assign(registry->group_count(), nullptr);
+    settings.assign(registry->group_count(), hw::DvfsSetting{});
+    for (std::size_t i = 0; i < result.active_targets.size(); ++i) {
+      for (std::size_t g = 0; g < registry->group_count(); ++g) {
+        if (registry->group_target(g) == result.active_targets[i]) {
+          tables[g] = deployment.tables[i].get();
+          settings[g] = deployment.settings[i];
+        }
+      }
+    }
+    primary_group = 0;
+    while (registry->group_target(primary_group) != result.active_targets[0]) {
+      ++primary_group;
+    }
+  }
+
+  supernet::SearchSpace space = supernet::SearchSpace::attentive_nas();
+  std::unique_ptr<hw::fleet::FleetRegistry> registry;
+  std::unique_ptr<core::MultiDeviceEngine> engine;
+  core::MultiDeviceResult result;
+  core::FleetDeployment deployment;
+  std::vector<const dynn::MultiExitCostTable*> tables;
+  std::vector<hw::DvfsSetting> settings;
+  std::size_t primary_group = 0;
+};
+
+FleetServeFixture& fx() {
+  static FleetServeFixture f;
+  return f;
+}
+
+runtime::serve::ServeReport run_serve(const FleetServePlan& plan,
+                                      std::size_t requests) {
+  runtime::serve::ServeConfig config;
+  const auto ladder = runtime::serve::entropy_ladder(0.5, 0.15, 3);
+  const data::SampleStream stream(fx().engine->task(), 2000, 5);
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = requests;
+  traffic.arrival_rate_hz = 100.0;
+  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+  const runtime::serve::ServeSupervisor supervisor(*fx().deployment.bank,
+                                                   plan.lanes, config);
+  return supervisor.run(fx().deployment.placement,
+                        runtime::serve::ladder_view(ladder), trace);
+}
+
+TEST(FleetServe, PlanPrefersPrimaryGroupThenAscendingGroups) {
+  const FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      *fx().registry, fx().primary_group, fx().tables, fx().settings,
+      hw::FaultConfig{});
+  ASSERT_EQ(plan.lanes.size(), 8u);
+  ASSERT_EQ(plan.bdfs.size(), 8u);
+  ASSERT_EQ(plan.groups.size(), 8u);
+
+  // Primary group first, then the remaining groups in ascending id order;
+  // BDF-sorted within each group.
+  EXPECT_EQ(plan.groups[0], fx().primary_group);
+  EXPECT_EQ(plan.groups[1], fx().primary_group);
+  for (std::size_t i = 3; i < plan.groups.size(); ++i) {
+    if (plan.groups[i - 1] != fx().primary_group) {
+      EXPECT_LE(plan.groups[i - 1], plan.groups[i]);
+    }
+  }
+  for (std::size_t i = 1; i < plan.bdfs.size(); ++i) {
+    if (plan.groups[i] == plan.groups[i - 1]) {
+      EXPECT_LT(plan.bdfs[i - 1], plan.bdfs[i]);
+    }
+  }
+  // Every lane carries the deployed table/setting of its group.
+  for (std::size_t i = 0; i < plan.lanes.size(); ++i) {
+    EXPECT_EQ(plan.lanes[i].costs, fx().tables[plan.groups[i]]);
+  }
+}
+
+TEST(FleetServe, PerLaneFaultSeedsArePairwiseDistinct) {
+  hw::FaultConfig faults;
+  faults.transient_failure_rate = 0.01;
+  const FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      *fx().registry, fx().primary_group, fx().tables, fx().settings, faults);
+  std::set<std::uint64_t> seeds;
+  for (const auto& lane : plan.lanes) seeds.insert(lane.faults.seed);
+  EXPECT_EQ(seeds.size(), plan.lanes.size());
+}
+
+TEST(FleetServe, NullTableGroupContributesNoLanes) {
+  auto tables = fx().tables;
+  std::size_t dropped_group = (fx().primary_group + 1) % tables.size();
+  tables[dropped_group] = nullptr;
+  const FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      *fx().registry, fx().primary_group, tables, fx().settings,
+      hw::FaultConfig{});
+  EXPECT_EQ(plan.lanes.size(), 6u);
+  for (const std::size_t group : plan.groups) {
+    EXPECT_NE(group, dropped_group);
+  }
+}
+
+TEST(FleetServe, RejectsMisSizedVectorsAndEmptyPlans) {
+  auto short_tables = fx().tables;
+  short_tables.pop_back();
+  EXPECT_THROW(runtime::serve::plan_fleet_lanes(*fx().registry,
+                                                fx().primary_group,
+                                                short_tables, fx().settings,
+                                                hw::FaultConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      runtime::serve::plan_fleet_lanes(
+          *fx().registry, fx().registry->group_count(), fx().tables,
+          fx().settings, hw::FaultConfig{}),
+      std::invalid_argument);
+  const std::vector<const dynn::MultiExitCostTable*> all_null(
+      fx().registry->group_count(), nullptr);
+  EXPECT_THROW(
+      runtime::serve::plan_fleet_lanes(*fx().registry, fx().primary_group,
+                                       all_null, fx().settings,
+                                       hw::FaultConfig{}),
+      std::invalid_argument);
+}
+
+TEST(FleetServe, FailoverSurvivesDropoutsAndFoldsBackIntoLifecycles) {
+  // Fresh registry so lifecycle mutations don't leak into other tests.
+  hw::fleet::FleetConfig fleet_config;
+  fleet_config.devices = 8;
+  hw::fleet::FleetRegistry registry(fleet_config);
+
+  hw::FaultConfig faults;
+  faults.dropout_after_n = 5;  // every lane dies after five attempts
+  const FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      registry, fx().primary_group, fx().tables, fx().settings, faults);
+  const runtime::serve::ServeReport report = run_serve(plan, 40);
+
+  EXPECT_GE(report.devices_lost, 1u);
+  EXPECT_GE(report.failovers, 1u);
+
+  const std::size_t before = registry.serviceable_count();
+  const std::size_t transitions =
+      runtime::serve::apply_serve_report(registry, plan, report);
+  EXPECT_GE(transitions, report.devices_lost);
+  EXPECT_EQ(before - registry.serviceable_count(), report.devices_lost);
+  // Every lost lane's device is dead in the registry.
+  std::size_t dead = 0;
+  for (std::size_t i = 0; i < plan.lanes.size(); ++i) {
+    if (!report.lanes[i].alive) {
+      EXPECT_EQ(registry.examine(plan.bdfs[i]).state,
+                hw::fleet::Lifecycle::kDead);
+      ++dead;
+    }
+  }
+  EXPECT_EQ(dead, report.devices_lost);
+}
+
+TEST(FleetServe, ApplyServeReportRejectsLaneCountMismatch) {
+  hw::fleet::FleetRegistry registry(hw::fleet::FleetConfig{});
+  FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      *fx().registry, fx().primary_group, fx().tables, fx().settings,
+      hw::FaultConfig{});
+  const runtime::serve::ServeReport report = run_serve(plan, 10);
+  plan.lanes.pop_back();
+  plan.bdfs.pop_back();
+  plan.groups.pop_back();
+  EXPECT_THROW(runtime::serve::apply_serve_report(registry, plan, report),
+               std::invalid_argument);
+}
+
+TEST(FleetServe, ReportIsByteIdenticalAcrossRepeatedRuns) {
+  hw::FaultConfig faults;
+  faults.transient_failure_rate = 0.02;
+  faults.noise_sigma = 0.01;
+  const FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      *fx().registry, fx().primary_group, fx().tables, fx().settings, faults);
+  const std::string a = run_serve(plan, 120).to_json().dump(2);
+  const std::string b = run_serve(plan, 120).to_json().dump(2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -33,7 +33,9 @@
 #include "exec/chaos.hpp"
 #include "net/client.hpp"
 #include "net/session.hpp"
+#include "hw/fleet/registry.hpp"
 #include "net/socket.hpp"
+#include "runtime/serve/fleet_failover.hpp"
 #include "runtime/serve/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -84,7 +86,7 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
         "checkpoint", "checkpoint-every", "checkpoint-keep", "faults",
         "threads", "metrics-out", "trace-out", "dist", "dist-workdir",
         "dist-mode", "migrate-every", "migrants", "heartbeat-ms",
-        "island-retries", "listen"}},
+        "island-retries", "listen", "fleet", "fleet-seed"}},
       {"worker",
        {"spec", "island", "poll-ms", "wait-timeout-ms", "connect",
         "state-dir"}},
@@ -104,7 +106,12 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
         "trace-out"}},
       {"portable",
        {"pop", "gens", "backbones", "ioe-pop", "ioe-gens", "train-size",
-        "epochs", "seed", "space"}},
+        "epochs", "seed", "space", "threads", "out", "fleet", "fleet-seed",
+        "fleet-state", "kill-per-round", "recover-per-round",
+        "degrade-per-round", "chaos-rounds", "chaos-seed", "serve-requests",
+        "serve-rate", "serve-faults", "serve-index", "serve-out",
+        "stream-seed", "metrics-out", "trace-out"}},
+      {"device", {"device", "fleet", "fleet-seed", "fleet-state"}},
       {"client",
        {"connect", "session", "state", "out", "requests", "rate",
         "trace-seed", "batch", "retries", "backoff-ms"}},
@@ -122,6 +129,136 @@ int cmd_devices() {
                    std::to_string(device.emc_freqs_hz.size())});
   }
   table.print(std::cout);
+  return 0;
+}
+
+/// The registry a `hadas device` invocation operates on: resumed from the
+/// durable fleet checkpoint when --fleet-state names an existing file,
+/// otherwise provisioned fresh from --fleet/--fleet-seed (deterministic, so
+/// repeated invocations see the same fleet).
+hw::fleet::FleetRegistry device_cmd_registry(const Args& args) {
+  if (const auto state = args.get("fleet-state"))
+    if (std::ifstream(*state).good()) return hw::fleet::FleetRegistry::load(*state);
+  hw::fleet::FleetConfig config;
+  config.devices = args.get_or("fleet", config.devices);
+  config.seed = args.get_or("fleet-seed", std::size_t{config.seed});
+  return hw::fleet::FleetRegistry(std::move(config));
+}
+
+/// `hadas device examine|validate|reset`: xbutil-style fleet device
+/// management. Devices are addressed by BDF (--device 0000:01:00.1) or
+/// --device all (the default for examine/validate).
+int cmd_device(const Args& args) {
+  static const char* kUsage =
+      "usage: hadas device examine|validate|reset [--device BDF|all]\n"
+      "       [--fleet N] [--fleet-seed S] [--fleet-state F]";
+  if (args.positional().empty()) throw std::invalid_argument(kUsage);
+  const std::string action = args.positional().front();
+  if (action != "examine" && action != "validate" && action != "reset")
+    throw std::invalid_argument("unknown device action '" + action +
+                                "' (expected examine, validate or reset)\n" +
+                                kUsage);
+
+  hw::fleet::FleetRegistry registry = device_cmd_registry(args);
+  const std::string selector = args.get_or("device", std::string("all"));
+  std::vector<hw::fleet::Bdf> selected;
+  if (selector == "all") {
+    selected = registry.members();
+  } else {
+    const hw::fleet::Bdf bdf = hw::fleet::parse_bdf("--device", selector);
+    if (!registry.contains(bdf))
+      throw std::invalid_argument(
+          "no device at " + bdf.str() + " (the fleet has " +
+          std::to_string(registry.size()) +
+          " devices; `hadas device examine` lists them)");
+    selected.push_back(bdf);
+  }
+
+  if (action == "examine") {
+    if (selected.size() == 1) {
+      const hw::fleet::DeviceInfo info = registry.examine(selected.front());
+      util::TextTable table({"field", "value"},
+                            {util::Align::kLeft, util::Align::kLeft});
+      table.set_title("device " + info.bdf.str());
+      table.add_row({"device", std::string(hw::fleet::target_key(info.target)) +
+                                   " (" + hw::target_name(info.target) + ")"});
+      table.add_row({"group", std::to_string(info.group)});
+      table.add_row({"lifecycle", hw::fleet::lifecycle_name(info.state)});
+      table.add_row({"breaker", hw::breaker_state_name(info.breaker)});
+      table.add_row({"temperature", util::fmt_fixed(info.temperature_c, 1) + " C"});
+      table.add_row({"transitions", std::to_string(info.transitions)});
+      table.add_row({"last transition round",
+                     std::to_string(info.last_transition_round)});
+      table.add_row({"thermal trips", std::to_string(info.thermal_trips)});
+      table.add_row({"resets", std::to_string(info.resets)});
+      table.add_row({"measurements / failures",
+                     std::to_string(info.health.measurements) + " / " +
+                         std::to_string(info.health.failed_measurements)});
+      table.print(std::cout);
+    } else {
+      util::TextTable table(
+          {"bdf", "device", "lifecycle", "breaker", "temp C", "transitions"},
+          {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft,
+           util::Align::kLeft, util::Align::kRight, util::Align::kRight});
+      table.set_title("fleet: " + std::to_string(registry.size()) +
+                      " devices, " +
+                      std::to_string(registry.serviceable_count()) +
+                      " serviceable (round " + std::to_string(registry.round()) +
+                      ")");
+      for (const auto& bdf : selected) {
+        const hw::fleet::DeviceInfo info = registry.examine(bdf);
+        table.add_row({info.bdf.str(), hw::fleet::target_key(info.target),
+                       hw::fleet::lifecycle_name(info.state),
+                       hw::breaker_state_name(info.breaker),
+                       util::fmt_fixed(info.temperature_c, 1),
+                       std::to_string(info.transitions)});
+      }
+      table.print(std::cout);
+      std::string tally;
+      for (const auto& [state, count] : registry.tally()) {
+        if (!tally.empty()) tally += ", ";
+        tally += std::to_string(count) + " " +
+                 hw::fleet::lifecycle_name(state);
+      }
+      std::cout << "state tally: " << tally << "\n";
+    }
+    return 0;
+  }
+
+  if (action == "validate") {
+    std::size_t failed = 0;
+    for (const auto& bdf : selected) {
+      const hw::fleet::ValidationReport report = registry.validate(bdf);
+      util::TextTable table({"check", "result", "note"},
+                            {util::Align::kLeft, util::Align::kLeft,
+                             util::Align::kLeft});
+      table.set_title("validation of " + bdf.str());
+      for (const auto& check : report.checks)
+        table.add_row({check.name, check.passed ? "pass" : "FAIL", check.note});
+      table.print(std::cout);
+      if (!report.passed()) ++failed;
+    }
+    if (failed > 0) {
+      std::cout << failed << " of " << selected.size()
+                << " device(s) FAILED validation\n";
+      return 1;
+    }
+    std::cout << "all " << selected.size() << " device(s) passed validation\n";
+    return 0;
+  }
+
+  // reset
+  for (const auto& bdf : selected) {
+    const hw::fleet::Lifecycle before = registry.examine(bdf).state;
+    registry.reset_device(bdf);
+    std::cout << bdf.str() << ": " << hw::fleet::lifecycle_name(before)
+              << " -> " << hw::fleet::lifecycle_name(registry.examine(bdf).state)
+              << " (fresh breaker, ambient temperature)\n";
+  }
+  if (const auto state = args.get("fleet-state")) {
+    registry.save(*state);
+    std::cout << "fleet state -> " << *state << "\n";
+  }
   return 0;
 }
 
@@ -179,6 +316,36 @@ int run_dist_search(const Args& args, std::size_t islands) {
   spec.islands = islands;
   spec.migration_every = args.get_or("migrate-every", spec.migration_every);
   spec.migrants = args.get_or("migrants", spec.migrants);
+
+  // --fleet N: scope each island to one fleet device group instead of the
+  // spec-wide --device. Islands are assigned the serviceable groups
+  // round-robin, so a 4-group fleet with 4 islands searches every hardware
+  // model concurrently and the merge unions their fronts.
+  if (const std::size_t fleet_devices = args.get_or("fleet", std::size_t{0});
+      fleet_devices > 0) {
+    hw::fleet::FleetConfig fleet_config;
+    fleet_config.devices = fleet_devices;
+    fleet_config.seed =
+        args.get_or("fleet-seed", std::size_t{fleet_config.seed});
+    const hw::fleet::FleetRegistry registry(std::move(fleet_config));
+    std::vector<std::size_t> groups;
+    for (std::size_t g = 0; g < registry.group_count(); ++g)
+      if (registry.group_serviceable(g) > 0) groups.push_back(g);
+    if (groups.empty())
+      throw std::invalid_argument(
+          "--fleet registry has no serviceable device to scope islands to");
+    spec.island_devices.reserve(spec.islands);
+    for (std::size_t i = 0; i < spec.islands; ++i)
+      spec.island_devices.push_back(
+          hw::fleet::target_key(registry.group_target(groups[i % groups.size()])));
+    std::cout << "fleet-scoped islands (" << fleet_devices << " devices, "
+              << groups.size() << " group(s)):";
+    for (std::size_t i = 0; i < spec.islands; ++i)
+      std::cout << " " << i << "=" << spec.island_devices[i];
+    std::cout << "\n";
+  } else if (args.get("fleet-seed")) {
+    throw std::invalid_argument("--fleet-seed requires --fleet N");
+  }
 
   const std::string workdir =
       args.get_or("dist-workdir", std::string("hadas_dist"));
@@ -318,6 +485,10 @@ int cmd_search(const Args& args) {
   if (const std::size_t islands = args.get_or("dist", std::size_t{0});
       islands > 0)
     return run_dist_search(args, islands);
+  if (args.get("fleet") || args.get("fleet-seed"))
+    throw std::invalid_argument(
+        "--fleet scopes islands of a distributed search; it requires --dist K "
+        "(for a fleet-wide joint search use `hadas portable --fleet N`)");
   const hw::Target target = parse_device(args.get_or("device", "tx2-gpu"));
   const std::string out_path = args.get_or("out", std::string("hadas_result.json"));
 
@@ -505,6 +676,21 @@ int cmd_verify_checkpoint(const Args& args) {
                      std::to_string(result.at("next_generation").as_index())});
       table.add_row({"Pareto designs",
                      std::to_string(result.at("final_pareto").as_array().size())});
+    } else if (tag == hw::fleet::kFleetFormatTag) {
+      const hw::fleet::FleetRegistry fleet = hw::fleet::FleetRegistry::load(path);
+      table.add_row({"payload", "valid fleet checkpoint"});
+      table.add_row({"devices / serviceable",
+                     std::to_string(fleet.size()) + " / " +
+                         std::to_string(fleet.serviceable_count())});
+      std::string tally;
+      for (const auto& [state, count] : fleet.tally()) {
+        if (!tally.empty()) tally += ", ";
+        tally += std::to_string(count) + " " + hw::fleet::lifecycle_name(state);
+      }
+      table.add_row({"state tally", tally});
+      table.add_row({"chaos round", std::to_string(fleet.round())});
+      table.add_row({"last transition round",
+                     std::to_string(fleet.last_transition_round())});
     } else if (tag == net::kSessionFormatTag) {
       const auto session = net::load_session_state(path);
       table.add_row({"payload", "valid net session journal"});
@@ -733,6 +919,72 @@ int cmd_sensitivity(const Args& args) {
   return 0;
 }
 
+/// Fleet serve phase of `hadas portable`: deploy one searched design across
+/// every serviceable fleet device, replay a Poisson trace through the
+/// registry-wide failover plan, and fold the report's outcomes (dropouts,
+/// breaker trips, final temperatures) back into device lifecycles.
+int run_fleet_serve(const Args& args, core::MultiDeviceEngine& engine,
+                    const core::MultiDeviceResult& result,
+                    hw::fleet::FleetRegistry& registry,
+                    const std::string& fleet_state_path) {
+  if (result.pareto.empty())
+    throw std::runtime_error("fleet serve: the search produced no designs");
+  const std::size_t index = args.get_or("serve-index", std::size_t{0});
+  const core::FleetDeployment deployment =
+      engine.fleet_deployment(result, index);
+
+  // Re-key the deployment (indexed by active_targets) by registry group id.
+  std::vector<const dynn::MultiExitCostTable*> tables(registry.group_count(),
+                                                      nullptr);
+  std::vector<hw::DvfsSetting> settings(registry.group_count());
+  std::size_t primary_group = 0;
+  for (std::size_t i = 0; i < result.active_targets.size(); ++i)
+    for (std::size_t g = 0; g < registry.group_count(); ++g)
+      if (registry.group_target(g) == result.active_targets[i]) {
+        tables[g] = deployment.tables[i].get();
+        settings[g] = deployment.settings[i];
+        if (i == 0) primary_group = g;
+      }
+
+  hw::FaultConfig fault_template;
+  if (const auto faults = args.get("serve-faults"))
+    fault_template = hw::parse_fault_config(*faults);
+  const runtime::serve::FleetServePlan plan = runtime::serve::plan_fleet_lanes(
+      registry, primary_group, tables, settings, fault_template);
+
+  runtime::serve::ServeConfig serve_config;
+  const runtime::serve::ServeSupervisor supervisor(*deployment.bank,
+                                                   plan.lanes, serve_config);
+  const auto ladder = runtime::serve::entropy_ladder(0.5, 0.15, 3);
+
+  runtime::serve::TrafficConfig traffic;
+  traffic.requests = args.get_or("serve-requests", std::size_t{400});
+  traffic.arrival_rate_hz = args.get_or("serve-rate", 100.0);
+  const data::SampleStream stream(engine.task(), 2000,
+                                  args.get_or("stream-seed", std::size_t{5}));
+  const auto trace = runtime::serve::poisson_trace(stream, traffic);
+
+  std::cout << "serving design #" << index << " across " << plan.lanes.size()
+            << " fleet lane(s) (" << trace.size() << " requests)...\n";
+  const runtime::serve::ServeReport report = supervisor.run(
+      deployment.placement, runtime::serve::ladder_view(ladder), trace);
+  const std::size_t transitions =
+      runtime::serve::apply_serve_report(registry, plan, report);
+  std::cout << "served " << report.admitted << "/" << report.offered
+            << " requests; " << report.failovers << " failover(s), "
+            << report.devices_lost << " device(s) lost, " << transitions
+            << " fleet lifecycle transition(s) applied\n";
+  if (!fleet_state_path.empty()) {
+    registry.save(fleet_state_path);
+    std::cout << "fleet state -> " << fleet_state_path << "\n";
+  }
+  if (const auto out = args.get("serve-out")) {
+    core::save_json(*out, report.to_json());
+    std::cout << "serve report -> " << *out << "\n";
+  }
+  return 0;
+}
+
 int cmd_portable(const Args& args) {
   core::MultiDeviceConfig config;
   config.outer_population = args.get_or("pop", std::size_t{16});
@@ -743,6 +995,58 @@ int cmd_portable(const Args& args) {
   config.data.train_size = args.get_or("train-size", std::size_t{1500});
   config.bank.train.epochs = args.get_or("epochs", std::size_t{8});
   config.seed = args.get_or("seed", std::size_t{4242});
+  config.exec.threads = args.get_or("threads", config.exec.threads);
+  const ObsOutputs obs_out = obs_setup(args);
+
+  // Fleet mode: search over a BDF-addressed device registry (one
+  // measurement context per device group) under the rolling chaos schedule,
+  // instead of the fixed four-target list.
+  std::optional<hw::fleet::FleetRegistry> fleet;
+  const std::string fleet_state = args.get_or("fleet-state", std::string());
+  if (args.get("fleet") || !fleet_state.empty()) {
+    if (!fleet_state.empty() && std::ifstream(fleet_state).good()) {
+      // Resume: the checkpoint carries the full config (chaos schedule
+      // included), so the chaos flags of this invocation are ignored.
+      fleet.emplace(hw::fleet::FleetRegistry::load(fleet_state));
+      std::cout << "resumed fleet state from " << fleet_state << " (round "
+                << fleet->round() << ")\n";
+    } else {
+      hw::fleet::FleetConfig fleet_config;
+      fleet_config.devices = args.get_or("fleet", fleet_config.devices);
+      fleet_config.seed =
+          args.get_or("fleet-seed", std::size_t{fleet_config.seed});
+      fleet_config.chaos.kill_per_round =
+          args.get_or("kill-per-round", std::size_t{0});
+      fleet_config.chaos.recover_per_round =
+          args.get_or("recover-per-round", std::size_t{0});
+      fleet_config.chaos.degrade_per_round =
+          args.get_or("degrade-per-round", std::size_t{0});
+      fleet_config.chaos.rounds = args.get_or("chaos-rounds", std::size_t{0});
+      fleet_config.chaos.seed =
+          args.get_or("chaos-seed", std::size_t{fleet_config.chaos.seed});
+      fleet.emplace(std::move(fleet_config));
+    }
+    config.fleet = &*fleet;
+    config.fleet_state_path = fleet_state;
+    std::cout << "fleet: " << fleet->size() << " devices, "
+              << fleet->serviceable_count() << " serviceable";
+    if (fleet->config().chaos.active())
+      std::cout << " (rolling chaos: " << fleet->config().chaos.kill_per_round
+                << " kill / " << fleet->config().chaos.recover_per_round
+                << " recover / " << fleet->config().chaos.degrade_per_round
+                << " degrade per round, " << fleet->config().chaos.rounds
+                << " rounds)";
+    std::cout << "\n";
+  } else {
+    for (const char* flag : {"fleet-seed", "kill-per-round", "recover-per-round",
+                             "degrade-per-round", "chaos-rounds", "chaos-seed",
+                             "serve-requests", "serve-rate", "serve-faults",
+                             "serve-index", "serve-out"})
+      if (args.get(flag))
+        throw std::invalid_argument("--" + std::string(flag) +
+                                    " requires fleet mode (--fleet N or "
+                                    "--fleet-state F)");
+  }
 
   std::cout << "cross-device joint search (one backbone+exits, per-device"
                " DVFS)...\n";
@@ -767,7 +1071,21 @@ int cmd_portable(const Args& args) {
                    util::fmt_pct(sol.mean_gain, 1)});
   }
   table.print(std::cout);
-  return 0;
+  if (fleet)
+    std::cout << "fleet after search: " << fleet->serviceable_count() << "/"
+              << fleet->size() << " serviceable, " << result.fleet_rounds
+              << " chaos round(s), " << result.fleet_restarts
+              << " membership restart(s)\n";
+  if (const auto out = args.get("out")) {
+    core::save_json(*out, core::multi_device_result_to_json(result));
+    std::cout << "result -> " << *out << "\n";
+  }
+
+  int code = 0;
+  if (args.get("serve-requests") || args.get("serve-out"))
+    code = run_fleet_serve(args, engine, result, *fleet, fleet_state);
+  obs_write(obs_out);
+  return code;
 }
 
 int cmd_metrics_dump(const Args& args) {
@@ -854,6 +1172,10 @@ void print_usage() {
   std::cout << "usage: hadas <command> [options]\n\n"
                "commands:\n"
                "  devices                      list hardware targets\n"
+               "  device examine|validate|reset  manage a fleet device\n"
+               "         [--device BDF|all]    address one device (or every one)\n"
+               "         [--fleet N]           fleet size when provisioning fresh\n"
+               "         [--fleet-seed S] [--fleet-state F]\n"
                "  baselines --device D         evaluate a0..a6 on a device\n"
                "  search --device D --out F    run a bi-level search\n"
                "         [--resume F|auto]     warm-start from a saved result,\n"
@@ -876,6 +1198,8 @@ void print_usage() {
                "         [--migrate-every N] [--migrants M]\n"
                "         [--heartbeat-ms T]    worker hang deadline\n"
                "         [--island-retries N]  failures before quarantine\n"
+               "         [--fleet N [--fleet-seed S]] scope islands to fleet\n"
+               "                               device groups (round-robin)\n"
                "  worker --spec F --island I   one island of a --dist search\n"
                "                               (spawned by the coordinator)\n"
                "  worker --connect HOST:PORT --island I [--state-dir DIR]\n"
@@ -885,8 +1209,8 @@ void print_usage() {
                "  verify-checkpoint F          inspect a durable state file:\n"
                "                               search checkpoint, dist spec,\n"
                "                               migrant set, island result, net\n"
-               "                               or dist-net session, or serve\n"
-               "                               journal\n"
+               "                               or dist-net session, serve\n"
+               "                               journal, or fleet state\n"
                "  deploy --device D --result F simulate a saved design\n"
                "  sensitivity --device D       per-gene ablation of a design\n"
                "    (--baseline aN | --result F [--index I])\n"
@@ -903,6 +1227,18 @@ void print_usage() {
                "  metrics-dump F               print a --metrics-out snapshot\n"
                "         [--format table|prom] table (default) or Prometheus text\n"
                "  portable                     cross-device joint search\n"
+               "         [--fleet N]           search a BDF-addressed fleet\n"
+               "                               (one context per device group)\n"
+               "         [--fleet-seed S] [--fleet-state F]\n"
+               "         [--kill-per-round K --recover-per-round R\n"
+               "          --degrade-per-round D --chaos-rounds N\n"
+               "          [--chaos-seed S]]    rolling-death schedule\n"
+               "         [--out F]             save the full result JSON\n"
+               "         [--serve-requests N [--serve-rate HZ]\n"
+               "          [--serve-index I] [--serve-faults CFG]\n"
+               "          [--serve-out F]]     serve a design fleet-wide after\n"
+               "                               the search, with failover\n"
+               "         [--threads N] [--metrics-out F] [--trace-out F]\n"
                "  client --connect HOST:PORT   stream a trace to a hadasd daemon\n"
                "         [--session ID]        resumable session identity\n"
                "         [--state F]           durable client journal path\n"
@@ -935,6 +1271,7 @@ int main(int argc, char** argv) {
     }
     const Args args(argc, argv, 2, "hadas " + command, flags->second);
     if (command == "devices") return cmd_devices();
+    if (command == "device") return cmd_device(args);
     if (command == "baselines") return cmd_baselines(args);
     if (command == "search") return cmd_search(args);
     if (command == "worker") return cmd_worker(args);
