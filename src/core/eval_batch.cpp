@@ -1,0 +1,64 @@
+#include "core/eval_batch.hpp"
+
+#include <stdexcept>
+
+namespace hadas::core {
+
+std::size_t ObjectiveBatch::push_back(const Objectives& point) {
+  if (dims_ == 0) dims_ = point.size();
+  if (point.size() != dims_)
+    throw std::invalid_argument("ObjectiveBatch: dim mismatch");
+  values_.insert(values_.end(), point.begin(), point.end());
+  return size() - 1;
+}
+
+Objectives ObjectiveBatch::to_objectives(std::size_t i) const {
+  const double* r = row(i);
+  return Objectives(r, r + dims_);
+}
+
+void ObjectiveBatch::assign(const std::vector<Objectives>& points) {
+  values_.clear();
+  if (!points.empty() && dims_ == 0) dims_ = points.front().size();
+  values_.reserve(points.size() * dims_);
+  for (const auto& p : points) {
+    if (p.size() != dims_)
+      throw std::invalid_argument("ObjectiveBatch: dim mismatch");
+    values_.insert(values_.end(), p.begin(), p.end());
+  }
+}
+
+void ObjectiveBatch::select(const std::vector<std::size_t>& keep) {
+  std::vector<double> next;
+  next.reserve(keep.size() * dims_);
+  for (std::size_t old : keep) {
+    const double* r = row(old);
+    next.insert(next.end(), r, r + dims_);
+  }
+  values_ = std::move(next);
+}
+
+std::size_t GenomeBatch::push_back(const std::vector<std::int32_t>& genome) {
+  if (len_ == 0) len_ = genome.size();
+  if (genome.size() != len_)
+    throw std::invalid_argument("GenomeBatch: length mismatch");
+  values_.insert(values_.end(), genome.begin(), genome.end());
+  return size() - 1;
+}
+
+std::vector<std::int32_t> GenomeBatch::to_genome(std::size_t i) const {
+  const std::int32_t* r = row(i);
+  return std::vector<std::int32_t>(r, r + len_);
+}
+
+void GenomeBatch::select(const std::vector<std::size_t>& keep) {
+  std::vector<std::int32_t> next;
+  next.reserve(keep.size() * len_);
+  for (std::size_t old : keep) {
+    const std::int32_t* r = row(old);
+    next.insert(next.end(), r, r + len_);
+  }
+  values_ = std::move(next);
+}
+
+}  // namespace hadas::core

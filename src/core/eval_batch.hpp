@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/pareto.hpp"
+
+namespace hadas::core {
+
+/// Integer genome alias (mirrors nsga2.hpp; kept here so the batch layer has
+/// no dependency on the engine header).
+using IntGenomeSpan = const std::int32_t*;
+
+/// Structure-of-arrays storage for objective vectors: `size x dims` doubles
+/// in one contiguous allocation. The dominance and crowding kernels in
+/// pareto.cpp run over these flat rows instead of chasing one heap-allocated
+/// std::vector<double> per individual, which is what made `rank_population`
+/// copy every Objectives vector into scratch on every call.
+class ObjectiveBatch {
+ public:
+  ObjectiveBatch() = default;
+  explicit ObjectiveBatch(std::size_t dims) : dims_(dims) {}
+
+  std::size_t size() const { return dims_ == 0 ? 0 : values_.size() / dims_; }
+  std::size_t dims() const { return dims_; }
+  bool empty() const { return values_.empty(); }
+
+  const double* row(std::size_t i) const { return values_.data() + i * dims_; }
+  double* row(std::size_t i) { return values_.data() + i * dims_; }
+
+  /// Append one point; the batch adopts the dimensionality of the first
+  /// point it sees. Returns the new row index.
+  std::size_t push_back(const Objectives& point);
+
+  /// Copy row i back out as an owning Objectives vector (boundary use only).
+  Objectives to_objectives(std::size_t i) const;
+
+  /// Replace the contents with the given points (shared dimensionality).
+  void assign(const std::vector<Objectives>& points);
+
+  /// Keep exactly the rows listed in `keep` (old indices, any order),
+  /// renumbering them 0..keep.size()-1 in list order. Compacts in place.
+  void select(const std::vector<std::size_t>& keep);
+
+  void clear() { values_.clear(); }
+  void reserve(std::size_t points) { values_.reserve(points * dims_); }
+
+ private:
+  std::size_t dims_ = 0;
+  std::vector<double> values_;
+};
+
+/// Structure-of-arrays storage for fixed-length integer genomes:
+/// `size x genome_len` int32 in one contiguous allocation.
+class GenomeBatch {
+ public:
+  GenomeBatch() = default;
+  explicit GenomeBatch(std::size_t genome_len) : len_(genome_len) {}
+
+  std::size_t size() const { return len_ == 0 ? 0 : values_.size() / len_; }
+  std::size_t genome_len() const { return len_; }
+
+  const std::int32_t* row(std::size_t i) const { return values_.data() + i * len_; }
+  std::int32_t* row(std::size_t i) { return values_.data() + i * len_; }
+
+  std::size_t push_back(const std::vector<std::int32_t>& genome);
+
+  std::vector<std::int32_t> to_genome(std::size_t i) const;
+
+  void select(const std::vector<std::size_t>& keep);
+
+  void clear() { values_.clear(); }
+  void reserve(std::size_t genomes) { values_.reserve(genomes * len_); }
+
+ private:
+  std::size_t len_ = 0;
+  std::vector<std::int32_t> values_;
+};
+
+/// One evaluated population in SoA form: genome i lives at genomes.row(i),
+/// its objective vector at objectives.row(i). This is the layout the NSGA-II
+/// inner loop works on; AoS Individual structs only appear at the API
+/// boundary (results, observers).
+struct EvalBatch {
+  GenomeBatch genomes;
+  ObjectiveBatch objectives;
+
+  std::size_t size() const { return objectives.size(); }
+
+  /// Keep the listed rows (renumbered in list order) in both arrays.
+  void select(const std::vector<std::size_t>& keep) {
+    genomes.select(keep);
+    objectives.select(keep);
+  }
+};
+
+}  // namespace hadas::core

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/eval_batch.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -189,6 +191,36 @@ IoeResult HadasEngine::run_ioe_with(const supernet::BackboneConfig& config,
   seeded.nsga.seed ^= supernet::genome_hash(supernet::encode(space_, config));
   InnerEngine engine(*entry.bank, *entry.cost, seeded);
   return engine.run();
+}
+
+std::vector<IntGenome> ioe_seed_pool(const std::vector<BackboneOutcome>& backbones,
+                                     std::size_t target_num_eligible,
+                                     const hw::DeviceSpec& device,
+                                     std::size_t max_seeds) {
+  std::vector<IntGenome> seeds;
+  if (max_seeds == 0 || target_num_eligible == 0) return seeds;
+  std::set<IntGenome> seen;
+  for (std::size_t depth = 0; seeds.size() < max_seeds; ++depth) {
+    bool any = false;
+    for (const BackboneOutcome& outcome : backbones) {
+      if (!outcome.ioe_ran || depth >= outcome.inner_pareto.size()) continue;
+      any = true;
+      const InnerSolution& sol = outcome.inner_pareto[depth];
+      IntGenome g(target_num_eligible + 2, 0);
+      const auto& mask = sol.placement.mask();
+      for (std::size_t i = 0; i < target_num_eligible && i < mask.size(); ++i)
+        g[i] = mask[i] ? 1 : 0;
+      g[target_num_eligible] = static_cast<std::int32_t>(
+          std::min(sol.setting.core_idx, device.core_freqs_hz.size() - 1));
+      g[target_num_eligible + 1] = static_cast<std::int32_t>(
+          std::min(sol.setting.emc_idx, device.emc_freqs_hz.size() - 1));
+      if (!seen.insert(g).second) continue;  // duplicate after re-encoding
+      seeds.push_back(std::move(g));
+      if (seeds.size() == max_seeds) break;
+    }
+    if (!any) break;
+  }
+  return seeds;
 }
 
 WarmStart warm_start_from_solutions(
@@ -400,7 +432,7 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
 
     // --- Early selection: prune P_B^g to P_B^g' via non-dominated sorting
     // on the static objectives; the elites are mapped to IOEs. ---
-    std::vector<Objectives> static_points;
+    ObjectiveBatch static_points(3);
     static_points.reserve(indices.size());
     for (std::size_t idx : indices)
       static_points.push_back(constrained(result.backbones[idx].static_eval));
@@ -438,8 +470,23 @@ HadasResult HadasEngine::run(const WarmStart& warm) {
     std::vector<IoeResult> ioes;
     {
       const obs::TraceSpan span("ioe_dispatch", "search");
+      // Warm-start seed pools are fixed BEFORE the parallel fan-out — a
+      // pure function of the outcomes of earlier generations (which the
+      // checkpoint carries) — so every IOE sees the same seeds at any
+      // thread count and on resume.
+      std::vector<IoeConfig> ioe_configs(launch.size(), config_.ioe);
+      for (std::size_t k = 0; k < launch.size(); ++k) {
+        const supernet::BackboneConfig& backbone = result.backbones[launch[k]].config;
+        const std::size_t eligible =
+            dynn::ExitPlacement(static_cast<std::size_t>(backbone.total_layers()))
+                .num_eligible();
+        ioe_configs[k].nsga.initial_population =
+            ioe_seed_pool(result.backbones, eligible,
+                          static_eval_.hardware().device(),
+                          config_.ioe.nsga.population / 2);
+      }
       ioes = dispatcher_.map(launch.size(), [&](std::size_t k) {
-        return run_ioe(result.backbones[launch[k]].config);
+        return run_ioe_with(result.backbones[launch[k]].config, ioe_configs[k]);
       });
     }
     for (std::size_t k = 0; k < launch.size(); ++k) {

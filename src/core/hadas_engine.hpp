@@ -190,6 +190,18 @@ struct WarmStart {
 WarmStart warm_start_from_solutions(const supernet::SearchSpace& space,
                                     const std::vector<FinalSolution>& solutions);
 
+/// Warm-seed pool for one IOE launch: elite inner solutions from every
+/// backbone whose IOE already ran (elites change little between
+/// generations), re-encoded into the target backbone's (X, F) genome space —
+/// placement bits are translated by eligible-position index and DVFS indices
+/// clamped to the device tables. Sources round-robin so no single inner
+/// front monopolizes the pool. A pure function of the (checkpointed)
+/// outcomes, so a resumed run rebuilds the identical pool.
+std::vector<IntGenome> ioe_seed_pool(const std::vector<BackboneOutcome>& backbones,
+                                     std::size_t target_num_eligible,
+                                     const hw::DeviceSpec& device,
+                                     std::size_t max_seeds);
+
 class HadasEngine;
 
 /// Export an engine's post-run statistics into the global metrics registry

@@ -1,9 +1,13 @@
 #include "core/nsga2.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "core/eval_batch.hpp"
+#include "exec/arena.hpp"
 
 namespace hadas::core {
 
@@ -37,63 +41,100 @@ void reset_mutation(IntGenome& genome, const std::vector<std::size_t>& cardinali
     throw std::invalid_argument("reset_mutation: length mismatch");
   for (std::size_t i = 0; i < genome.size(); ++i) {
     if (cardinalities[i] <= 1 || !rng.bernoulli(per_gene_prob)) continue;
-    std::int32_t value;
-    do {
-      value = static_cast<std::int32_t>(rng.uniform_index(cardinalities[i]));
-    } while (value == genome[i]);
+    // Spec v2: draw from the card-1 values that are NOT the current one and
+    // shift past it. One variate with the exact excluding-uniform
+    // distribution — the old resample-until-different loop drew an unbounded
+    // number of variates, making mutation cost (and the seeded RNG stream
+    // length) depend on gene cardinality. Perturbs seeded streams relative
+    // to spec v1 runs.
+    auto value =
+        static_cast<std::int32_t>(rng.uniform_index(cardinalities[i] - 1));
+    if (value >= genome[i]) ++value;
     genome[i] = value;
   }
 }
 
 namespace {
-struct RankInfo {
-  std::vector<std::size_t> rank;
-  std::vector<double> crowding;
+
+/// FNV-1a over the genome's int32 values; keys the evaluation memo (the old
+/// std::map cost a full lexicographic genome comparison per tree level).
+struct GenomeHash {
+  std::size_t operator()(const IntGenome& g) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::int32_t v : g) {
+      h ^= static_cast<std::uint32_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
 };
 
-RankInfo rank_population(const std::vector<Individual>& pop) {
-  std::vector<Objectives> points(pop.size());
-  for (std::size_t i = 0; i < pop.size(); ++i) points[i] = pop[i].objectives;
-  const auto fronts = non_dominated_sort(points);
-  RankInfo info;
-  info.rank.assign(pop.size(), 0);
-  info.crowding.assign(pop.size(), 0.0);
-  for (std::size_t f = 0; f < fronts.size(); ++f) {
-    const auto dist = crowding_distance(points, fronts[f]);
-    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
-      info.rank[fronts[f][i]] = f;
-      info.crowding[fronts[f][i]] = dist[i];
+/// Per-front crowding scattered to per-individual arrays (rank comes from
+/// the incremental FrontLevels structure).
+void scatter_rank_crowding(const ObjectiveBatch& points, const FrontLevels& levels,
+                           std::size_t* rank, double* crowding) {
+  for (const auto& front : levels.fronts()) {
+    const auto dist = crowding_distance(points, front);
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      rank[front[i]] = levels.rank_of(front[i]);
+      crowding[front[i]] = dist[i];
     }
   }
-  return info;
 }
-}  // namespace
 
-std::vector<Individual> select_by_rank_crowding(std::vector<Individual> candidates,
-                                                std::size_t target) {
-  if (candidates.size() <= target) return candidates;
-  std::vector<Objectives> points(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i)
-    points[i] = candidates[i].objectives;
-  const auto fronts = non_dominated_sort(points);
-
-  std::vector<Individual> selected;
-  selected.reserve(target);
-  for (const auto& front : fronts) {
-    if (selected.size() + front.size() <= target) {
-      for (std::size_t idx : front) selected.push_back(std::move(candidates[idx]));
-      if (selected.size() == target) break;
+/// Elitist (mu + lambda) truncation over the maintained front levels:
+/// whole fronts while they fit, crowding-truncated cut front, all listed
+/// front-major in ascending index order (the canonical order that keeps
+/// FrontLevels::select exact).
+std::vector<std::size_t> elitist_keep(const ObjectiveBatch& points,
+                                      const FrontLevels& levels,
+                                      std::size_t target) {
+  std::vector<std::size_t> keep;
+  keep.reserve(target);
+  for (const auto& front : levels.fronts()) {
+    if (keep.size() + front.size() <= target) {
+      keep.insert(keep.end(), front.begin(), front.end());
+      if (keep.size() == target) break;
     } else {
       const auto dist = crowding_distance(points, front);
       std::vector<std::size_t> order(front.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::sort(order.begin(), order.end(),
                 [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
-      for (std::size_t i = 0; selected.size() < target; ++i)
-        selected.push_back(std::move(candidates[front[order[i]]]));
+      std::vector<std::size_t> cut;
+      for (std::size_t i = 0; keep.size() + cut.size() < target; ++i)
+        cut.push_back(front[order[i]]);
+      std::sort(cut.begin(), cut.end());
+      keep.insert(keep.end(), cut.begin(), cut.end());
       break;
     }
   }
+  return keep;
+}
+
+std::vector<Individual> materialize(const EvalBatch& batch) {
+  std::vector<Individual> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i].genome = batch.genomes.to_genome(i);
+    out[i].objectives = batch.objectives.to_objectives(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Individual> select_by_rank_crowding(std::vector<Individual> candidates,
+                                                std::size_t target) {
+  if (candidates.size() <= target) return candidates;
+  ObjectiveBatch points(candidates.front().objectives.size());
+  points.reserve(candidates.size());
+  for (const auto& c : candidates) points.push_back(c.objectives);
+  FrontLevels levels;
+  levels.rebuild(points);
+  const auto keep = elitist_keep(points, levels, target);
+  std::vector<Individual> selected;
+  selected.reserve(target);
+  for (std::size_t idx : keep) selected.push_back(std::move(candidates[idx]));
   return selected;
 }
 
@@ -106,7 +147,7 @@ Nsga2Result Nsga2::run(Problem& problem) {
                               : 1.0 / static_cast<double>(cardinalities.size());
 
   Nsga2Result result;
-  std::map<IntGenome, Objectives> cache;
+  std::unordered_map<IntGenome, Objectives, GenomeHash> cache;
   ParetoArchive archive;
 
   auto evaluate = [&](const IntGenome& genome) -> Objectives {
@@ -120,91 +161,126 @@ Nsga2Result Nsga2::run(Problem& problem) {
     return obj;
   };
 
-  // Initial population.
-  std::vector<Individual> pop;
-  pop.reserve(config_.population);
-  for (std::size_t i = 0; i < config_.population; ++i) {
-    Individual ind;
-    ind.genome = problem.random_genome(rng);
-    ind.objectives = evaluate(ind.genome);
-    pop.push_back(std::move(ind));
-  }
+  // SoA population: genome i at batch.genomes.row(i), objectives at
+  // batch.objectives.row(i). The front structure is maintained
+  // incrementally across generations instead of re-sorted from scratch.
+  EvalBatch batch;
+  batch.genomes = GenomeBatch(cardinalities.size());
+  FrontLevels levels;
+  exec::MonotonicArena arena;
 
-  auto record_stats = [&](std::size_t gen, const std::vector<Individual>& p) {
+  // Initial population: warm seeds first (repaired), then random fill. An
+  // empty seed list reproduces the historical fully random cold start.
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    IntGenome genome;
+    if (i < config_.initial_population.size()) {
+      genome = config_.initial_population[i];
+      if (genome.size() != cardinalities.size())
+        throw std::invalid_argument("Nsga2: seed genome length mismatch");
+      problem.repair(genome, rng);
+    } else {
+      genome = problem.random_genome(rng);
+    }
+    const Objectives obj = evaluate(genome);
+    batch.genomes.push_back(genome);
+    batch.objectives.push_back(obj);
+  }
+  levels.rebuild(batch.objectives);
+
+  auto record_stats = [&](std::size_t gen) {
     GenerationStats stats;
     stats.generation = gen;
-    const std::size_t dims = p.front().objectives.size();
+    const std::size_t dims = batch.objectives.dims();
+    const std::size_t n = batch.size();
     stats.best.assign(dims, -std::numeric_limits<double>::infinity());
     stats.mean.assign(dims, 0.0);
-    std::vector<Objectives> points(p.size());
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      points[i] = p[i].objectives;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = batch.objectives.row(i);
       for (std::size_t k = 0; k < dims; ++k) {
-        stats.best[k] = std::max(stats.best[k], p[i].objectives[k]);
-        stats.mean[k] += p[i].objectives[k] / static_cast<double>(p.size());
+        stats.best[k] = std::max(stats.best[k], row[k]);
+        stats.mean[k] += row[k] / static_cast<double>(n);
       }
     }
-    const auto front = pareto_front(points);
+    const auto& front = levels.fronts().front();
     stats.front_size = front.size();
     if (config_.hv_reference.size() == dims) {
       std::vector<Objectives> front_points;
       front_points.reserve(front.size());
-      for (std::size_t idx : front) front_points.push_back(points[idx]);
+      for (std::size_t idx : front)
+        front_points.push_back(batch.objectives.to_objectives(idx));
       stats.hypervolume = hypervolume(front_points, config_.hv_reference);
     }
     result.generations.push_back(std::move(stats));
   };
 
   for (std::size_t gen = 0; gen < config_.generations; ++gen) {
-    record_stats(gen, pop);
-    if (observer_) observer_(gen, pop);
-    const RankInfo info = rank_population(pop);
+    record_stats(gen);
+    if (observer_) observer_(gen, materialize(batch));
 
-    auto tournament = [&]() -> const Individual& {
-      const std::size_t a = rng.uniform_index(pop.size());
-      const std::size_t b = rng.uniform_index(pop.size());
-      if (info.rank[a] != info.rank[b])
-        return pop[info.rank[a] < info.rank[b] ? a : b];
-      return pop[info.crowding[a] >= info.crowding[b] ? a : b];
+    // Snapshot parent (rank, crowding) for tournament selection; offspring
+    // insertions below must not shift the selection pressure mid-generation.
+    arena.reset();
+    const std::size_t mu = batch.size();
+    std::size_t* rank = arena.alloc_array<std::size_t>(mu);
+    double* crowding = arena.alloc_array<double>(mu);
+    scatter_rank_crowding(batch.objectives, levels, rank, crowding);
+
+    auto tournament = [&]() -> std::size_t {
+      const std::size_t a = rng.uniform_index(mu);
+      const std::size_t b = rng.uniform_index(mu);
+      if (rank[a] != rank[b]) return rank[a] < rank[b] ? a : b;
+      return crowding[a] >= crowding[b] ? a : b;
     };
 
-    // Offspring generation (lambda = mu).
-    std::vector<Individual> offspring;
-    offspring.reserve(config_.population);
-    while (offspring.size() < config_.population) {
-      const Individual& p1 = tournament();
-      const Individual& p2 = tournament();
-      IntGenome c1, c2;
+    // Offspring generation (lambda = mu); each evaluated child is appended
+    // to the batch and ENLU-inserted into the maintained fronts.
+    std::size_t produced = 0;
+    IntGenome c1, c2;
+    while (produced < config_.population) {
+      const std::size_t p1 = tournament();
+      const std::size_t p2 = tournament();
       if (rng.bernoulli(config_.crossover_prob)) {
-        uniform_crossover(p1.genome, p2.genome, c1, c2, rng);
+        const IntGenome g1 = batch.genomes.to_genome(p1);
+        const IntGenome g2 = batch.genomes.to_genome(p2);
+        uniform_crossover(g1, g2, c1, c2, rng);
       } else {
-        c1 = p1.genome;
-        c2 = p2.genome;
+        c1 = batch.genomes.to_genome(p1);
+        c2 = batch.genomes.to_genome(p2);
       }
       for (IntGenome* child : {&c1, &c2}) {
-        if (offspring.size() == config_.population) break;
+        if (produced == config_.population) break;
         reset_mutation(*child, cardinalities, mut_prob, rng);
         problem.repair(*child, rng);
-        Individual ind;
-        ind.genome = std::move(*child);
-        ind.objectives = evaluate(ind.genome);
-        offspring.push_back(std::move(ind));
+        const Objectives obj = evaluate(*child);
+        const std::size_t idx = batch.genomes.push_back(*child);
+        batch.objectives.push_back(obj);
+        levels.insert(batch.objectives, idx);
+        ++produced;
       }
     }
+#ifndef NDEBUG
+    assert(levels.matches_full_sort(batch.objectives) &&
+           "incremental non-dominated sort diverged from full sort");
+#endif
 
-    // Elitist environmental selection over parents + offspring.
-    std::vector<Individual> merged = std::move(pop);
-    merged.insert(merged.end(), std::make_move_iterator(offspring.begin()),
-                  std::make_move_iterator(offspring.end()));
-    pop = select_by_rank_crowding(std::move(merged), config_.population);
+    // Elitist environmental selection over parents + offspring; the kept
+    // rows are front-prefix closed, so the surviving levels are exactly the
+    // fronts of the survivor subset — no re-sort next generation.
+    const auto keep = elitist_keep(batch.objectives, levels, config_.population);
+    batch.select(keep);
+    levels.select(keep);
+#ifndef NDEBUG
+    assert(levels.matches_full_sort(batch.objectives) &&
+           "front truncation diverged from full sort");
+#endif
   }
-  record_stats(config_.generations, pop);
-  if (observer_) observer_(config_.generations, pop);
+  record_stats(config_.generations);
+  if (observer_) observer_(config_.generations, materialize(batch));
 
   // Final front: non-dominated subset of everything evaluated.
   for (std::size_t payload : archive.payloads())
     result.front.push_back(result.history[payload]);
-  result.final_population = std::move(pop);
+  result.final_population = materialize(batch);
   return result;
 }
 

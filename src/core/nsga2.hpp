@@ -46,6 +46,11 @@ struct Nsga2Config {
   /// Nsga2Result::generations; empty disables HV tracking (the default —
   /// HV is cubic-ish in front size and not free).
   Objectives hv_reference{};
+  /// Warm-start seeds: up to `population` genomes injected (after repair)
+  /// into the initial population before random fill. Empty (the default)
+  /// reproduces the fully random cold start, RNG-stream-identical to
+  /// earlier spec versions. Seeds longer than the population are truncated.
+  std::vector<IntGenome> initial_population{};
 };
 
 /// One evaluated individual.

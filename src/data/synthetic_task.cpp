@@ -97,23 +97,22 @@ nn::Matrix SyntheticTask::features(Split split, double depth_fraction,
   const std::size_t n = data.info.size();
   nn::Matrix x = data.noise;  // start from the fixed sample noise
 
-  // Depth-bucketed fresh noise: deterministic in (split, sample, bucket).
+  // Depth-bucketed fresh noise: deterministic in (split, sample, bucket),
+  // generated once per (split, bucket) and cached (see depth_noise_for).
   const std::size_t bucket = std::min<std::size_t>(
       static_cast<std::size_t>(depth_fraction *
                                static_cast<double>(config_.depth_noise_buckets)),
       config_.depth_noise_buckets - 1);
-  const std::uint64_t split_salt = static_cast<std::uint64_t>(split) + 1;
+
+  if (config_.depth_noise_level > 0.0) {
+    const nn::Matrix& depth = depth_noise_for(split, bucket);
+    float* xd = x.data().data();
+    const float* dd = depth.data().data();
+    for (std::size_t i = 0; i < x.size(); ++i) xd[i] += dd[i];
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     const SampleInfo& s = data.info[i];
-    if (config_.depth_noise_level > 0.0) {
-      hadas::util::Rng depth_rng(config_.seed ^ (split_salt << 56) ^
-                                 (static_cast<std::uint64_t>(i) << 20) ^ bucket);
-      float* row = x.row_ptr(i);
-      for (std::size_t d = 0; d < config_.feature_dim; ++d)
-        row[d] += static_cast<float>(
-            depth_rng.normal(0.0, config_.depth_noise_level));
-    }
     const double e = emergence_depth(s.difficulty);
     const double u = (depth_fraction - e + config_.emergence_width) /
                      (2.0 * config_.emergence_width);
@@ -142,6 +141,30 @@ nn::FeatureDataset SyntheticTask::dataset(Split split, double depth_fraction,
   out.features = features(split, depth_fraction, separability);
   out.labels = labels(split);
   return out;
+}
+
+const nn::Matrix& SyntheticTask::depth_noise_for(Split split,
+                                                 std::size_t bucket) const {
+  const std::uint64_t split_salt = static_cast<std::uint64_t>(split) + 1;
+  const std::uint64_t key = (split_salt << 32) | static_cast<std::uint64_t>(bucket);
+  std::lock_guard<std::mutex> lock(depth_noise_mutex_);
+  auto it = depth_noise_cache_.find(key);
+  if (it != depth_noise_cache_.end()) return it->second;
+
+  const auto& data = split_data(split);
+  const std::size_t n = data.info.size();
+  nn::Matrix noise(n, config_.feature_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    // One fresh Rng per (sample, bucket), exactly as features() historically
+    // drew it inline — the cached matrix is bit-identical to the regenerated
+    // values.
+    hadas::util::Rng depth_rng(config_.seed ^ (split_salt << 56) ^
+                               (static_cast<std::uint64_t>(i) << 20) ^ bucket);
+    float* row = noise.row_ptr(i);
+    for (std::size_t d = 0; d < config_.feature_dim; ++d)
+      row[d] = static_cast<float>(depth_rng.normal(0.0, config_.depth_noise_level));
+  }
+  return depth_noise_cache_.emplace(key, std::move(noise)).first->second;
 }
 
 const SyntheticTask::SplitData& SyntheticTask::split_data(Split split) const {

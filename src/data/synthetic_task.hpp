@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -115,9 +117,20 @@ class SyntheticTask {
   const SplitData& split_data(Split split) const;
   SplitData make_split(std::size_t n, hadas::util::Rng& rng) const;
 
+  /// The depth-bucketed noise added by features() is a pure function of
+  /// (seed, split, sample, bucket) — a fixed matrix per (split, bucket) that
+  /// used to be regenerated with a fresh Rng per sample on *every* call
+  /// (~184M Box–Muller draws per bench run). Cache it instead; values are
+  /// bit-identical to the regenerated ones. Mutex-guarded because tasks are
+  /// shared across IOE worker threads; unordered_map never invalidates
+  /// references to existing elements, so returning a reference is safe.
+  const nn::Matrix& depth_noise_for(Split split, std::size_t bucket) const;
+
   DataConfig config_;
   nn::Matrix prototypes_;
   SplitData train_, val_, test_;
+  mutable std::mutex depth_noise_mutex_;
+  mutable std::unordered_map<std::uint64_t, nn::Matrix> depth_noise_cache_;
 };
 
 /// Maps a backbone's surrogate top-1 accuracy (fraction in [0,1]) to the

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "dynn/exit_bank.hpp"
 #include "dynn/exit_placement.hpp"
 #include "dynn/multi_exit_cost.hpp"
@@ -51,10 +54,22 @@ class DynamicEvaluator {
   hw::HwMeasurement static_baseline() const { return baseline_; }
 
  private:
+  /// Packed words of one exit's per-sample val_correct mask (layer -> slot in
+  /// correct_words_). Packed once at construction so the oracle-mapping loop
+  /// runs word-at-a-time popcounts instead of a per-sample branch chain.
+  const std::uint64_t* words_for(std::size_t layer) const;
+
   const ExitBank& bank_;
   const MultiExitCostTable& cost_;
   DynamicScoreConfig config_;
   hw::HwMeasurement baseline_;  // full network, default DVFS
+
+  std::size_t n_samples_ = 0;
+  std::size_t n_words_ = 0;        // ceil(n_samples / 64)
+  std::size_t first_eligible_ = 0;
+  /// SoA bitset bank: eligible exits in layer order, then the final
+  /// classifier, each occupying n_words_ consecutive uint64 words.
+  std::vector<std::uint64_t> correct_words_;
 };
 
 }  // namespace hadas::dynn

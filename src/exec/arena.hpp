@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace hadas::exec {
+
+/// Monotonic bump allocator for per-generation / per-candidate scratch.
+/// allocate() bumps a pointer inside the current block (O(1), no locks, no
+/// per-allocation heap traffic); reset() rewinds every block for reuse
+/// without returning memory to the OS. Typical lifecycle: one arena per
+/// evaluator or engine loop, reset() at each generation (or candidate)
+/// boundary. NOT thread-safe — one arena per thread of work.
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t first_block_bytes = 1 << 14)
+      : next_block_bytes_(first_block_bytes ? first_block_bytes : 1) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    for (; active_ < blocks_.size(); ++active_) {
+      Block& b = blocks_[active_];
+      const std::size_t aligned = align_up(b.used, align);
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        total_allocated_ += bytes;
+        return b.data.get() + aligned;
+      }
+    }
+    // No block fits: grow geometrically so long runs settle into one block.
+    std::size_t want = next_block_bytes_;
+    while (want < bytes + align) want *= 2;
+    next_block_bytes_ = want * 2;
+    blocks_.push_back(Block{std::make_unique<char[]>(want), want, 0});
+    active_ = blocks_.size() - 1;
+    Block& b = blocks_.back();
+    const std::size_t aligned = align_up(reinterpret_cast<std::uintptr_t>(b.data.get()), align) -
+                                reinterpret_cast<std::uintptr_t>(b.data.get());
+    b.used = aligned + bytes;
+    total_allocated_ += bytes;
+    return b.data.get() + aligned;
+  }
+
+  /// Typed uninitialized array of a trivially-destructible T.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind every block; capacity is retained for the next cycle.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    active_ = 0;
+    total_allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (diagnostics/tests).
+  std::size_t bytes_allocated() const { return total_allocated_; }
+  /// Total capacity across blocks (diagnostics/tests).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t total_allocated_ = 0;
+};
+
+/// STL-compatible allocator over a MonotonicArena, for scratch containers
+/// whose lifetime ends at the next arena reset. deallocate() is a no-op.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  MonotonicArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+}  // namespace hadas::exec

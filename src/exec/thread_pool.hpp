@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -14,7 +15,16 @@
 
 namespace hadas::exec {
 
-/// Fixed-size worker pool with a shared FIFO task queue.
+/// Fixed-size worker pool with per-worker deques and work stealing.
+///
+/// Tasks posted from a worker thread go to that worker's own deque (popped
+/// LIFO for cache locality); tasks posted from outside land on a shared
+/// injection queue. An idle worker first drains its own deque, then the
+/// injection queue, then steals FIFO from a sibling — so the shared-mutex
+/// convoy of the old single-queue design only exists on the cold path.
+/// Execution order is therefore not globally FIFO; callers that need a
+/// deterministic result order must merge by index (as ParallelDispatcher
+/// does), never by completion order.
 ///
 /// - `submit` returns a std::future carrying the task's result or exception.
 /// - `parallel_for` blocks until every iteration ran; the calling thread
@@ -22,7 +32,7 @@ namespace hadas::exec {
 ///   itself fans out) cannot deadlock even with a single worker.
 /// - `wait` drains pending queue entries while waiting on a future, which
 ///   makes nested submit-and-wait safe on pool threads.
-/// - The destructor drains the queue, then stops and joins every worker
+/// - The destructor drains every queue, then stops and joins every worker
 ///   (clean shutdown: no submitted task is dropped).
 ///
 /// A pool constructed with 0 or 1 threads runs everything inline on the
@@ -83,13 +93,28 @@ class ThreadPool {
   }
 
  private:
-  void post(std::function<void()> task);
-  void worker_loop();
+  /// One work deque with its own lock. The owner pushes/pops at the back
+  /// (LIFO); thieves and drains take from the front (FIFO), so the oldest
+  /// task migrates first and a stolen subtree stays with the thief.
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
 
-  mutable std::mutex mutex_;
+  void post(std::function<void()> task);
+  void worker_loop(std::size_t index);
+  /// Own deque -> injection queue -> steal, in that order. On success the
+  /// global pending count has been decremented and `task` holds the work.
+  bool try_get_task(std::size_t index, std::function<void()>& task);
+  bool pop_front(WorkQueue& q, std::function<void()>& task);
+  bool pop_back(WorkQueue& q, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkQueue>> local_;  // one per worker
+  WorkQueue injection_;                            // external submissions
+  std::atomic<std::size_t> pending_{0};            // tasks in any queue
+  std::atomic<bool> stop_{false};
+  mutable std::mutex sleep_mutex_;  // guards cv_ sleep/wake handshake only
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
   std::vector<std::thread> workers_;
 };
 

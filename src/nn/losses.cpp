@@ -46,22 +46,97 @@ Matrix softmax(const Matrix& logits, double temperature) {
 LossResult nll_loss(const Matrix& logits, const std::vector<std::int32_t>& labels) {
   if (labels.size() != logits.rows())
     throw std::invalid_argument("nll_loss: label count mismatch");
-  const Matrix lsm = log_softmax(logits);
   LossResult res;
   res.dlogits = Matrix(logits.rows(), logits.cols());
   const double inv_n = 1.0 / static_cast<double>(logits.rows());
   double loss = 0.0;
+  // Fused softmax + NLL: one exp pass per row (the textbook formulation via
+  // log_softmax took two — one for the log-sum-exp, one to turn log-probs
+  // back into the softmax gradient).
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const auto label = static_cast<std::size_t>(labels[r]);
     if (label >= logits.cols()) throw std::invalid_argument("nll_loss: bad label");
-    loss -= lsm.at(r, label);
-    const float* l = lsm.row_ptr(r);
+    const float* in = logits.row_ptr(r);
     float* g = res.dlogits.row_ptr(r);
-    for (std::size_t c = 0; c < logits.cols(); ++c)
-      g[c] = static_cast<float>(std::exp(static_cast<double>(l[c])) * inv_n);
+    float mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double e = std::exp(static_cast<double>(in[c] - mx));
+      g[c] = static_cast<float>(e);
+      total += e;
+    }
+    loss -= static_cast<double>(in[label] - mx) - std::log(total);
+    const auto scale = static_cast<float>(inv_n / total);
+    for (std::size_t c = 0; c < logits.cols(); ++c) g[c] *= scale;
     g[label] -= static_cast<float>(inv_n);
   }
   res.loss = loss * inv_n;
+  return res;
+}
+
+SoftTargets soften_teacher(const Matrix& teacher_logits, double temperature) {
+  if (temperature <= 0.0)
+    throw std::invalid_argument("soften_teacher: temperature <= 0");
+  SoftTargets soft;
+  soft.temperature = temperature;
+  soft.probs = softmax(teacher_logits, temperature);
+  soft.row_plogp.resize(teacher_logits.rows());
+  for (std::size_t r = 0; r < teacher_logits.rows(); ++r) {
+    const float* p = soft.probs.row_ptr(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < teacher_logits.cols(); ++c)
+      if (p[c] > 0.0f)
+        acc += static_cast<double>(p[c]) * std::log(static_cast<double>(p[c]));
+    soft.row_plogp[r] = acc;
+  }
+  return soft;
+}
+
+LossResult kd_loss_soft(const Matrix& student_logits, const SoftTargets& soft,
+                        const std::vector<std::size_t>& rows, std::size_t begin) {
+  if (student_logits.cols() != soft.probs.cols())
+    throw std::invalid_argument("kd_loss_soft: shape mismatch");
+  if (begin + student_logits.rows() > rows.size())
+    throw std::invalid_argument("kd_loss_soft: row index range out of bounds");
+  const double temperature = soft.temperature;
+  if (temperature <= 0.0) throw std::invalid_argument("kd_loss_soft: temperature <= 0");
+
+  LossResult res;
+  res.dlogits = Matrix(student_logits.rows(), student_logits.cols());
+  const std::size_t ncols = student_logits.cols();
+  const double inv_n = 1.0 / static_cast<double>(student_logits.rows());
+  const double inv_t = 1.0 / temperature;
+  const double t2 = temperature * temperature;
+  double loss = 0.0;
+  std::vector<double> e(ncols);  // scratch: exp of the softened student row
+  for (std::size_t r = 0; r < student_logits.rows(); ++r) {
+    const float* in = student_logits.row_ptr(r);
+    const float* p = soft.probs.row_ptr(rows[begin + r]);
+    float* g = res.dlogits.row_ptr(r);
+    double mx = static_cast<double>(in[0]) * inv_t;
+    for (std::size_t c = 1; c < ncols; ++c)
+      mx = std::max(mx, static_cast<double>(in[c]) * inv_t);
+    double total = 0.0;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      e[c] = std::exp(static_cast<double>(in[c]) * inv_t - mx);
+      total += e[c];
+    }
+    const double shift = mx + std::log(total);
+    const double inv_total = 1.0 / total;
+    // KL(p || q) per row = Σ p·log p − Σ p·log q, with
+    // log q_c = in_c/T − (mx + log Σ exp). One exp pass serves both the loss
+    // and the (q − p)·T gradient.
+    double p_dot_s = 0.0, p_sum = 0.0;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      p_dot_s += static_cast<double>(p[c]) * (static_cast<double>(in[c]) * inv_t);
+      p_sum += static_cast<double>(p[c]);
+      g[c] = static_cast<float>((e[c] * inv_total - static_cast<double>(p[c])) *
+                                temperature * inv_n);
+    }
+    loss += soft.row_plogp[rows[begin + r]] - (p_dot_s - shift * p_sum);
+  }
+  res.loss = loss * t2 * inv_n;
   return res;
 }
 
@@ -70,36 +145,10 @@ LossResult kd_loss(const Matrix& student_logits, const Matrix& teacher_logits,
   if (student_logits.rows() != teacher_logits.rows() ||
       student_logits.cols() != teacher_logits.cols())
     throw std::invalid_argument("kd_loss: shape mismatch");
-  if (temperature <= 0.0) throw std::invalid_argument("kd_loss: temperature <= 0");
-
-  const Matrix p_teacher = softmax(teacher_logits, temperature);
-  // log-softmax of student at temperature T.
-  Matrix scaled = student_logits;
-  scaled.scale(static_cast<float>(1.0 / temperature));
-  const Matrix log_q = log_softmax(scaled);
-  const Matrix q = softmax(student_logits, temperature);
-
-  LossResult res;
-  res.dlogits = Matrix(student_logits.rows(), student_logits.cols());
-  const double inv_n = 1.0 / static_cast<double>(student_logits.rows());
-  const double t2 = temperature * temperature;
-  double loss = 0.0;
-  for (std::size_t r = 0; r < student_logits.rows(); ++r) {
-    const float* p = p_teacher.row_ptr(r);
-    const float* lq = log_q.row_ptr(r);
-    const float* qr = q.row_ptr(r);
-    float* g = res.dlogits.row_ptr(r);
-    for (std::size_t c = 0; c < student_logits.cols(); ++c) {
-      if (p[c] > 0.0f)
-        loss += static_cast<double>(p[c]) *
-                (std::log(static_cast<double>(p[c])) - static_cast<double>(lq[c]));
-      // d/d(student_logit) of KL * T^2 = (q - p) * T  (the 1/T of the softened
-      // softmax cancels one factor of T^2).
-      g[c] = static_cast<float>((qr[c] - p[c]) * temperature * inv_n);
-    }
-  }
-  res.loss = loss * t2 * inv_n;
-  return res;
+  const SoftTargets soft = soften_teacher(teacher_logits, temperature);
+  std::vector<std::size_t> rows(student_logits.rows());
+  for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  return kd_loss_soft(student_logits, soft, rows, 0);
 }
 
 double accuracy(const Matrix& logits, const std::vector<std::int32_t>& labels) {
@@ -126,27 +175,41 @@ std::vector<bool> correct_mask(const Matrix& logits,
 }
 
 std::vector<double> row_normalized_entropy(const Matrix& logits) {
-  const Matrix p = softmax(logits);
   std::vector<double> out(logits.rows());
   const double log_n = std::log(static_cast<double>(std::max<std::size_t>(logits.cols(), 2)));
+  // H = −Σ p·log p with p = e_c / Σe and log p_c = (x_c − mx) − log Σe, so
+  // H = log Σe − (Σ e_c·(x_c − mx)) / Σe: one exp pass, no per-element log,
+  // no materialized probability matrix.
   for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const float* row = p.row_ptr(r);
-    double h = 0.0;
-    for (std::size_t c = 0; c < logits.cols(); ++c)
-      if (row[c] > 0.0f) h -= static_cast<double>(row[c]) * std::log(static_cast<double>(row[c]));
-    out[r] = h / log_n;
+    const float* in = logits.row_ptr(r);
+    double mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c)
+      mx = std::max(mx, static_cast<double>(in[c]));
+    double total = 0.0, weighted = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double s = static_cast<double>(in[c]) - mx;
+      const double e = std::exp(s);
+      total += e;
+      weighted += e * s;
+    }
+    out[r] = (std::log(total) - weighted / total) / log_n;
   }
   return out;
 }
 
 std::vector<double> row_max_prob(const Matrix& logits) {
-  const Matrix p = softmax(logits);
   std::vector<double> out(logits.rows());
+  // The max softmax probability is exp(0)/Σ exp(x_c − mx) = 1/Σe — no
+  // probability matrix needed.
   for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const float* row = p.row_ptr(r);
-    float mx = row[0];
-    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, row[c]);
-    out[r] = static_cast<double>(mx);
+    const float* in = logits.row_ptr(r);
+    double mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c)
+      mx = std::max(mx, static_cast<double>(in[c]));
+    double total = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      total += std::exp(static_cast<double>(in[c]) - mx);
+    out[r] = 1.0 / total;
   }
   return out;
 }

@@ -31,6 +31,25 @@ LossResult nll_loss(const Matrix& logits, const std::vector<std::int32_t>& label
 LossResult kd_loss(const Matrix& student_logits, const Matrix& teacher_logits,
                    double temperature);
 
+/// Precomputed softened teacher targets for the KD loss: softmax(teacher/T)
+/// plus the per-row sum of p·log p (the teacher-entropy half of the KL term).
+/// The teacher is frozen, so these are computed ONCE per fit instead of once
+/// per batch per epoch — softmax is row-wise, so batch-gathered rows are
+/// identical to per-batch recomputation.
+struct SoftTargets {
+  Matrix probs;                   // softmax(teacher / T), full training set
+  std::vector<double> row_plogp;  // per-row Σ p·log p
+  double temperature = 0.0;
+};
+
+SoftTargets soften_teacher(const Matrix& teacher_logits, double temperature);
+
+/// KD loss against precomputed soft targets. Student row r is matched with
+/// teacher row `rows[begin + r]`, so shuffled minibatches need no gather of
+/// the teacher matrix at all. Single exp pass over the student logits.
+LossResult kd_loss_soft(const Matrix& student_logits, const SoftTargets& soft,
+                        const std::vector<std::size_t>& rows, std::size_t begin);
+
 /// Fraction of rows whose argmax matches the label.
 double accuracy(const Matrix& logits, const std::vector<std::int32_t>& labels);
 

@@ -3,6 +3,14 @@
 #include <cstddef>
 #include <vector>
 
+/// No-alias qualifier for hot kernels; expands to nothing on compilers
+/// without a __restrict__ extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define HADAS_RESTRICT __restrict__
+#else
+#define HADAS_RESTRICT
+#endif
+
 namespace hadas::nn {
 
 /// Dense row-major matrix of floats. This is the only tensor type the exit

@@ -29,6 +29,11 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
     throw std::invalid_argument("Trainer: label count mismatch");
   const bool use_kd =
       config_.kd_weight > 0.0 && train.teacher_logits.rows() == train.size();
+  // The teacher is frozen: soften its logits once per fit instead of
+  // re-running softmax on every gathered minibatch of every epoch.
+  const SoftTargets soft =
+      use_kd ? soften_teacher(train.teacher_logits, config_.kd_temperature)
+             : SoftTargets{};
 
   hadas::util::Rng rng(config_.shuffle_seed);
   std::vector<std::size_t> order(train.size());
@@ -72,8 +77,7 @@ TrainResult Trainer::fit(MlpClassifier& head, const FeatureDataset& train,
       double combined = nll.loss;
 
       if (use_kd) {
-        const Matrix teacher = gather_rows(train.teacher_logits, order, begin, end);
-        const LossResult kd = kd_loss(logits, teacher, config_.kd_temperature);
+        const LossResult kd = kd_loss_soft(logits, soft, order, begin);
         stats.kd_loss += kd.loss;
         combined += config_.kd_weight * kd.loss;
         nll.dlogits.axpy(static_cast<float>(config_.kd_weight), kd.dlogits);

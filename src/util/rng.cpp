@@ -45,7 +45,11 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-  // Rejection sampling to remove modulo bias.
+  // Rejection sampling to remove modulo bias: accept only draws below the
+  // largest multiple of span <= 2^64 - 1, so every residue class has exactly
+  // floor((2^64 - 1) / span) accepted values. (For power-of-two spans this
+  // rejects one extra span's worth of values — still exact, one avoidable
+  // redraw every 2^64/span calls on average.)
   const std::uint64_t limit = max() - max() % span;
   std::uint64_t v = next_u64();
   while (v >= limit) v = next_u64();

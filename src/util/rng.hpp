@@ -62,9 +62,16 @@ class Rng {
   std::uint64_t next_u64();
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Exactly uniform: draws are rejection-sampled against the largest
+  /// multiple of the span that fits in 64 bits, so no residue is more likely
+  /// than another (a bare `next_u64() % span` would bias low residues by up
+  /// to span/2^64). The expected number of 64-bit draws per call is < 2 for
+  /// every span.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
-  /// Uniform index in [0, n). Requires n > 0.
+  /// Uniform index in [0, n). Requires n > 0. Delegates to uniform_int and
+  /// inherits its exact-uniformity guarantee (see the chi-square smoke test
+  /// in test_util_rng.cpp).
   std::size_t uniform_index(std::size_t n);
 
   /// Uniform real in [0, 1).

@@ -1,0 +1,411 @@
+// Property tests for the fast inner-loop machinery: the incrementally
+// maintained non-domination levels (FrontLevels) against the from-scratch
+// Deb sort, the SoA evaluation batches, the per-generation arena, the
+// warm-start seed pool, and the single-draw reset mutation.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval_batch.hpp"
+#include "core/hadas_engine.hpp"
+#include "core/nsga2.hpp"
+#include "core/pareto.hpp"
+#include "exec/arena.hpp"
+#include "hw/device.hpp"
+#include "util/rng.hpp"
+
+namespace hadas {
+namespace {
+
+using core::FrontLevels;
+using core::IntGenome;
+using core::Objectives;
+using core::ObjectiveBatch;
+
+/// Random population with deliberate duplicates: values come from a small
+/// integer grid, so equal points, dominated chains, and incomparable pairs
+/// all occur frequently.
+std::vector<Objectives> random_population(util::Rng& rng, std::size_t n,
+                                          std::size_t dims,
+                                          std::int64_t grid) {
+  std::vector<Objectives> points(n);
+  for (auto& p : points) {
+    p.resize(dims);
+    for (double& v : p)
+      v = static_cast<double>(rng.uniform_int(0, grid));
+  }
+  return points;
+}
+
+ObjectiveBatch to_batch(const std::vector<Objectives>& points,
+                        std::size_t dims) {
+  ObjectiveBatch batch(dims);
+  for (const auto& p : points) batch.push_back(p);
+  return batch;
+}
+
+/// The 1000-population property: building the levels by inserting each point
+/// one at a time must equal the from-scratch Deb sort, for random
+/// populations with duplicates and for degenerate shapes.
+TEST(IncrementalSort, MatchesFullSortOnRandomPopulations) {
+  util::Rng rng(1234);
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(30);
+    const std::size_t dims = 2 + rng.uniform_index(2);  // 2-D or 3-D
+    const std::int64_t grid = 1 + static_cast<std::int64_t>(rng.uniform_index(6));
+    const auto points = random_population(rng, n, dims, grid);
+
+    ObjectiveBatch batch(dims);
+    FrontLevels levels;
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(points[i]);
+      levels.insert(batch, i);
+    }
+    ASSERT_TRUE(levels.matches_full_sort(batch))
+        << "round " << round << ": incremental != full sort";
+
+    // The AoS and SoA full sorts agree too (same canonical front order).
+    EXPECT_EQ(core::non_dominated_sort(points),
+              core::non_dominated_sort(batch));
+  }
+}
+
+TEST(IncrementalSort, SingleFrontAntichain) {
+  // (i, -i) points are mutually incomparable: one front holding everything.
+  ObjectiveBatch batch(2);
+  FrontLevels levels;
+  for (std::size_t i = 0; i < 64; ++i) {
+    batch.push_back({static_cast<double>(i), -static_cast<double>(i)});
+    levels.insert(batch, i);
+  }
+  ASSERT_EQ(levels.fronts().size(), 1u);
+  EXPECT_EQ(levels.fronts()[0].size(), 64u);
+  EXPECT_TRUE(levels.matches_full_sort(batch));
+}
+
+TEST(IncrementalSort, TotallyOrderedChainAscendingAndDescending) {
+  // A dominance chain inserted worst-first forces the maximal number of
+  // displacement cascades; best-first inserts each point into a new front 0.
+  for (const bool ascending : {true, false}) {
+    ObjectiveBatch batch(2);
+    FrontLevels levels;
+    for (std::size_t i = 0; i < 40; ++i) {
+      const double v = static_cast<double>(ascending ? i : 40 - i);
+      batch.push_back({v, v});
+      levels.insert(batch, i);
+    }
+    ASSERT_EQ(levels.fronts().size(), 40u);
+    for (const auto& front : levels.fronts()) EXPECT_EQ(front.size(), 1u);
+    EXPECT_TRUE(levels.matches_full_sort(batch));
+  }
+}
+
+TEST(IncrementalSort, AllDuplicatePointsShareOneFront) {
+  // Equal points do not dominate each other (no strict improvement).
+  ObjectiveBatch batch(3);
+  FrontLevels levels;
+  for (std::size_t i = 0; i < 32; ++i) {
+    batch.push_back({1.0, 2.0, 3.0});
+    levels.insert(batch, i);
+  }
+  ASSERT_EQ(levels.fronts().size(), 1u);
+  EXPECT_EQ(levels.fronts()[0].size(), 32u);
+  EXPECT_TRUE(levels.matches_full_sort(batch));
+}
+
+TEST(IncrementalSort, RebuildEqualsIncrementalConstruction) {
+  util::Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const auto points = random_population(rng, 25, 2, 4);
+    const ObjectiveBatch batch = to_batch(points, 2);
+
+    FrontLevels rebuilt;
+    rebuilt.rebuild(batch);
+
+    ObjectiveBatch grown(2);
+    FrontLevels incremental;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      grown.push_back(points[i]);
+      incremental.insert(grown, i);
+    }
+    EXPECT_EQ(rebuilt.fronts(), incremental.fronts());
+  }
+}
+
+TEST(IncrementalSort, RankOfAgreesWithFrontMembership) {
+  util::Rng rng(99);
+  const auto points = random_population(rng, 50, 3, 5);
+  const ObjectiveBatch batch = to_batch(points, 3);
+  FrontLevels levels;
+  levels.rebuild(batch);
+  for (std::size_t f = 0; f < levels.fronts().size(); ++f)
+    for (std::size_t idx : levels.fronts()[f]) EXPECT_EQ(levels.rank_of(idx), f);
+}
+
+/// Front-prefix-closed truncation (whole fronts plus any subset of the cut
+/// front — what NSGA-II elitist selection produces) must leave the surviving
+/// levels equal to a full re-sort of the survivors.
+TEST(IncrementalSort, SelectMatchesFullSortOfSurvivors) {
+  util::Rng rng(4321);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 8 + rng.uniform_index(30);
+    const auto points = random_population(rng, n, 2, 5);
+    ObjectiveBatch batch = to_batch(points, 2);
+    FrontLevels levels;
+    levels.rebuild(batch);
+
+    const std::size_t target = 1 + rng.uniform_index(n - 1);
+    std::vector<std::size_t> keep;
+    for (const auto& front : levels.fronts()) {
+      if (keep.size() + front.size() <= target) {
+        keep.insert(keep.end(), front.begin(), front.end());
+      } else {
+        // Random subset of the cut front, ascending (canonical order).
+        auto cut = rng.sample_without_replacement(front.size(),
+                                                 target - keep.size());
+        std::sort(cut.begin(), cut.end());
+        for (std::size_t pos : cut) keep.push_back(front[pos]);
+      }
+      if (keep.size() == target) break;
+    }
+
+    batch.select(keep);
+    levels.select(keep);
+    ASSERT_EQ(batch.size(), target);
+    ASSERT_EQ(levels.size(), target);
+    EXPECT_TRUE(levels.matches_full_sort(batch))
+        << "round " << round << ": survivors diverged from full sort";
+  }
+}
+
+TEST(EvalBatch, PushBackRoundTripsAndAdoptsDims) {
+  ObjectiveBatch batch;
+  EXPECT_EQ(batch.push_back({1.0, 2.0}), 0u);
+  EXPECT_EQ(batch.push_back({3.0, 4.0}), 1u);
+  EXPECT_EQ(batch.dims(), 2u);
+  EXPECT_EQ(batch.to_objectives(0), (Objectives{1.0, 2.0}));
+  EXPECT_EQ(batch.to_objectives(1), (Objectives{3.0, 4.0}));
+}
+
+TEST(EvalBatch, SelectCompactsInListOrder) {
+  ObjectiveBatch batch(1);
+  for (int i = 0; i < 6; ++i) batch.push_back({static_cast<double>(i)});
+  batch.select({4, 1, 5});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.row(0)[0], 4.0);
+  EXPECT_EQ(batch.row(1)[0], 1.0);
+  EXPECT_EQ(batch.row(2)[0], 5.0);
+}
+
+TEST(EvalBatch, GenomeBatchSelectKeepsRows) {
+  core::GenomeBatch genomes(3);
+  for (std::int32_t i = 0; i < 5; ++i) genomes.push_back({i, i + 1, i + 2});
+  genomes.select({3, 0});
+  ASSERT_EQ(genomes.size(), 2u);
+  EXPECT_EQ(genomes.to_genome(0), (IntGenome{3, 4, 5}));
+  EXPECT_EQ(genomes.to_genome(1), (IntGenome{0, 1, 2}));
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  exec::MonotonicArena arena(64);  // tiny first block forces growth
+  std::vector<std::pair<char*, std::size_t>> allocs;
+  for (std::size_t i = 1; i <= 40; ++i) {
+    auto* d = arena.alloc_array<double>(i);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    std::memset(d, 0xAB, i * sizeof(double));
+    allocs.push_back({reinterpret_cast<char*>(d), i * sizeof(double)});
+  }
+  std::sort(allocs.begin(), allocs.end());
+  for (std::size_t i = 1; i < allocs.size(); ++i)
+    EXPECT_GE(allocs[i].first, allocs[i - 1].first + allocs[i - 1].second);
+  EXPECT_GT(arena.block_count(), 1u);  // growth happened
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, ResetRetainsCapacityAndReusesMemory) {
+  exec::MonotonicArena arena(128);
+  void* first = arena.allocate(64, 8);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  void* again = arena.allocate(64, 8);
+  EXPECT_EQ(first, again);  // same block, rewound
+  // A steady-state loop must not keep growing the footprint.
+  arena.reset();
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int round = 0; round < 100; ++round) {
+    arena.reset();
+    (void)arena.alloc_array<std::size_t>(8);
+    (void)arena.alloc_array<double>(8);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, StlAllocatorBuildsContainers) {
+  exec::MonotonicArena arena;
+  std::vector<int, exec::ArenaAllocator<int>> v{exec::ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GT(arena.bytes_allocated(), 1000 * sizeof(int) - 1);
+}
+
+/// reset_mutation with per-gene probability 1: the new value must never
+/// equal the old one, must stay in range, and must be uniform over the
+/// card-1 alternatives (the draw-and-shift construction is exact, not
+/// approximate — but we smoke-test the distribution anyway).
+TEST(ResetMutation, ExcludesCurrentValueAndIsUniform) {
+  util::Rng rng(555);
+  const std::vector<std::size_t> card = {5};
+  std::vector<std::size_t> counts(5, 0);
+  const std::size_t draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    IntGenome g = {2};
+    core::reset_mutation(g, card, 1.0, rng);
+    ASSERT_GE(g[0], 0);
+    ASSERT_LT(g[0], 5);
+    ASSERT_NE(g[0], 2) << "mutation returned the unchanged value";
+    ++counts[static_cast<std::size_t>(g[0])];
+  }
+  EXPECT_EQ(counts[2], 0u);
+  const double expected = static_cast<double>(draws) / 4.0;
+  for (std::size_t v : {0u, 1u, 3u, 4u})
+    EXPECT_NEAR(static_cast<double>(counts[v]), expected, expected * 0.05);
+}
+
+TEST(ResetMutation, CardinalityOneGeneIsNeverTouched) {
+  util::Rng rng(7);
+  IntGenome g = {0, 3};
+  core::reset_mutation(g, {1, 7}, 1.0, rng);
+  EXPECT_EQ(g[0], 0);  // no alternative value exists
+  EXPECT_NE(g[1], 3);
+}
+
+/// Warm-start seed pool: round-robin across backbones by inner-front depth,
+/// deduplicated, clamped to the target genome shape.
+class SeedPoolTest : public ::testing::Test {
+ protected:
+  static core::BackboneOutcome outcome(std::size_t total_layers,
+                                       const std::vector<std::vector<std::size_t>>& fronts,
+                                       bool ioe_ran = true) {
+    core::BackboneOutcome out;
+    out.ioe_ran = ioe_ran;
+    for (const auto& exits : fronts) {
+      core::InnerSolution sol{dynn::ExitPlacement(total_layers, exits),
+                              hw::DvfsSetting{1, 1},
+                              {},
+                              {0.0, 0.0, 0.0}};
+      out.inner_pareto.push_back(std::move(sol));
+    }
+    return out;
+  }
+
+  const hw::DeviceSpec device = hw::make_device(hw::Target::kTx2PascalGpu);
+};
+
+TEST_F(SeedPoolTest, RoundRobinAcrossBackbonesThenDepth) {
+  // Two backbones of 12 layers (7 eligible positions, layers 4..10).
+  std::vector<core::BackboneOutcome> outcomes = {
+      outcome(12, {{4}, {5}}), outcome(12, {{6}, {7}})};
+  const auto seeds = core::ioe_seed_pool(outcomes, 7, device, 8);
+  ASSERT_EQ(seeds.size(), 4u);
+  // Depth 0 of each backbone first, then depth 1 of each.
+  EXPECT_EQ(seeds[0], (IntGenome{1, 0, 0, 0, 0, 0, 0, 1, 1}));  // exit at 4
+  EXPECT_EQ(seeds[1], (IntGenome{0, 0, 1, 0, 0, 0, 0, 1, 1}));  // exit at 6
+  EXPECT_EQ(seeds[2], (IntGenome{0, 1, 0, 0, 0, 0, 0, 1, 1}));  // exit at 5
+  EXPECT_EQ(seeds[3], (IntGenome{0, 0, 0, 1, 0, 0, 0, 1, 1}));  // exit at 7
+}
+
+TEST_F(SeedPoolTest, SkipsBackbonesWithoutIoeAndDeduplicates) {
+  std::vector<core::BackboneOutcome> outcomes = {
+      outcome(12, {{4}}), outcome(12, {{9}}, /*ioe_ran=*/false),
+      outcome(12, {{4}})};  // duplicate of the first after re-encoding
+  const auto seeds = core::ioe_seed_pool(outcomes, 7, device, 8);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0][0], 1);
+}
+
+TEST_F(SeedPoolTest, TranslatesAcrossBackboneDepthsAndCaps) {
+  // Source backbone has 16 layers (11 eligible); target has only 4 eligible
+  // slots, so exits past the target's range are dropped by truncation.
+  std::vector<core::BackboneOutcome> outcomes = {
+      outcome(16, {{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}})};
+  const auto seeds = core::ioe_seed_pool(outcomes, 4, device, 8);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].size(), 6u);  // 4 placement bits + 2 DVFS genes
+  EXPECT_EQ(seeds[0], (IntGenome{1, 1, 1, 1, 1, 1}));
+  // Empty pools for degenerate inputs.
+  EXPECT_TRUE(core::ioe_seed_pool(outcomes, 0, device, 8).empty());
+  EXPECT_TRUE(core::ioe_seed_pool(outcomes, 4, device, 0).empty());
+  // max_seeds caps the pool.
+  std::vector<core::BackboneOutcome> many = {
+      outcome(12, {{4}, {5}, {6}, {7}, {8}})};
+  EXPECT_EQ(core::ioe_seed_pool(many, 7, device, 3).size(), 3u);
+}
+
+TEST_F(SeedPoolTest, ClampsDvfsIndicesToDeviceTables) {
+  core::BackboneOutcome out;
+  out.ioe_ran = true;
+  out.inner_pareto.push_back(core::InnerSolution{
+      dynn::ExitPlacement(12, {4}), hw::DvfsSetting{999, 999}, {}, {0.0}});
+  const auto seeds = core::ioe_seed_pool({out}, 7, device, 4);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(seeds[0][7]),
+            device.core_freqs_hz.size() - 1);
+  EXPECT_EQ(static_cast<std::size_t>(seeds[0][8]),
+            device.emc_freqs_hz.size() - 1);
+}
+
+/// A toy 2-objective problem for exercising the NSGA-II warm-start path.
+class ToyProblem final : public core::Problem {
+ public:
+  std::vector<std::size_t> gene_cardinalities() const override {
+    return {8, 8, 8};
+  }
+  Objectives evaluate(const IntGenome& g) override {
+    const double a = static_cast<double>(g[0] + g[1]);
+    const double b = static_cast<double>(g[2]) - static_cast<double>(g[0]);
+    return {a, b};
+  }
+};
+
+TEST(Nsga2WarmStart, SeededRunIsDeterministicAndSeedsEnterPopulation) {
+  core::Nsga2Config config;
+  config.population = 8;
+  config.generations = 0;  // inspect the initial population directly
+  config.seed = 42;
+  config.initial_population = {{7, 7, 7}, {0, 0, 7}};
+
+  ToyProblem p1, p2;
+  const auto r1 = core::Nsga2(config).run(p1);
+  const auto r2 = core::Nsga2(config).run(p2);
+  ASSERT_EQ(r1.final_population.size(), 8u);
+  EXPECT_EQ(r1.final_population.size(), r2.final_population.size());
+  for (std::size_t i = 0; i < r1.final_population.size(); ++i)
+    EXPECT_EQ(r1.final_population[i].genome, r2.final_population[i].genome);
+
+  bool saw_seed0 = false, saw_seed1 = false;
+  for (const auto& ind : r1.final_population) {
+    saw_seed0 |= ind.genome == IntGenome{7, 7, 7};
+    saw_seed1 |= ind.genome == IntGenome{0, 0, 7};
+  }
+  EXPECT_TRUE(saw_seed0);
+  EXPECT_TRUE(saw_seed1);
+}
+
+TEST(Nsga2WarmStart, RejectsWrongLengthSeeds) {
+  core::Nsga2Config config;
+  config.population = 4;
+  config.generations = 1;
+  config.initial_population = {{1, 2}};  // problem has 3 genes
+  ToyProblem problem;
+  core::Nsga2 nsga(config);
+  EXPECT_THROW(nsga.run(problem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hadas

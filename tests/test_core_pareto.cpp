@@ -63,8 +63,8 @@ TEST(NonDominatedSort, PartitionsAllPoints) {
 }
 
 TEST(NonDominatedSort, EmptyAndSingleton) {
-  EXPECT_TRUE(non_dominated_sort({}).empty());
-  const auto fronts = non_dominated_sort({{1.0, 2.0}});
+  EXPECT_TRUE(non_dominated_sort(std::vector<Objectives>{}).empty());
+  const auto fronts = non_dominated_sort(std::vector<Objectives>{{1.0, 2.0}});
   ASSERT_EQ(fronts.size(), 1u);
   EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
 }

@@ -81,6 +81,23 @@ TEST(ExecDeterminism, ParallelRunMatchesSerialForTwoSeeds) {
   }
 }
 
+TEST(ExecDeterminism, WorkStealingPoolIdenticalAtOneTwoFourThreads) {
+  // The per-worker-deque pool steals tasks in whatever order siblings run
+  // dry, so execution order is scheduling-dependent; results must not be.
+  // Dispatcher merges by index, so 1/2/4 threads must agree bitwise.
+  core::HadasEngine one(space(), hw::Target::kTx2PascalGpu,
+                        exec_test_config(31, 1));
+  core::HadasEngine two(space(), hw::Target::kTx2PascalGpu,
+                        exec_test_config(31, 2));
+  core::HadasEngine four(space(), hw::Target::kTx2PascalGpu,
+                         exec_test_config(31, 4));
+  const core::HadasResult a = one.run();
+  const core::HadasResult b = two.run();
+  const core::HadasResult c = four.run();
+  expect_identical(a, b);
+  expect_identical(a, c);
+}
+
 TEST(ExecDeterminism, RepeatedParallelRunsAreIdentical) {
   core::HadasEngine one(space(), hw::Target::kTx2PascalGpu, exec_test_config(5, 4));
   core::HadasEngine two(space(), hw::Target::kTx2PascalGpu, exec_test_config(5, 4));

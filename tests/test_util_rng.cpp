@@ -204,4 +204,42 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
                          ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
                                            0xFFFFFFFFFFFFFFFFULL));
 
+// uniform_index is rejection-sampled, so every residue must be exactly
+// equally likely — in particular for buckets that do NOT divide 2^64, where
+// a bare modulo would skew low indices. Pearson chi-square smoke test: with
+// k buckets and n draws the statistic is ~ chi2(k-1); thresholds below are
+// the 99.9th percentiles, so a correct generator fails with p < 0.001 per
+// (seed, k) pair.
+TEST(Rng, UniformIndexChiSquareSmoke) {
+  struct Case {
+    std::size_t buckets;
+    double chi2_999;  // 99.9th percentile of chi2(buckets - 1)
+  };
+  // 3, 7, 10, 100 exercise odd, prime, and composite non-power-of-two
+  // bucket counts; 64 covers the power-of-two fast path.
+  const Case cases[] = {
+      {3, 13.82}, {7, 22.46}, {10, 27.88}, {64, 103.44}, {100, 148.23}};
+  for (std::uint64_t seed : {11ULL, 202ULL, 3033ULL}) {
+    for (const Case& c : cases) {
+      Rng rng(seed ^ (c.buckets * 0x9e3779b9ULL));
+      const std::size_t draws = 20000;
+      std::vector<std::size_t> counts(c.buckets, 0);
+      for (std::size_t i = 0; i < draws; ++i) {
+        const std::size_t v = rng.uniform_index(c.buckets);
+        ASSERT_LT(v, c.buckets);
+        ++counts[v];
+      }
+      const double expected =
+          static_cast<double>(draws) / static_cast<double>(c.buckets);
+      double chi2 = 0.0;
+      for (std::size_t count : counts) {
+        const double d = static_cast<double>(count) - expected;
+        chi2 += d * d / expected;
+      }
+      EXPECT_LT(chi2, c.chi2_999)
+          << "seed=" << seed << " buckets=" << c.buckets;
+    }
+  }
+}
+
 }  // namespace

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI perf gate for bench_parallel_scaling.
+
+Usage: check_perf_baseline.py <bench_out/parallel_scaling.json> <baseline.json>
+
+Fails (exit 1) when:
+  * the bench result is missing, unparsable, or not fingerprint-identical
+    across thread counts (the bench itself also exits non-zero on that), or
+  * the fastest single-thread run is more than `regression_tolerance`
+    (default 15%) slower than the committed baseline seconds.
+
+The durable-format header line ("%HADAS-DURABLE ...") is stripped before
+JSON parsing. Prints a one-line verdict either way so the CI log shows the
+measured number next to the bound.
+"""
+
+import json
+import sys
+
+
+def load_json(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    lines = [ln for ln in text.splitlines() if not ln.startswith("%")]
+    return json.loads("\n".join(lines))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    result = load_json(argv[1])
+    baseline = load_json(argv[2])
+
+    if not result.get("all_identical", False):
+        print("perf-smoke: FAIL — fronts not bit-identical across thread counts")
+        return 1
+
+    single = [r["seconds"] for r in result.get("runs", [])
+              if r.get("threads") == 1]
+    if not single:
+        print("perf-smoke: FAIL — no single-thread run in bench output")
+        return 1
+    measured = min(single)
+
+    ref = float(baseline["single_thread_seconds"])
+    tol = float(baseline.get("regression_tolerance", 0.15))
+    bound = ref * (1.0 + tol)
+    if measured > bound:
+        print(f"perf-smoke: FAIL — single-thread {measured:.2f}s exceeds "
+              f"{bound:.2f}s (baseline {ref:.2f}s + {tol:.0%})")
+        return 1
+    print(f"perf-smoke: OK — single-thread {measured:.2f}s within "
+          f"{bound:.2f}s (baseline {ref:.2f}s + {tol:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
