@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bilevel.dir/bench_ablation_bilevel.cpp.o"
+  "CMakeFiles/bench_ablation_bilevel.dir/bench_ablation_bilevel.cpp.o.d"
+  "bench_ablation_bilevel"
+  "bench_ablation_bilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kd.dir/bench_ablation_kd.cpp.o"
+  "CMakeFiles/bench_ablation_kd.dir/bench_ablation_kd.cpp.o.d"
+  "bench_ablation_kd"
+  "bench_ablation_kd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_supernet.dir/bench_ablation_supernet.cpp.o"
+  "CMakeFiles/bench_ablation_supernet.dir/bench_ablation_supernet.cpp.o.d"
+  "bench_ablation_supernet"
+  "bench_ablation_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

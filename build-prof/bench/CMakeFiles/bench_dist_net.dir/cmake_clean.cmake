@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_net.dir/bench_dist_net.cpp.o"
+  "CMakeFiles/bench_dist_net.dir/bench_dist_net.cpp.o.d"
+  "bench_dist_net"
+  "bench_dist_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ioe.dir/bench_fig5_ioe.cpp.o"
+  "CMakeFiles/bench_fig5_ioe.dir/bench_fig5_ioe.cpp.o.d"
+  "bench_fig5_ioe"
+  "bench_fig5_ioe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ioe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ooe.dir/bench_fig5_ooe.cpp.o"
+  "CMakeFiles/bench_fig5_ooe.dir/bench_fig5_ooe.cpp.o.d"
+  "bench_fig5_ooe"
+  "bench_fig5_ooe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ooe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

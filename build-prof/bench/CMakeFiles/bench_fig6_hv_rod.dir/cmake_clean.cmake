@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hv_rod.dir/bench_fig6_hv_rod.cpp.o"
+  "CMakeFiles/bench_fig6_hv_rod.dir/bench_fig6_hv_rod.cpp.o.d"
+  "bench_fig6_hv_rod"
+  "bench_fig6_hv_rod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hv_rod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dissim.dir/bench_fig7_dissim.cpp.o"
+  "CMakeFiles/bench_fig7_dissim.dir/bench_fig7_dissim.cpp.o.d"
+  "bench_fig7_dissim"
+  "bench_fig7_dissim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dissim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

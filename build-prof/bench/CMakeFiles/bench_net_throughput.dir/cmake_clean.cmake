@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_throughput.dir/bench_net_throughput.cpp.o"
+  "CMakeFiles/bench_net_throughput.dir/bench_net_throughput.cpp.o.d"
+  "bench_net_throughput"
+  "bench_net_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

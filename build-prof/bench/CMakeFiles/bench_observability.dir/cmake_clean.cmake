@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observability.dir/bench_observability.cpp.o"
+  "CMakeFiles/bench_observability.dir/bench_observability.cpp.o.d"
+  "bench_observability"
+  "bench_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

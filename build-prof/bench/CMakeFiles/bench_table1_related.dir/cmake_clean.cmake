@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_related.dir/bench_table1_related.cpp.o"
+  "CMakeFiles/bench_table1_related.dir/bench_table1_related.cpp.o.d"
+  "bench_table1_related"
+  "bench_table1_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dynn.dir/bench_table3_dynn.cpp.o"
+  "CMakeFiles/bench_table3_dynn.dir/bench_table3_dynn.cpp.o.d"
+  "bench_table3_dynn"
+  "bench_table3_dynn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dynn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

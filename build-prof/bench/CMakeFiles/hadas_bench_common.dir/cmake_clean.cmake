@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_bench_common.dir/fig5_data.cpp.o"
+  "CMakeFiles/hadas_bench_common.dir/fig5_data.cpp.o.d"
+  "libhadas_bench_common.a"
+  "libhadas_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

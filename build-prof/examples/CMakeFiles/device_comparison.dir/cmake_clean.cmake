@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_comparison.dir/device_comparison.cpp.o"
+  "CMakeFiles/device_comparison.dir/device_comparison.cpp.o.d"
+  "device_comparison"
+  "device_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

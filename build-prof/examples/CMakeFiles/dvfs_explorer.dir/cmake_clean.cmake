@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_explorer.dir/dvfs_explorer.cpp.o"
+  "CMakeFiles/dvfs_explorer.dir/dvfs_explorer.cpp.o.d"
+  "dvfs_explorer"
+  "dvfs_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

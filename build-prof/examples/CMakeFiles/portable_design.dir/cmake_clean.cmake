@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portable_design.dir/portable_design.cpp.o"
+  "CMakeFiles/portable_design.dir/portable_design.cpp.o.d"
+  "portable_design"
+  "portable_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portable_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_deployment.dir/runtime_deployment.cpp.o"
+  "CMakeFiles/runtime_deployment.dir/runtime_deployment.cpp.o.d"
+  "runtime_deployment"
+  "runtime_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustained_stream.dir/sustained_stream.cpp.o"
+  "CMakeFiles/sustained_stream.dir/sustained_stream.cpp.o.d"
+  "sustained_stream"
+  "sustained_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustained_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-prof/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("exec")
+subdirs("nn")
+subdirs("data")
+subdirs("supernet")
+subdirs("hw")
+subdirs("dynn")
+subdirs("core")
+subdirs("runtime")
+subdirs("net")
+subdirs("dist")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hadas_engine.cpp" "src/core/CMakeFiles/hadas_core.dir/hadas_engine.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/hadas_engine.cpp.o.d"
+  "/root/repo/src/core/ioe.cpp" "src/core/CMakeFiles/hadas_core.dir/ioe.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/ioe.cpp.o.d"
+  "/root/repo/src/core/multi_device.cpp" "src/core/CMakeFiles/hadas_core.dir/multi_device.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/multi_device.cpp.o.d"
+  "/root/repo/src/core/nsga2.cpp" "src/core/CMakeFiles/hadas_core.dir/nsga2.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/nsga2.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/hadas_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/hadas_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/hadas_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/static_eval.cpp" "src/core/CMakeFiles/hadas_core.dir/static_eval.cpp.o" "gcc" "src/core/CMakeFiles/hadas_core.dir/static_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/dynn/CMakeFiles/hadas_dynn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/hw/CMakeFiles/hadas_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/data/CMakeFiles/hadas_data.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

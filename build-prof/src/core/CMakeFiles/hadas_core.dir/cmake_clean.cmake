@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_core.dir/hadas_engine.cpp.o"
+  "CMakeFiles/hadas_core.dir/hadas_engine.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/ioe.cpp.o"
+  "CMakeFiles/hadas_core.dir/ioe.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/multi_device.cpp.o"
+  "CMakeFiles/hadas_core.dir/multi_device.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/nsga2.cpp.o"
+  "CMakeFiles/hadas_core.dir/nsga2.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/pareto.cpp.o"
+  "CMakeFiles/hadas_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/hadas_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/serialize.cpp.o"
+  "CMakeFiles/hadas_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/hadas_core.dir/static_eval.cpp.o"
+  "CMakeFiles/hadas_core.dir/static_eval.cpp.o.d"
+  "libhadas_core.a"
+  "libhadas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/sample_stream.cpp" "src/data/CMakeFiles/hadas_data.dir/sample_stream.cpp.o" "gcc" "src/data/CMakeFiles/hadas_data.dir/sample_stream.cpp.o.d"
+  "/root/repo/src/data/synthetic_task.cpp" "src/data/CMakeFiles/hadas_data.dir/synthetic_task.cpp.o" "gcc" "src/data/CMakeFiles/hadas_data.dir/synthetic_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

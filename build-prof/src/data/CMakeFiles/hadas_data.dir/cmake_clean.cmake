@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_data.dir/sample_stream.cpp.o"
+  "CMakeFiles/hadas_data.dir/sample_stream.cpp.o.d"
+  "CMakeFiles/hadas_data.dir/synthetic_task.cpp.o"
+  "CMakeFiles/hadas_data.dir/synthetic_task.cpp.o.d"
+  "libhadas_data.a"
+  "libhadas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_dist.dir/coordinator.cpp.o"
+  "CMakeFiles/hadas_dist.dir/coordinator.cpp.o.d"
+  "CMakeFiles/hadas_dist.dir/fork_transport.cpp.o"
+  "CMakeFiles/hadas_dist.dir/fork_transport.cpp.o.d"
+  "CMakeFiles/hadas_dist.dir/island.cpp.o"
+  "CMakeFiles/hadas_dist.dir/island.cpp.o.d"
+  "CMakeFiles/hadas_dist.dir/net_transport.cpp.o"
+  "CMakeFiles/hadas_dist.dir/net_transport.cpp.o.d"
+  "CMakeFiles/hadas_dist.dir/worker.cpp.o"
+  "CMakeFiles/hadas_dist.dir/worker.cpp.o.d"
+  "libhadas_dist.a"
+  "libhadas_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

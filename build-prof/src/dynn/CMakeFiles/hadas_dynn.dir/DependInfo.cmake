@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynn/dynamic_eval.cpp" "src/dynn/CMakeFiles/hadas_dynn.dir/dynamic_eval.cpp.o" "gcc" "src/dynn/CMakeFiles/hadas_dynn.dir/dynamic_eval.cpp.o.d"
+  "/root/repo/src/dynn/exit_bank.cpp" "src/dynn/CMakeFiles/hadas_dynn.dir/exit_bank.cpp.o" "gcc" "src/dynn/CMakeFiles/hadas_dynn.dir/exit_bank.cpp.o.d"
+  "/root/repo/src/dynn/exit_placement.cpp" "src/dynn/CMakeFiles/hadas_dynn.dir/exit_placement.cpp.o" "gcc" "src/dynn/CMakeFiles/hadas_dynn.dir/exit_placement.cpp.o.d"
+  "/root/repo/src/dynn/multi_exit_cost.cpp" "src/dynn/CMakeFiles/hadas_dynn.dir/multi_exit_cost.cpp.o" "gcc" "src/dynn/CMakeFiles/hadas_dynn.dir/multi_exit_cost.cpp.o.d"
+  "/root/repo/src/dynn/proxy_sampling.cpp" "src/dynn/CMakeFiles/hadas_dynn.dir/proxy_sampling.cpp.o" "gcc" "src/dynn/CMakeFiles/hadas_dynn.dir/proxy_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/data/CMakeFiles/hadas_data.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/hw/CMakeFiles/hadas_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_dynn.dir/dynamic_eval.cpp.o"
+  "CMakeFiles/hadas_dynn.dir/dynamic_eval.cpp.o.d"
+  "CMakeFiles/hadas_dynn.dir/exit_bank.cpp.o"
+  "CMakeFiles/hadas_dynn.dir/exit_bank.cpp.o.d"
+  "CMakeFiles/hadas_dynn.dir/exit_placement.cpp.o"
+  "CMakeFiles/hadas_dynn.dir/exit_placement.cpp.o.d"
+  "CMakeFiles/hadas_dynn.dir/multi_exit_cost.cpp.o"
+  "CMakeFiles/hadas_dynn.dir/multi_exit_cost.cpp.o.d"
+  "CMakeFiles/hadas_dynn.dir/proxy_sampling.cpp.o"
+  "CMakeFiles/hadas_dynn.dir/proxy_sampling.cpp.o.d"
+  "libhadas_dynn.a"
+  "libhadas_dynn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_dynn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hadas_dynn.
+# This may be replaced when dependencies are built.

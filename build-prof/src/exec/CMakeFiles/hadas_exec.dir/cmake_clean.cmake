@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_exec.dir/chaos.cpp.o"
+  "CMakeFiles/hadas_exec.dir/chaos.cpp.o.d"
+  "CMakeFiles/hadas_exec.dir/dispatcher.cpp.o"
+  "CMakeFiles/hadas_exec.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/hadas_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/hadas_exec.dir/thread_pool.cpp.o.d"
+  "libhadas_exec.a"
+  "libhadas_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/hadas_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/evaluator.cpp" "src/hw/CMakeFiles/hadas_hw.dir/evaluator.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/evaluator.cpp.o.d"
+  "/root/repo/src/hw/faults.cpp" "src/hw/CMakeFiles/hadas_hw.dir/faults.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/faults.cpp.o.d"
+  "/root/repo/src/hw/fleet/bdf.cpp" "src/hw/CMakeFiles/hadas_hw.dir/fleet/bdf.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/fleet/bdf.cpp.o.d"
+  "/root/repo/src/hw/fleet/lifecycle.cpp" "src/hw/CMakeFiles/hadas_hw.dir/fleet/lifecycle.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/fleet/lifecycle.cpp.o.d"
+  "/root/repo/src/hw/fleet/registry.cpp" "src/hw/CMakeFiles/hadas_hw.dir/fleet/registry.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/fleet/registry.cpp.o.d"
+  "/root/repo/src/hw/proxy.cpp" "src/hw/CMakeFiles/hadas_hw.dir/proxy.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/proxy.cpp.o.d"
+  "/root/repo/src/hw/robust_eval.cpp" "src/hw/CMakeFiles/hadas_hw.dir/robust_eval.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/robust_eval.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/hadas_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/hadas_hw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_hw.dir/device.cpp.o"
+  "CMakeFiles/hadas_hw.dir/device.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/evaluator.cpp.o"
+  "CMakeFiles/hadas_hw.dir/evaluator.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/faults.cpp.o"
+  "CMakeFiles/hadas_hw.dir/faults.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/fleet/bdf.cpp.o"
+  "CMakeFiles/hadas_hw.dir/fleet/bdf.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/fleet/lifecycle.cpp.o"
+  "CMakeFiles/hadas_hw.dir/fleet/lifecycle.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/fleet/registry.cpp.o"
+  "CMakeFiles/hadas_hw.dir/fleet/registry.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/proxy.cpp.o"
+  "CMakeFiles/hadas_hw.dir/proxy.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/robust_eval.cpp.o"
+  "CMakeFiles/hadas_hw.dir/robust_eval.cpp.o.d"
+  "CMakeFiles/hadas_hw.dir/thermal.cpp.o"
+  "CMakeFiles/hadas_hw.dir/thermal.cpp.o.d"
+  "libhadas_hw.a"
+  "libhadas_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

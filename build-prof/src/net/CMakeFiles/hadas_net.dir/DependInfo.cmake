@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/backed_stream.cpp" "src/net/CMakeFiles/hadas_net.dir/backed_stream.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/backed_stream.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "src/net/CMakeFiles/hadas_net.dir/client.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/client.cpp.o.d"
+  "/root/repo/src/net/connection.cpp" "src/net/CMakeFiles/hadas_net.dir/connection.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/connection.cpp.o.d"
+  "/root/repo/src/net/fake_socket.cpp" "src/net/CMakeFiles/hadas_net.dir/fake_socket.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/fake_socket.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/hadas_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/hadas_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/server.cpp.o.d"
+  "/root/repo/src/net/session.cpp" "src/net/CMakeFiles/hadas_net.dir/session.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/session.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/hadas_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/hadas_net.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/runtime/CMakeFiles/hadas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dynn/CMakeFiles/hadas_dynn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/hw/CMakeFiles/hadas_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/data/CMakeFiles/hadas_data.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

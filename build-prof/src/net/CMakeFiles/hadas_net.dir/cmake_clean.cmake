@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_net.dir/backed_stream.cpp.o"
+  "CMakeFiles/hadas_net.dir/backed_stream.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/client.cpp.o"
+  "CMakeFiles/hadas_net.dir/client.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/connection.cpp.o"
+  "CMakeFiles/hadas_net.dir/connection.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/fake_socket.cpp.o"
+  "CMakeFiles/hadas_net.dir/fake_socket.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/frame.cpp.o"
+  "CMakeFiles/hadas_net.dir/frame.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/server.cpp.o"
+  "CMakeFiles/hadas_net.dir/server.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/session.cpp.o"
+  "CMakeFiles/hadas_net.dir/session.cpp.o.d"
+  "CMakeFiles/hadas_net.dir/socket.cpp.o"
+  "CMakeFiles/hadas_net.dir/socket.cpp.o.d"
+  "libhadas_net.a"
+  "libhadas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/losses.cpp" "src/nn/CMakeFiles/hadas_nn.dir/losses.cpp.o" "gcc" "src/nn/CMakeFiles/hadas_nn.dir/losses.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/hadas_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/hadas_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/hadas_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/hadas_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/hadas_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/hadas_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

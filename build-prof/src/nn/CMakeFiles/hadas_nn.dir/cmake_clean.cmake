@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_nn.dir/losses.cpp.o"
+  "CMakeFiles/hadas_nn.dir/losses.cpp.o.d"
+  "CMakeFiles/hadas_nn.dir/matrix.cpp.o"
+  "CMakeFiles/hadas_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/hadas_nn.dir/mlp.cpp.o"
+  "CMakeFiles/hadas_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/hadas_nn.dir/trainer.cpp.o"
+  "CMakeFiles/hadas_nn.dir/trainer.cpp.o.d"
+  "libhadas_nn.a"
+  "libhadas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_obs.dir/metrics.cpp.o"
+  "CMakeFiles/hadas_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/hadas_obs.dir/trace.cpp.o"
+  "CMakeFiles/hadas_obs.dir/trace.cpp.o.d"
+  "libhadas_obs.a"
+  "libhadas_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

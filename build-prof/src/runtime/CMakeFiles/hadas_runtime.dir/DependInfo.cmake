@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/controller.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/controller.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/controller.cpp.o.d"
+  "/root/repo/src/runtime/deployment.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/deployment.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/deployment.cpp.o.d"
+  "/root/repo/src/runtime/governor.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/governor.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/governor.cpp.o.d"
+  "/root/repo/src/runtime/predictive_exit.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/predictive_exit.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/predictive_exit.cpp.o.d"
+  "/root/repo/src/runtime/serve/bridge.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/bridge.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/bridge.cpp.o.d"
+  "/root/repo/src/runtime/serve/fleet_failover.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/fleet_failover.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/fleet_failover.cpp.o.d"
+  "/root/repo/src/runtime/serve/journal.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/journal.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/journal.cpp.o.d"
+  "/root/repo/src/runtime/serve/slo.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/slo.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/slo.cpp.o.d"
+  "/root/repo/src/runtime/serve/supervisor.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/supervisor.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/supervisor.cpp.o.d"
+  "/root/repo/src/runtime/serve/traffic.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/traffic.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/serve/traffic.cpp.o.d"
+  "/root/repo/src/runtime/sustained.cpp" "src/runtime/CMakeFiles/hadas_runtime.dir/sustained.cpp.o" "gcc" "src/runtime/CMakeFiles/hadas_runtime.dir/sustained.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/dynn/CMakeFiles/hadas_dynn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/data/CMakeFiles/hadas_data.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/hw/CMakeFiles/hadas_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_runtime.dir/controller.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/controller.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/deployment.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/deployment.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/governor.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/governor.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/predictive_exit.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/predictive_exit.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/bridge.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/bridge.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/fleet_failover.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/fleet_failover.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/journal.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/journal.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/slo.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/slo.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/supervisor.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/supervisor.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/serve/traffic.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/serve/traffic.cpp.o.d"
+  "CMakeFiles/hadas_runtime.dir/sustained.cpp.o"
+  "CMakeFiles/hadas_runtime.dir/sustained.cpp.o.d"
+  "libhadas_runtime.a"
+  "libhadas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supernet/accuracy.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/accuracy.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/accuracy.cpp.o.d"
+  "/root/repo/src/supernet/backbone.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/backbone.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/backbone.cpp.o.d"
+  "/root/repo/src/supernet/baselines.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/baselines.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/baselines.cpp.o.d"
+  "/root/repo/src/supernet/cost_model.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/cost_model.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/supernet/search_space.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/search_space.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/search_space.cpp.o.d"
+  "/root/repo/src/supernet/supernet_trainer.cpp" "src/supernet/CMakeFiles/hadas_supernet.dir/supernet_trainer.cpp.o" "gcc" "src/supernet/CMakeFiles/hadas_supernet.dir/supernet_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

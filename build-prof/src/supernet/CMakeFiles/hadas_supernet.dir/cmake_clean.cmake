@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_supernet.dir/accuracy.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/accuracy.cpp.o.d"
+  "CMakeFiles/hadas_supernet.dir/backbone.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/backbone.cpp.o.d"
+  "CMakeFiles/hadas_supernet.dir/baselines.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/baselines.cpp.o.d"
+  "CMakeFiles/hadas_supernet.dir/cost_model.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hadas_supernet.dir/search_space.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/search_space.cpp.o.d"
+  "CMakeFiles/hadas_supernet.dir/supernet_trainer.cpp.o"
+  "CMakeFiles/hadas_supernet.dir/supernet_trainer.cpp.o.d"
+  "libhadas_supernet.a"
+  "libhadas_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/hadas_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/durable/checkpoint_chain.cpp" "src/util/CMakeFiles/hadas_util.dir/durable/checkpoint_chain.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/durable/checkpoint_chain.cpp.o.d"
+  "/root/repo/src/util/durable/durable_file.cpp" "src/util/CMakeFiles/hadas_util.dir/durable/durable_file.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/durable/durable_file.cpp.o.d"
+  "/root/repo/src/util/failpoint.cpp" "src/util/CMakeFiles/hadas_util.dir/failpoint.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/failpoint.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/hadas_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/linalg.cpp" "src/util/CMakeFiles/hadas_util.dir/linalg.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/linalg.cpp.o.d"
+  "/root/repo/src/util/mathutil.cpp" "src/util/CMakeFiles/hadas_util.dir/mathutil.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/mathutil.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/hadas_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/hadas_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/strutil.cpp" "src/util/CMakeFiles/hadas_util.dir/strutil.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/strutil.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/hadas_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/hadas_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_util.dir/csv.cpp.o"
+  "CMakeFiles/hadas_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/durable/checkpoint_chain.cpp.o"
+  "CMakeFiles/hadas_util.dir/durable/checkpoint_chain.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/durable/durable_file.cpp.o"
+  "CMakeFiles/hadas_util.dir/durable/durable_file.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/failpoint.cpp.o"
+  "CMakeFiles/hadas_util.dir/failpoint.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/json.cpp.o"
+  "CMakeFiles/hadas_util.dir/json.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/linalg.cpp.o"
+  "CMakeFiles/hadas_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/mathutil.cpp.o"
+  "CMakeFiles/hadas_util.dir/mathutil.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/rng.cpp.o"
+  "CMakeFiles/hadas_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/statistics.cpp.o"
+  "CMakeFiles/hadas_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/strutil.cpp.o"
+  "CMakeFiles/hadas_util.dir/strutil.cpp.o.d"
+  "CMakeFiles/hadas_util.dir/table.cpp.o"
+  "CMakeFiles/hadas_util.dir/table.cpp.o.d"
+  "libhadas_util.a"
+  "libhadas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

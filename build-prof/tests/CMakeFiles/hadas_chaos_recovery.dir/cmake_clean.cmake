@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_chaos_recovery.dir/test_chaos_recovery.cpp.o"
+  "CMakeFiles/hadas_chaos_recovery.dir/test_chaos_recovery.cpp.o.d"
+  "hadas_chaos_recovery"
+  "hadas_chaos_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_chaos_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_dist_chaos.dir/test_dist_chaos.cpp.o"
+  "CMakeFiles/hadas_dist_chaos.dir/test_dist_chaos.cpp.o.d"
+  "hadas_dist_chaos"
+  "hadas_dist_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_dist_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

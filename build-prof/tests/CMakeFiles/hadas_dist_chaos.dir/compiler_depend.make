@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hadas_dist_chaos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hadas_dist_chaos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_dist_net_tcp.dir/test_dist_net_tcp.cpp.o"
+  "CMakeFiles/hadas_dist_net_tcp.dir/test_dist_net_tcp.cpp.o.d"
+  "hadas_dist_net_tcp"
+  "hadas_dist_net_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_dist_net_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hadas_dist_net_tcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_durable_property.dir/test_durable_property.cpp.o"
+  "CMakeFiles/hadas_durable_property.dir/test_durable_property.cpp.o.d"
+  "hadas_durable_property"
+  "hadas_durable_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_durable_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

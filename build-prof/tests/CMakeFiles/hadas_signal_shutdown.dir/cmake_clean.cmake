@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas_signal_shutdown.dir/test_signal_shutdown.cpp.o"
+  "CMakeFiles/hadas_signal_shutdown.dir/test_signal_shutdown.cpp.o.d"
+  "hadas_signal_shutdown"
+  "hadas_signal_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas_signal_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

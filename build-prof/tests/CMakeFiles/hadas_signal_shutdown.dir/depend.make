@@ -1,0 +1,2 @@
+# Empty dependencies file for hadas_signal_shutdown.
+# This may be replaced when dependencies are built.

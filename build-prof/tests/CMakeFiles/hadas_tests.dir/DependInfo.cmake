@@ -1,0 +1,90 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_data.cpp" "tests/CMakeFiles/hadas_tests.dir/test_bench_data.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_bench_data.cpp.o.d"
+  "/root/repo/tests/test_core_checkpoint.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_core_constraints.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_constraints.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_constraints.cpp.o.d"
+  "/root/repo/tests/test_core_engine.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_engine.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_engine.cpp.o.d"
+  "/root/repo/tests/test_core_multi_device.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_multi_device.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_multi_device.cpp.o.d"
+  "/root/repo/tests/test_core_nsga2.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_nsga2.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_nsga2.cpp.o.d"
+  "/root/repo/tests/test_core_pareto.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_pareto.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_pareto.cpp.o.d"
+  "/root/repo/tests/test_core_rod.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_rod.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_rod.cpp.o.d"
+  "/root/repo/tests/test_core_sensitivity.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_core_serialize.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_serialize.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_serialize.cpp.o.d"
+  "/root/repo/tests/test_core_warmstart.cpp" "tests/CMakeFiles/hadas_tests.dir/test_core_warmstart.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_core_warmstart.cpp.o.d"
+  "/root/repo/tests/test_cross_device.cpp" "tests/CMakeFiles/hadas_tests.dir/test_cross_device.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_cross_device.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/hadas_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_dist_island.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dist_island.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dist_island.cpp.o.d"
+  "/root/repo/tests/test_dist_net.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dist_net.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dist_net.cpp.o.d"
+  "/root/repo/tests/test_durable.cpp" "tests/CMakeFiles/hadas_tests.dir/test_durable.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_durable.cpp.o.d"
+  "/root/repo/tests/test_dynn_bank.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dynn_bank.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dynn_bank.cpp.o.d"
+  "/root/repo/tests/test_dynn_cost.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dynn_cost.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dynn_cost.cpp.o.d"
+  "/root/repo/tests/test_dynn_dynamic_eval.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dynn_dynamic_eval.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dynn_dynamic_eval.cpp.o.d"
+  "/root/repo/tests/test_dynn_placement.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dynn_placement.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dynn_placement.cpp.o.d"
+  "/root/repo/tests/test_dynn_tap_quality.cpp" "tests/CMakeFiles/hadas_tests.dir/test_dynn_tap_quality.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_dynn_tap_quality.cpp.o.d"
+  "/root/repo/tests/test_exec_determinism.cpp" "tests/CMakeFiles/hadas_tests.dir/test_exec_determinism.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_exec_determinism.cpp.o.d"
+  "/root/repo/tests/test_exec_pool.cpp" "tests/CMakeFiles/hadas_tests.dir/test_exec_pool.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_exec_pool.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/hadas_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fleet_registry.cpp" "tests/CMakeFiles/hadas_tests.dir/test_fleet_registry.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_fleet_registry.cpp.o.d"
+  "/root/repo/tests/test_fleet_search.cpp" "tests/CMakeFiles/hadas_tests.dir/test_fleet_search.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_fleet_search.cpp.o.d"
+  "/root/repo/tests/test_fleet_serve.cpp" "tests/CMakeFiles/hadas_tests.dir/test_fleet_serve.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_fleet_serve.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/hadas_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_hw_faults.cpp" "tests/CMakeFiles/hadas_tests.dir/test_hw_faults.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_hw_faults.cpp.o.d"
+  "/root/repo/tests/test_hw_proxy.cpp" "tests/CMakeFiles/hadas_tests.dir/test_hw_proxy.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_hw_proxy.cpp.o.d"
+  "/root/repo/tests/test_hw_thermal.cpp" "tests/CMakeFiles/hadas_tests.dir/test_hw_thermal.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_hw_thermal.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hadas_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/hadas_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_net_backed.cpp" "tests/CMakeFiles/hadas_tests.dir/test_net_backed.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_net_backed.cpp.o.d"
+  "/root/repo/tests/test_net_frame.cpp" "tests/CMakeFiles/hadas_tests.dir/test_net_frame.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_net_frame.cpp.o.d"
+  "/root/repo/tests/test_net_loopback.cpp" "tests/CMakeFiles/hadas_tests.dir/test_net_loopback.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_net_loopback.cpp.o.d"
+  "/root/repo/tests/test_net_resume.cpp" "tests/CMakeFiles/hadas_tests.dir/test_net_resume.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_net_resume.cpp.o.d"
+  "/root/repo/tests/test_nn_losses.cpp" "tests/CMakeFiles/hadas_tests.dir/test_nn_losses.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_nn_losses.cpp.o.d"
+  "/root/repo/tests/test_nn_matrix.cpp" "tests/CMakeFiles/hadas_tests.dir/test_nn_matrix.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_nn_matrix.cpp.o.d"
+  "/root/repo/tests/test_nn_mlp.cpp" "tests/CMakeFiles/hadas_tests.dir/test_nn_mlp.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_nn_mlp.cpp.o.d"
+  "/root/repo/tests/test_nn_trainer.cpp" "tests/CMakeFiles/hadas_tests.dir/test_nn_trainer.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_nn_trainer.cpp.o.d"
+  "/root/repo/tests/test_obs_determinism.cpp" "tests/CMakeFiles/hadas_tests.dir/test_obs_determinism.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_obs_determinism.cpp.o.d"
+  "/root/repo/tests/test_obs_metrics.cpp" "tests/CMakeFiles/hadas_tests.dir/test_obs_metrics.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_obs_metrics.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/hadas_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/hadas_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_runtime_drift.cpp" "tests/CMakeFiles/hadas_tests.dir/test_runtime_drift.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_runtime_drift.cpp.o.d"
+  "/root/repo/tests/test_runtime_governor.cpp" "tests/CMakeFiles/hadas_tests.dir/test_runtime_governor.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_runtime_governor.cpp.o.d"
+  "/root/repo/tests/test_runtime_predictive.cpp" "tests/CMakeFiles/hadas_tests.dir/test_runtime_predictive.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_runtime_predictive.cpp.o.d"
+  "/root/repo/tests/test_runtime_serve.cpp" "tests/CMakeFiles/hadas_tests.dir/test_runtime_serve.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_runtime_serve.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/hadas_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_supernet.cpp" "tests/CMakeFiles/hadas_tests.dir/test_supernet.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_supernet.cpp.o.d"
+  "/root/repo/tests/test_supernet_ofa.cpp" "tests/CMakeFiles/hadas_tests.dir/test_supernet_ofa.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_supernet_ofa.cpp.o.d"
+  "/root/repo/tests/test_supernet_trainer.cpp" "tests/CMakeFiles/hadas_tests.dir/test_supernet_trainer.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_supernet_trainer.cpp.o.d"
+  "/root/repo/tests/test_util_json.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_json.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_json.cpp.o.d"
+  "/root/repo/tests/test_util_linalg.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_linalg.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_linalg.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_statistics.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_statistics.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_statistics.cpp.o.d"
+  "/root/repo/tests/test_util_strict_parse.cpp" "tests/CMakeFiles/hadas_tests.dir/test_util_strict_parse.cpp.o" "gcc" "tests/CMakeFiles/hadas_tests.dir/test_util_strict_parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/bench/CMakeFiles/hadas_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/hadas_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dist/CMakeFiles/hadas_dist.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/net/CMakeFiles/hadas_net.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/runtime/CMakeFiles/hadas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dynn/CMakeFiles/hadas_dynn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/hw/CMakeFiles/hadas_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/supernet/CMakeFiles/hadas_supernet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/data/CMakeFiles/hadas_data.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/nn/CMakeFiles/hadas_nn.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/exec/CMakeFiles/hadas_exec.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/hadas_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/hadas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

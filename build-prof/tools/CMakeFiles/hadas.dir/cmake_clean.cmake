@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadas.dir/hadas_cli.cpp.o"
+  "CMakeFiles/hadas.dir/hadas_cli.cpp.o.d"
+  "hadas"
+  "hadas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

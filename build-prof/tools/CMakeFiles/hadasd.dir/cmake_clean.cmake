@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadasd.dir/hadasd.cpp.o"
+  "CMakeFiles/hadasd.dir/hadasd.cpp.o.d"
+  "hadasd"
+  "hadasd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadasd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
